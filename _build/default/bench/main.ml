@@ -1,0 +1,138 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 5) and, with [--micro], times the core
+   primitives with Bechamel.
+
+   Default output: Table 1 (configuration), Table 2 (compilation time),
+   Figures 6-12 as per-benchmark rows with the paper's reported averages
+   alongside. One Bechamel test per table/figure (and per substrate
+   primitive) runs in the micro section. *)
+
+module H = Sdiq_harness
+
+let print_table1 () =
+  Fmt.pr "== table1: processor configuration ==@.%a@.@." Sdiq_cpu.Config.pp
+    Sdiq_cpu.Config.default
+
+let run_experiments ~budget () =
+  let r = H.Runner.create ~budget () in
+  Fmt.pr "Running %d benchmarks x %d techniques at %d instructions each...@."
+    (List.length (H.Runner.bench_names r))
+    (List.length H.Technique.all)
+    budget;
+  let t0 = Sys.time () in
+  H.Runner.run_all r;
+  Fmt.pr "(simulation campaign: %.1fs)@.@." (Sys.time () -. t0);
+  print_table1 ();
+  Fmt.pr "%a@." H.Experiments.pp_table2 (H.Experiments.table2 r);
+  List.iter
+    (fun e -> Fmt.pr "%a@." H.Experiments.pp_exp e)
+    [
+      H.Experiments.fig6 r;
+      H.Experiments.fig7 r;
+      H.Experiments.fig8 r;
+      H.Experiments.fig9 r;
+      H.Experiments.fig10 r;
+      H.Experiments.fig11 r;
+      H.Experiments.fig12 r;
+    ]
+
+(* --- Bechamel microbenchmarks ------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let tiny_runner () =
+  H.Runner.create ~budget:2_000
+    ~benches:[ Sdiq_workloads.W_gzip.build ~outer:2_000 () ]
+    ()
+
+let bench_experiment name f =
+  Test.make ~name (Staged.stage (fun () -> Sys.opaque_identity (f ())))
+
+let micro_tests () =
+  let open Sdiq_isa in
+  let r = Reg.int in
+  (* substrate primitives *)
+  let iq = Sdiq_cpu.Iq.create ~size:80 ~bank_size:8 in
+  for i = 0 to 39 do
+    ignore
+      (Sdiq_cpu.Iq.dispatch iq ~rob_idx:i ~ops:[ (i, false); (i + 100, true) ])
+  done;
+  let cache = Sdiq_cpu.Cache.create ~sets:512 ~ways:4 ~line:32 in
+  let bpred = Sdiq_cpu.Branch_pred.create Sdiq_cpu.Config.default in
+  let block =
+    Array.init 24 (fun i ->
+        Instr.make ~dst:(r ((i mod 8) + 1)) ~src1:(r (((i + 3) mod 8) + 1))
+          ~imm:i Opcode.Addi)
+  in
+  let loop_body =
+    Array.init 12 (fun i ->
+        Instr.make ~dst:(r ((i mod 6) + 1)) ~src1:(r ((i mod 6) + 1)) ~imm:1
+          Opcode.Addi)
+  in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"iq-broadcast"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Sdiq_cpu.Iq.broadcast_many iq [ 7; 13 ])));
+    Test.make ~name:"cache-access"
+      (Staged.stage (fun () ->
+           incr counter;
+           Sys.opaque_identity (Sdiq_cpu.Cache.access cache (!counter * 64))));
+    Test.make ~name:"branch-predict"
+      (Staged.stage (fun () ->
+           incr counter;
+           Sys.opaque_identity
+             (Sdiq_cpu.Branch_pred.predict_direction bpred
+                (!counter land 1023))));
+    Test.make ~name:"pseudo-iq-block"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Sdiq_core.Pseudo_iq.analyze block)));
+    Test.make ~name:"cds-loop-schedule"
+      (Staged.stage (fun () ->
+           let g = Sdiq_ddg.Ddg.of_loop_body loop_body in
+           Sys.opaque_identity (Sdiq_ddg.Cds.schedule g)));
+    (* one bench per table/figure: the full computation at a tiny scale *)
+    bench_experiment "table2" (fun () -> H.Experiments.table2 (tiny_runner ()));
+    bench_experiment "fig6" (fun () -> H.Experiments.fig6 (tiny_runner ()));
+    bench_experiment "fig7" (fun () -> H.Experiments.fig7 (tiny_runner ()));
+    bench_experiment "fig8" (fun () -> H.Experiments.fig8 (tiny_runner ()));
+    bench_experiment "fig9" (fun () -> H.Experiments.fig9 (tiny_runner ()));
+    bench_experiment "fig10" (fun () -> H.Experiments.fig10 (tiny_runner ()));
+    bench_experiment "fig11" (fun () -> H.Experiments.fig11 (tiny_runner ()));
+    bench_experiment "fig12" (fun () -> H.Experiments.fig12 (tiny_runner ()));
+  ]
+
+let run_micro () =
+  Fmt.pr "== microbenchmarks (Bechamel) ==@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:(Some 50) ()
+  in
+  let tests = Test.make_grouped ~name:"sdiq" ~fmt:"%s %s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ t ] -> Fmt.pr "  %-28s %12.1f ns/run@." name t
+      | Some _ | None -> Fmt.pr "  %-28s (no estimate)@." name)
+    results
+
+let run_ablations ~budget () =
+  Fmt.pr "@.== ablation studies (design choices from DESIGN.md) ==@.";
+  List.iter
+    (fun s -> Fmt.pr "%a@." H.Ablations.pp_study s)
+    (H.Ablations.all ~budget ())
+
+let () =
+  let micro = Array.exists (fun a -> a = "--micro") Sys.argv in
+  let ablations = Array.exists (fun a -> a = "--ablations") Sys.argv in
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let budget = if quick then 20_000 else 100_000 in
+  run_experiments ~budget ();
+  if ablations then run_ablations ~budget:(budget / 2) ();
+  if micro then run_micro ()

@@ -1,0 +1,135 @@
+(* sdiq-report: regenerate the paper's tables and figures, selectively.
+
+     dune exec bin/report.exe                      # everything
+     dune exec bin/report.exe -- --only fig6,fig8  # a subset
+     dune exec bin/report.exe -- --markdown        # EXPERIMENTS.md body *)
+
+open Cmdliner
+module H = Sdiq_harness
+
+let all_ids = [ "table2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ]
+
+let budget_arg =
+  let doc = "Committed-instruction budget per run." in
+  Arg.(value & opt int 100_000 & info [ "n"; "budget" ] ~docv:"N" ~doc)
+
+let only_arg =
+  let doc = "Comma-separated experiment ids (table2, fig6..fig12)." in
+  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"IDS" ~doc)
+
+let markdown_arg =
+  let doc = "Emit Markdown tables (the body of EXPERIMENTS.md)." in
+  Arg.(value & flag & info [ "markdown" ] ~doc)
+
+let exp_of_id r = function
+  | "fig6" -> Some (H.Experiments.fig6 r)
+  | "fig7" -> Some (H.Experiments.fig7 r)
+  | "fig8" -> Some (H.Experiments.fig8 r)
+  | "fig9" -> Some (H.Experiments.fig9 r)
+  | "fig10" -> Some (H.Experiments.fig10 r)
+  | "fig11" -> Some (H.Experiments.fig11 r)
+  | "fig12" -> Some (H.Experiments.fig12 r)
+  | _ -> None
+
+let pp_exp_markdown ppf (e : H.Experiments.exp) =
+  Fmt.pf ppf "### %s — %s@.@." e.H.Experiments.id e.H.Experiments.caption;
+  let benches =
+    match e.H.Experiments.columns with
+    | [] -> []
+    | c :: _ -> List.map fst c.H.Experiments.per_bench
+  in
+  Fmt.pf ppf "| benchmark |%s@."
+    (String.concat ""
+       (List.map
+          (fun (c : H.Experiments.column) ->
+            " " ^ c.H.Experiments.title ^ " |")
+          e.H.Experiments.columns));
+  Fmt.pf ppf "|---|%s@."
+    (String.concat ""
+       (List.map (fun _ -> "---|") e.H.Experiments.columns));
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "| %s |" b;
+      List.iter
+        (fun (c : H.Experiments.column) ->
+          match List.assoc_opt b c.H.Experiments.per_bench with
+          | Some v -> Fmt.pf ppf " %.2f |" v
+          | None -> Fmt.pf ppf " - |")
+        e.H.Experiments.columns;
+      Fmt.pf ppf "@.")
+    benches;
+  Fmt.pf ppf "| **SPECINT (measured)** |%s@."
+    (String.concat ""
+       (List.map
+          (fun c -> Fmt.str " **%.2f** |" (H.Experiments.avg_of c))
+          e.H.Experiments.columns));
+  Fmt.pf ppf "| *paper* |%s@."
+    (String.concat ""
+       (List.map
+          (fun (c : H.Experiments.column) ->
+            match c.H.Experiments.paper_avg with
+            | Some v -> Fmt.str " *%.2f* |" v
+            | None -> " - |")
+          e.H.Experiments.columns));
+  List.iter
+    (fun (c : H.Experiments.column) ->
+      List.iter
+        (fun (label, v, paper) ->
+          match paper with
+          | Some pv ->
+            Fmt.pf ppf "@.Extra bar [%s] %s: measured %.2f, paper %.2f@."
+              c.H.Experiments.title label v pv
+          | None ->
+            Fmt.pf ppf "@.Extra bar [%s] %s: measured %.2f@."
+              c.H.Experiments.title label v)
+        c.H.Experiments.extras)
+    e.H.Experiments.columns;
+  Fmt.pf ppf "@."
+
+let pp_table2_markdown ppf rows =
+  Fmt.pf ppf "### table2 — compilation time, baseline vs limited@.@.";
+  Fmt.pf ppf
+    "| benchmark | baseline (ms) | limited (ms) | ratio | paper baseline \
+     (min) | paper limited (min) |@.|---|---|---|---|---|---|@.";
+  List.iter
+    (fun (r : H.Experiments.table2_row) ->
+      let ratio =
+        if r.H.Experiments.baseline_ms > 0. then
+          r.H.Experiments.limited_ms /. r.H.Experiments.baseline_ms
+        else 0.
+      in
+      Fmt.pf ppf "| %s | %.2f | %.2f | %.1fx | %.0f | %.0f |@."
+        r.H.Experiments.bench r.H.Experiments.baseline_ms
+        r.H.Experiments.limited_ms ratio r.H.Experiments.paper_baseline_min
+        r.H.Experiments.paper_limited_min)
+    rows;
+  Fmt.pf ppf "@."
+
+let run budget only markdown =
+  let ids =
+    match only with
+    | None -> all_ids
+    | Some s -> String.split_on_char ',' s |> List.map String.trim
+  in
+  let r = H.Runner.create ~budget () in
+  List.iter
+    (fun id ->
+      if id = "table2" then
+        let rows = H.Experiments.table2 r in
+        if markdown then Fmt.pr "%a" pp_table2_markdown rows
+        else Fmt.pr "%a@." H.Experiments.pp_table2 rows
+      else
+        match exp_of_id r id with
+        | Some e ->
+          if markdown then Fmt.pr "%a" pp_exp_markdown e
+          else Fmt.pr "%a@." H.Experiments.pp_exp e
+        | None -> Fmt.epr "unknown experiment id %S (skipped)@." id)
+    ids
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "sdiq-report" ~doc)
+    Term.(const run $ budget_arg $ only_arg $ markdown_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,102 @@
+(* sdiq-simulate: run one benchmark under one technique and print the
+   statistics and (for non-baseline techniques) the savings report.
+
+     dune exec bin/simulate.exe -- --bench mcf --technique noop
+     dune exec bin/simulate.exe -- --bench gzip --technique extension \
+       --budget 200000 --verbose *)
+
+open Cmdliner
+
+let technique_of_string = function
+  | "baseline" -> Ok Sdiq_harness.Technique.Baseline
+  | "noop" -> Ok Sdiq_harness.Technique.Noop
+  | "extension" -> Ok Sdiq_harness.Technique.Extension
+  | "improved" -> Ok Sdiq_harness.Technique.Improved
+  | "abella" -> Ok Sdiq_harness.Technique.Abella
+  | s -> Error (`Msg ("unknown technique: " ^ s))
+
+let technique_conv =
+  Arg.conv
+    ( technique_of_string,
+      fun ppf t -> Fmt.string ppf (Sdiq_harness.Technique.name t) )
+
+let bench_arg =
+  let doc =
+    "Benchmark to run: "
+    ^ String.concat ", " (Sdiq_workloads.Suite.names ())
+  in
+  Arg.(value & opt string "gzip" & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let technique_arg =
+  let doc = "Technique: baseline, noop, extension, improved, abella." in
+  Arg.(
+    value
+    & opt technique_conv Sdiq_harness.Technique.Baseline
+    & info [ "t"; "technique" ] ~docv:"TECH" ~doc)
+
+let budget_arg =
+  let doc = "Committed-instruction budget." in
+  Arg.(value & opt int 100_000 & info [ "n"; "budget" ] ~docv:"N" ~doc)
+
+let verbose_arg =
+  let doc = "Also print the annotations and energy breakdowns." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let timeline_arg =
+  let doc = "Emit a per-interval CSV timeline of the run to stdout." in
+  Arg.(value & flag & info [ "timeline" ] ~doc)
+
+let run bench_name technique budget verbose timeline =
+  match Sdiq_workloads.Suite.find bench_name with
+  | None ->
+    Fmt.epr "unknown benchmark %S; available: %s@." bench_name
+      (String.concat ", " (Sdiq_workloads.Suite.names ()));
+    exit 1
+  | Some bench ->
+    let runner =
+      Sdiq_harness.Runner.create ~budget ~benches:[ bench ] ()
+    in
+    if verbose then begin
+      let anns =
+        Sdiq_core.Procedure.analyze_program bench.Sdiq_workloads.Bench.prog
+      in
+      Fmt.pr "annotations (%d):@." (List.length anns);
+      List.iter
+        (fun (a : Sdiq_core.Procedure.annotation) ->
+          Fmt.pr "  addr %4d -> %2d entries%s@." a.Sdiq_core.Procedure.addr
+            a.Sdiq_core.Procedure.value
+            (match a.Sdiq_core.Procedure.loop_span with
+            | Some (lo, hi) -> Fmt.str " (loop %d..%d)" lo hi
+            | None -> ""))
+        anns
+    end;
+    let stats = Sdiq_harness.Runner.run runner bench_name technique in
+    Fmt.pr "%s / %s:@.%a@." bench_name
+      (Sdiq_harness.Technique.name technique)
+      Sdiq_cpu.Stats.pp stats;
+    if technique <> Sdiq_harness.Technique.Baseline then begin
+      let savings = Sdiq_harness.Runner.savings runner bench_name technique in
+      Fmt.pr "vs baseline: %a@." Sdiq_power.Report.pp savings
+    end;
+    if verbose then begin
+      Fmt.pr "@.IQ energy breakdown (technique view):@.%a" Sdiq_power.Breakdown.pp
+        (Sdiq_power.Breakdown.iq stats);
+      Fmt.pr "@.int RF energy breakdown:@.%a" Sdiq_power.Breakdown.pp
+        (Sdiq_power.Breakdown.int_rf stats)
+    end;
+    if timeline then begin
+      let t =
+        Sdiq_harness.Timeline.record ~max_insns:budget bench technique
+      in
+      print_string (Sdiq_harness.Timeline.to_csv t)
+    end
+
+let cmd =
+  let doc = "simulate one benchmark under one IQ-resizing technique" in
+  Cmd.v
+    (Cmd.info "sdiq-simulate" ~doc)
+    Term.(
+      const run $ bench_arg $ technique_arg $ budget_arg $ verbose_arg
+      $ timeline_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Cfg Dom Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/cfg/regions.ml: Array Cfg Fmt Instr List Loops Opcode Prog Sdiq_isa

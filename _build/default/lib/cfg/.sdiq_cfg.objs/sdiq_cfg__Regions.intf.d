@@ -1,0 +1,1 @@
+lib/cfg/regions.mli: Cfg Format Loops

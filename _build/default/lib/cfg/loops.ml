@@ -1,0 +1,83 @@
+(* Natural-loop detection (Section 4.1 of the paper).
+
+   A back edge is an edge n -> h where h dominates n; the natural loop of
+   the back edge is h plus every block that can reach n without passing
+   through h. Loops sharing a header are merged. Following the paper, an
+   inner loop's blocks are removed from its enclosing loops' block sets, so
+   each block is analysed in exactly one loop group: "the inner loop's basic
+   blocks form one loop and those that are only in the outer loop form
+   another". *)
+
+module Iset = Set.Make (Int)
+
+type t = {
+  header : int;
+  body : Iset.t;      (* all blocks of the natural loop, including header *)
+  own : Iset.t;       (* body minus the bodies of nested loops *)
+  depth : int;        (* nesting depth, outermost = 1 *)
+}
+
+let natural_loop cfg ~header ~latch =
+  let body = ref (Iset.of_list [ header; latch ]) in
+  let rec walk b =
+    List.iter
+      (fun p ->
+        if not (Iset.mem p !body) then begin
+          body := Iset.add p !body;
+          walk p
+        end)
+      (Cfg.preds cfg b)
+  in
+  if latch <> header then walk latch;
+  !body
+
+let find (cfg : Cfg.t) : t list =
+  let dom = Dom.compute cfg in
+  let n = Cfg.num_blocks cfg in
+  (* Collect back edges, merging loops with the same header. *)
+  let by_header = Hashtbl.create 8 in
+  for b = 0 to n - 1 do
+    List.iter
+      (fun s ->
+        if Dom.dominates dom s b then begin
+          let body = natural_loop cfg ~header:s ~latch:b in
+          let cur =
+            match Hashtbl.find_opt by_header s with
+            | Some set -> set
+            | None -> Iset.empty
+          in
+          Hashtbl.replace by_header s (Iset.union cur body)
+        end)
+      (Cfg.succs cfg b)
+  done;
+  let loops =
+    Hashtbl.fold
+      (fun header body acc -> (header, body) :: acc)
+      by_header []
+  in
+  (* Nesting depth: number of loops whose body strictly contains this one
+     (a loop contains another when it includes the other's header and body).
+     Own blocks: body minus inner loops' bodies. *)
+  let contains (_, outer) (h, body) =
+    Iset.mem h outer && Iset.subset body outer && not (Iset.equal body outer)
+  in
+  List.map
+    (fun (header, body) ->
+      let depth =
+        1
+        + List.length
+            (List.filter (fun l -> contains l (header, body)) loops)
+      in
+      let own =
+        List.fold_left
+          (fun acc (h, b) ->
+            if contains (header, body) (h, b) then Iset.diff acc b else acc)
+          body loops
+      in
+      { header; body; own; depth })
+    loops
+  |> List.sort (fun a b -> compare (a.header, a.depth) (b.header, b.depth))
+
+(* All blocks that belong to some loop. *)
+let loop_blocks loops =
+  List.fold_left (fun acc l -> Iset.union acc l.body) Iset.empty loops

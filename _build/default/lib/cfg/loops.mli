@@ -1,0 +1,20 @@
+(** Natural-loop detection (Section 4.1 of the paper).
+
+    Loops sharing a header are merged; following the paper, an inner
+    loop's blocks are removed from the enclosing loops' [own] sets so
+    each block is analysed in exactly one loop group. *)
+
+module Iset : Set.S with type elt = int
+
+type t = {
+  header : int;
+  body : Iset.t;  (** all blocks of the natural loop, header included *)
+  own : Iset.t;   (** body minus nested loops' bodies *)
+  depth : int;    (** nesting depth, outermost = 1 *)
+}
+
+(** All natural loops of the procedure, sorted by (header, depth). *)
+val find : Cfg.t -> t list
+
+(** Union of all loops' bodies. *)
+val loop_blocks : t list -> Iset.t

@@ -1,0 +1,1 @@
+lib/core/annotate.ml: Hashtbl List Options Procedure Prog Rewrite Sdiq_isa

@@ -1,0 +1,1 @@
+lib/core/annotate.mli: Options Procedure Sdiq_isa

@@ -1,0 +1,1 @@
+lib/core/compile_time.ml: Annotate List Options Prog Sdiq_cfg Sdiq_isa Sys

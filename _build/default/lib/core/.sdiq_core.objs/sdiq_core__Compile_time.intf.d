@@ -1,0 +1,1 @@
+lib/core/compile_time.mli: Options Sdiq_isa

@@ -1,0 +1,1 @@
+lib/core/loop_need.ml: Array Instr List Options Sdiq_cfg Sdiq_ddg Sdiq_isa

@@ -1,0 +1,1 @@
+lib/core/loop_need.mli: Options Sdiq_cfg Sdiq_isa

@@ -1,0 +1,1 @@
+lib/core/procedure.ml: Array Fu Hashtbl Instr List Loop_need Opcode Options Prog Pseudo_iq Sdiq_cfg Sdiq_isa

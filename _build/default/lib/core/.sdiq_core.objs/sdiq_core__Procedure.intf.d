@@ -1,0 +1,1 @@
+lib/core/procedure.mli: Hashtbl Options Sdiq_isa

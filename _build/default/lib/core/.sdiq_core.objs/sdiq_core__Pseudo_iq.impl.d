@@ -1,0 +1,1 @@
+lib/core/pseudo_iq.ml: Array Fu Instr List Opcode Options Sdiq_ddg Sdiq_isa

@@ -1,0 +1,1 @@
+lib/core/pseudo_iq.mli: Options Sdiq_isa

@@ -1,0 +1,34 @@
+(** Annotation delivery: from analysis results to an annotated binary.
+
+    [Noop] inserts special NOOPs into the instruction stream (Section 3);
+    they cost fetch bandwidth, icache space and a dispatch slot. [Tagged]
+    attaches the values to existing instructions via redundant ISA bits
+    (the paper's "Extension", Section 5.3). *)
+
+type mode =
+  | Noop
+  | Tagged
+
+(** Lookup function over an annotation list. *)
+val annotation_map : Procedure.annotation list -> int -> int option
+
+(** Should the branch [src -> dst] be redirected to an inserted NOOP?
+    False exactly for annotated loops' back edges. *)
+val redirect_of : Procedure.annotation list -> src:int -> dst:int -> bool
+
+(** Analyse and annotate; returns the annotated program and the
+    annotations used. *)
+val apply :
+  ?opts:Options.t ->
+  mode ->
+  Sdiq_isa.Prog.t ->
+  Sdiq_isa.Prog.t * Procedure.annotation list
+
+(** The paper's three configurations. *)
+val noop : Sdiq_isa.Prog.t -> Sdiq_isa.Prog.t * Procedure.annotation list
+
+val extension :
+  Sdiq_isa.Prog.t -> Sdiq_isa.Prog.t * Procedure.annotation list
+
+val improved :
+  Sdiq_isa.Prog.t -> Sdiq_isa.Prog.t * Procedure.annotation list

@@ -1,0 +1,52 @@
+(* Compilation-time measurement (Table 2 of the paper).
+
+   The paper reports wall-clock compile time for the baseline compilation
+   and for the "limited" compilation that includes the IQ analysis. Our
+   equivalent: [baseline] is the structural work every compilation performs
+   (CFG construction and region decomposition for every procedure), and
+   [limited] additionally runs the full analysis and annotation pass.
+   Times are reported in milliseconds of CPU time; absolute values are not
+   comparable to the paper's minutes on a Pentium 4 compiling SPEC sources,
+   but the *ratio* (limited vs baseline) and the cross-benchmark ordering
+   are the reproducible content. *)
+
+open Sdiq_isa
+
+type measurement = {
+  baseline_ms : float;
+  limited_ms : float;
+}
+
+let time_of f =
+  let t0 = Sys.time () in
+  f ();
+  (Sys.time () -. t0) *. 1000.
+
+(* Structural pass only: what a compilation does before our analysis. *)
+let structural_pass (prog : Prog.t) =
+  List.iter
+    (fun (p : Prog.proc) ->
+      if (not p.Prog.is_library) && p.Prog.len > 0 then begin
+        let cfg = Sdiq_cfg.Cfg.build prog p in
+        ignore (Sdiq_cfg.Regions.decompose cfg)
+      end)
+    prog.Prog.procs
+
+let measure ?(opts = Options.default) ?(repeat = 3) (prog : Prog.t) :
+    measurement =
+  let baseline_ms =
+    time_of (fun () ->
+        for _ = 1 to repeat do
+          structural_pass prog
+        done)
+    /. float_of_int repeat
+  in
+  let limited_ms =
+    time_of (fun () ->
+        for _ = 1 to repeat do
+          structural_pass prog;
+          ignore (Annotate.apply ~opts Annotate.Noop prog)
+        done)
+    /. float_of_int repeat
+  in
+  { baseline_ms; limited_ms }

@@ -1,0 +1,12 @@
+(** Compilation-time measurement (Table 2): CPU time of the structural
+    pass alone ([baseline]) and with the full analysis ([limited]).
+    Absolute values are not comparable to the paper's minutes; the ratio
+    and cross-benchmark ordering are the reproducible content. *)
+
+type measurement = {
+  baseline_ms : float;
+  limited_ms : float;
+}
+
+val measure :
+  ?opts:Options.t -> ?repeat:int -> Sdiq_isa.Prog.t -> measurement

@@ -1,0 +1,104 @@
+(* Loop analysis (Section 4.3): the IQ requirement that lets iterations
+   overlap at the rate the critical cyclic dependence set allows.
+
+   The loop region's blocks are flattened in program order into one body
+   sequence (side-exit paths are included, which is conservative in the
+   safe direction: a larger body can only ask for more entries). The CDS
+   machinery in [Sdiq_ddg.Cds] produces the initiation interval and the
+   per-instruction equations of Figure 4; [Sdiq_ddg.Cds.iq_need] converts them to
+   an entry count, capped at the physical queue size. *)
+
+open Sdiq_isa
+
+type result = {
+  need : int;
+  ii : int;             (* steady-state cycles per iteration *)
+  cds : int list;       (* body positions of the critical CDS *)
+  body_len : int;
+}
+
+let analyze_body ?(opts = Options.default) (instrs : Instr.t array) : result =
+  if Array.length instrs = 0 then
+    { need = 1; ii = 1; cds = []; body_len = 0 }
+  else begin
+    let g =
+      Sdiq_ddg.Ddg.of_loop_body ~latency:(Options.assumed_latency opts) instrs
+    in
+    let sch =
+      Sdiq_ddg.Cds.schedule ~width:opts.Options.issue_width
+        ~fu_count:opts.Options.fu_count g
+    in
+    let need = Sdiq_ddg.Cds.iq_need ~cap:opts.Options.iq_size g sch in
+    {
+      need = min opts.Options.iq_size (max 1 need);
+      ii = sch.Sdiq_ddg.Cds.ii;
+      cds = sch.Sdiq_ddg.Cds.cds;
+      body_len = Array.length instrs;
+    }
+  end
+
+(* Flatten a loop region's own blocks (program order) into a body
+   sequence. *)
+let body_of_region (cfg : Sdiq_cfg.Cfg.t) (regions : Sdiq_cfg.Regions.t)
+    (region : Sdiq_cfg.Regions.region) : Instr.t array =
+  let block_ids = Sdiq_cfg.Regions.blocks regions region in
+  let instrs =
+    List.concat_map
+      (fun id -> Sdiq_cfg.Cfg.instrs cfg cfg.Sdiq_cfg.Cfg.blocks.(id))
+      block_ids
+  in
+  Array.of_list instrs
+
+(* Control-flow paths through the loop (header back to header), bounded.
+   The paper examines all control-flow paths — that is what makes its gcc
+   compilation time explode (Table 2) — because a single flattened body
+   misjudges loops whose iterations usually take a fast path: folding a
+   rare slow side (say a division) into one body inflates the recurrence
+   and underestimates how many iterations of the *hot* path must overlap.
+   The requirement is the maximum over paths. *)
+let loop_paths ?(max_paths = 64) (cfg : Sdiq_cfg.Cfg.t)
+    (loop : Sdiq_cfg.Loops.t) : int list list =
+  let own id = Sdiq_cfg.Loops.Iset.mem id loop.Sdiq_cfg.Loops.own in
+  let header = loop.Sdiq_cfg.Loops.header in
+  let paths = ref [] in
+  let count = ref 0 in
+  let rec walk node acc =
+    if !count < max_paths then begin
+      let acc = node :: acc in
+      let succs = Sdiq_cfg.Cfg.succs cfg node in
+      let closes = List.mem header succs in
+      if closes then begin
+        paths := List.rev acc :: !paths;
+        incr count
+      end;
+      List.iter
+        (fun s ->
+          (* Stay on this loop's own blocks; skip the back edge itself and
+             any block already on the path (paths are acyclic). *)
+          if s <> header && own s && not (List.mem s acc) then walk s acc)
+        succs
+    end
+  in
+  walk header [];
+  if !paths = [] then [ [ header ] ] else !paths
+
+let analyze ?(opts = Options.default) (cfg : Sdiq_cfg.Cfg.t)
+    (regions : Sdiq_cfg.Regions.t) (loop : Sdiq_cfg.Loops.t) : result =
+  let whole = analyze_body ~opts (body_of_region cfg regions
+                                    (Sdiq_cfg.Regions.Loop loop)) in
+  let best =
+    List.fold_left
+      (fun acc path ->
+        let body =
+          Array.of_list
+            (List.concat_map
+               (fun id ->
+                 Sdiq_cfg.Cfg.instrs cfg cfg.Sdiq_cfg.Cfg.blocks.(id))
+               path)
+        in
+        let r = analyze_body ~opts body in
+        if r.need > acc.need then r else acc)
+      whole
+      (loop_paths cfg loop)
+  in
+  best

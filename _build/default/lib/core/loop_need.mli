@@ -1,0 +1,38 @@
+(** Loop analysis (Section 4.3): the IQ requirement that lets iterations
+    overlap at the rate the critical cyclic dependence set allows.
+
+    The requirement is taken as the maximum over the loop's control-flow
+    paths (header back to header): folding a rare slow side into one
+    flattened body would inflate the recurrence and underestimate how
+    many hot-path iterations must overlap — the paper examines all
+    control-flow paths, which is also what makes its gcc compilation
+    time explode (Table 2). *)
+
+type result = {
+  need : int;
+  ii : int;             (** steady-state cycles per iteration *)
+  cds : int list;       (** body positions of the critical CDS *)
+  body_len : int;
+}
+
+(** Analyse a flat body sequence (carried edges derived internally). *)
+val analyze_body : ?opts:Options.t -> Sdiq_isa.Instr.t array -> result
+
+(** The loop region's own blocks flattened in program order. *)
+val body_of_region :
+  Sdiq_cfg.Cfg.t ->
+  Sdiq_cfg.Regions.t ->
+  Sdiq_cfg.Regions.region ->
+  Sdiq_isa.Instr.t array
+
+(** Acyclic header-to-latch paths through the loop's own blocks,
+    bounded by [max_paths]. *)
+val loop_paths :
+  ?max_paths:int -> Sdiq_cfg.Cfg.t -> Sdiq_cfg.Loops.t -> int list list
+
+val analyze :
+  ?opts:Options.t ->
+  Sdiq_cfg.Cfg.t ->
+  Sdiq_cfg.Regions.t ->
+  Sdiq_cfg.Loops.t ->
+  result

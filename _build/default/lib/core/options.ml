@@ -1,0 +1,40 @@
+(* Compiler-analysis options.
+
+   The analysis is "not tuned to any hardware configuration" (Section 1.2)
+   but needs to know the machine's issue width, FU mix and IQ size to mirror
+   the processor's scheduler; these default to Table 1. *)
+
+open Sdiq_isa
+
+type t = {
+  iq_size : int;          (* maximum value any annotation may take *)
+  issue_width : int;
+  fu_count : Fu.t -> int;
+  load_hit_extra : int;
+      (* extra cycles the compiler assumes for a load on top of address
+         generation: the L1 hit latency, since "all accesses to memory are
+         cache hits" (Section 4.2) *)
+  slack : int;
+      (* extra entries granted to every region: a conservatism knob used by
+         the ablation study; 0 reproduces the paper *)
+  interprocedural : bool;
+      (* the "Improved" refinement of Section 5.3: functional-unit
+         contention and queue pressure across procedure boundaries *)
+}
+
+let default =
+  {
+    iq_size = 80;
+    issue_width = 8;
+    fu_count = Fu.default_count;
+    load_hit_extra = 2;
+    slack = 0;
+    interprocedural = false;
+  }
+
+let improved = { default with interprocedural = true }
+
+(* The latency the compiler assumes for an instruction: execution latency,
+   plus the L1 hit time for loads. *)
+let assumed_latency t (i : Instr.t) =
+  Instr.latency i + if Instr.is_load i then t.load_hit_extra else 0

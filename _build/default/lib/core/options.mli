@@ -1,0 +1,26 @@
+(** Compiler-analysis options; defaults match the paper's Table 1 machine
+    and Section 4 assumptions. *)
+
+type t = {
+  iq_size : int;          (** maximum value any annotation may take *)
+  issue_width : int;
+  fu_count : Sdiq_isa.Fu.t -> int;
+  load_hit_extra : int;
+      (** extra cycles assumed for a load on top of address generation:
+          the L1 hit latency, since "all accesses to memory are cache
+          hits" (Section 4.2) *)
+  slack : int;
+      (** extra entries granted to every region (conservatism knob used
+          by the ablation study; 0 reproduces the paper) *)
+  interprocedural : bool;
+      (** the "Improved" refinement of Section 5.3 *)
+}
+
+val default : t
+
+(** [default] with the interprocedural refinement enabled. *)
+val improved : t
+
+(** The latency the compiler assumes for an instruction: execution
+    latency, plus the L1 hit time for loads. *)
+val assumed_latency : t -> Sdiq_isa.Instr.t -> int

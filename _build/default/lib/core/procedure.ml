@@ -1,0 +1,218 @@
+(* Procedure-level orchestration (Sections 4.4-4.5, Figure 5):
+
+     Find natural loops; find DAGs (starting at the procedure's first block
+     or after a call, never overlapping a loop); build DDGs; analyse DAG
+     blocks with the pseudo issue queue and loops with CDS equations; encode
+     each region's requirement in a special NOOP (or a tag).
+
+   Calls and returns are leaf nodes of the calling DAG: a call terminates a
+   basic block, the callee analyses itself, and analysis restarts in the
+   block after the call (which seeds a fresh DAG). Before a call to a
+   library routine the queue is allowed to grow to its maximum size.
+
+   The "Improved" refinement (Section 5.3) adds interprocedural
+   functional-unit contention: when analysing the block that continues
+   after a call, the callee's trailing instructions are assumed to still
+   occupy their units, and the annotation is widened to cover the callee's
+   in-flight tail so the caller's continuation is not starved. *)
+
+open Sdiq_isa
+
+type annotation = {
+  addr : int;
+  value : int;
+  loop_span : (int * int) option;
+      (* for a loop-header annotation: the [lo, hi] address range of the
+         loop body, so NOOP insertion can leave back edges pointing at the
+         header itself (the special NOOP runs on entry, not per iteration) *)
+}
+
+(* Per-procedure summary used by the interprocedural refinement. *)
+type summary = {
+  exit_pressure : Fu.t -> int; (* FU usage of the callee's final block *)
+  exit_need : int;             (* IQ entries its final block occupies *)
+}
+
+let summarize ?(opts = Options.default) (prog : Prog.t) (proc : Prog.proc) :
+    summary =
+  if proc.Prog.is_library || proc.Prog.len = 0 then
+    { exit_pressure = (fun _ -> 0); exit_need = opts.Options.iq_size }
+  else begin
+    let cfg = Sdiq_cfg.Cfg.build prog proc in
+    let nb = Sdiq_cfg.Cfg.num_blocks cfg in
+    let last = cfg.Sdiq_cfg.Cfg.blocks.(nb - 1) in
+    let instrs = Array.of_list (Sdiq_cfg.Cfg.instrs cfg last) in
+    let counts = Array.make Fu.count_classes 0 in
+    Array.iter
+      (fun i ->
+        let k = Fu.index (Instr.fu_class i) in
+        counts.(k) <- counts.(k) + 1)
+      instrs;
+    let r = Pseudo_iq.analyze ~opts instrs in
+    {
+      exit_pressure = (fun cls -> min (counts.(Fu.index cls)) 4);
+      exit_need = r.Pseudo_iq.need;
+    }
+  end
+
+(* Every region gets at least two slots: one instruction issuing while its
+   successor is already dispatched, as in the paper's Figure 1(d) — with a
+   single slot, dispatch would serialise behind every issue. *)
+let clamp opts v = max 2 (min opts.Options.iq_size (v + opts.Options.slack))
+
+(* Analyse one procedure; [summaries] maps callee entry address to its
+   summary (empty when the interprocedural refinement is off). *)
+let analyze_proc ?(opts = Options.default)
+    ?(summaries : (int, summary) Hashtbl.t = Hashtbl.create 0)
+    (prog : Prog.t) (proc : Prog.proc) : annotation list =
+  let cfg = Sdiq_cfg.Cfg.build prog proc in
+  let regions = Sdiq_cfg.Regions.decompose cfg in
+  let anns = ref [] in
+  let add ?loop_span addr value =
+    anns := { addr; value = clamp opts value; loop_span } :: !anns
+  in
+  (* The callee reached by the call ending [blk], if any. *)
+  let callee_of_block (blk : Sdiq_cfg.Cfg.block) =
+    let term = Prog.instr prog blk.Sdiq_cfg.Cfg.last in
+    if term.Instr.op = Opcode.Call then
+      Prog.proc_of_addr prog term.Instr.target
+    else None
+  in
+  (* Summary of the call that immediately precedes [blk], if any. *)
+  let preceding_call_summary (blk : Sdiq_cfg.Cfg.block) =
+    if not opts.Options.interprocedural then None
+    else if blk.Sdiq_cfg.Cfg.first <= proc.Prog.entry then None
+    else
+      let prev = Prog.instr prog (blk.Sdiq_cfg.Cfg.first - 1) in
+      if prev.Instr.op = Opcode.Call then
+        Hashtbl.find_opt summaries prev.Instr.target
+      else None
+  in
+  List.iter
+    (fun region ->
+      match region with
+      | Sdiq_cfg.Regions.Dag block_ids ->
+        (* Fine-grained analysis: each basic block individually, with the
+           control-flow context summarised conservatively (Section 4.2). *)
+        List.iter
+          (fun id ->
+            let blk = cfg.Sdiq_cfg.Cfg.blocks.(id) in
+            let instrs = Array.of_list (Sdiq_cfg.Cfg.instrs cfg blk) in
+            let r = Pseudo_iq.analyze ~opts instrs in
+            let r =
+              match preceding_call_summary blk with
+              | Some s ->
+                (* The callee's tail still occupies units and queue slots:
+                   schedule the block under that contention and keep the
+                   widest of the three views — the refinement may only
+                   widen. *)
+                let contended =
+                  Pseudo_iq.analyze ~opts ~busy:s.exit_pressure instrs
+                in
+                { r with
+                  Pseudo_iq.need =
+                    max r.Pseudo_iq.need
+                      (max contended.Pseudo_iq.need
+                         (s.exit_need + r.Pseudo_iq.need)) }
+              | None -> r
+            in
+            add blk.Sdiq_cfg.Cfg.first r.Pseudo_iq.need;
+            (* Library callees are opaque: let the queue grow to its
+               maximum immediately before the call (Section 4.4). *)
+            match callee_of_block blk with
+            | Some callee when callee.Prog.is_library ->
+              add blk.Sdiq_cfg.Cfg.last opts.Options.iq_size
+            | Some _ | None -> ())
+          block_ids
+      | Sdiq_cfg.Regions.Loop loop ->
+        let r = Loop_need.analyze ~opts cfg regions loop in
+        let header = cfg.Sdiq_cfg.Cfg.blocks.(loop.Sdiq_cfg.Loops.header) in
+        let span =
+          Sdiq_cfg.Loops.Iset.fold
+            (fun id (lo, hi) ->
+              let blk = cfg.Sdiq_cfg.Cfg.blocks.(id) in
+              (min lo blk.Sdiq_cfg.Cfg.first, max hi blk.Sdiq_cfg.Cfg.last))
+            loop.Sdiq_cfg.Loops.body
+            (max_int, min_int)
+        in
+        add ~loop_span:span header.Sdiq_cfg.Cfg.first r.Loop_need.need;
+        (* The annotation covers "until the next special NOOP": whenever
+           control leaves the loop's own region and returns (an inner loop
+           ran, or a call returned), the loop's value must be
+           re-established, so the re-entry blocks are annotated too. These
+           run on every iteration that passes through them — the honest
+           per-iteration cost of the NOOP scheme. *)
+        let own = loop.Sdiq_cfg.Loops.own in
+        let in_inner id =
+          Sdiq_cfg.Loops.Iset.mem id loop.Sdiq_cfg.Loops.body
+          && not (Sdiq_cfg.Loops.Iset.mem id own)
+        in
+        List.iter
+          (fun id ->
+            let blk = cfg.Sdiq_cfg.Cfg.blocks.(id) in
+            let follows_call =
+              blk.Sdiq_cfg.Cfg.first > proc.Prog.entry
+              && (Prog.instr prog (blk.Sdiq_cfg.Cfg.first - 1)).Instr.op
+                 = Opcode.Call
+            in
+            let after_inner_loop =
+              List.exists in_inner (Sdiq_cfg.Cfg.preds cfg id)
+            in
+            if
+              id <> loop.Sdiq_cfg.Loops.header
+              && (follows_call || after_inner_loop)
+            then begin
+              let value =
+                if follows_call && opts.Options.interprocedural then
+                  match preceding_call_summary blk with
+                  | Some s ->
+                    (* The callee's tail is still in flight: the loop's
+                       window must also cover it (Improved, Section 5.3). *)
+                    r.Loop_need.need + s.exit_need
+                  | None -> r.Loop_need.need
+                else r.Loop_need.need
+              in
+              add blk.Sdiq_cfg.Cfg.first value
+            end;
+            (* Library calls inside the loop still force the maximum. *)
+            match callee_of_block blk with
+            | Some callee when callee.Prog.is_library ->
+              add blk.Sdiq_cfg.Cfg.last opts.Options.iq_size
+            | Some _ | None -> ())
+          (Sdiq_cfg.Regions.blocks regions region))
+    regions.Sdiq_cfg.Regions.regions;
+  (* Deduplicate: a later annotation for the same address wins only if
+     larger (safety: never shrink what another rule demanded); a loop span
+     is kept whichever annotation carries it. *)
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt merged a.addr with
+      | Some b when b.value >= a.value ->
+        if b.loop_span = None && a.loop_span <> None then
+          Hashtbl.replace merged a.addr { b with loop_span = a.loop_span }
+      | Some b ->
+        Hashtbl.replace merged a.addr
+          { a with
+            loop_span =
+              (match a.loop_span with None -> b.loop_span | s -> s) }
+      | None -> Hashtbl.replace merged a.addr a)
+    !anns;
+  Hashtbl.fold (fun _ a acc -> a :: acc) merged []
+  |> List.sort (fun a b -> compare a.addr b.addr)
+
+(* Analyse every non-library procedure of a program. *)
+let analyze_program ?(opts = Options.default) (prog : Prog.t) :
+    annotation list =
+  let summaries = Hashtbl.create 16 in
+  if opts.Options.interprocedural then
+    List.iter
+      (fun (p : Prog.proc) ->
+        Hashtbl.replace summaries p.Prog.entry (summarize ~opts prog p))
+      prog.Prog.procs;
+  List.concat_map
+    (fun (p : Prog.proc) ->
+      if p.Prog.is_library || p.Prog.len = 0 then []
+      else analyze_proc ~opts ~summaries prog p)
+    prog.Prog.procs
+  |> List.sort (fun a b -> compare a.addr b.addr)

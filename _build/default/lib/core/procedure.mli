@@ -1,0 +1,39 @@
+(** Procedure-level orchestration (Sections 4.4-4.5, Figure 5): region
+    decomposition, per-block pseudo-IQ analysis, per-loop CDS analysis,
+    library-call escapes, and the interprocedural "Improved" refinement.
+
+    Annotations are placed at each DAG block's first address, at each
+    loop header (executed on loop entry only — back edges bypass the
+    NOOP), and at a loop's re-entry blocks (after an inner loop or a
+    returning call), since an annotation covers "until the next special
+    NOOP". *)
+
+type annotation = {
+  addr : int;
+  value : int;
+  loop_span : (int * int) option;
+      (** for a loop-header annotation, the address range of the loop
+          body: back edges from inside it keep targeting the header *)
+}
+
+(** Per-procedure summary used by the interprocedural refinement. *)
+type summary = {
+  exit_pressure : Sdiq_isa.Fu.t -> int;
+      (** FU usage of the callee's final block *)
+  exit_need : int;  (** IQ entries its final block occupies *)
+}
+
+val summarize :
+  ?opts:Options.t -> Sdiq_isa.Prog.t -> Sdiq_isa.Prog.proc -> summary
+
+(** Analyse one procedure. [summaries] maps callee entry addresses to
+    their summaries (used only under [opts.interprocedural]). *)
+val analyze_proc :
+  ?opts:Options.t ->
+  ?summaries:(int, summary) Hashtbl.t ->
+  Sdiq_isa.Prog.t ->
+  Sdiq_isa.Prog.proc ->
+  annotation list
+
+(** Analyse every non-library procedure, sorted by address. *)
+val analyze_program : ?opts:Options.t -> Sdiq_isa.Prog.t -> annotation list

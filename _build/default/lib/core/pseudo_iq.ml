@@ -1,0 +1,107 @@
+(* Pseudo issue queue: the DAG / basic-block analysis of Section 4.2.
+
+   "The algorithm used to determine the critical path is very similar to
+   that which the scheduler in the processor uses to issue instructions. In
+   the compiler we maintain a structure similar to the processor's issue
+   queue ... We issue as many instructions as possible, to a maximum of the
+   processor's issue width, and record their writeback times based on their
+   operation latencies."
+
+   The block is scheduled cycle by cycle under data dependences, issue
+   width, and functional-unit counts (the paper models FU contention as an
+   extra DDG edge; constraining the scheduler directly is equivalent and is
+   in fact what the processor does). On each cycle the number of IQ entries
+   required is the program-order span from the oldest instruction still in
+   the queue to the youngest instruction issuing this cycle, exactly as in
+   Figure 3; the block's requirement is the maximum over all cycles.
+
+   [busy] pre-occupies functional units during the first cycles; the
+   "Improved" analysis uses it to model contention with a just-returned
+   callee's in-flight instructions (Section 5.3). *)
+
+open Sdiq_isa
+
+type result = {
+  need : int;           (* IQ entries required by the block *)
+  span_cycles : int;    (* cycles from first to last issue *)
+  issue_cycle : int array;
+}
+
+let analyze ?(opts = Options.default) ?(busy = fun (_ : Fu.t) -> 0)
+    ?(busy_cycles = 2) (instrs : Instr.t array) : result =
+  let n = Array.length instrs in
+  if n = 0 then { need = 1; span_cycles = 0; issue_cycle = [||] }
+  else begin
+    let lat i = Options.assumed_latency opts instrs.(i) in
+    let g = Sdiq_ddg.Ddg.build ~latency:(Options.assumed_latency opts) instrs in
+    let issue_cycle = Array.make n (-1) in
+    let writeback = Array.make n max_int in
+    let issued = Array.make n false in
+    let remaining = ref n in
+    (* Release time of unpipelined units currently busy, per class. *)
+    let unpipe_busy = Array.make Fu.count_classes [] in
+    let need = ref 1 in
+    let cycle = ref 0 in
+    (* Upper bound on schedule length: every instruction serialised. *)
+    let horizon =
+      Array.fold_left (fun acc i -> acc + Instr.latency i + 1) (n + 16) instrs
+      + (busy_cycles * 2)
+    in
+    while !remaining > 0 && !cycle < horizon do
+      let c = !cycle in
+      (* Units available this cycle, per class. *)
+      let avail =
+        Array.init Fu.count_classes (fun k ->
+            let cls = List.nth Fu.all k in
+            let busy_now =
+              (if c < busy_cycles then busy cls else 0)
+              + List.length (List.filter (fun r -> r > c) unpipe_busy.(k))
+            in
+            max 0 (opts.Options.fu_count cls - busy_now))
+      in
+      let width_left = ref opts.Options.issue_width in
+      (* Oldest instruction still in the queue at the start of this cycle. *)
+      let oldest = ref (-1) in
+      (try
+         for i = 0 to n - 1 do
+           if not issued.(i) then begin
+             oldest := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let youngest_issuing = ref (-1) in
+      for i = 0 to n - 1 do
+        if (not issued.(i)) && !width_left > 0 then begin
+          let deps_ready =
+            List.for_all
+              (fun (src, _, _) -> issued.(src) && writeback.(src) <= c)
+              (Sdiq_ddg.Ddg.preds g i)
+          in
+          let k = Fu.index (Instr.fu_class instrs.(i)) in
+          if deps_ready && avail.(k) > 0 then begin
+            issued.(i) <- true;
+            decr remaining;
+            issue_cycle.(i) <- c;
+            writeback.(i) <- c + lat i;
+            avail.(k) <- avail.(k) - 1;
+            decr width_left;
+            if Opcode.unpipelined instrs.(i).Instr.op then
+              unpipe_busy.(k) <- writeback.(i) :: unpipe_busy.(k);
+            youngest_issuing := i
+          end
+        end
+      done;
+      if !youngest_issuing >= 0 && !oldest >= 0 then
+        need := max !need (!youngest_issuing - !oldest + 1);
+      incr cycle
+    done;
+    (* [horizon] guards against bugs only; every block schedules. *)
+    assert (!remaining = 0);
+    let last =
+      Array.fold_left max 0 issue_cycle
+    and first =
+      Array.fold_left min max_int issue_cycle
+    in
+    { need = !need; span_cycles = last - first; issue_cycle }
+  end

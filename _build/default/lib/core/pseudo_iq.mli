@@ -1,0 +1,25 @@
+(** The pseudo issue queue: the paper's DAG / basic-block analysis
+    (Section 4.2, Figure 3).
+
+    The block is scheduled cycle by cycle under data dependences, issue
+    width and functional-unit counts, mirroring the processor's own
+    scheduler. On each cycle the entries required are the program-order
+    span from the oldest instruction still queued to the youngest
+    instruction issuing; the block's requirement is the maximum over
+    cycles. *)
+
+type result = {
+  need : int;           (** IQ entries required by the block *)
+  span_cycles : int;    (** cycles from first to last issue *)
+  issue_cycle : int array;
+}
+
+(** [busy] pre-occupies functional units for the first [busy_cycles]
+    cycles; the "Improved" analysis uses it to model contention with a
+    just-returned callee's in-flight tail (Section 5.3). *)
+val analyze :
+  ?opts:Options.t ->
+  ?busy:(Sdiq_isa.Fu.t -> int) ->
+  ?busy_cycles:int ->
+  Sdiq_isa.Instr.t array ->
+  result

@@ -1,0 +1,1 @@
+lib/cpu/config.ml: Fmt Fu Sdiq_isa

@@ -1,0 +1,1 @@
+lib/cpu/config.mli: Format Sdiq_isa

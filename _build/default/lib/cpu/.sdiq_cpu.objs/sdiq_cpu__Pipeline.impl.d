@@ -1,0 +1,1 @@
+lib/cpu/pipeline.ml: Array Branch_pred Cache Config Exec Fu Hashtbl Instr Iq List Opcode Option Policy Printf Prog Queue Reg Regfile Rob Sdiq_isa Stats

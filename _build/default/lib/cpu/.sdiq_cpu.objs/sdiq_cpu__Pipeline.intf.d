@@ -1,0 +1,1 @@
+lib/cpu/pipeline.mli: Branch_pred Cache Config Hashtbl Iq Policy Queue Regfile Rob Sdiq_isa Stats

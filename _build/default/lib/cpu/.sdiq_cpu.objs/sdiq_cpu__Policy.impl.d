@@ -1,0 +1,1 @@
+lib/cpu/policy.ml: Iq

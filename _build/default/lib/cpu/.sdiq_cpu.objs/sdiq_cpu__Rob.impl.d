@@ -1,0 +1,1 @@
+lib/cpu/rob.ml: Array Exec Sdiq_isa

@@ -1,0 +1,1 @@
+lib/cpu/rob.mli: Sdiq_isa

@@ -1,0 +1,147 @@
+(* Branch prediction, per Table 1: a hybrid of a 2K-entry gshare and a
+   2K-entry bimodal predictor arbitrated by a 1K-entry selector, a 2048-
+   entry 4-way BTB, and a return-address stack.
+
+   Two-bit saturating counters throughout; the selector counter moves
+   toward the component that was correct when they disagree. *)
+
+type t = {
+  bimodal : int array;
+  gshare : int array;
+  selector : int array;
+  gshare_hist_bits : int;
+  mutable history : int;
+  (* BTB: sets x ways of (pc tag, target, lru) *)
+  btb_sets : int;
+  btb_ways : int;
+  btb_tag : int array;
+  btb_target : int array;
+  btb_lru : int array;
+  mutable btb_clock : int;
+  ras : int array;
+  ras_size : int;
+  mutable ras_top : int; (* number of valid entries *)
+  (* statistics *)
+  mutable lookups : int;
+  mutable dir_correct : int;
+  mutable dir_wrong : int;
+}
+
+let create (cfg : Config.t) =
+  {
+    bimodal = Array.make cfg.Config.bimodal_size 1; (* weakly not-taken *)
+    gshare = Array.make cfg.Config.gshare_size 1;
+    selector = Array.make cfg.Config.selector_size 1;
+    gshare_hist_bits = cfg.Config.gshare_hist;
+    history = 0;
+    btb_sets = cfg.Config.btb_sets;
+    btb_ways = cfg.Config.btb_ways;
+    btb_tag = Array.make (cfg.Config.btb_sets * cfg.Config.btb_ways) (-1);
+    btb_target = Array.make (cfg.Config.btb_sets * cfg.Config.btb_ways) (-1);
+    btb_lru = Array.make (cfg.Config.btb_sets * cfg.Config.btb_ways) 0;
+    btb_clock = 0;
+    ras = Array.make cfg.Config.ras_size 0;
+    ras_size = cfg.Config.ras_size;
+    ras_top = 0;
+    lookups = 0;
+    dir_correct = 0;
+    dir_wrong = 0;
+  }
+
+let bimodal_idx t pc = pc mod Array.length t.bimodal
+
+let gshare_idx t pc =
+  let mask = (1 lsl t.gshare_hist_bits) - 1 in
+  (pc lxor (t.history land mask)) mod Array.length t.gshare
+
+let selector_idx t pc = pc mod Array.length t.selector
+
+let counter_taken c = c >= 2
+
+(* Predict the direction of the conditional branch at [pc]. *)
+let predict_direction t pc =
+  t.lookups <- t.lookups + 1;
+  let b = counter_taken t.bimodal.(bimodal_idx t pc) in
+  let g = counter_taken t.gshare.(gshare_idx t pc) in
+  if counter_taken t.selector.(selector_idx t pc) then g else b
+
+let bump arr i taken =
+  if taken then arr.(i) <- min 3 (arr.(i) + 1)
+  else arr.(i) <- max 0 (arr.(i) - 1)
+
+(* Update direction predictors and global history with the outcome. *)
+let update_direction t pc ~taken =
+  let bi = bimodal_idx t pc and gi = gshare_idx t pc in
+  let b_ok = counter_taken t.bimodal.(bi) = taken in
+  let g_ok = counter_taken t.gshare.(gi) = taken in
+  let si = selector_idx t pc in
+  let was_correct = if counter_taken t.selector.(si) then g_ok else b_ok in
+  if was_correct then t.dir_correct <- t.dir_correct + 1
+  else t.dir_wrong <- t.dir_wrong + 1;
+  (* Selector trains toward the correct component when they disagree. *)
+  if b_ok <> g_ok then bump t.selector si g_ok;
+  bump t.bimodal bi taken;
+  bump t.gshare gi taken;
+  t.history <- ((t.history lsl 1) lor (if taken then 1 else 0))
+               land ((1 lsl t.gshare_hist_bits) - 1)
+
+(* BTB lookup: the predicted target of the control instruction at [pc]. *)
+let btb_lookup t pc =
+  let set = pc mod t.btb_sets in
+  let base = set * t.btb_ways in
+  let rec find w =
+    if w >= t.btb_ways then None
+    else if t.btb_tag.(base + w) = pc then begin
+      t.btb_clock <- t.btb_clock + 1;
+      t.btb_lru.(base + w) <- t.btb_clock;
+      Some t.btb_target.(base + w)
+    end
+    else find (w + 1)
+  in
+  find 0
+
+let btb_update t pc ~target =
+  let set = pc mod t.btb_sets in
+  let base = set * t.btb_ways in
+  t.btb_clock <- t.btb_clock + 1;
+  let rec find w = if w >= t.btb_ways then None
+    else if t.btb_tag.(base + w) = pc then Some w
+    else find (w + 1)
+  in
+  let w =
+    match find 0 with
+    | Some w -> w
+    | None ->
+      let victim = ref 0 in
+      for w = 1 to t.btb_ways - 1 do
+        if t.btb_lru.(base + w) < t.btb_lru.(base + !victim) then victim := w
+      done;
+      !victim
+  in
+  t.btb_tag.(base + w) <- pc;
+  t.btb_target.(base + w) <- target;
+  t.btb_lru.(base + w) <- t.btb_clock
+
+(* Return-address stack. Overflow wraps (oldest entries are lost), as in
+   real hardware. *)
+let ras_push t addr =
+  if t.ras_top < t.ras_size then begin
+    t.ras.(t.ras_top) <- addr;
+    t.ras_top <- t.ras_top + 1
+  end
+  else begin
+    (* Shift down: drop the oldest. *)
+    Array.blit t.ras 1 t.ras 0 (t.ras_size - 1);
+    t.ras.(t.ras_size - 1) <- addr
+  end
+
+let ras_pop t =
+  if t.ras_top = 0 then None
+  else begin
+    t.ras_top <- t.ras_top - 1;
+    Some t.ras.(t.ras_top)
+  end
+
+let mispredict_rate t =
+  let total = t.dir_correct + t.dir_wrong in
+  if total = 0 then 0. else float_of_int t.dir_wrong /. float_of_int total

@@ -1,0 +1,23 @@
+(** Branch prediction per Table 1: a 2K gshare / 2K bimodal hybrid with a
+    1K selector, a 2048-entry 4-way BTB, and a return-address stack. *)
+
+type t
+
+val create : Config.t -> t
+
+(** Predicted direction of the conditional branch at [pc]. *)
+val predict_direction : t -> int -> bool
+
+(** Train direction tables, selector and global history. *)
+val update_direction : t -> int -> taken:bool -> unit
+
+val btb_lookup : t -> int -> int option
+val btb_update : t -> int -> target:int -> unit
+
+(** Push a return address; overflow drops the oldest entry. *)
+val ras_push : t -> int -> unit
+
+val ras_pop : t -> int option
+
+(** Fraction of trained conditional branches that were mispredicted. *)
+val mispredict_rate : t -> float

@@ -1,0 +1,102 @@
+(* Set-associative cache with LRU replacement.
+
+   The simulator only needs latencies, not data: [access] returns whether
+   the line was present and installs it. Timing of misses under
+   contention is simplified to fixed latencies (no MSHR/bandwidth model),
+   which is the usual academic-simulator treatment and is identical across
+   the techniques being compared. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line : int;       (* bytes *)
+  tags : int array;      (* sets * ways, -1 = invalid *)
+  last_use : int array;  (* LRU stamps *)
+  fill_time : int array; (* cycle at which the line's data arrives *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type outcome =
+  | Hit
+  | Inflight of int (* remaining cycles until the line's fill completes *)
+  | Miss
+
+let create ~sets ~ways ~line =
+  if sets <= 0 || ways <= 0 || line <= 0 then invalid_arg "Cache.create";
+  {
+    sets;
+    ways;
+    line;
+    tags = Array.make (sets * ways) (-1);
+    last_use = Array.make (sets * ways) 0;
+    fill_time = Array.make (sets * ways) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let hits t = t.hits
+let misses t = t.misses
+
+let line_key t addr = addr / t.line
+
+(* [probe t ~now addr]: tag-match the line. A miss installs it (LRU
+   eviction) with fill time [now]; the caller is expected to push the fill
+   time out with [set_fill] once it knows the total miss latency, so later
+   accesses to the still-in-flight line see [Inflight] rather than a free
+   hit — an MSHR-style merge, without which dependent-pointer chases would
+   wrongly ride on their own line fills. *)
+let probe t ~now addr =
+  let line_addr = line_key t addr in
+  let set = ((line_addr mod t.sets) + t.sets) mod t.sets in
+  let tag = line_addr in
+  t.clock <- t.clock + 1;
+  let base = set * t.ways in
+  let rec find w = if w >= t.ways then None
+    else if t.tags.(base + w) = tag then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    t.last_use.(base + w) <- t.clock;
+    if t.fill_time.(base + w) > now then begin
+      t.misses <- t.misses + 1;
+      Inflight (t.fill_time.(base + w) - now)
+    end
+    else begin
+      t.hits <- t.hits + 1;
+      Hit
+    end
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Evict LRU. *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if t.last_use.(base + w) < t.last_use.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.last_use.(base + !victim) <- t.clock;
+    t.fill_time.(base + !victim) <- now;
+    Miss
+
+(* Record when the just-missed line's data will arrive. *)
+let set_fill t addr time =
+  let line_addr = line_key t addr in
+  let set = ((line_addr mod t.sets) + t.sets) mod t.sets in
+  let base = set * t.ways in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) = line_addr then t.fill_time.(base + w) <- time
+  done
+
+(* Untimed access: true on (settled) hit; misses install instantly. Used
+   by unit tests and by accesses whose latency is not modelled. *)
+let access t addr =
+  match probe t ~now:0 addr with
+  | Hit -> true
+  | Inflight _ | Miss -> false
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.misses /. float_of_int total

@@ -1,0 +1,107 @@
+(* Processor configuration — Table 1 of the paper.
+
+     Fetch, decode and commit width   8 instructions
+     Branch predictor                 hybrid 2K gshare, 2K bimodal, 1K selector
+     BTB                              2048 entries, 4-way
+     L1 Icache                        64KB, 2-way, 32B line, 1 cycle hit
+     L1 Dcache                        64KB, 4-way, 32B line, 2 cycles hit
+     Unified L2                       512KB, 8-way, 64B line, 10 cycles hit,
+                                      50 cycles miss
+     ROB                              128 entries
+     Issue queue                      80 entries
+     Int/FP register file             112 entries each (14 banks of 8)
+     Int FUs                          6 ALU (1 cycle), 3 Mul (3 cycles)
+     FP FUs                           4 ALU (2 cycles), 2 MultDiv (4/12)
+
+   Memory ports and the return-address stack are SimpleScalar-style
+   defaults the paper does not list explicitly. *)
+
+open Sdiq_isa
+
+type t = {
+  fetch_width : int;
+  dispatch_width : int;
+  issue_width : int;
+  commit_width : int;
+  decode_depth : int;        (* cycles an instruction spends decoding *)
+  fetch_queue_size : int;
+  rob_size : int;
+  iq_size : int;
+  iq_bank_size : int;
+  rf_size : int;             (* physical registers per file (int and fp) *)
+  rf_bank_size : int;
+  fu_count : Fu.t -> int;
+  (* caches *)
+  il1_sets : int;
+  il1_ways : int;
+  il1_line : int;            (* bytes; instructions are 4 bytes *)
+  il1_hit : int;
+  dl1_sets : int;
+  dl1_ways : int;
+  dl1_line : int;
+  dl1_hit : int;
+  l2_sets : int;
+  l2_ways : int;
+  l2_line : int;
+  l2_hit : int;
+  mem_latency : int;         (* L2 miss *)
+  (* branch prediction *)
+  bimodal_size : int;
+  gshare_size : int;
+  gshare_hist : int;
+  selector_size : int;
+  btb_sets : int;
+  btb_ways : int;
+  ras_size : int;
+  btb_miss_penalty : int;    (* taken branch with unknown target *)
+  mispredict_redirect : int; (* extra cycles after resolution *)
+}
+
+let default =
+  {
+    fetch_width = 8;
+    dispatch_width = 8;
+    issue_width = 8;
+    commit_width = 8;
+    decode_depth = 3;
+    fetch_queue_size = 32;
+    rob_size = 128;
+    iq_size = 80;
+    iq_bank_size = 8;
+    rf_size = 112;
+    rf_bank_size = 8;
+    fu_count = Fu.default_count;
+    il1_sets = 1024;  (* 64KB / (2 ways * 32B) *)
+    il1_ways = 2;
+    il1_line = 32;
+    il1_hit = 1;
+    dl1_sets = 512;   (* 64KB / (4 ways * 32B) *)
+    dl1_ways = 4;
+    dl1_line = 32;
+    dl1_hit = 2;
+    l2_sets = 1024;   (* 512KB / (8 ways * 64B) *)
+    l2_ways = 8;
+    l2_line = 64;
+    l2_hit = 10;
+    mem_latency = 50;
+    bimodal_size = 2048;
+    gshare_size = 2048;
+    gshare_hist = 11;
+    selector_size = 1024;
+    btb_sets = 512;   (* 2048 entries, 4-way *)
+    btb_ways = 4;
+    ras_size = 16;
+    btb_miss_penalty = 2;
+    mispredict_redirect = 1;
+  }
+
+let iq_banks t = (t.iq_size + t.iq_bank_size - 1) / t.iq_bank_size
+let rf_banks t = (t.rf_size + t.rf_bank_size - 1) / t.rf_bank_size
+
+let pp ppf t =
+  Fmt.pf ppf
+    "fetch/dispatch/issue/commit %d/%d/%d/%d, ROB %d, IQ %d (%d banks of \
+     %d), RF 2x%d (%d banks of %d)"
+    t.fetch_width t.dispatch_width t.issue_width t.commit_width t.rob_size
+    t.iq_size (iq_banks t) t.iq_bank_size t.rf_size (rf_banks t)
+    t.rf_bank_size

@@ -1,0 +1,45 @@
+(** Processor configuration — Table 1 of the paper. *)
+
+type t = {
+  fetch_width : int;
+  dispatch_width : int;
+  issue_width : int;
+  commit_width : int;
+  decode_depth : int;        (** cycles an instruction spends decoding *)
+  fetch_queue_size : int;
+  rob_size : int;
+  iq_size : int;
+  iq_bank_size : int;
+  rf_size : int;             (** physical registers per file (int and fp) *)
+  rf_bank_size : int;
+  fu_count : Sdiq_isa.Fu.t -> int;
+  il1_sets : int;
+  il1_ways : int;
+  il1_line : int;
+  il1_hit : int;
+  dl1_sets : int;
+  dl1_ways : int;
+  dl1_line : int;
+  dl1_hit : int;
+  l2_sets : int;
+  l2_ways : int;
+  l2_line : int;
+  l2_hit : int;
+  mem_latency : int;
+  bimodal_size : int;
+  gshare_size : int;
+  gshare_hist : int;
+  selector_size : int;
+  btb_sets : int;
+  btb_ways : int;
+  ras_size : int;
+  btb_miss_penalty : int;
+  mispredict_redirect : int;
+}
+
+(** The paper's Table 1 machine. *)
+val default : t
+
+val iq_banks : t -> int
+val rf_banks : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,297 @@
+(* The issue queue (Section 3.1).
+
+   A non-collapsible circular buffer of [size] entries organised in banks
+   of [bank_size]: instructions dispatch at [tail] in program order, issue
+   from any slot, and an issued slot becomes a hole until [head] sweeps
+   past it (no compaction, as in Folegnani & González and Buyuktosunoglu
+   et al. — compaction costs too much energy). The CAM and RAM arrays of a
+   bank are turned off while the bank holds no valid entry.
+
+   The paper's addition is a second head pointer [new_head]: the compiler
+   communicates [max_new_range], the number of slots the *next program
+   region* may occupy, and dispatch is limited so the slot span between
+   [new_head] and [tail] (holes included — the queue cannot collapse them)
+   never exceeds it. When the instruction under [new_head] issues, the
+   pointer moves towards the tail until it reaches a non-empty slot or
+   becomes the tail (Figure 2), freeing span for more dispatch.
+
+   Wakeup accounting implements both schemes compared in the paper:
+   [wakeups_naive] charges every operand CAM in the queue on every result
+   broadcast; [wakeups_gated] charges only present-and-not-ready operands
+   of valid entries (Folegnani & González gating, assumed by the paper's
+   example and by all techniques evaluated). *)
+
+type operand = {
+  mutable present : bool;
+  mutable tag : int;    (* physical register tag; int and fp disjoint *)
+  mutable ready : bool;
+}
+
+type entry = {
+  mutable valid : bool;
+  mutable rob_idx : int;
+  ops : operand array; (* always length 2 *)
+}
+
+type t = {
+  size : int;
+  bank_size : int;
+  mutable active_size : int;
+      (* hardware-resizable ring: the Abella/Buyuktosunoglu-style adaptive
+         scheme physically restricts the circular buffer to the first
+         [active_size] slots (whole banks), so the remaining banks hold no
+         entries and stay off; the software scheme leaves this at [size] *)
+  slots : entry array;
+  mutable head : int;
+  mutable new_head : int;
+  mutable tail : int;
+  mutable count : int;      (* valid entries *)
+  mutable new_span : int;   (* slots between new_head and tail, holes incl. *)
+  (* event counters for the power model *)
+  mutable wakeups_gated : int;
+  mutable wakeups_nonempty : int;
+  mutable wakeups_naive : int;
+  mutable dispatch_ram_writes : int;
+  mutable dispatch_cam_writes : int;
+  mutable issue_reads : int;
+  mutable broadcasts : int;
+}
+
+let create ~size ~bank_size =
+  if size <= 0 || bank_size <= 0 || bank_size > size then
+    invalid_arg "Iq.create";
+  let mk_entry _ =
+    {
+      valid = false;
+      rob_idx = -1;
+      ops =
+        Array.init 2 (fun _ -> { present = false; tag = -1; ready = false });
+    }
+  in
+  {
+    size;
+    bank_size;
+    active_size = size;
+    slots = Array.init size mk_entry;
+    head = 0;
+    new_head = 0;
+    tail = 0;
+    count = 0;
+    new_span = 0;
+    wakeups_gated = 0;
+    wakeups_nonempty = 0;
+    wakeups_naive = 0;
+    dispatch_ram_writes = 0;
+    dispatch_cam_writes = 0;
+    issue_reads = 0;
+    broadcasts = 0;
+  }
+
+let size t = t.size
+let occupancy t = t.count
+let is_empty t = t.count = 0
+
+(* The tail slot is free unless the buffer has wrapped onto the head; a
+   valid slot under the tail means the (non-collapsible) queue is full. *)
+let is_full t = t.slots.(t.tail).valid
+
+(* Slots the next program region currently occupies (holes included). *)
+let new_region_span t = t.new_span
+
+(* Start a new program region: pin [new_head] to the tail (Section 3.2:
+   the special NOOP's value becomes the new [max_new_range] and subsequent
+   dispatches belong to the new region). *)
+let start_new_region t =
+  t.new_head <- t.tail;
+  t.new_span <- 0
+
+(* Dispatch an instruction into the tail slot. [ops] lists (tag, ready) for
+   the register sources. Returns the slot index. *)
+let dispatch t ~rob_idx ~ops =
+  if is_full t then invalid_arg "Iq.dispatch: full";
+  let slot = t.tail in
+  let e = t.slots.(slot) in
+  e.valid <- true;
+  e.rob_idx <- rob_idx;
+  Array.iter
+    (fun o ->
+      o.present <- false;
+      o.tag <- -1;
+      o.ready <- false)
+    e.ops;
+  List.iteri
+    (fun i (tag, ready) ->
+      if i < 2 then begin
+        e.ops.(i).present <- true;
+        e.ops.(i).tag <- tag;
+        e.ops.(i).ready <- ready;
+        t.dispatch_cam_writes <- t.dispatch_cam_writes + 1
+      end)
+    ops;
+  t.dispatch_ram_writes <- t.dispatch_ram_writes + 1;
+  t.tail <- (t.tail + 1) mod t.active_size;
+  t.count <- t.count + 1;
+  t.new_span <- t.new_span + 1;
+  slot
+
+(* Remove an issued instruction from [slot], updating both head pointers
+   exactly as the hardware does. Pointer sweeps are window-bounded rather
+   than tail-guarded: comparing against [tail] alone cannot distinguish
+   "reached the free space" from "started on a completely full ring"
+   (head = tail both when empty and when wrapped full). [new_head] sweeps
+   within the region's [new_span] slots; [head] sweeps to the first valid
+   entry anywhere, which must exist while [count > 0]. *)
+let issue t slot =
+  let e = t.slots.(slot) in
+  if not e.valid then invalid_arg "Iq.issue: empty slot";
+  e.valid <- false;
+  e.rob_idx <- -1;
+  t.count <- t.count - 1;
+  t.issue_reads <- t.issue_reads + 1;
+  if slot = t.new_head then begin
+    let span = t.new_span in
+    let rec find p steps =
+      if steps >= span then (t.tail, span)
+      else if t.slots.(p).valid then (p, steps)
+      else find ((p + 1) mod t.active_size) (steps + 1)
+    in
+    let pos, skipped = find t.new_head 0 in
+    t.new_head <- pos;
+    t.new_span <- t.new_span - skipped
+  end;
+  if slot = t.head then
+    if t.count = 0 then t.head <- t.tail
+    else begin
+      let rec find p =
+        if t.slots.(p).valid then p else find ((p + 1) mod t.active_size)
+      in
+      t.head <- find t.head
+    end
+
+(* Broadcast the destination tags of all results completing this cycle.
+   All tags see the same pre-wakeup snapshot, as the parallel CAM ports do
+   in hardware: in Figure 1(c) instructions a and b complete together and
+   each causes 6 wakeups even though they wake some of the same operands.
+   Accounting: gated comparisons touch every present-and-not-ready operand
+   of a valid entry, once per tag; the naive scheme compares both operand
+   CAMs of every slot per tag. Returns how many operands woke. *)
+let broadcast_many t tags =
+  let ntags = List.length tags in
+  if ntags = 0 then 0
+  else begin
+    t.broadcasts <- t.broadcasts + ntags;
+    t.wakeups_naive <- t.wakeups_naive + (2 * t.size * ntags);
+    let matched = ref 0 in
+    Array.iter
+      (fun e ->
+        if e.valid then
+          Array.iter
+            (fun o ->
+              if o.present then begin
+                (* the "nonEmpty" scheme compares every operand of every
+                   allocated entry, ready or not *)
+                t.wakeups_nonempty <- t.wakeups_nonempty + ntags;
+                if not o.ready then begin
+                  t.wakeups_gated <- t.wakeups_gated + ntags;
+                  if List.mem o.tag tags then begin
+                    o.ready <- true;
+                    incr matched
+                  end
+                end
+              end)
+            e.ops)
+      t.slots;
+    !matched
+  end
+
+let broadcast t tag = broadcast_many t [ tag ]
+
+(* Fold over valid entries from oldest (head) to youngest (tail), the order
+   the select logic prefers. *)
+let fold_oldest_first t f acc =
+  let acc = ref acc in
+  let pos = ref t.head in
+  let remaining = ref t.count in
+  let steps = ref 0 in
+  while !remaining > 0 && !steps < t.active_size do
+    let e = t.slots.(!pos) in
+    if e.valid then begin
+      acc := f !acc !pos e;
+      decr remaining
+    end;
+    pos := (!pos + 1) mod t.active_size;
+    incr steps
+  done;
+  !acc
+
+(* Adaptive resizing (the abella comparison point): restrict or extend the
+   ring to [target] slots, whole banks at a time. A resize only takes
+   effect when it is safe — shrinking needs every live entry and pointer
+   inside the surviving region; growing needs the live region not to wrap
+   (so the modulus change keeps it contiguous). Callers simply retry every
+   cycle, which models the scheme's inherent adjustment lag. Returns true
+   when the resize (or part of it, one step toward the target) applied. *)
+let resize t target =
+  let target =
+    let banked = max t.bank_size (min t.size target) in
+    banked / t.bank_size * t.bank_size
+  in
+  if target = t.active_size then false
+  else if t.count = 0 then begin
+    t.head <- 0;
+    t.new_head <- 0;
+    t.tail <- 0;
+    t.new_span <- 0;
+    t.active_size <- target;
+    true
+  end
+  else if target > t.active_size then begin
+    (* Growing inserts a run of empty slots between the oldest entries (at
+       and after [head]) and any wrapped younger ones (before [tail]);
+       pointer sweeps skip holes, so circular order is preserved. *)
+    t.active_size <- target;
+    true
+  end
+  else begin
+    (* Shrinking is safe only once the dropped banks hold nothing and all
+       three pointers are inside the surviving region. *)
+    let clear =
+      ref (t.head < target && t.new_head < target && t.tail < target)
+    in
+    for s = target to t.active_size - 1 do
+      if t.slots.(s).valid then clear := false
+    done;
+    if !clear then begin
+      t.active_size <- target;
+      (* The region span may have crossed the dropped slots; re-derive it
+         from the pointers under the new modulus. *)
+      t.new_span <- ((t.tail - t.new_head) + target) mod target;
+      true
+    end
+    else false
+  end
+
+let active_size t = t.active_size
+
+let entry t slot = t.slots.(slot)
+
+let entry_ready (e : entry) =
+  e.valid && Array.for_all (fun o -> (not o.present) || o.ready) e.ops
+
+(* Banks holding at least one valid entry: only these have their CAM/RAM
+   arrays powered. *)
+let banks t = (t.size + t.bank_size - 1) / t.bank_size
+
+let banks_on t =
+  let nb = banks t in
+  let on = ref 0 in
+  for b = 0 to nb - 1 do
+    let lo = b * t.bank_size in
+    let hi = min t.size (lo + t.bank_size) - 1 in
+    let any = ref false in
+    for i = lo to hi do
+      if t.slots.(i).valid then any := true
+    done;
+    if !any then incr on
+  done;
+  !on

@@ -1,0 +1,96 @@
+(** The issue queue (Section 3.1): a non-collapsible circular buffer in
+    banks, with the paper's second head pointer.
+
+    Instructions dispatch at [tail] in program order and issue from any
+    slot, leaving holes until [head] sweeps past them. The compiler's
+    [max_new_range] limits the slot span between [new_head] and [tail]
+    (holes included); when the instruction under [new_head] issues, the
+    pointer moves toward the tail until it reaches a non-empty slot or
+    becomes the tail (Figure 2).
+
+    Wakeup accounting covers the three schemes of Figure 8: naive (every
+    operand CAM, every broadcast), nonEmpty (operands of allocated
+    entries), and gated (present-and-not-ready operands only — Folegnani
+    & González). *)
+
+type operand = {
+  mutable present : bool;
+  mutable tag : int;
+  mutable ready : bool;
+}
+
+type entry = {
+  mutable valid : bool;
+  mutable rob_idx : int;
+  ops : operand array; (** always length 2 *)
+}
+
+type t = {
+  size : int;
+  bank_size : int;
+  mutable active_size : int;
+      (** the adaptive scheme physically restricts the ring to this many
+          slots (whole banks); the software scheme leaves it at [size] *)
+  slots : entry array;
+  mutable head : int;
+  mutable new_head : int;
+  mutable tail : int;
+  mutable count : int;
+  mutable new_span : int;
+  mutable wakeups_gated : int;
+  mutable wakeups_nonempty : int;
+  mutable wakeups_naive : int;
+  mutable dispatch_ram_writes : int;
+  mutable dispatch_cam_writes : int;
+  mutable issue_reads : int;
+  mutable broadcasts : int;
+}
+
+val create : size:int -> bank_size:int -> t
+val size : t -> int
+val occupancy : t -> int
+val is_empty : t -> bool
+
+(** Full in the non-collapsible sense: the tail slot is occupied. *)
+val is_full : t -> bool
+
+(** Slots the current program region occupies, holes included. *)
+val new_region_span : t -> int
+
+(** Pin [new_head] to the tail: a new program region begins. *)
+val start_new_region : t -> unit
+
+(** Insert at the tail; [ops] are (physical tag, ready) pairs. Returns
+    the slot index. Raises [Invalid_argument] when full. *)
+val dispatch : t -> rob_idx:int -> ops:(int * bool) list -> int
+
+(** Remove an issued instruction, sweeping [head]/[new_head] forward
+    exactly as the hardware does. *)
+val issue : t -> int -> unit
+
+(** Broadcast all result tags completing this cycle against one snapshot
+    (as parallel CAM ports do); returns how many operands woke. *)
+val broadcast_many : t -> int list -> int
+
+val broadcast : t -> int -> int
+
+(** Fold over valid entries oldest-first (select order). *)
+val fold_oldest_first : t -> ('a -> int -> entry -> 'a) -> 'a -> 'a
+
+val entry : t -> int -> entry
+
+(** All present operands ready. *)
+val entry_ready : entry -> bool
+
+val banks : t -> int
+
+(** Banks holding at least one valid entry (the powered ones). *)
+val banks_on : t -> int
+
+(** Adaptive resizing toward [target] slots (whole banks): shrinking
+    applies only once the dropped banks are empty and all pointers are
+    inside the surviving region; growing is always order-preserving.
+    Returns whether the size changed. *)
+val resize : t -> int -> bool
+
+val active_size : t -> int

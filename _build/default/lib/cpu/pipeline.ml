@@ -1,0 +1,623 @@
+(* The out-of-order pipeline: fetch → decode (fetch queue) → rename/dispatch
+   → issue/execute → writeback → commit, over the Table 1 machine.
+
+   Execution-driven in the SimpleScalar style: the functional executor
+   produces the dynamic stream at fetch. Wrong-path instructions are never
+   injected — a mispredicted control instruction stalls fetch until it
+   resolves, which models the misprediction penalty while keeping the
+   oracle and the pipeline in lockstep (documented simplification; applied
+   identically to every technique under comparison).
+
+   Cycle phase order (matters, and matches the paper's Figure 1 timing):
+     commit → writeback (wakeup) → issue/select → dispatch → fetch
+   so a result wakes its consumers in the cycle it completes and the
+   consumers can issue that same cycle; instructions issued this cycle
+   free IQ slots that dispatch can refill this cycle; newly fetched
+   instructions dispatch only after [decode_depth] cycles. *)
+
+open Sdiq_isa
+
+type fq_entry = {
+  dyn : Exec.dyn;
+  ready_at : int; (* cycle at which decode finishes *)
+}
+
+type t = {
+  cfg : Config.t;
+  prog : Prog.t;
+  exec : Exec.state;
+  policy : Policy.t;
+  il1 : Cache.t;
+  dl1 : Cache.t;
+  l2 : Cache.t;
+  bpred : Branch_pred.t;
+  int_rf : Regfile.t;
+  fp_rf : Regfile.t;
+  int_map : int array;
+  fp_map : int array;
+  rob : Rob.t;
+  iq : Iq.t;
+  fq : fq_entry Queue.t;
+  completions : (int, int list) Hashtbl.t; (* cycle -> rob indices *)
+  mutable unpipe_busy : (Fu.t * int) list; (* unit class, release cycle *)
+  mutable cycle : int;
+  mutable halted : bool;
+  mutable fetch_resume_at : int;
+  mutable blocked_sn : int option; (* fetch stalled on this dynamic instr *)
+  stats : Stats.t;
+}
+
+exception Simulation_limit of string
+
+let create ?(config = Config.default) ?(policy = Policy.unlimited) prog =
+  let exec = Exec.create prog in
+  let int_rf =
+    Regfile.create ~size:config.Config.rf_size
+      ~bank_size:config.Config.rf_bank_size
+  in
+  let fp_rf =
+    Regfile.create ~size:config.Config.rf_size
+      ~bank_size:config.Config.rf_bank_size
+  in
+  (* Initial architectural mapping: arch i -> phys i, values ready. *)
+  let int_map = Array.init Reg.num_int (fun i -> i) in
+  let fp_map = Array.init Reg.num_fp (fun i -> i) in
+  for i = 0 to Reg.num_int - 1 do
+    Regfile.alloc_exact int_rf i;
+    int_rf.Regfile.ready.(i) <- true
+  done;
+  for i = 0 to Reg.num_fp - 1 do
+    Regfile.alloc_exact fp_rf i;
+    fp_rf.Regfile.ready.(i) <- true
+  done;
+  {
+    cfg = config;
+    prog;
+    exec;
+    policy;
+    il1 =
+      Cache.create ~sets:config.Config.il1_sets ~ways:config.Config.il1_ways
+        ~line:config.Config.il1_line;
+    dl1 =
+      Cache.create ~sets:config.Config.dl1_sets ~ways:config.Config.dl1_ways
+        ~line:config.Config.dl1_line;
+    l2 =
+      Cache.create ~sets:config.Config.l2_sets ~ways:config.Config.l2_ways
+        ~line:config.Config.l2_line;
+    bpred = Branch_pred.create config;
+    int_rf;
+    fp_rf;
+    int_map;
+    fp_map;
+    rob = Rob.create ~size:config.Config.rob_size;
+    iq = Iq.create ~size:config.Config.iq_size
+        ~bank_size:config.Config.iq_bank_size;
+    fq = Queue.create ();
+    completions = Hashtbl.create 64;
+    unpipe_busy = [];
+    cycle = 0;
+    halted = false;
+    fetch_resume_at = 0;
+    blocked_sn = None;
+    stats = Stats.create ();
+  }
+
+(* Physical-register tag space: int regs as-is, fp regs offset. *)
+let int_tag p = p
+let fp_tag t p = t.cfg.Config.rf_size + p
+
+(* --- commit ------------------------------------------------------------ *)
+
+let release_dest t = function
+  | Rob.No_dest -> ()
+  | Rob.Int_dest p -> Regfile.release t.int_rf p
+  | Rob.Fp_dest p -> Regfile.release t.fp_rf p
+
+let commit_one t (e : Rob.entry) =
+  let dyn = Option.get e.Rob.dyn in
+  let i = dyn.Exec.instr in
+  t.stats.Stats.committed <- t.stats.Stats.committed + 1;
+  release_dest t e.Rob.old_phys;
+  (* The predictor trains at fetch (see [fetch_stage]): with no wrong-path
+     instructions, fetch order equals commit order, so updating there is
+     exact and avoids stale-history aliasing for in-flight branches. *)
+  (* Stores write the data cache at commit; write misses allocate but do
+     not stall the pipeline (a write buffer is assumed). *)
+  if Instr.is_store i then begin
+    let now = t.cycle in
+    match Cache.probe t.dl1 ~now dyn.Exec.addr with
+    | Cache.Hit | Cache.Inflight _ -> ()
+    | Cache.Miss ->
+      t.stats.Stats.dl1_misses <- t.stats.Stats.dl1_misses + 1;
+      let lat =
+        match Cache.probe t.l2 ~now dyn.Exec.addr with
+        | Cache.Hit -> t.cfg.Config.l2_hit
+        | Cache.Inflight r -> r + 1
+        | Cache.Miss ->
+          t.stats.Stats.l2_misses <- t.stats.Stats.l2_misses + 1;
+          Cache.set_fill t.l2 dyn.Exec.addr (now + t.cfg.Config.mem_latency);
+          t.cfg.Config.mem_latency
+      in
+      Cache.set_fill t.dl1 dyn.Exec.addr (now + lat)
+  end
+
+let commit_stage t =
+  let n = ref 0 in
+  while
+    !n < t.cfg.Config.commit_width && Rob.try_commit t.rob (commit_one t)
+  do
+    incr n
+  done
+
+(* --- writeback --------------------------------------------------------- *)
+
+let writeback_stage t =
+  match Hashtbl.find_opt t.completions t.cycle with
+  | None -> ()
+  | Some idxs ->
+    Hashtbl.remove t.completions t.cycle;
+    (* Oldest first, deterministically. *)
+    let idxs = List.rev idxs in
+    (* All results completing this cycle broadcast together so wakeup
+       counting sees one snapshot, as the parallel CAM ports do. *)
+    let tags = ref [] in
+    List.iter
+      (fun idx ->
+        let e = Rob.entry t.rob idx in
+        e.Rob.state <- Rob.Completed;
+        (match e.Rob.dest with
+        | Rob.No_dest -> ()
+        | Rob.Int_dest p ->
+          Regfile.mark_ready t.int_rf p;
+          tags := int_tag p :: !tags
+        | Rob.Fp_dest p ->
+          Regfile.mark_ready t.fp_rf p;
+          tags := fp_tag t p :: !tags);
+        (* A control instruction that blocked fetch now redirects it. *)
+        if e.Rob.blocked_fetch then begin
+          let dyn = Option.get e.Rob.dyn in
+          (match t.blocked_sn with
+          | Some sn when sn = dyn.Exec.sn ->
+            t.blocked_sn <- None;
+            t.fetch_resume_at <-
+              max t.fetch_resume_at
+                (t.cycle + 1 + t.cfg.Config.mispredict_redirect)
+          | Some _ | None -> ());
+          e.Rob.blocked_fetch <- false
+        end)
+      idxs;
+    ignore (Iq.broadcast_many t.iq !tags)
+
+(* --- issue ------------------------------------------------------------- *)
+
+let schedule_completion t idx latency =
+  let c = t.cycle + max 1 latency in
+  let cur =
+    match Hashtbl.find_opt t.completions c with Some l -> l | None -> []
+  in
+  Hashtbl.replace t.completions c (idx :: cur)
+
+(* For a load at ROB index [idx] with oracle address [addr]: the youngest
+   older in-flight store to the same address, if any. *)
+let conflicting_store t idx addr =
+  let found = ref None in
+  Rob.iter_in_flight t.rob (fun sidx (se : Rob.entry) ->
+      if sidx <> idx && Rob.older t.rob sidx idx then
+        match se.Rob.dyn with
+        | Some d
+          when Instr.is_store d.Exec.instr && d.Exec.addr = addr ->
+          found := Some se
+        | Some _ | None -> ());
+  !found
+
+(* Data-cache access latency for a load (address generation is the base
+   instruction latency, the cache time is added on top). A line still in
+   flight from an earlier miss delivers when its fill completes. *)
+let load_cache_latency t addr =
+  let now = t.cycle in
+  match Cache.probe t.dl1 ~now addr with
+  | Cache.Hit -> t.cfg.Config.dl1_hit
+  | Cache.Inflight r -> r + 1
+  | Cache.Miss ->
+    t.stats.Stats.dl1_misses <- t.stats.Stats.dl1_misses + 1;
+    let lat =
+      match Cache.probe t.l2 ~now addr with
+      | Cache.Hit -> t.cfg.Config.l2_hit
+      | Cache.Inflight r -> r + 1
+      | Cache.Miss ->
+        t.stats.Stats.l2_misses <- t.stats.Stats.l2_misses + 1;
+        Cache.set_fill t.l2 addr (now + t.cfg.Config.mem_latency);
+        t.cfg.Config.mem_latency
+    in
+    Cache.set_fill t.dl1 addr (now + lat);
+    lat
+
+let count_rf_reads t (i : Instr.t) =
+  List.iter
+    (fun r ->
+      if Reg.is_int r then begin
+        Regfile.note_read t.int_rf;
+        t.stats.Stats.int_rf_reads <- t.stats.Stats.int_rf_reads + 1
+      end
+      else begin
+        Regfile.note_read t.fp_rf;
+        t.stats.Stats.fp_rf_reads <- t.stats.Stats.fp_rf_reads + 1
+      end)
+    (Instr.sources i)
+
+let issue_stage t =
+  (* Release unpipelined units whose operation has finished. *)
+  t.unpipe_busy <- List.filter (fun (_, r) -> r > t.cycle) t.unpipe_busy;
+  let avail = Array.make Fu.count_classes 0 in
+  List.iter
+    (fun cls ->
+      let busy =
+        List.length (List.filter (fun (c, _) -> c = cls) t.unpipe_busy)
+      in
+      avail.(Fu.index cls) <- max 0 (t.cfg.Config.fu_count cls - busy))
+    Fu.all;
+  (* Collect ready entries oldest-first, then try to issue each. *)
+  let candidates =
+    List.rev
+      (Iq.fold_oldest_first t.iq
+         (fun acc slot e -> if Iq.entry_ready e then (slot, e.Iq.rob_idx) :: acc else acc)
+         [])
+  in
+  let width = ref t.cfg.Config.issue_width in
+  List.iter
+    (fun (slot, rob_idx) ->
+      if !width > 0 then begin
+        let e = Rob.entry t.rob rob_idx in
+        let dyn = Option.get e.Rob.dyn in
+        let i = dyn.Exec.instr in
+        let cls = Instr.fu_class i in
+        let k = Fu.index cls in
+        if avail.(k) > 0 then begin
+          (* Loads must respect older same-address stores. *)
+          let mem_latency_extra =
+            if Instr.is_load i then begin
+              match conflicting_store t rob_idx dyn.Exec.addr with
+              | Some se when se.Rob.state <> Rob.Completed ->
+                None (* store data not ready: cannot issue yet *)
+              | Some _ ->
+                t.stats.Stats.store_forwards <-
+                  t.stats.Stats.store_forwards + 1;
+                Some 1 (* forwarded from the store queue *)
+              | None -> Some (load_cache_latency t dyn.Exec.addr)
+            end
+            else Some 0
+          in
+          match mem_latency_extra with
+          | None -> ()
+          | Some extra ->
+            avail.(k) <- avail.(k) - 1;
+            decr width;
+            Iq.issue t.iq slot;
+            e.Rob.state <- Rob.Issued;
+            e.Rob.iq_slot <- -1;
+            t.stats.Stats.iq_selects <- t.stats.Stats.iq_selects + 1;
+            count_rf_reads t i;
+            let lat = Instr.latency i + extra in
+            if Opcode.unpipelined i.Instr.op then
+              t.unpipe_busy <- (cls, t.cycle + lat) :: t.unpipe_busy;
+            schedule_completion t rob_idx lat
+        end
+      end)
+    candidates
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+type dispatch_stop =
+  | Keep_going
+  | Stop_policy
+  | Stop_iq_full
+  | Stop_rob_full
+  | Stop_no_reg
+
+let rename_sources t (i : Instr.t) =
+  List.map
+    (fun r ->
+      if Reg.is_int r then
+        let p = t.int_map.(Reg.index r) in
+        (int_tag p, Regfile.is_ready t.int_rf p)
+      else
+        let p = t.fp_map.(Reg.index r) in
+        (fp_tag t p, Regfile.is_ready t.fp_rf p))
+    (Instr.sources i)
+
+(* Rename the destination; returns [None] when no register is free. *)
+let rename_dest t (i : Instr.t) =
+  match Instr.dest i with
+  | None -> Some (Rob.No_dest, Rob.No_dest)
+  | Some r ->
+    if Reg.is_int r then
+      match Regfile.alloc t.int_rf with
+      | None -> None
+      | Some p ->
+        let old = t.int_map.(Reg.index r) in
+        t.int_map.(Reg.index r) <- p;
+        Some (Rob.Int_dest p, Rob.Int_dest old)
+    else
+      match Regfile.alloc t.fp_rf with
+      | None -> None
+      | Some p ->
+        let old = t.fp_map.(Reg.index r) in
+        t.fp_map.(Reg.index r) <- p;
+        Some (Rob.Fp_dest p, Rob.Fp_dest old)
+
+let dispatch_one t (fe : fq_entry) : dispatch_stop =
+  let i = fe.dyn.Exec.instr in
+  (* A tag (the "Extension" encoding) opens a new region for this very
+     instruction, costing nothing. *)
+  (match i.Instr.tag with
+  | Some v -> Policy.on_annotation t.policy t.iq ~pc:fe.dyn.Exec.pc ~value:v
+  | None -> ());
+  if Rob.is_full t.rob then Stop_rob_full
+  else if not (Policy.allows t.policy t.iq) then
+    if Iq.is_full t.iq then Stop_iq_full else Stop_policy
+  else begin
+    (* Sources must be renamed before the destination gets a fresh
+       register, or an instruction like [addi r2, r2, 1] would wait on
+       its own result. *)
+    let ops = rename_sources t i in
+    match rename_dest t i with
+    | None -> Stop_no_reg
+    | Some (dest, old_phys) ->
+      let rob_idx =
+        Rob.push t.rob ~dyn:fe.dyn ~dest ~old_phys ~iq_slot:(-1)
+      in
+      let slot = Iq.dispatch t.iq ~rob_idx ~ops in
+      (Rob.entry t.rob rob_idx).Rob.iq_slot <- slot;
+      (* Remember whether fetch is waiting on this instruction. *)
+      (match t.blocked_sn with
+      | Some sn when sn = fe.dyn.Exec.sn ->
+        (Rob.entry t.rob rob_idx).Rob.blocked_fetch <- true
+      | Some _ | None -> ());
+      t.stats.Stats.dispatched <- t.stats.Stats.dispatched + 1;
+      (if Instr.is_load i then
+         t.stats.Stats.loads <- t.stats.Stats.loads + 1
+       else if Instr.is_store i then
+         t.stats.Stats.stores <- t.stats.Stats.stores + 1);
+      Keep_going
+  end
+
+let dispatch_stage t =
+  let slots = ref t.cfg.Config.dispatch_width in
+  let stop = ref Keep_going in
+  while
+    !stop = Keep_going && !slots > 0
+    && (not (Queue.is_empty t.fq))
+    && (Queue.peek t.fq).ready_at <= t.cycle
+  do
+    let fe = Queue.peek t.fq in
+    if fe.dyn.Exec.instr.Instr.op = Opcode.Iqset then begin
+      (* The special NOOP is stripped at the last decode stage — but it has
+         already consumed fetch bandwidth and now a dispatch slot
+         (Section 5.2.1). *)
+      ignore (Queue.pop t.fq);
+      Policy.on_annotation t.policy t.iq ~pc:fe.dyn.Exec.pc
+        ~value:fe.dyn.Exec.instr.Instr.imm;
+      t.stats.Stats.iqset_dispatch_slots <-
+        t.stats.Stats.iqset_dispatch_slots + 1;
+      decr slots
+    end
+    else begin
+      match dispatch_one t fe with
+      | Keep_going ->
+        ignore (Queue.pop t.fq);
+        decr slots
+      | s -> stop := s
+    end
+  done;
+  (match !stop with
+  | Keep_going -> ()
+  | Stop_policy ->
+    t.stats.Stats.dispatch_stall_policy <-
+      t.stats.Stats.dispatch_stall_policy + 1
+  | Stop_iq_full ->
+    t.stats.Stats.dispatch_stall_iq_full <-
+      t.stats.Stats.dispatch_stall_iq_full + 1
+  | Stop_rob_full ->
+    t.stats.Stats.dispatch_stall_rob_full <-
+      t.stats.Stats.dispatch_stall_rob_full + 1
+  | Stop_no_reg ->
+    t.stats.Stats.dispatch_stall_no_reg <-
+      t.stats.Stats.dispatch_stall_no_reg + 1);
+  (* "Throttled" feeds the adaptive policy's pressure signal: a stall on a
+     physically shrunken ring counts as pressure just like an explicit
+     policy refusal. *)
+  !stop = Stop_policy
+  || (!stop = Stop_iq_full && Iq.active_size t.iq < Iq.size t.iq)
+
+(* --- fetch ------------------------------------------------------------- *)
+
+(* Instructions are 4 bytes; a fetch group may not cross a cache line. *)
+let line_of t pc = pc * 4 / t.cfg.Config.il1_line
+
+let fetch_stage t =
+  if t.halted || t.cycle < t.fetch_resume_at || t.blocked_sn <> None then ()
+  else begin
+    let start_pc = t.exec.Exec.pc in
+    if start_pc < 0 || start_pc >= Prog.length t.prog then t.halted <- true
+    else begin
+      let icache_stall =
+        match Cache.probe t.il1 ~now:t.cycle (start_pc * 4) with
+        | Cache.Hit -> None
+        | Cache.Inflight r -> Some (r + 1)
+        | Cache.Miss ->
+          t.stats.Stats.il1_misses <- t.stats.Stats.il1_misses + 1;
+          let lat =
+            match Cache.probe t.l2 ~now:t.cycle (start_pc * 4) with
+            | Cache.Hit -> t.cfg.Config.l2_hit
+            | Cache.Inflight r -> r + 1
+            | Cache.Miss ->
+              t.stats.Stats.l2_misses <- t.stats.Stats.l2_misses + 1;
+              Cache.set_fill t.l2 (start_pc * 4)
+                (t.cycle + t.cfg.Config.mem_latency);
+              t.cfg.Config.mem_latency
+          in
+          Cache.set_fill t.il1 (start_pc * 4) (t.cycle + lat);
+          Some lat
+      in
+      match icache_stall with
+      | Some lat ->
+        (* Instruction-cache miss: stall fetch for the refill. *)
+        t.fetch_resume_at <- t.cycle + lat
+      | None ->
+      let group_line = line_of t start_pc in
+      let fetched = ref 0 in
+      let continue = ref true in
+      while
+        !continue && !fetched < t.cfg.Config.fetch_width
+        && Queue.length t.fq < t.cfg.Config.fetch_queue_size
+        && not t.halted
+      do
+        let pc = t.exec.Exec.pc in
+        if line_of t pc <> group_line then continue := false
+        else
+          match Exec.step t.exec with
+          | None ->
+            t.halted <- true;
+            continue := false
+          | Some dyn ->
+            let i = dyn.Exec.instr in
+            if i.Instr.op = Opcode.Halt then begin
+              t.halted <- true;
+              continue := false
+            end
+            else begin
+              Queue.push
+                { dyn; ready_at = t.cycle + t.cfg.Config.decode_depth }
+                t.fq;
+              incr fetched;
+              t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
+              (* Control flow: consult the predictor against the oracle. *)
+              (match i.Instr.op with
+              | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Bge ->
+                t.stats.Stats.branches <- t.stats.Stats.branches + 1;
+                let predicted_taken =
+                  Branch_pred.predict_direction t.bpred dyn.Exec.pc
+                in
+                let btb = Branch_pred.btb_lookup t.bpred dyn.Exec.pc in
+                (* Train immediately: fetch order = commit order here. *)
+                Branch_pred.update_direction t.bpred dyn.Exec.pc
+                  ~taken:dyn.Exec.taken;
+                if dyn.Exec.taken then
+                  Branch_pred.btb_update t.bpred dyn.Exec.pc
+                    ~target:dyn.Exec.next_pc;
+                if predicted_taken <> dyn.Exec.taken then begin
+                  t.stats.Stats.mispredicts <- t.stats.Stats.mispredicts + 1;
+                  t.blocked_sn <- Some dyn.Exec.sn;
+                  continue := false
+                end
+                else if dyn.Exec.taken then begin
+                  (match btb with
+                  | Some target when target = dyn.Exec.next_pc -> ()
+                  | Some _ | None ->
+                    t.stats.Stats.btb_bubbles <-
+                      t.stats.Stats.btb_bubbles + 1;
+                    t.fetch_resume_at <-
+                      t.cycle + t.cfg.Config.btb_miss_penalty);
+                  continue := false
+                end
+              | Opcode.Jmp ->
+                (match Branch_pred.btb_lookup t.bpred dyn.Exec.pc with
+                | Some target when target = dyn.Exec.next_pc -> ()
+                | Some _ | None ->
+                  t.stats.Stats.btb_bubbles <- t.stats.Stats.btb_bubbles + 1;
+                  t.fetch_resume_at <-
+                    t.cycle + t.cfg.Config.btb_miss_penalty);
+                Branch_pred.btb_update t.bpred dyn.Exec.pc
+                  ~target:dyn.Exec.next_pc;
+                continue := false
+              | Opcode.Call ->
+                Branch_pred.ras_push t.bpred (dyn.Exec.pc + 1);
+                (match Branch_pred.btb_lookup t.bpred dyn.Exec.pc with
+                | Some target when target = dyn.Exec.next_pc -> ()
+                | Some _ | None ->
+                  t.stats.Stats.btb_bubbles <- t.stats.Stats.btb_bubbles + 1;
+                  t.fetch_resume_at <-
+                    t.cycle + t.cfg.Config.btb_miss_penalty);
+                Branch_pred.btb_update t.bpred dyn.Exec.pc
+                  ~target:dyn.Exec.next_pc;
+                continue := false
+              | Opcode.Ret ->
+                t.stats.Stats.branches <- t.stats.Stats.branches + 1;
+                (match Branch_pred.ras_pop t.bpred with
+                | Some a when a = dyn.Exec.next_pc -> ()
+                | Some _ | None ->
+                  (* Return mispredicted: wait for it to resolve. *)
+                  t.stats.Stats.mispredicts <-
+                    t.stats.Stats.mispredicts + 1;
+                  t.blocked_sn <- Some dyn.Exec.sn);
+                continue := false
+              | _ -> ())
+            end
+      done
+    end
+  end
+
+(* --- per-cycle accounting ---------------------------------------------- *)
+
+let account_stage t ~throttled =
+  let s = t.stats in
+  s.Stats.iq_occupancy_sum <- s.Stats.iq_occupancy_sum + Iq.occupancy t.iq;
+  s.Stats.iq_banks_on_sum <- s.Stats.iq_banks_on_sum + Iq.banks_on t.iq;
+  s.Stats.int_rf_banks_on_sum <-
+    s.Stats.int_rf_banks_on_sum + Regfile.banks_on t.int_rf;
+  s.Stats.int_rf_live_sum <-
+    s.Stats.int_rf_live_sum + Regfile.live_count t.int_rf;
+  s.Stats.fp_rf_banks_on_sum <-
+    s.Stats.fp_rf_banks_on_sum + Regfile.banks_on t.fp_rf;
+  Policy.end_cycle t.policy t.iq ~throttled
+
+let finalize_stats t =
+  let s = t.stats in
+  s.Stats.iq_wakeups_gated <- t.iq.Iq.wakeups_gated;
+  s.Stats.iq_wakeups_nonempty <- t.iq.Iq.wakeups_nonempty;
+  s.Stats.iq_wakeups_naive <- t.iq.Iq.wakeups_naive;
+  s.Stats.iq_dispatch_ram_writes <- t.iq.Iq.dispatch_ram_writes;
+  s.Stats.iq_dispatch_cam_writes <- t.iq.Iq.dispatch_cam_writes;
+  s.Stats.iq_issue_reads <- t.iq.Iq.issue_reads;
+  s.Stats.iq_broadcasts <- t.iq.Iq.broadcasts;
+  s.Stats.int_rf_writes <- t.int_rf.Regfile.writes;
+  s.Stats.fp_rf_writes <- t.fp_rf.Regfile.writes
+
+(* --- main loop ---------------------------------------------------------- *)
+
+let drained t =
+  t.halted && Rob.is_empty t.rob && Queue.is_empty t.fq
+
+let step_cycle t =
+  commit_stage t;
+  writeback_stage t;
+  issue_stage t;
+  let throttled = dispatch_stage t in
+  fetch_stage t;
+  account_stage t ~throttled;
+  t.cycle <- t.cycle + 1;
+  t.stats.Stats.cycles <- t.cycle
+
+(* Run until the program drains or [max_insns] instructions have
+   committed. Raises [Simulation_limit] after [max_cycles] as a deadlock
+   guard. *)
+let run ?(max_insns = max_int) ?(max_cycles = 200_000_000) t =
+  while
+    (not (drained t)) && t.stats.Stats.committed < max_insns
+  do
+    if t.cycle >= max_cycles then
+      raise
+        (Simulation_limit
+           (Printf.sprintf
+              "no progress: %d cycles, %d committed (policy %s)"
+              t.cycle t.stats.Stats.committed (Policy.name t.policy)));
+    step_cycle t
+  done;
+  finalize_stats t;
+  t.stats
+
+(* Convenience: build, initialise memory, run. *)
+let simulate ?config ?policy ?init ?max_insns ?max_cycles prog =
+  let t = create ?config ?policy prog in
+  (match init with Some f -> f t.exec | None -> ());
+  run ?max_insns ?max_cycles t

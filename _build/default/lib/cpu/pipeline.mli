@@ -1,0 +1,68 @@
+(** The out-of-order pipeline over the Table 1 machine: fetch → decode →
+    rename/dispatch → issue/execute → writeback → commit, execution-driven
+    from the functional oracle.
+
+    Wrong-path instructions are never injected: a mispredicted control
+    instruction stalls fetch until it resolves, which models the penalty
+    while keeping oracle and pipeline in lockstep (a documented
+    simplification applied identically to every technique).
+
+    Cycle phase order matches the paper's Figure 1 timing: results wake
+    consumers in their completion cycle and the consumers may issue that
+    same cycle; slots freed by issue can be refilled by dispatch in the
+    same cycle. *)
+
+type fq_entry = {
+  dyn : Sdiq_isa.Exec.dyn;
+  ready_at : int;
+}
+
+type t = {
+  cfg : Config.t;
+  prog : Sdiq_isa.Prog.t;
+  exec : Sdiq_isa.Exec.state;
+  policy : Policy.t;
+  il1 : Cache.t;
+  dl1 : Cache.t;
+  l2 : Cache.t;
+  bpred : Branch_pred.t;
+  int_rf : Regfile.t;
+  fp_rf : Regfile.t;
+  int_map : int array;
+  fp_map : int array;
+  rob : Rob.t;
+  iq : Iq.t;
+  fq : fq_entry Queue.t;
+  completions : (int, int list) Hashtbl.t;
+  mutable unpipe_busy : (Sdiq_isa.Fu.t * int) list;
+  mutable cycle : int;
+  mutable halted : bool;
+  mutable fetch_resume_at : int;
+  mutable blocked_sn : int option;
+  stats : Stats.t;
+}
+
+(** Raised by {!run} after [max_cycles] — a deadlock guard. *)
+exception Simulation_limit of string
+
+val create : ?config:Config.t -> ?policy:Policy.t -> Sdiq_isa.Prog.t -> t
+
+(** Advance one cycle (commit, writeback, issue, dispatch, fetch,
+    accounting). *)
+val step_cycle : t -> unit
+
+(** True once the program has halted and every buffer has drained. *)
+val drained : t -> bool
+
+(** Run until the program drains or [max_insns] commit. *)
+val run : ?max_insns:int -> ?max_cycles:int -> t -> Stats.t
+
+(** Build, initialise memory via [init], run. *)
+val simulate :
+  ?config:Config.t ->
+  ?policy:Policy.t ->
+  ?init:(Sdiq_isa.Exec.state -> unit) ->
+  ?max_insns:int ->
+  ?max_cycles:int ->
+  Sdiq_isa.Prog.t ->
+  Stats.t

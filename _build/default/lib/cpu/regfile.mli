@@ -1,0 +1,40 @@
+(** Banked physical register file with a free list (Section 5.2.3).
+    Allocation prefers the lowest-numbered free register so live values
+    cluster into few banks, maximising how many banks can be gated off. *)
+
+type t = {
+  size : int;
+  bank_size : int;
+  free : bool array;
+  ready : bool array;
+  mutable free_count : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable allocs : int;
+  mutable alloc_failures : int;
+}
+
+val create : size:int -> bank_size:int -> t
+val banks : t -> int
+val free_count : t -> int
+val live_count : t -> int
+
+(** Lowest-numbered free register, marked not-ready; [None] when the
+    file is exhausted. *)
+val alloc : t -> int option
+
+(** Claim a specific register (initial architectural mapping). *)
+val alloc_exact : t -> int -> unit
+
+(** Raises [Invalid_argument] on a double free. *)
+val release : t -> int -> unit
+
+val is_ready : t -> int -> bool
+
+(** Mark the value produced (counts as a write). *)
+val mark_ready : t -> int -> unit
+
+val note_read : t -> unit
+
+(** Banks holding at least one live register. *)
+val banks_on : t -> int

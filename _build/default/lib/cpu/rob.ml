@@ -1,0 +1,103 @@
+(* Reorder buffer: a circular buffer of in-flight instructions committed in
+   program order. Because the frontend never injects wrong-path
+   instructions (a mispredicted branch stalls fetch until it resolves),
+   the ROB never squashes; it only fills and drains. *)
+
+open Sdiq_isa
+
+type state =
+  | Dispatched
+  | Issued
+  | Completed
+
+type dest =
+  | No_dest
+  | Int_dest of int (* physical register *)
+  | Fp_dest of int
+
+type entry = {
+  mutable dyn : Exec.dyn option;
+  mutable state : state;
+  mutable dest : dest;
+  mutable old_phys : dest;  (* previous mapping, freed at commit *)
+  mutable iq_slot : int;    (* -1 once issued or never queued *)
+  mutable blocked_fetch : bool; (* fetch is stalled on this instruction *)
+}
+
+type t = {
+  size : int;
+  entries : entry array;
+  mutable head : int;
+  mutable tail : int;
+  mutable count : int;
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Rob.create";
+  let mk _ =
+    {
+      dyn = None;
+      state = Dispatched;
+      dest = No_dest;
+      old_phys = No_dest;
+      iq_slot = -1;
+      blocked_fetch = false;
+    }
+  in
+  {
+    size;
+    entries = Array.init size mk;
+    head = 0;
+    tail = 0;
+    count = 0;
+  }
+
+let is_full t = t.count = t.size
+let is_empty t = t.count = 0
+let occupancy t = t.count
+
+let entry t idx = t.entries.(idx)
+
+(* Allocate the tail entry; returns its index. *)
+let push t ~dyn ~dest ~old_phys ~iq_slot =
+  if is_full t then invalid_arg "Rob.push: full";
+  let idx = t.tail in
+  let e = t.entries.(idx) in
+  e.dyn <- Some dyn;
+  e.state <- Dispatched;
+  e.dest <- dest;
+  e.old_phys <- old_phys;
+  e.iq_slot <- iq_slot;
+  e.blocked_fetch <- false;
+  t.tail <- (t.tail + 1) mod t.size;
+  t.count <- t.count + 1;
+  idx
+
+(* Pop the head entry if it has completed; [f] consumes it. Returns true
+   when an instruction was committed. *)
+let try_commit t f =
+  if is_empty t then false
+  else begin
+    let e = t.entries.(t.head) in
+    match e.state with
+    | Completed ->
+      f e;
+      e.dyn <- None;
+      t.head <- (t.head + 1) mod t.size;
+      t.count <- t.count - 1;
+      true
+    | Dispatched | Issued -> false
+  end
+
+(* Iterate over in-flight entries from oldest to youngest. *)
+let iter_in_flight t f =
+  let pos = ref t.head in
+  for _ = 1 to t.count do
+    f !pos t.entries.(!pos);
+    pos := (!pos + 1) mod t.size
+  done
+
+(* Is [a] older than [b] in program order? Valid for in-flight indices. *)
+let older t a b =
+  let age idx = (idx - t.head + t.size) mod t.size in
+  age a < age b

@@ -1,0 +1,48 @@
+(** Reorder buffer: in-flight instructions committed in program order.
+    The frontend never injects wrong-path instructions, so the ROB never
+    squashes; it only fills and drains. *)
+
+type state =
+  | Dispatched
+  | Issued
+  | Completed
+
+type dest =
+  | No_dest
+  | Int_dest of int
+  | Fp_dest of int
+
+type entry = {
+  mutable dyn : Sdiq_isa.Exec.dyn option;
+  mutable state : state;
+  mutable dest : dest;
+  mutable old_phys : dest;  (** previous mapping, freed at commit *)
+  mutable iq_slot : int;
+  mutable blocked_fetch : bool;
+}
+
+type t
+
+val create : size:int -> t
+val is_full : t -> bool
+val is_empty : t -> bool
+val occupancy : t -> int
+val entry : t -> int -> entry
+
+(** Allocate the tail entry; returns its index. Raises when full. *)
+val push :
+  t ->
+  dyn:Sdiq_isa.Exec.dyn ->
+  dest:dest ->
+  old_phys:dest ->
+  iq_slot:int ->
+  int
+
+(** Pop the head if completed, passing it to [f]; true on commit. *)
+val try_commit : t -> (entry -> unit) -> bool
+
+(** Oldest to youngest. *)
+val iter_in_flight : t -> (int -> entry -> unit) -> unit
+
+(** Program-order comparison of two in-flight indices. *)
+val older : t -> int -> int -> bool

@@ -1,0 +1,117 @@
+(* Simulation statistics: the raw event counts and per-cycle integrals the
+   power model and the experiment harness consume. *)
+
+type t = {
+  mutable cycles : int;
+  mutable committed : int;         (* program instructions retired *)
+  mutable dispatched : int;        (* instructions entering the IQ *)
+  mutable iqset_dispatch_slots : int; (* dispatch slots eaten by special NOOPs *)
+  (* issue queue activity *)
+  mutable iq_occupancy_sum : int;      (* valid entries, integrated per cycle *)
+  mutable iq_banks_on_sum : int;
+  mutable iq_wakeups_gated : int;
+  mutable iq_wakeups_nonempty : int;
+  mutable iq_wakeups_naive : int;
+  mutable iq_dispatch_ram_writes : int;
+  mutable iq_dispatch_cam_writes : int;
+  mutable iq_issue_reads : int;
+  mutable iq_broadcasts : int;
+  mutable iq_selects : int;
+  (* register files *)
+  mutable int_rf_reads : int;
+  mutable int_rf_writes : int;
+  mutable int_rf_banks_on_sum : int;
+  mutable int_rf_live_sum : int;
+  mutable fp_rf_reads : int;
+  mutable fp_rf_writes : int;
+  mutable fp_rf_banks_on_sum : int;
+  (* frontend *)
+  mutable fetched : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable btb_bubbles : int;
+  mutable il1_misses : int;
+  mutable dl1_misses : int;
+  mutable l2_misses : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable store_forwards : int;
+  (* stalls *)
+  mutable dispatch_stall_policy : int;  (* cycles throttled by the policy *)
+  mutable dispatch_stall_iq_full : int;
+  mutable dispatch_stall_rob_full : int;
+  mutable dispatch_stall_no_reg : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    committed = 0;
+    dispatched = 0;
+    iqset_dispatch_slots = 0;
+    iq_occupancy_sum = 0;
+    iq_banks_on_sum = 0;
+    iq_wakeups_gated = 0;
+    iq_wakeups_nonempty = 0;
+    iq_wakeups_naive = 0;
+    iq_dispatch_ram_writes = 0;
+    iq_dispatch_cam_writes = 0;
+    iq_issue_reads = 0;
+    iq_broadcasts = 0;
+    iq_selects = 0;
+    int_rf_reads = 0;
+    int_rf_writes = 0;
+    int_rf_banks_on_sum = 0;
+    int_rf_live_sum = 0;
+    fp_rf_reads = 0;
+    fp_rf_writes = 0;
+    fp_rf_banks_on_sum = 0;
+    fetched = 0;
+    branches = 0;
+    mispredicts = 0;
+    btb_bubbles = 0;
+    il1_misses = 0;
+    dl1_misses = 0;
+    l2_misses = 0;
+    loads = 0;
+    stores = 0;
+    store_forwards = 0;
+    dispatch_stall_policy = 0;
+    dispatch_stall_iq_full = 0;
+    dispatch_stall_rob_full = 0;
+    dispatch_stall_no_reg = 0;
+  }
+
+let ipc t =
+  if t.cycles = 0 then 0. else float_of_int t.committed /. float_of_int t.cycles
+
+let avg_iq_occupancy t =
+  if t.cycles = 0 then 0.
+  else float_of_int t.iq_occupancy_sum /. float_of_int t.cycles
+
+let avg_iq_banks_on t =
+  if t.cycles = 0 then 0.
+  else float_of_int t.iq_banks_on_sum /. float_of_int t.cycles
+
+let avg_int_rf_banks_on t =
+  if t.cycles = 0 then 0.
+  else float_of_int t.int_rf_banks_on_sum /. float_of_int t.cycles
+
+let avg_int_rf_live t =
+  if t.cycles = 0 then 0.
+  else float_of_int t.int_rf_live_sum /. float_of_int t.cycles
+
+let mispredict_rate t =
+  if t.branches = 0 then 0.
+  else float_of_int t.mispredicts /. float_of_int t.branches
+
+let pp ppf t =
+  Fmt.pf ppf
+    "cycles %d, committed %d, IPC %.3f@ IQ: occ %.1f, banks-on %.2f, \
+     wakeups %d (naive %d)@ RF(int): reads %d writes %d banks-on %.2f@ \
+     branches %d (mispred %.1f%%), DL1 miss %d, L2 miss %d"
+    t.cycles t.committed (ipc t) (avg_iq_occupancy t) (avg_iq_banks_on t)
+    t.iq_wakeups_gated t.iq_wakeups_naive t.int_rf_reads t.int_rf_writes
+    (avg_int_rf_banks_on t) t.branches
+    (100. *. mispredict_rate t)
+    t.dl1_misses t.l2_misses

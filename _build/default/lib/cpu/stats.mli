@@ -1,0 +1,49 @@
+(** Simulation statistics: raw event counts and per-cycle integrals
+    consumed by the power model and the experiment harness. *)
+
+type t = {
+  mutable cycles : int;
+  mutable committed : int;
+  mutable dispatched : int;
+  mutable iqset_dispatch_slots : int;
+  mutable iq_occupancy_sum : int;
+  mutable iq_banks_on_sum : int;
+  mutable iq_wakeups_gated : int;
+  mutable iq_wakeups_nonempty : int;
+  mutable iq_wakeups_naive : int;
+  mutable iq_dispatch_ram_writes : int;
+  mutable iq_dispatch_cam_writes : int;
+  mutable iq_issue_reads : int;
+  mutable iq_broadcasts : int;
+  mutable iq_selects : int;
+  mutable int_rf_reads : int;
+  mutable int_rf_writes : int;
+  mutable int_rf_banks_on_sum : int;
+  mutable int_rf_live_sum : int;
+  mutable fp_rf_reads : int;
+  mutable fp_rf_writes : int;
+  mutable fp_rf_banks_on_sum : int;
+  mutable fetched : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable btb_bubbles : int;
+  mutable il1_misses : int;
+  mutable dl1_misses : int;
+  mutable l2_misses : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable store_forwards : int;
+  mutable dispatch_stall_policy : int;
+  mutable dispatch_stall_iq_full : int;
+  mutable dispatch_stall_rob_full : int;
+  mutable dispatch_stall_no_reg : int;
+}
+
+val create : unit -> t
+val ipc : t -> float
+val avg_iq_occupancy : t -> float
+val avg_iq_banks_on : t -> float
+val avg_int_rf_banks_on : t -> float
+val avg_int_rf_live : t -> float
+val mispredict_rate : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ddg/cds.ml: Array Ddg Fu Hashtbl Instr List Sdiq_isa

@@ -1,0 +1,1 @@
+lib/ddg/cds.mli: Ddg Sdiq_isa

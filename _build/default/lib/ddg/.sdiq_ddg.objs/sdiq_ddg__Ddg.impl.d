@@ -1,0 +1,1 @@
+lib/ddg/ddg.ml: Array Fmt Hashtbl Instr List Reg Sdiq_cfg Sdiq_isa

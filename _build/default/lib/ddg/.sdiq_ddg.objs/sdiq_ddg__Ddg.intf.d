@@ -1,0 +1,1 @@
+lib/ddg/ddg.mli: Format Sdiq_cfg Sdiq_isa

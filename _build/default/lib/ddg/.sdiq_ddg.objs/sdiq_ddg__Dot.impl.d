@@ -1,0 +1,1 @@
+lib/ddg/dot.ml: Array Buffer Ddg Instr List Printf Sdiq_cfg Sdiq_isa String

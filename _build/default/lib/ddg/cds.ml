@@ -1,0 +1,260 @@
+(* Cyclic dependence sets and loop scheduling (Section 4.3).
+
+   "In most loops there is a set of instructions that form a cycle of
+   dependences ... We are interested in the CDS that has the greatest
+   latency; it is this set of instructions which dictates how long the loop
+   will take to execute."
+
+   We compute, for a loop-body DDG with carried edges:
+   - the initiation interval II: the steady-state cycles per iteration,
+     which is the larger of the recurrence bound (critical CDS: max over
+     cycles of ceil(total latency / total iteration distance)) and the
+     resource bound (FU contention and issue width) — the same quantity
+     the paper extracts from its CDS equations;
+   - per-instruction start offsets S: the earliest issue cycle of body
+     position p in iteration i is S.(p) + i * II;
+   - per-instruction equations relative to a reference CDS instruction,
+     exactly as in Figure 4: instruction x of iteration i issues at the
+     same time as the reference instruction of iteration i + k(x), plus a
+     residual cycle count r(x) when the alignment is not exact. *)
+
+open Sdiq_isa
+
+type equation = {
+  node : int;
+  iter_offset : int;   (* k: aligns with reference of iteration i + k *)
+  cycle_residual : int; (* r in [0, ii): leftover cycles after alignment *)
+}
+
+type schedule = {
+  ii : int;              (* initiation interval, cycles per iteration *)
+  start : int array;     (* S.(p): issue cycle of position p in iteration 0 *)
+  reference : int;       (* body position of the reference CDS instruction *)
+  cds : int list;        (* positions in the critical CDS (empty if acyclic) *)
+  equations : equation list;
+}
+
+(* Longest-path start times for a candidate II; [None] when the constraint
+   system t(dst) >= t(src) + lat - dist*II has a positive cycle (II below
+   the recurrence bound). *)
+let solve_starts (g : Ddg.t) ~ii =
+  let n = Ddg.num_nodes g in
+  let s = Array.make n 0 in
+  let edges = Ddg.edges g in
+  let bound = (n + 1) * (List.length edges + 1) in
+  let changed = ref true in
+  let steps = ref 0 in
+  let feasible = ref true in
+  while !changed && !feasible do
+    changed := false;
+    List.iter
+      (fun (e : Ddg.edge) ->
+        let lo = s.(e.src) + e.latency - (e.distance * ii) in
+        if s.(e.dst) < lo then begin
+          s.(e.dst) <- lo;
+          changed := true;
+          incr steps;
+          if !steps > bound then feasible := false
+        end)
+      edges
+  done;
+  if not !feasible then None
+  else begin
+    (* Normalise so the earliest start is 0. *)
+    let m = Array.fold_left min max_int s in
+    if n > 0 then Array.iteri (fun i v -> s.(i) <- v - m) s;
+    Some s
+  end
+
+(* Strongly connected components of the dependence structure (Tarjan). A
+   component is a dependence cycle when it has more than one node or a
+   self edge — each such component is a CDS of the paper. *)
+let cds_sets (g : Ddg.t) : int list list =
+  let n = Ddg.num_nodes g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (e : Ddg.edge) -> adj.(e.src) <- e.dst :: adj.(e.src))
+    (Ddg.edges g);
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      adj.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  let has_self_edge v =
+    List.exists
+      (fun (e : Ddg.edge) -> e.src = v && e.dst = v)
+      (Ddg.edges g)
+  in
+  List.filter
+    (function
+      | [ v ] -> has_self_edge v
+      | [] -> false
+      | _ -> true)
+    !sccs
+
+(* Recurrence-weight of a CDS: the minimum II it forces. For a component we
+   use the feasibility search restricted to its internal edges. *)
+let component_mii (g : Ddg.t) (comp : int list) =
+  let in_comp = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace in_comp v ()) comp;
+  let edges =
+    List.filter
+      (fun (e : Ddg.edge) ->
+        Hashtbl.mem in_comp e.src && Hashtbl.mem in_comp e.dst)
+      (Ddg.edges g)
+  in
+  let sub = Ddg.make g.Ddg.instrs edges in
+  let rec search ii =
+    if ii > 4096 then ii
+    else
+      match solve_starts sub ~ii with
+      | Some _ -> ii
+      | None -> search (ii + 1)
+  in
+  search 1
+
+(* Resource lower bound on II: issue width and FU counts. *)
+let resource_mii ?(width = 8) ?(fu_count = Fu.default_count) (g : Ddg.t) =
+  let n = Ddg.num_nodes g in
+  if n = 0 then 1
+  else begin
+    let per_class = Array.make Fu.count_classes 0 in
+    Array.iter
+      (fun ins ->
+        let c = Fu.index (Instr.fu_class ins) in
+        per_class.(c) <- per_class.(c) + 1)
+      g.Ddg.instrs;
+    let bound = ref ((n + width - 1) / width) in
+    List.iter
+      (fun cls ->
+        let cnt = per_class.(Fu.index cls) in
+        let units = fu_count cls in
+        if cnt > 0 && units > 0 then
+          bound := max !bound ((cnt + units - 1) / units))
+      Fu.all;
+    max 1 !bound
+  end
+
+let schedule ?(width = 8) ?(fu_count = Fu.default_count) (g : Ddg.t) :
+    schedule =
+  let n = Ddg.num_nodes g in
+  if n = 0 then
+    { ii = 1; start = [||]; reference = 0; cds = []; equations = [] }
+  else begin
+    let components = cds_sets g in
+    let rec_mii =
+      List.fold_left (fun acc c -> max acc (component_mii g c)) 1 components
+    in
+    let ii = max rec_mii (resource_mii ~width ~fu_count g) in
+    let start =
+      match solve_starts g ~ii with
+      | Some s -> s
+      | None ->
+        (* Cannot happen: ii >= every component's recurrence bound. *)
+        assert false
+    in
+    (* The critical CDS: greatest forced II; ties broken by earliest
+       position, matching "the CDS that has the greatest latency". *)
+    let cds =
+      match components with
+      | [] -> []
+      | _ ->
+        let weight c = component_mii g c in
+        let best =
+          List.fold_left
+            (fun acc c ->
+              match acc with
+              | None -> Some (c, weight c)
+              | Some (_, w) ->
+                let wc = weight c in
+                if wc > w then Some (c, wc) else acc)
+            None components
+        in
+        (match best with Some (c, _) -> List.sort compare c | None -> [])
+    in
+    let reference = match cds with r :: _ -> r | [] -> 0 in
+    let equations =
+      List.init n (fun node ->
+          let total = start.(node) - start.(reference) in
+          (* Express as reference-instance alignment: floor division so the
+             residual is always in [0, ii). *)
+          let k =
+            if total >= 0 then total / ii
+            else -(((-total) + ii - 1) / ii)
+          in
+          { node; iter_offset = k; cycle_residual = total - (k * ii) })
+    in
+    { ii; start; reference; cds; equations }
+  end
+
+(* Issue-queue entries needed so the loop can sustain its critical path
+   (Section 4.3). We enumerate concrete instances over enough iterations to
+   reach steady state: instruction at body position p of iteration i has
+   dispatch index i*L + p and issue time S.(p) + i*II; the requirement is
+   the widest dispatch-index span between the oldest instruction still
+   waiting to issue and the youngest instruction that must issue now. The
+   Figure 4 example (6-instruction body, self-dependent head) yields 15. *)
+let iq_need ?(cap = 1024) (g : Ddg.t) (sch : schedule) : int =
+  let l = Ddg.num_nodes g in
+  if l = 0 then 1
+  else begin
+    let max_k =
+      List.fold_left
+        (fun acc e -> max acc (abs e.iter_offset))
+        0 sch.equations
+    in
+    let warm = max_k + 2 in
+    let iters = (3 * warm) + 4 in
+    let total = l * iters in
+    let issue_time = Array.make total 0 in
+    for i = 0 to iters - 1 do
+      for p = 0 to l - 1 do
+        issue_time.((i * l) + p) <- sch.start.(p) + (i * sch.ii)
+      done
+    done;
+    let need = ref 1 in
+    (* Only measure at issue events of steady-state iterations. *)
+    for i = warm to iters - warm - 1 do
+      for p = 0 to l - 1 do
+        let tau = issue_time.((i * l) + p) in
+        let min_d = ref max_int and max_d = ref (-1) in
+        for d = 0 to total - 1 do
+          if issue_time.(d) >= tau && d < !min_d then min_d := d;
+          if issue_time.(d) <= tau && d > !max_d then max_d := d
+        done;
+        if !max_d >= 0 && !min_d < max_int && !max_d >= !min_d then
+          need := max !need (!max_d - !min_d + 1)
+      done
+    done;
+    min !need cap
+  end

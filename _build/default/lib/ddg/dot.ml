@@ -1,0 +1,80 @@
+(* Graphviz export of control-flow structure: handy when writing new
+   workloads or debugging the region decomposition.
+
+     dune exec bin/simulate.exe and pipe through `dot -Tsvg` *)
+
+open Sdiq_isa
+module Cfg = Sdiq_cfg.Cfg
+module Loops = Sdiq_cfg.Loops
+
+let escape s =
+  String.concat "\\n" (String.split_on_char '\n' (String.escaped s))
+
+(* The CFG, one node per block, labelled with its instructions; loop
+   blocks are shaded by nesting depth. *)
+let cfg_to_dot ?(max_instrs_per_block = 6) (cfg : Cfg.t) : string =
+  let buf = Buffer.create 2048 in
+  let loops = Loops.find cfg in
+  let depth_of id =
+    List.fold_left
+      (fun acc (l : Loops.t) ->
+        if Loops.Iset.mem id l.Loops.body then max acc l.Loops.depth else acc)
+      0 loops
+  in
+  Buffer.add_string buf "digraph cfg {\n  node [shape=box, fontname=monospace];\n";
+  Array.iter
+    (fun (b : Cfg.block) ->
+      let instrs = Cfg.instrs cfg b in
+      let shown =
+        List.filteri (fun i _ -> i < max_instrs_per_block) instrs
+        |> List.map Instr.to_string
+      in
+      let more =
+        if List.length instrs > max_instrs_per_block then [ "..." ] else []
+      in
+      let label =
+        Printf.sprintf "B%d [%d..%d]\\n%s" b.Cfg.id b.Cfg.first b.Cfg.last
+          (escape (String.concat "\n" (shown @ more)))
+      in
+      let fill =
+        match depth_of b.Cfg.id with
+        | 0 -> ""
+        | 1 -> ", style=filled, fillcolor=\"#e8f0fe\""
+        | _ -> ", style=filled, fillcolor=\"#c9dcf7\""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d [label=\"%s\"%s];\n" b.Cfg.id label fill))
+    cfg.Cfg.blocks;
+  Array.iteri
+    (fun src succs ->
+      List.iter
+        (fun dst ->
+          let back = dst <= src in
+          Buffer.add_string buf
+            (Printf.sprintf "  b%d -> b%d%s;\n" src dst
+               (if back then " [color=red, constraint=false]" else "")))
+        succs)
+    cfg.Cfg.succs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* A DDG, one node per instruction; loop-carried edges dashed. *)
+let ddg_to_dot (g : Ddg.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "digraph ddg {\n  node [shape=box, fontname=monospace];\n";
+  Array.iteri
+    (fun i ins ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%d: %s\"];\n" i i
+           (escape (Instr.to_string ins))))
+    g.Ddg.instrs;
+  List.iter
+    (fun (e : Ddg.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d\"%s];\n" e.src e.dst
+           e.latency
+           (if e.distance > 0 then ", style=dashed, color=blue" else "")))
+    g.Ddg.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

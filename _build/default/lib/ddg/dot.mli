@@ -1,0 +1,6 @@
+(** Graphviz export of control-flow graphs (loop blocks shaded by nesting
+    depth, back edges in red) and data-dependence graphs (loop-carried
+    edges dashed). *)
+
+val cfg_to_dot : ?max_instrs_per_block:int -> Sdiq_cfg.Cfg.t -> string
+val ddg_to_dot : Ddg.t -> string

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Bench Fmt List Printf Sdiq_core Sdiq_cpu Sdiq_workloads W_gap W_gzip W_vortex

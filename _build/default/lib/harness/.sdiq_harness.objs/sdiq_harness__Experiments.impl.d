@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Fmt List Runner Sdiq_core Sdiq_power Sdiq_util Sdiq_workloads Stat Technique

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Bench Hashtbl List Sdiq_cpu Sdiq_power Sdiq_workloads Suite Technique

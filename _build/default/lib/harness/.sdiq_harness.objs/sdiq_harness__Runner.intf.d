@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Sdiq_cpu Sdiq_power Sdiq_workloads Technique

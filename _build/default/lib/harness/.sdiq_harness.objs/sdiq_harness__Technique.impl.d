@@ -1,0 +1,1 @@
+lib/harness/technique.ml: Prog Sdiq_core Sdiq_cpu Sdiq_isa

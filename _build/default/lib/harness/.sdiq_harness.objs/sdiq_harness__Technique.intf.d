@@ -1,0 +1,1 @@
+lib/harness/technique.mli: Sdiq_cpu Sdiq_isa

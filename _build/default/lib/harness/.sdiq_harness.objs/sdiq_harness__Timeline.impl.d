@@ -1,0 +1,1 @@
+lib/harness/timeline.ml: Buffer Fmt List Printf Sdiq_cpu Sdiq_workloads Technique

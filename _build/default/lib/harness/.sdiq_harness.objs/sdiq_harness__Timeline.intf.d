@@ -1,0 +1,1 @@
+lib/harness/timeline.mli: Format Sdiq_cpu Sdiq_workloads Technique

@@ -1,0 +1,32 @@
+(** Ablation studies over the design choices DESIGN.md calls out:
+    annotation delivery mechanism, bank granularity, analysis slack, the
+    compiler's assumed load latency, and the physical queue size. *)
+
+type row = {
+  bench : string;
+  points : (string * float) list;
+}
+
+type study = {
+  id : string;
+  caption : string;
+  unit_ : string;
+  rows : row list;
+}
+
+val delivery : ?budget:int -> Sdiq_workloads.Bench.t list -> study
+val bank_granularity : ?budget:int -> Sdiq_workloads.Bench.t list -> study
+val slack :
+  ?budget:int -> ?values:int list -> Sdiq_workloads.Bench.t list -> study
+val load_latency :
+  ?budget:int -> ?values:int list -> Sdiq_workloads.Bench.t list -> study
+val queue_size :
+  ?budget:int -> ?sizes:int list -> Sdiq_workloads.Bench.t list -> study
+
+(** The three benchmarks the studies default to. *)
+val default_benches : unit -> Sdiq_workloads.Bench.t list
+
+(** Every study on the default benchmarks. *)
+val all : ?budget:int -> unit -> study list
+
+val pp_study : Format.formatter -> study -> unit

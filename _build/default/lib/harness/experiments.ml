@@ -1,0 +1,348 @@
+(* The paper's evaluation, experiment by experiment.
+
+   Every figure/table of Section 5 has a generator here that runs (or
+   reuses) the (benchmark x technique) simulations and produces the same
+   rows/series the paper plots, annotated with the paper's reported
+   averages so the shape can be compared directly. *)
+
+open Sdiq_util
+
+type column = {
+  title : string;
+  paper_avg : float option; (* the paper's SPECINT average, when reported *)
+  per_bench : (string * float) list;
+  extras : (string * float * float option) list;
+      (* extra bars (abella, nonEmpty, ...): label, measured, paper value *)
+}
+
+type exp = {
+  id : string;
+  caption : string;
+  columns : column list;
+}
+
+let avg_of column = Stat.mean_of (List.map snd column.per_bench)
+
+let per_bench t f = List.map (fun name -> (name, f name)) (Runner.bench_names t)
+
+(* --- Figure 6: IPC loss, NOOP technique ------------------------------- *)
+
+let fig6 t =
+  let ours =
+    per_bench t (fun name ->
+        (Runner.savings t name Technique.Noop).Sdiq_power.Report.ipc_loss_pct)
+  in
+  let abella_avg =
+    Stat.mean_of
+      (List.map
+         (fun name ->
+           (Runner.savings t name Technique.Abella)
+             .Sdiq_power.Report.ipc_loss_pct)
+         (Runner.bench_names t))
+  in
+  {
+    id = "fig6";
+    caption = "Normalised IPC loss for the NOOP technique (%)";
+    columns =
+      [
+        {
+          title = "IPC loss";
+          paper_avg = Some 2.2;
+          per_bench = ours;
+          extras = [ ("abella", abella_avg, Some 3.1) ];
+        };
+      ];
+  }
+
+(* --- Figure 7: IQ occupancy reduction, NOOP --------------------------- *)
+
+let fig7 t =
+  {
+    id = "fig7";
+    caption = "Normalised IQ occupancy reduction for the NOOP technique (%)";
+    columns =
+      [
+        {
+          title = "occupancy reduction";
+          paper_avg = Some 23.;
+          per_bench =
+            per_bench t (fun name ->
+                (Runner.savings t name Technique.Noop)
+                  .Sdiq_power.Report.iq_occupancy_reduction_pct);
+          extras = [];
+        };
+      ];
+  }
+
+(* --- Figure 8: IQ power savings, NOOP ---------------------------------- *)
+
+let fig8 t =
+  let abella_dyn =
+    Stat.mean_of
+      (List.map
+         (fun n ->
+           (Runner.savings t n Technique.Abella)
+             .Sdiq_power.Report.iq_dynamic_saving_pct)
+         (Runner.bench_names t))
+  in
+  let abella_static =
+    Stat.mean_of
+      (List.map
+         (fun n ->
+           (Runner.savings t n Technique.Abella)
+             .Sdiq_power.Report.iq_static_saving_pct)
+         (Runner.bench_names t))
+  in
+  let non_empty =
+    Stat.mean_of
+      (List.map (fun n -> Runner.non_empty_saving t n) (Runner.bench_names t))
+  in
+  {
+    id = "fig8";
+    caption = "Normalised IQ dynamic and static power savings, NOOP (%)";
+    columns =
+      [
+        {
+          title = "dynamic";
+          paper_avg = Some 47.;
+          per_bench =
+            per_bench t (fun n ->
+                (Runner.savings t n Technique.Noop)
+                  .Sdiq_power.Report.iq_dynamic_saving_pct);
+          extras =
+            [
+              ("abella", abella_dyn, Some 39.);
+              ("nonEmpty", non_empty, None);
+            ];
+        };
+        {
+          title = "static";
+          paper_avg = Some 31.;
+          per_bench =
+            per_bench t (fun n ->
+                (Runner.savings t n Technique.Noop)
+                  .Sdiq_power.Report.iq_static_saving_pct);
+          extras = [ ("abella", abella_static, Some 30.) ];
+        };
+      ];
+  }
+
+(* --- Figure 9: register-file power savings, NOOP ----------------------- *)
+
+let fig9 t =
+  let abella_of f =
+    Stat.mean_of
+      (List.map
+         (fun n -> f (Runner.savings t n Technique.Abella))
+         (Runner.bench_names t))
+  in
+  {
+    id = "fig9";
+    caption =
+      "Normalised int register-file dynamic and static power savings, NOOP \
+       (%)";
+    columns =
+      [
+        {
+          title = "dynamic";
+          paper_avg = Some 22.;
+          per_bench =
+            per_bench t (fun n ->
+                (Runner.savings t n Technique.Noop)
+                  .Sdiq_power.Report.rf_dynamic_saving_pct);
+          extras =
+            [
+              ( "abella",
+                abella_of (fun s -> s.Sdiq_power.Report.rf_dynamic_saving_pct),
+                Some 14. );
+            ];
+        };
+        {
+          title = "static";
+          paper_avg = Some 21.;
+          per_bench =
+            per_bench t (fun n ->
+                (Runner.savings t n Technique.Noop)
+                  .Sdiq_power.Report.rf_static_saving_pct);
+          extras =
+            [
+              ( "abella",
+                abella_of (fun s -> s.Sdiq_power.Report.rf_static_saving_pct),
+                Some 17. );
+            ];
+        };
+      ];
+  }
+
+(* --- Figure 10: IPC loss, Extension and Improved ----------------------- *)
+
+let fig10 t =
+  let col tech title paper =
+    {
+      title;
+      paper_avg = paper;
+      per_bench =
+        per_bench t (fun n ->
+            (Runner.savings t n tech).Sdiq_power.Report.ipc_loss_pct);
+      extras = [];
+    }
+  in
+  {
+    id = "fig10";
+    caption = "Normalised IPC loss for Extension and Improved (%)";
+    columns =
+      [
+        col Technique.Noop "noop" (Some 2.2);
+        col Technique.Extension "extension" (Some 1.7);
+        col Technique.Improved "improved" (Some 1.3);
+        col Technique.Abella "abella" (Some 3.1);
+      ];
+  }
+
+(* --- Figure 11: IQ power savings, Extension and Improved --------------- *)
+
+let fig11 t =
+  let col tech field title paper =
+    {
+      title;
+      paper_avg = paper;
+      per_bench = per_bench t (fun n -> field (Runner.savings t n tech));
+      extras = [];
+    }
+  in
+  let dyn s = s.Sdiq_power.Report.iq_dynamic_saving_pct in
+  let sta s = s.Sdiq_power.Report.iq_static_saving_pct in
+  {
+    id = "fig11";
+    caption =
+      "Normalised IQ dynamic and static power savings, Extension/Improved \
+       (%)";
+    columns =
+      [
+        col Technique.Extension dyn "extension dynamic" (Some 45.);
+        col Technique.Improved dyn "improved dynamic" (Some 45.);
+        col Technique.Extension sta "extension static" (Some 30.);
+        col Technique.Improved sta "improved static" (Some 30.);
+      ];
+  }
+
+(* --- Figure 12: register-file power savings, Extension and Improved ---- *)
+
+let fig12 t =
+  let col tech field title paper =
+    {
+      title;
+      paper_avg = paper;
+      per_bench = per_bench t (fun n -> field (Runner.savings t n tech));
+      extras = [];
+    }
+  in
+  let dyn s = s.Sdiq_power.Report.rf_dynamic_saving_pct in
+  let sta s = s.Sdiq_power.Report.rf_static_saving_pct in
+  {
+    id = "fig12";
+    caption =
+      "Normalised int register-file power savings, Extension/Improved (%)";
+    columns =
+      [
+        col Technique.Extension dyn "extension dynamic" (Some 21.);
+        col Technique.Improved dyn "improved dynamic" (Some 22.);
+        col Technique.Extension sta "extension static" (Some 21.);
+        col Technique.Improved sta "improved static" (Some 20.);
+      ];
+  }
+
+(* --- Table 2: compilation times ---------------------------------------- *)
+
+(* The paper's compile times in minutes, for shape comparison. *)
+let paper_table2 =
+  [
+    ("gzip", (1., 2.)); ("vpr", (3., 4.)); ("gcc", (64., 186.));
+    ("mcf", (1., 1.)); ("crafty", (15., 58.)); ("parser", (3., 5.));
+    ("perlbmk", (29., 110.)); ("gap", (10., 23.)); ("vortex", (13., 18.));
+    ("bzip2", (1., 1.)); ("twolf", (8., 38.));
+  ]
+
+type table2_row = {
+  bench : string;
+  baseline_ms : float;
+  limited_ms : float;
+  paper_baseline_min : float;
+  paper_limited_min : float;
+}
+
+let table2 (t : Runner.t) : table2_row list =
+  List.map
+    (fun name ->
+      let bench = Runner.find_bench t name in
+      let m = Sdiq_core.Compile_time.measure bench.Sdiq_workloads.Bench.prog in
+      let pb, pl =
+        match List.assoc_opt name paper_table2 with
+        | Some p -> p
+        | None -> (0., 0.)
+      in
+      {
+        bench = name;
+        baseline_ms = m.Sdiq_core.Compile_time.baseline_ms;
+        limited_ms = m.Sdiq_core.Compile_time.limited_ms;
+        paper_baseline_min = pb;
+        paper_limited_min = pl;
+      })
+    (Runner.bench_names t)
+
+(* --- pretty printing ---------------------------------------------------- *)
+
+let pp_exp ppf e =
+  Fmt.pf ppf "== %s: %s ==@." e.id e.caption;
+  let benches =
+    match e.columns with [] -> [] | c :: _ -> List.map fst c.per_bench
+  in
+  Fmt.pf ppf "%-10s" "";
+  List.iter (fun c -> Fmt.pf ppf "%18s" c.title) e.columns;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "%-10s" b;
+      List.iter
+        (fun c ->
+          match List.assoc_opt b c.per_bench with
+          | Some v -> Fmt.pf ppf "%18.2f" v
+          | None -> Fmt.pf ppf "%18s" "-")
+        e.columns;
+      Fmt.pf ppf "@.")
+    benches;
+  Fmt.pf ppf "%-10s" "SPECINT";
+  List.iter (fun c -> Fmt.pf ppf "%18.2f" (avg_of c)) e.columns;
+  Fmt.pf ppf "@.";
+  Fmt.pf ppf "%-10s" "(paper)";
+  List.iter
+    (fun c ->
+      match c.paper_avg with
+      | Some v -> Fmt.pf ppf "%18.2f" v
+      | None -> Fmt.pf ppf "%18s" "-")
+    e.columns;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (label, v, paper) ->
+          match paper with
+          | Some pv ->
+            Fmt.pf ppf "  [%s] %s: %.2f (paper %.2f)@." c.title label v pv
+          | None -> Fmt.pf ppf "  [%s] %s: %.2f@." c.title label v)
+        c.extras)
+    e.columns
+
+let pp_table2 ppf rows =
+  Fmt.pf ppf "== table2: compilation time, baseline vs limited ==@.";
+  Fmt.pf ppf "%-10s%14s%14s%10s   %s@." "bench" "baseline(ms)" "limited(ms)"
+    "ratio" "paper(min base/limited)";
+  List.iter
+    (fun r ->
+      let ratio =
+        if r.baseline_ms > 0. then r.limited_ms /. r.baseline_ms else 0.
+      in
+      Fmt.pf ppf "%-10s%14.2f%14.2f%10.1f   %.0f / %.0f@." r.bench
+        r.baseline_ms r.limited_ms ratio r.paper_baseline_min
+        r.paper_limited_min)
+    rows

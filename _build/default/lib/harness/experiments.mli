@@ -1,0 +1,41 @@
+(** The paper's evaluation, experiment by experiment: every figure and
+    table of Section 5 has a generator producing the same rows/series the
+    paper plots, annotated with the paper's reported averages. *)
+
+type column = {
+  title : string;
+  paper_avg : float option;
+  per_bench : (string * float) list;
+  extras : (string * float * float option) list;
+      (** extra bars (abella, nonEmpty, ...): label, measured, paper *)
+}
+
+type exp = {
+  id : string;
+  caption : string;
+  columns : column list;
+}
+
+(** Mean of a column's per-benchmark values (the SPECINT bar). *)
+val avg_of : column -> float
+
+val fig6 : Runner.t -> exp
+val fig7 : Runner.t -> exp
+val fig8 : Runner.t -> exp
+val fig9 : Runner.t -> exp
+val fig10 : Runner.t -> exp
+val fig11 : Runner.t -> exp
+val fig12 : Runner.t -> exp
+
+type table2_row = {
+  bench : string;
+  baseline_ms : float;
+  limited_ms : float;
+  paper_baseline_min : float;
+  paper_limited_min : float;
+}
+
+val table2 : Runner.t -> table2_row list
+
+val pp_exp : Format.formatter -> exp -> unit
+val pp_table2 : Format.formatter -> table2_row list -> unit

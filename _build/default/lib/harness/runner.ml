@@ -1,0 +1,57 @@
+(* Experiment runner: simulate (benchmark x technique) and cache the
+   statistics so every figure reads from one set of runs, exactly as the
+   paper derives all its figures from one simulation campaign. *)
+
+open Sdiq_workloads
+
+type key = string * Technique.t
+
+type t = {
+  config : Sdiq_cpu.Config.t;
+  budget : int; (* committed instructions per run *)
+  table : (key, Sdiq_cpu.Stats.t) Hashtbl.t;
+  benches : Bench.t list;
+}
+
+let create ?(config = Sdiq_cpu.Config.default) ?(budget = 100_000)
+    ?(benches = Suite.all ()) () =
+  { config; budget; table = Hashtbl.create 64; benches }
+
+let bench_names t = List.map (fun (b : Bench.t) -> b.Bench.name) t.benches
+
+let find_bench t name =
+  match List.find_opt (fun (b : Bench.t) -> b.Bench.name = name) t.benches with
+  | Some b -> b
+  | None -> invalid_arg ("Runner: unknown benchmark " ^ name)
+
+(* Run one (benchmark, technique) pair, memoised. *)
+let run t name technique : Sdiq_cpu.Stats.t =
+  let key = (name, technique) in
+  match Hashtbl.find_opt t.table key with
+  | Some stats -> stats
+  | None ->
+    let bench = find_bench t name in
+    let prog = Technique.prepare technique bench.Bench.prog in
+    let policy = Technique.policy technique in
+    let stats =
+      Sdiq_cpu.Pipeline.simulate ~config:t.config ~policy
+        ~init:bench.Bench.init ~max_insns:t.budget prog
+    in
+    Hashtbl.replace t.table key stats;
+    stats
+
+let run_all t =
+  List.iter
+    (fun name ->
+      List.iter (fun tech -> ignore (run t name tech)) Technique.all)
+    (bench_names t)
+
+(* Savings of [technique] on [name] against that benchmark's baseline. *)
+let savings ?params t name technique : Sdiq_power.Report.t =
+  let base = run t name Technique.Baseline in
+  let tech = run t name technique in
+  Sdiq_power.Report.compute ?params ~cfg:t.config ~base tech
+
+let non_empty_saving ?params t name : float =
+  let base = run t name Technique.Baseline in
+  Sdiq_power.Report.non_empty_dynamic_saving ?params ~cfg:t.config base

@@ -1,0 +1,30 @@
+(** Experiment runner: simulate (benchmark x technique) pairs, memoised,
+    so every figure reads from one simulation campaign. *)
+
+type t
+
+val create :
+  ?config:Sdiq_cpu.Config.t ->
+  ?budget:int ->
+  ?benches:Sdiq_workloads.Bench.t list ->
+  unit ->
+  t
+
+val bench_names : t -> string list
+
+(** Raises [Invalid_argument] on an unknown name. *)
+val find_bench : t -> string -> Sdiq_workloads.Bench.t
+
+(** Run one pair (cached). *)
+val run : t -> string -> Technique.t -> Sdiq_cpu.Stats.t
+
+(** Populate the whole (benchmark x technique) table. *)
+val run_all : t -> unit
+
+(** Savings of a technique against the same benchmark's baseline. *)
+val savings :
+  ?params:Sdiq_power.Params.t -> t -> string -> Technique.t ->
+  Sdiq_power.Report.t
+
+(** The "nonEmpty" saving on a benchmark's baseline run. *)
+val non_empty_saving : ?params:Sdiq_power.Params.t -> t -> string -> float

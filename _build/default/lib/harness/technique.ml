@@ -1,0 +1,40 @@
+(* The five configurations the paper evaluates.
+
+   Baseline  — unmodified binary, 80-entry queue, no resizing.
+   Noop      — compiler analysis delivered via special NOOPs (Section 5.2).
+   Extension — same analysis, delivered via instruction tags (Section 5.3).
+   Improved  — Extension plus interprocedural FU contention analysis.
+   Abella    — the hardware-adaptive IqRob64 comparison point. *)
+
+open Sdiq_isa
+
+type t =
+  | Baseline
+  | Noop
+  | Extension
+  | Improved
+  | Abella
+
+let all = [ Baseline; Noop; Extension; Improved; Abella ]
+
+let name = function
+  | Baseline -> "baseline"
+  | Noop -> "noop"
+  | Extension -> "extension"
+  | Improved -> "improved"
+  | Abella -> "abella"
+
+(* The binary actually loaded into the machine. *)
+let prepare t (prog : Prog.t) : Prog.t =
+  match t with
+  | Baseline | Abella -> prog
+  | Noop -> fst (Sdiq_core.Annotate.noop prog)
+  | Extension -> fst (Sdiq_core.Annotate.extension prog)
+  | Improved -> fst (Sdiq_core.Annotate.improved prog)
+
+(* A fresh policy instance for one run. *)
+let policy t : Sdiq_cpu.Policy.t =
+  match t with
+  | Baseline -> Sdiq_cpu.Policy.unlimited
+  | Noop | Extension | Improved -> Sdiq_cpu.Policy.software ()
+  | Abella -> Sdiq_cpu.Policy.abella ()

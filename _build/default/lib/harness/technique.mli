@@ -1,0 +1,17 @@
+(** The five configurations the paper evaluates. *)
+
+type t =
+  | Baseline   (** unmodified binary, 80-entry queue, no resizing *)
+  | Noop       (** analysis delivered via special NOOPs (Section 5.2) *)
+  | Extension  (** analysis delivered via instruction tags (Section 5.3) *)
+  | Improved   (** Extension + interprocedural FU contention analysis *)
+  | Abella     (** the adaptive hardware comparison point *)
+
+val all : t list
+val name : t -> string
+
+(** The binary actually loaded into the machine. *)
+val prepare : t -> Sdiq_isa.Prog.t -> Sdiq_isa.Prog.t
+
+(** A fresh policy instance for one run. *)
+val policy : t -> Sdiq_cpu.Policy.t

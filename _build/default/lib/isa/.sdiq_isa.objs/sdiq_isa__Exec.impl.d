@@ -1,0 +1,1 @@
+lib/isa/exec.ml: Array Hashtbl Instr Opcode Prog Reg

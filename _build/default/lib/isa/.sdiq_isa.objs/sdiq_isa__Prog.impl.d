@@ -1,0 +1,1 @@
+lib/isa/prog.ml: Array Fmt Instr List Printf

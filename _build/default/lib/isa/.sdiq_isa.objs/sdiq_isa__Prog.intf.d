@@ -1,0 +1,1 @@
+lib/isa/prog.mli: Format Instr

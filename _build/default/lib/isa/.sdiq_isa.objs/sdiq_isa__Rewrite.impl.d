@@ -1,0 +1,1 @@
+lib/isa/rewrite.ml: Array Instr List Opcode Prog

@@ -1,0 +1,43 @@
+(** Functional (oracle) executor.
+
+    The timing simulator is execution-driven: the functional core runs
+    each instruction as it is fetched, producing the dynamic stream the
+    timing model schedules. Arithmetic is total (division by zero yields
+    0, out-of-range shifts yield 0, unwritten memory reads 0) so randomly
+    generated programs cannot fault. *)
+
+type dyn = {
+  sn : int;       (** dynamic sequence number, from 0 *)
+  pc : int;
+  instr : Instr.t;
+  next_pc : int;  (** address of the next dynamic instruction *)
+  taken : bool;   (** control instructions: was the transfer taken *)
+  addr : int;     (** memory effective address, -1 for non-memory ops *)
+}
+
+type state = {
+  prog : Prog.t;
+  iregs : int array;
+  fregs : float array;
+  imem : (int, int) Hashtbl.t;
+  fmem : (int, float) Hashtbl.t;
+  mutable stack : int list;
+  mutable pc : int;
+  mutable steps : int;
+  mutable halted : bool;
+}
+
+val create : Prog.t -> state
+
+(** Integer memory access (word granularity; unwritten reads 0). *)
+val peek : state -> int -> int
+
+val poke : state -> int -> int -> unit
+val fpeek : state -> int -> float
+val fpoke : state -> int -> float -> unit
+
+(** Execute the instruction at the current pc; [None] once halted. *)
+val step : state -> dyn option
+
+(** Run to completion or [max_steps]; returns executed instructions. *)
+val run : ?max_steps:int -> state -> int

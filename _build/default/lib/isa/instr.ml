@@ -1,0 +1,63 @@
+(* Machine instructions.
+
+   [target] is an absolute instruction address (index into the flattened
+   program), resolved by the assembler; it is meaningful only for control
+   instructions. [tag] carries the "Extension" encoding of the paper:
+   instead of inserting an [Iqset] NOOP, the compiler may attach the
+   max_new_range value to an ordinary instruction via redundant ISA bits. *)
+
+type t = {
+  op : Opcode.t;
+  dst : Reg.t option;
+  src1 : Reg.t option;
+  src2 : Reg.t option;
+  imm : int;
+  target : int;
+  mutable tag : int option;
+}
+
+let make ?dst ?src1 ?src2 ?(imm = 0) ?(target = -1) op =
+  { op; dst; src1; src2; imm; target; tag = None }
+
+(* The destination register, if the instruction writes one. Writes to the
+   hardwired zero register are discarded and reported as no destination. *)
+let dest t =
+  match t.dst with
+  | Some r when Reg.is_zero r -> None
+  | d -> d
+
+(* Source registers that create data dependences. Reads of the zero register
+   never depend on a producer. *)
+let sources t =
+  let keep r acc = match r with
+    | Some r when not (Reg.is_zero r) -> r :: acc
+    | Some _ | None -> acc
+  in
+  keep t.src1 (keep t.src2 [])
+
+let fu_class t = Opcode.fu_class t.op
+let latency t = Opcode.latency t.op
+let is_cond_branch t = Opcode.is_cond_branch t.op
+let is_control t = Opcode.is_control t.op
+let is_load t = Opcode.is_load t.op
+let is_store t = Opcode.is_store t.op
+let is_mem t = Opcode.is_mem t.op
+
+let pp ppf t =
+  let pp_opt ppf = function
+    | Some r -> Fmt.pf ppf " %a" Reg.pp r
+    | None -> ()
+  in
+  Fmt.pf ppf "%a%a%a%a" Opcode.pp t.op pp_opt t.dst pp_opt t.src1 pp_opt
+    t.src2;
+  (match t.op with
+  | Opcode.Li | Opcode.Fli | Opcode.Iqset
+  | Opcode.Addi | Opcode.Andi | Opcode.Ori | Opcode.Xori
+  | Opcode.Shli | Opcode.Shri | Opcode.Slti
+  | Opcode.Load | Opcode.Store | Opcode.Fload | Opcode.Fstore ->
+    Fmt.pf ppf " #%d" t.imm
+  | _ -> ());
+  if t.target >= 0 then Fmt.pf ppf " @%d" t.target;
+  match t.tag with None -> () | Some v -> Fmt.pf ppf " {iq=%d}" v
+
+let to_string t = Fmt.str "%a" pp t

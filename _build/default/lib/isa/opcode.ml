@@ -1,0 +1,99 @@
+(* The instruction set: a small load/store RISC ISA rich enough to express
+   the paper's workloads and to exercise every issue-queue mechanism.
+
+   [Iqset] is the paper's "special NOOP": it carries the [max_new_range]
+   value for the next program region in its immediate field, does nothing to
+   program semantics, and is stripped from the instruction stream at the
+   final decode stage before dispatch (Section 3). *)
+
+type t =
+  (* integer ALU, register-register, 1 cycle *)
+  | Add | Sub | And | Or | Xor | Shl | Shr | Slt | Sle | Seq | Sne
+  (* integer ALU, register-immediate, 1 cycle *)
+  | Addi | Andi | Ori | Xori | Shli | Shri | Slti
+  | Li   (* dst <- imm *)
+  | Mov  (* dst <- src1 *)
+  (* integer multiplier unit *)
+  | Mul  (* 3 cycles *)
+  | Div  (* 12 cycles, runs on the multiplier *)
+  (* floating point *)
+  | Fadd | Fsub  (* 2 cycles *)
+  | Fmul         (* 4 cycles *)
+  | Fdiv         (* 12 cycles *)
+  | Fli          (* dst <- float immediate (imm encodes value / 1000) *)
+  | Fmov
+  | Itof         (* fp dst <- int src1, 2 cycles on the FP ALU *)
+  | Ftoi         (* int dst <- fp src1, 2 cycles on the FP ALU *)
+  (* memory: effective address is src1 + imm *)
+  | Load   (* int dst <- mem[ea] *)
+  | Store  (* mem[ea] <- src2 *)
+  | Fload  (* fp dst <- fmem[ea] *)
+  | Fstore (* fmem[ea] <- src2 (an fp register) *)
+  (* control: conditional branches compare src1 against src2 *)
+  | Beq | Bne | Blt | Bge
+  | Jmp
+  | Call
+  | Ret
+  (* miscellaneous *)
+  | Nop
+  | Iqset  (* special NOOP: imm = max_new_range for the next region *)
+  | Halt
+
+let fu_class = function
+  | Add | Sub | And | Or | Xor | Shl | Shr | Slt | Sle | Seq | Sne
+  | Addi | Andi | Ori | Xori | Shli | Shri | Slti | Li | Mov
+  | Beq | Bne | Blt | Bge | Jmp | Call | Ret | Nop ->
+    Fu.Int_alu
+  | Mul | Div -> Fu.Int_mul
+  | Fadd | Fsub | Fmov | Fli | Itof | Ftoi -> Fu.Fp_alu
+  | Fmul | Fdiv -> Fu.Fp_muldiv
+  | Load | Store | Fload | Fstore -> Fu.Mem_port
+  | Iqset | Halt -> Fu.Int_alu (* never executed; class is irrelevant *)
+
+(* Execution latency in cycles, excluding cache access time for memory
+   operations (the pipeline adds the data-cache latency to loads). *)
+let latency = function
+  | Add | Sub | And | Or | Xor | Shl | Shr | Slt | Sle | Seq | Sne
+  | Addi | Andi | Ori | Xori | Shli | Shri | Slti | Li | Mov
+  | Beq | Bne | Blt | Bge | Jmp | Call | Ret | Nop ->
+    1
+  | Mul -> 3
+  | Div -> 12
+  | Fadd | Fsub | Fmov | Fli | Itof | Ftoi -> 2
+  | Fmul -> 4
+  | Fdiv -> 12
+  | Load | Fload -> 1 (* address generation; cache latency added on top *)
+  | Store | Fstore -> 1
+  | Iqset | Halt -> 0
+
+let is_cond_branch = function
+  | Beq | Bne | Blt | Bge -> true
+  | _ -> false
+
+let is_control = function
+  | Beq | Bne | Blt | Bge | Jmp | Call | Ret -> true
+  | _ -> false
+
+let is_load = function Load | Fload -> true | _ -> false
+let is_store = function Store | Fstore -> true | _ -> false
+let is_mem op = is_load op || is_store op
+
+(* Unpipelined units: a divide occupies its unit for its full latency. *)
+let unpipelined = function Div | Fdiv -> true | _ -> false
+
+let name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr" | Slt -> "slt" | Sle -> "sle"
+  | Seq -> "seq" | Sne -> "sne"
+  | Addi -> "addi" | Andi -> "andi" | Ori -> "ori" | Xori -> "xori"
+  | Shli -> "shli" | Shri -> "shri" | Slti -> "slti"
+  | Li -> "li" | Mov -> "mov"
+  | Mul -> "mul" | Div -> "div"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fli -> "fli" | Fmov -> "fmov" | Itof -> "itof" | Ftoi -> "ftoi"
+  | Load -> "load" | Store -> "store" | Fload -> "fload" | Fstore -> "fstore"
+  | Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Bge -> "bge"
+  | Jmp -> "jmp" | Call -> "call" | Ret -> "ret"
+  | Nop -> "nop" | Iqset -> "iqset" | Halt -> "halt"
+
+let pp ppf t = Fmt.string ppf (name t)

@@ -1,0 +1,103 @@
+(* Program rewriting: delivery of the compiler's IQ-size annotations.
+
+   The analysis (in [sdiq_core]) produces a map from instruction address to
+   the [max_new_range] value for the region starting at that address. Two
+   delivery mechanisms from the paper:
+
+   - [insert_iqsets]: materialise each annotation as a special [Iqset] NOOP
+     inserted immediately before the region's first instruction, remapping
+     every control-flow target (the paper's base scheme, Section 3);
+   - [apply_tags]: attach each annotation to the region's first instruction
+     via redundant ISA bits (the paper's "Extension", Section 5.3). *)
+
+(* [insert_iqsets prog ann] returns a new program with an [Iqset #v] placed
+   before every address [a] with [ann a = Some v]. Branch targets that
+   pointed at [a] are redirected to the inserted NOOP so that the annotation
+   is also picked up when the region is entered by a jump — except branches
+   for which [redirect ~src ~dst] is false: a loop's back edges keep
+   targeting the header itself, so the loop's special NOOP executes once on
+   entry rather than on every iteration. *)
+let insert_iqsets ?(redirect = fun ~src:_ ~dst:_ -> true) (prog : Prog.t)
+    (ann : int -> int option) : Prog.t =
+  let n = Array.length prog.code in
+  (* New address of old instruction [a], and of the NOOP preceding it. *)
+  let shift = Array.make (n + 1) 0 in
+  let inserted = ref 0 in
+  for a = 0 to n - 1 do
+    (match ann a with Some _ -> incr inserted | None -> ());
+    shift.(a) <- a + !inserted - (match ann a with Some _ -> 1 | None -> 0);
+    (* [shift.(a)] is the new address of the NOOP if one is inserted before
+       [a]; the instruction itself lands one slot later. *)
+  done;
+  shift.(n) <- n + !inserted;
+  let new_addr_of_instr a =
+    shift.(a) + (match ann a with Some _ -> 1 | None -> 0)
+  in
+  let target_map a = shift.(a) in
+  let code = Array.make (n + !inserted) (Instr.make Opcode.Nop) in
+  for a = 0 to n - 1 do
+    (match ann a with
+    | Some v -> code.(shift.(a)) <- Instr.make ~imm:v Opcode.Iqset
+    | None -> ());
+    let i = prog.code.(a) in
+    let target =
+      if i.target < 0 then i.target
+      else if redirect ~src:a ~dst:i.target then target_map i.target
+      else new_addr_of_instr i.target
+    in
+    code.(new_addr_of_instr a) <-
+      { i with target; tag = None }
+  done;
+  let procs =
+    List.map
+      (fun (p : Prog.proc) ->
+        let entry = target_map p.entry in
+        let last = p.entry + p.len - 1 in
+        let len = new_addr_of_instr last + 1 - entry in
+        { p with entry; len })
+      prog.procs
+  in
+  { Prog.code; procs; entry = target_map prog.entry }
+
+(* [apply_tags prog ann] returns a copy of [prog] in which the instruction
+   at each annotated address carries the value as a tag. Instruction records
+   are copied so the input program is left untouched. *)
+let apply_tags (prog : Prog.t) (ann : int -> int option) : Prog.t =
+  let code =
+    Array.mapi
+      (fun a (i : Instr.t) -> { i with tag = ann a })
+      prog.code
+  in
+  { prog with code }
+
+(* Strip all annotations (both kinds); used to derive the baseline binary
+   from an annotated one in tests. *)
+let strip (prog : Prog.t) : Prog.t =
+  let keep = Array.map (fun (i : Instr.t) -> i.op <> Opcode.Iqset) prog.code in
+  let n = Array.length prog.code in
+  let shift = Array.make (n + 1) 0 in
+  let removed = ref 0 in
+  for a = 0 to n - 1 do
+    shift.(a) <- a - !removed;
+    if not keep.(a) then incr removed
+  done;
+  shift.(n) <- n - !removed;
+  (* Targets pointing at a removed Iqset slide to the following
+     instruction, which has the same new address. *)
+  let code = Array.make (n - !removed) (Instr.make Opcode.Nop) in
+  for a = 0 to n - 1 do
+    if keep.(a) then begin
+      let i = prog.code.(a) in
+      let target = if i.target >= 0 then shift.(i.target) else i.target in
+      code.(shift.(a)) <- { i with target; tag = None }
+    end
+  done;
+  let procs =
+    List.map
+      (fun (p : Prog.proc) ->
+        let entry = shift.(p.entry) in
+        let len = shift.(p.entry + p.len) - entry in
+        { p with entry; len })
+      prog.procs
+  in
+  { Prog.code; procs; entry = shift.(prog.entry) }

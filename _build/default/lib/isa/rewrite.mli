@@ -1,0 +1,27 @@
+(** Program rewriting: delivery of the compiler's IQ-size annotations.
+
+    The analysis produces a map from instruction address to the
+    [max_new_range] value of the region starting there; these functions
+    materialise it as special NOOPs (the paper's base scheme) or as
+    instruction tags (the paper's "Extension"). *)
+
+(** [insert_iqsets prog ann] places an [Iqset #v] immediately before every
+    address [a] with [ann a = Some v], remapping every control-flow
+    target. Branches for which [redirect ~src ~dst] is false keep
+    targeting the original instruction — a loop's back edges bypass the
+    header's NOOP so it executes on entry only. Procedure entries and the
+    program entry are remapped accordingly. *)
+val insert_iqsets :
+  ?redirect:(src:int -> dst:int -> bool) ->
+  Prog.t ->
+  (int -> int option) ->
+  Prog.t
+
+(** [apply_tags prog ann] returns a copy in which the instruction at each
+    annotated address carries the value as a tag; the input program is
+    left untouched. *)
+val apply_tags : Prog.t -> (int -> int option) -> Prog.t
+
+(** Remove every [Iqset] (and all tags), remapping targets back; the
+    inverse of {!insert_iqsets} up to instruction identity. *)
+val strip : Prog.t -> Prog.t

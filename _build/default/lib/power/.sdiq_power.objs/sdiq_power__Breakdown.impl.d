@@ -1,0 +1,1 @@
+lib/power/breakdown.ml: Fmt List Params Sdiq_cpu Stats

@@ -1,0 +1,1 @@
+lib/power/iq_power.ml: Config Params Sdiq_cpu Stats

@@ -1,0 +1,1 @@
+lib/power/iq_power.mli: Params Sdiq_cpu

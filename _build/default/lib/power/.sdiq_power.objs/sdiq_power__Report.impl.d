@@ -1,0 +1,1 @@
+lib/power/report.ml: Config Fmt Iq_power Params Rf_power Sdiq_cpu Stats

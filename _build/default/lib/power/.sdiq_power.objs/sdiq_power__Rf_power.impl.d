@@ -1,0 +1,1 @@
+lib/power/rf_power.ml: Config Params Sdiq_cpu Stats

@@ -1,0 +1,1 @@
+lib/power/rf_power.mli: Params Sdiq_cpu

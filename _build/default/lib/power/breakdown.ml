@@ -1,0 +1,76 @@
+(* Component-level energy breakdown of one run: where the issue queue's
+   and register file's energy actually goes, Wattch-style. Used by the
+   simulate CLI and handy when calibrating the relative weights in
+   [Params]. *)
+
+open Sdiq_cpu
+
+type component = {
+  label : string;
+  energy : float;
+  share_pct : float;
+}
+
+type t = {
+  total : float;
+  components : component list;
+}
+
+let of_components comps =
+  let total = List.fold_left (fun acc (_, e) -> acc +. e) 0. comps in
+  {
+    total;
+    components =
+      List.map
+        (fun (label, energy) ->
+          {
+            label;
+            energy;
+            share_pct = (if total = 0. then 0. else energy /. total *. 100.);
+          })
+        comps;
+  }
+
+(* The issue queue under the technique view (gated wakeups, gated banks). *)
+let iq ?(params = Params.default) (s : Stats.t) : t =
+  of_components
+    [
+      ( "wakeup CAM",
+        float_of_int s.Stats.iq_wakeups_gated *. params.Params.e_wakeup );
+      ( "dispatch CAM writes",
+        float_of_int s.Stats.iq_dispatch_cam_writes
+        *. params.Params.e_cam_write );
+      ( "dispatch RAM writes",
+        float_of_int s.Stats.iq_dispatch_ram_writes
+        *. params.Params.e_ram_write );
+      ( "issue RAM reads",
+        float_of_int s.Stats.iq_issue_reads *. params.Params.e_ram_read );
+      ("selection", float_of_int s.Stats.iq_selects *. params.Params.e_select);
+      ( "bank precharge",
+        float_of_int s.Stats.iq_banks_on_sum *. params.Params.e_iq_bank_cycle
+      );
+      ( "bank leakage",
+        float_of_int s.Stats.iq_banks_on_sum
+        *. params.Params.iq_leak_bank_cycle );
+    ]
+
+(* The integer register file under bank gating. *)
+let int_rf ?(params = Params.default) (s : Stats.t) : t =
+  of_components
+    [
+      ("port reads", float_of_int s.Stats.int_rf_reads *. params.Params.e_rf_read);
+      ( "port writes",
+        float_of_int s.Stats.int_rf_writes *. params.Params.e_rf_write );
+      ( "bank precharge",
+        float_of_int s.Stats.int_rf_banks_on_sum
+        *. params.Params.e_rf_bank_cycle );
+      ( "bank leakage",
+        float_of_int s.Stats.int_rf_banks_on_sum
+        *. params.Params.rf_leak_bank_cycle );
+    ]
+
+let pp ppf t =
+  List.iter
+    (fun c -> Fmt.pf ppf "  %-22s %14.0f  (%5.1f%%)@." c.label c.energy c.share_pct)
+    t.components;
+  Fmt.pf ppf "  %-22s %14.0f@." "total" t.total

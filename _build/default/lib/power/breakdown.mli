@@ -1,0 +1,18 @@
+(** Component-level energy breakdown of one run (Wattch-style): where the
+    issue queue's and register file's energy goes under the technique
+    view. *)
+
+type component = {
+  label : string;
+  energy : float;
+  share_pct : float;
+}
+
+type t = {
+  total : float;
+  components : component list;
+}
+
+val iq : ?params:Params.t -> Sdiq_cpu.Stats.t -> t
+val int_rf : ?params:Params.t -> Sdiq_cpu.Stats.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(* Issue-queue energy accounting.
+
+   Three accounting views, matching the configurations of Figure 8:
+
+   - [naive]:     every result broadcast compares both operand CAMs of every
+                  slot and every bank is always powered — the normalisation
+                  baseline ("all operands woken");
+   - [gated]:     Folegnani & González precharge gating — only present-and-
+                  not-ready operands of valid entries are compared — but no
+                  resizing, so banks stay powered (the paper's "nonEmpty"
+                  bar);
+   - [technique]: gating plus bank shutdown, as used by the paper's scheme
+                  and by the abella comparison (both resize, so both gate
+                  empty banks).
+
+   Static energy is leakage integrated over powered bank-cycles. *)
+
+open Sdiq_cpu
+
+type energy = {
+  dynamic : float;
+  static_ : float;
+}
+
+let banks (cfg : Config.t) = Config.iq_banks cfg
+
+(* Shared non-wakeup dynamic activity: dispatch writes, issue reads,
+   selection. *)
+let base_activity (p : Params.t) (s : Stats.t) =
+  (float_of_int s.Stats.iq_dispatch_cam_writes *. p.Params.e_cam_write)
+  +. (float_of_int s.Stats.iq_dispatch_ram_writes *. p.Params.e_ram_write)
+  +. (float_of_int s.Stats.iq_issue_reads *. p.Params.e_ram_read)
+  +. (float_of_int s.Stats.iq_selects *. p.Params.e_select)
+
+let all_banks_cycles (cfg : Config.t) (s : Stats.t) =
+  float_of_int (banks cfg * s.Stats.cycles)
+
+let naive (p : Params.t) (cfg : Config.t) (s : Stats.t) : energy =
+  let bank_cycles = all_banks_cycles cfg s in
+  {
+    dynamic =
+      (float_of_int s.Stats.iq_wakeups_naive *. p.Params.e_wakeup)
+      +. base_activity p s
+      +. (bank_cycles *. p.Params.e_iq_bank_cycle);
+    static_ = bank_cycles *. p.Params.iq_leak_bank_cycle;
+  }
+
+let gated (p : Params.t) (cfg : Config.t) (s : Stats.t) : energy =
+  let bank_cycles = all_banks_cycles cfg s in
+  {
+    dynamic =
+      (float_of_int s.Stats.iq_wakeups_nonempty *. p.Params.e_wakeup)
+      +. base_activity p s
+      +. (bank_cycles *. p.Params.e_iq_bank_cycle);
+    static_ = bank_cycles *. p.Params.iq_leak_bank_cycle;
+  }
+
+let technique (p : Params.t) (s : Stats.t) : energy =
+  let bank_cycles = float_of_int s.Stats.iq_banks_on_sum in
+  {
+    dynamic =
+      (float_of_int s.Stats.iq_wakeups_gated *. p.Params.e_wakeup)
+      +. base_activity p s
+      +. (bank_cycles *. p.Params.e_iq_bank_cycle);
+    static_ = bank_cycles *. p.Params.iq_leak_bank_cycle;
+  }

@@ -1,0 +1,15 @@
+(** Issue-queue energy accounting — the three views of Figure 8:
+    [naive] (every broadcast compares every slot, all banks powered; the
+    normalisation baseline), [gated] (the paper's "nonEmpty": only
+    allocated entries' operands compared, banks still on) and
+    [technique] (full Folegnani gating plus bank shutdown, as used by
+    the paper's scheme and by abella). *)
+
+type energy = {
+  dynamic : float;
+  static_ : float;
+}
+
+val naive : Params.t -> Sdiq_cpu.Config.t -> Sdiq_cpu.Stats.t -> energy
+val gated : Params.t -> Sdiq_cpu.Config.t -> Sdiq_cpu.Stats.t -> energy
+val technique : Params.t -> Sdiq_cpu.Stats.t -> energy

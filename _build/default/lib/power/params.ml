@@ -1,0 +1,46 @@
+(* Event energies, in relative units.
+
+   The paper reports *normalised savings*, so only the event counts and the
+   relative weights of the contributing structures matter — absolute joules
+   cancel out. The weights below are chosen so the baseline breakdown
+   matches the Wattch view of a SimpleScalar-style issue queue: the wakeup
+   CAM dominates the queue's dynamic energy (the selection logic "consumes
+   much lower energy than wakeup logic", Section 3.1; Palacharla et al.),
+   with RAM read/write and per-bank precharge making up the rest.
+
+   The register file is modelled as read/write port energy plus a per-bank
+   per-cycle precharge/wordline cost that bank gating eliminates; its
+   leakage is per bank per cycle, like the queue's. *)
+
+type t = {
+  (* issue queue, dynamic *)
+  e_wakeup : float;          (* one operand CAM comparison *)
+  e_cam_write : float;       (* one operand CAM write at dispatch *)
+  e_ram_write : float;       (* one entry RAM write at dispatch *)
+  e_ram_read : float;        (* one entry RAM read at issue *)
+  e_select : float;          (* selection of one instruction *)
+  e_iq_bank_cycle : float;   (* precharge of one powered bank, per cycle *)
+  (* issue queue, static *)
+  iq_leak_bank_cycle : float;
+  (* register file, dynamic *)
+  e_rf_read : float;
+  e_rf_write : float;
+  e_rf_bank_cycle : float;
+  (* register file, static *)
+  rf_leak_bank_cycle : float;
+}
+
+let default =
+  {
+    e_wakeup = 0.55;
+    e_cam_write = 1.5;
+    e_ram_write = 3.0;
+    e_ram_read = 3.0;
+    e_select = 2.0;
+    e_iq_bank_cycle = 5.0;
+    iq_leak_bank_cycle = 1.0;
+    e_rf_read = 3.0;
+    e_rf_write = 3.5;
+    e_rf_bank_cycle = 2.0;
+    rf_leak_bank_cycle = 1.0;
+  }

@@ -1,0 +1,20 @@
+(** Event energies in relative units. Only the relative weights matter —
+    the paper reports normalised savings — and they are chosen so the
+    baseline breakdown matches the Wattch view of a SimpleScalar-style
+    issue queue (the wakeup CAM dominating, selection cheap). *)
+
+type t = {
+  e_wakeup : float;          (** one operand CAM comparison *)
+  e_cam_write : float;       (** one operand CAM write at dispatch *)
+  e_ram_write : float;       (** one entry RAM write at dispatch *)
+  e_ram_read : float;        (** one entry RAM read at issue *)
+  e_select : float;          (** selection of one instruction *)
+  e_iq_bank_cycle : float;   (** precharge of a powered bank, per cycle *)
+  iq_leak_bank_cycle : float;
+  e_rf_read : float;
+  e_rf_write : float;
+  e_rf_bank_cycle : float;
+  rf_leak_bank_cycle : float;
+}
+
+val default : t

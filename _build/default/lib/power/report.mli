@@ -1,0 +1,30 @@
+(** Normalised savings of a technique run against a baseline run — the
+    quantities every figure in the paper's evaluation plots. Energies are
+    integrated over the whole run, so a slower technique pays for its
+    extra cycles in precharge and leakage, exactly as in the paper. *)
+
+type t = {
+  ipc_loss_pct : float;               (** Figures 6 and 10 *)
+  iq_occupancy_reduction_pct : float; (** Figure 7 *)
+  iq_dynamic_saving_pct : float;      (** Figures 8 and 11 *)
+  iq_static_saving_pct : float;
+  iq_banks_off_pct : float;
+  rf_dynamic_saving_pct : float;      (** Figures 9 and 12 *)
+  rf_static_saving_pct : float;
+  dispatch_reduction_pct : float;
+      (** reduction in simultaneously-live integer registers *)
+}
+
+val compute :
+  ?params:Params.t ->
+  ?cfg:Sdiq_cpu.Config.t ->
+  base:Sdiq_cpu.Stats.t ->
+  Sdiq_cpu.Stats.t ->
+  t
+
+(** The "nonEmpty" bar of Figure 8: wakeup gating alone on the baseline
+    machine, relative to the naive baseline. *)
+val non_empty_dynamic_saving :
+  ?params:Params.t -> ?cfg:Sdiq_cpu.Config.t -> Sdiq_cpu.Stats.t -> float
+
+val pp : Format.formatter -> t -> unit

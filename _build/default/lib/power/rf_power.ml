@@ -1,0 +1,42 @@
+(* Integer register-file energy accounting (Section 5.2.3).
+
+   "Delaying the dispatch of instructions means that fewer registers are
+   needed simultaneously. By banking them we can turn off those banks that
+   are not in use, saving static and dynamic power."
+
+   Dynamic energy: port reads/writes plus a per-powered-bank per-cycle
+   precharge that gating removes. Static: per-powered-bank leakage. The
+   baseline keeps every bank powered. *)
+
+open Sdiq_cpu
+
+type energy = {
+  dynamic : float;
+  static_ : float;
+}
+
+let banks (cfg : Config.t) = Config.rf_banks cfg
+
+let port_activity (p : Params.t) ~reads ~writes =
+  (float_of_int reads *. p.Params.e_rf_read)
+  +. (float_of_int writes *. p.Params.e_rf_write)
+
+(* Baseline: all banks always on. *)
+let int_baseline (p : Params.t) (cfg : Config.t) (s : Stats.t) : energy =
+  let bank_cycles = float_of_int (banks cfg * s.Stats.cycles) in
+  {
+    dynamic =
+      port_activity p ~reads:s.Stats.int_rf_reads ~writes:s.Stats.int_rf_writes
+      +. (bank_cycles *. p.Params.e_rf_bank_cycle);
+    static_ = bank_cycles *. p.Params.rf_leak_bank_cycle;
+  }
+
+(* With bank gating: only banks holding a live register are powered. *)
+let int_gated (p : Params.t) (s : Stats.t) : energy =
+  let bank_cycles = float_of_int s.Stats.int_rf_banks_on_sum in
+  {
+    dynamic =
+      port_activity p ~reads:s.Stats.int_rf_reads ~writes:s.Stats.int_rf_writes
+      +. (bank_cycles *. p.Params.e_rf_bank_cycle);
+    static_ = bank_cycles *. p.Params.rf_leak_bank_cycle;
+  }

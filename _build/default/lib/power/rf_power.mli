@@ -1,0 +1,14 @@
+(** Integer register-file energy accounting (Section 5.2.3): port
+    reads/writes plus per-powered-bank precharge and leakage; the
+    baseline keeps every bank powered, gating powers only banks holding
+    a live register. *)
+
+type energy = {
+  dynamic : float;
+  static_ : float;
+}
+
+val int_baseline :
+  Params.t -> Sdiq_cpu.Config.t -> Sdiq_cpu.Stats.t -> energy
+
+val int_gated : Params.t -> Sdiq_cpu.Stats.t -> energy

@@ -1,0 +1,1 @@
+lib/workloads/bench.ml: Asm Exec Prog Sdiq_isa

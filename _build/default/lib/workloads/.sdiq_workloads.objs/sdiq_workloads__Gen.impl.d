@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Exec Rng Sdiq_isa Sdiq_util

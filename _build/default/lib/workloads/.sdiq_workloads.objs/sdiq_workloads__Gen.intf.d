@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Sdiq_isa Sdiq_util

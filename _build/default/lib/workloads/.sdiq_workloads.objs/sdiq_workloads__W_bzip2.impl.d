@@ -1,0 +1,1 @@
+lib/workloads/w_bzip2.ml: Asm Bench Gen Reg Rng Sdiq_isa Sdiq_util

@@ -1,0 +1,1 @@
+lib/workloads/w_crafty.ml: Asm Bench Gen Reg Rng Sdiq_isa Sdiq_util

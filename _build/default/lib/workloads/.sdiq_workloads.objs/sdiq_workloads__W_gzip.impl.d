@@ -1,0 +1,1 @@
+lib/workloads/w_gzip.ml: Asm Bench Exec Gen Reg Rng Sdiq_isa Sdiq_util

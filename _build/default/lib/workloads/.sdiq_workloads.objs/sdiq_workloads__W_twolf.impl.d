@@ -1,0 +1,1 @@
+lib/workloads/w_twolf.ml: Asm Bench Exec Reg Rng Sdiq_isa Sdiq_util

@@ -1,0 +1,57 @@
+(* Deterministic memory initialisers shared by the workloads.
+
+   Addresses are byte addresses: a "word" occupies 4 address units so the
+   caches (32/64-byte lines) see realistic spatial locality. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let word = 4
+
+(* Fill [len] words starting at byte address [base] with values in
+   [0, max). *)
+let fill_random rng st ~base ~len ~max =
+  for i = 0 to len - 1 do
+    Exec.poke st (base + (i * word)) (Rng.int rng max)
+  done
+
+(* Fill with a fixed value. *)
+let fill_const st ~base ~len v =
+  for i = 0 to len - 1 do
+    Exec.poke st (base + (i * word)) v
+  done
+
+(* A random single-cycle permutation for pointer chasing: element i holds
+   the byte address of the next element, and following [next] visits every
+   element exactly once before returning (Sattolo's algorithm). [stride] is
+   the element size in words. *)
+let fill_chain rng st ~base ~len ~stride =
+  let order = Array.init len (fun i -> i) in
+  (* Sattolo: single cycle. *)
+  for i = len - 1 downto 1 do
+    let j = Rng.int rng i in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  let addr_of k = base + (order.(k) * stride * word) in
+  for k = 0 to len - 1 do
+    let next = addr_of ((k + 1) mod len) in
+    Exec.poke st (addr_of k) next
+  done;
+  addr_of 0
+
+(* Skewed small-integer stream (Zipf-ish over [0, kinds)): the common cases
+   dominate, as opcode streams do. *)
+let fill_skewed rng st ~base ~len ~kinds =
+  for i = 0 to len - 1 do
+    let r = Rng.int rng 100 in
+    let v =
+      if r < 55 then 0
+      else if r < 75 then 1
+      else if r < 86 then 2
+      else if r < 93 then 3
+      else Rng.int rng kinds
+    in
+    Exec.poke st (base + (i * word)) v
+  done

@@ -1,0 +1,29 @@
+(** Deterministic memory initialisers shared by the workloads. Addresses
+    are byte addresses: a word occupies 4 units so the caches see
+    realistic spatial locality. *)
+
+val word : int
+
+(** Fill [len] words from byte address [base] with values in [0, max). *)
+val fill_random :
+  Sdiq_util.Rng.t -> Sdiq_isa.Exec.state -> base:int -> len:int -> max:int ->
+  unit
+
+val fill_const : Sdiq_isa.Exec.state -> base:int -> len:int -> int -> unit
+
+(** A random single-cycle permutation for pointer chasing (Sattolo):
+    element [i] holds the byte address of the next element. [stride] is
+    the element size in words. Returns the first element's address. *)
+val fill_chain :
+  Sdiq_util.Rng.t ->
+  Sdiq_isa.Exec.state ->
+  base:int ->
+  len:int ->
+  stride:int ->
+  int
+
+(** Skewed small-integer stream: common cases dominate, as in opcode
+    streams. *)
+val fill_skewed :
+  Sdiq_util.Rng.t -> Sdiq_isa.Exec.state -> base:int -> len:int -> kinds:int ->
+  unit

@@ -1,0 +1,39 @@
+(* The benchmark suite: the eleven SPECint2000 programs the paper
+   evaluates (eon is excluded there too, being C++), in the order its
+   figures list them. *)
+
+let all () : Bench.t list =
+  [
+    W_gzip.build ();
+    W_vpr.build ();
+    W_gcc.build ();
+    W_mcf.build ();
+    W_crafty.build ();
+    W_parser.build ();
+    W_perlbmk.build ();
+    W_gap.build ();
+    W_vortex.build ();
+    W_bzip2.build ();
+    W_twolf.build ();
+  ]
+
+let names () = List.map (fun (b : Bench.t) -> b.Bench.name) (all ())
+
+let find name =
+  List.find_opt (fun (b : Bench.t) -> b.Bench.name = name) (all ())
+
+(* Smaller instances for tests. *)
+let tiny () : Bench.t list =
+  [
+    W_gzip.build ~outer:300 ();
+    W_vpr.build ~outer:300 ();
+    W_gcc.build ~outer:300 ();
+    W_mcf.build ~outer:300 ();
+    W_crafty.build ~outer:300 ();
+    W_parser.build ~outer:300 ();
+    W_perlbmk.build ~outer:300 ();
+    W_gap.build ~outer:20 ();
+    W_vortex.build ~outer:300 ();
+    W_bzip2.build ~outer:50 ();
+    W_twolf.build ~outer:300 ();
+  ]

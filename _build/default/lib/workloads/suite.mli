@@ -1,0 +1,9 @@
+(** The benchmark suite: the eleven SPECint2000 programs the paper
+    evaluates, in the order its figures list them. *)
+
+val all : unit -> Bench.t list
+val names : unit -> string list
+val find : string -> Bench.t option
+
+(** Much smaller instances, for tests. *)
+val tiny : unit -> Bench.t list

@@ -1,0 +1,70 @@
+(* bzip2 stand-in: block-sort compression inner loops.
+
+   Bubble-style sorting passes over key blocks (compare-and-swap with
+   ~50% taken branches) interleaved with a rank helper procedure that
+   multiplies — so the multiplier pressure spans a procedure boundary
+   inside the hot loop. Character: store/load-heavy, branchy, and the
+   paper's biggest beneficiary of Improved interprocedural FU analysis
+   (its IPC loss previously dominated by exactly this pattern). *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let keys_base = 0x1_0000 (* 8192 words *)
+let keys = 8192
+let rank_base = 0x3_0000
+
+let build ?(outer = 6_000) () =
+  let r = Reg.int in
+  Bench.make ~name:"bzip2" ~description:"block-sort compression kernel"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = passes, r2 = cursor, r23 = window end, r3 = acc *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 3) 0;
+      Asm.li p (r 20) keys_base;
+      Asm.label p "pass";
+      (* each pass works a 64-key window whose start slides *)
+      Asm.andi p (r 4) (r 1) 127;
+      Asm.shli p (r 4) (r 4) 8;
+      Asm.add p (r 2) (r 20) (r 4);
+      Asm.addi p (r 23) (r 2) 252;
+      Asm.label p "sweep";
+      Asm.load p (r 5) (r 2) 0;
+      Asm.load p (r 6) (r 2) 4;
+      Asm.sle p (r 7) (r 5) (r 6);
+      Asm.bne p (r 7) Reg.zero "no_swap";
+      Asm.store p (r 2) (r 6) 0;
+      Asm.store p (r 2) (r 5) 4;
+      Asm.addi p (r 3) (r 3) 1;
+      Asm.label p "no_swap";
+      (* rank update via the helper every fourth step *)
+      Asm.andi p (r 8) (r 2) 15;
+      Asm.bne p (r 8) Reg.zero "no_rank";
+      Asm.call p "rank";
+      Asm.label p "no_rank";
+      Asm.addi p (r 2) (r 2) 4;
+      Asm.blt p (r 2) (r 23) "sweep";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "pass";
+      Asm.store p Reg.zero (r 3) 0;
+      Asm.halt p;
+      (* rank: multiply-heavy bucket update over the current pair *)
+      let q = Asm.proc b "rank" in
+      Asm.li q (r 9) 2654435761;
+      Asm.mul q (r 10) (r 5) (r 9);
+      Asm.mul q (r 11) (r 6) (r 9);
+      Asm.add q (r 10) (r 10) (r 11);
+      Asm.shri q (r 10) (r 10) 20;
+      Asm.andi q (r 10) (r 10) 255;
+      Asm.shli q (r 10) (r 10) 2;
+      Asm.li q (r 12) rank_base;
+      Asm.add q (r 10) (r 10) (r 12);
+      Asm.load q (r 13) (r 10) 0;
+      Asm.addi q (r 13) (r 13) 1;
+      Asm.store q (r 10) (r 13) 0;
+      Asm.ret q)
+    ~init:(fun st ->
+      let rng = Rng.create 0xB21 in
+      Gen.fill_random rng st ~base:keys_base ~len:keys ~max:1_000_000;
+      Gen.fill_const st ~base:rank_base ~len:256 0)

@@ -1,0 +1,73 @@
+(* crafty stand-in: bitboard move generation.
+
+   Long stretches of register-resident bit manipulation — shifted attack
+   masks, occupancy intersections, an unrolled population count — with few
+   memory accesses and predictable loop branches. Character: very high
+   ILP, ALU-bound, the kind of code whose wide parallelism genuinely needs
+   queue entries. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let board_base = 0x1_0000
+
+let build ?(outer = 12_000) () =
+  let r = Reg.int in
+  Bench.make ~name:"crafty" ~description:"bitboard move-generation kernel"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = iterations; r2..r5 bitboards; r6..r13 scratch;
+         r14 = popcount acc; r15 = board base *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 15) board_base;
+      Asm.load p (r 2) (r 15) 0;
+      Asm.load p (r 3) (r 15) 4;
+      Asm.load p (r 4) (r 15) 8;
+      Asm.li p (r 14) 0;
+      Asm.li p (r 17) 0;
+      Asm.label p "loop";
+      (* generate shifted attack sets in parallel *)
+      Asm.shli p (r 6) (r 2) 7;
+      Asm.shli p (r 7) (r 2) 9;
+      Asm.shri p (r 8) (r 2) 7;
+      Asm.shri p (r 9) (r 2) 9;
+      Asm.or_ p (r 6) (r 6) (r 7);
+      Asm.or_ p (r 8) (r 8) (r 9);
+      Asm.or_ p (r 6) (r 6) (r 8);
+      (* mask with occupancy and opponent boards *)
+      Asm.xor p (r 7) (r 3) (r 4);
+      Asm.and_ p (r 9) (r 6) (r 7);
+      Asm.or_ p (r 10) (r 9) (r 3);
+      Asm.xor p (r 11) (r 10) (r 4);
+      (* unrolled 4-step popcount over nibbles, two accumulator chains so
+         the reduction does not trail the rest of the body *)
+      Asm.andi p (r 12) (r 11) 15;
+      Asm.add p (r 14) (r 14) (r 12);
+      Asm.shri p (r 13) (r 11) 4;
+      Asm.andi p (r 12) (r 13) 15;
+      Asm.add p (r 17) (r 17) (r 12);
+      Asm.shri p (r 13) (r 11) 8;
+      Asm.andi p (r 12) (r 13) 15;
+      Asm.add p (r 14) (r 14) (r 12);
+      Asm.shri p (r 13) (r 11) 12;
+      Asm.andi p (r 12) (r 13) 15;
+      Asm.add p (r 17) (r 17) (r 12);
+      (* evolve the boards so work never becomes constant *)
+      Asm.shli p (r 6) (r 2) 1;
+      Asm.shri p (r 7) (r 2) 3;
+      Asm.xor p (r 2) (r 6) (r 7);
+      Asm.addi p (r 2) (r 2) 0x9E37;
+      Asm.xor p (r 3) (r 3) (r 9);
+      Asm.add p (r 4) (r 4) (r 10);
+      (* rare branch: restock a board when it collapses to zero *)
+      Asm.bne p (r 2) Reg.zero "alive";
+      Asm.load p (r 2) (r 15) 12;
+      Asm.label p "alive";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "loop";
+      Asm.add p (r 14) (r 14) (r 17);
+      Asm.store p Reg.zero (r 14) 0;
+      Asm.halt p)
+    ~init:(fun st ->
+      let rng = Rng.create 0xC4AF7 in
+      Gen.fill_random rng st ~base:board_base ~len:16 ~max:(1 lsl 30))

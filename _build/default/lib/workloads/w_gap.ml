@@ -1,0 +1,76 @@
+(* gap stand-in: multiprecision-flavoured vector arithmetic.
+
+   A four-lane unrolled multiply-accumulate inner loop (as a compiler
+   would emit for this kind of kernel) with a serial carry folded through
+   the products, and a division on a predictable schedule. Character:
+   multiplier pressure (3 units, 4 multiplies per unrolled body in
+   flight), wide bodies with real ILP, streaming loads. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let a_base = 0x1_0000 (* 4096 words; the kernel is compute-bound *)
+let b_base = 0x4_0000
+let c_base = 0x8_0000
+let vec = 4096
+
+let build ?(outer = 3_000) () =
+  let r = Reg.int in
+  Bench.make ~name:"gap" ~description:"multiply-heavy vector arithmetic"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = outer count, r2 = byte index, r3 = carry, r20..r22 bases *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 20) a_base;
+      Asm.li p (r 21) b_base;
+      Asm.li p (r 22) c_base;
+      Asm.label p "outer";
+      Asm.li p (r 2) 0;
+      Asm.li p (r 3) 1;
+      Asm.label p "inner";
+      Asm.add p (r 4) (r 20) (r 2);
+      Asm.add p (r 5) (r 21) (r 2);
+      (* four unrolled lanes: 8 loads, 4 multiplies *)
+      Asm.load p (r 6) (r 4) 0;
+      Asm.load p (r 7) (r 5) 0;
+      Asm.load p (r 8) (r 4) 4;
+      Asm.load p (r 9) (r 5) 4;
+      Asm.load p (r 10) (r 4) 8;
+      Asm.load p (r 11) (r 5) 8;
+      Asm.load p (r 12) (r 4) 12;
+      Asm.load p (r 13) (r 5) 12;
+      Asm.mul p (r 14) (r 6) (r 7);
+      Asm.mul p (r 15) (r 8) (r 9);
+      Asm.mul p (r 16) (r 10) (r 11);
+      Asm.mul p (r 17) (r 12) (r 13);
+      (* pairwise combine, then the serial carry *)
+      Asm.add p (r 18) (r 14) (r 15);
+      Asm.xor p (r 19) (r 16) (r 17);
+      Asm.add p (r 3) (r 3) (r 18);
+      Asm.xor p (r 3) (r 3) (r 19);
+      (* second rank of independent work to widen the body *)
+      Asm.sub p (r 23) (r 14) (r 16);
+      Asm.shri p (r 24) (r 15) 7;
+      Asm.add p (r 23) (r 23) (r 24);
+      Asm.xor p (r 3) (r 3) (r 23);
+      (* division on a predictable schedule (every 16th body) *)
+      Asm.andi p (r 25) (r 2) 255;
+      Asm.bne p (r 25) Reg.zero "no_div";
+      Asm.ori p (r 26) (r 7) 1;
+      Asm.div p (r 3) (r 3) (r 26);
+      Asm.addi p (r 3) (r 3) 1;
+      Asm.label p "no_div";
+      Asm.add p (r 27) (r 22) (r 2);
+      Asm.store p (r 27) (r 3) 0;
+      Asm.store p (r 27) (r 23) 4;
+      Asm.addi p (r 2) (r 2) 16;
+      Asm.li p (r 28) (vec * 4);
+      Asm.blt p (r 2) (r 28) "inner";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "outer";
+      Asm.store p Reg.zero (r 3) 0;
+      Asm.halt p)
+    ~init:(fun st ->
+      let rng = Rng.create 0x6A9 in
+      Gen.fill_random rng st ~base:a_base ~len:vec ~max:65536;
+      Gen.fill_random rng st ~base:b_base ~len:vec ~max:65536)

@@ -1,0 +1,127 @@
+(* gcc stand-in: a bison-style dispatch switch over a token stream.
+
+   The paper singles gcc out: its bison-generated parser "contains a large
+   switch statement (374 cases) and many gotos, which create a complex
+   control flow graph", and its residual IPC loss under the technique comes
+   from the analysis's conservative treatment of those paths. This kernel
+   dispatches over a skewed token stream through a branch tree into many
+   distinct case bodies, some of which jump into shared tails or call tiny
+   helpers — lots of small basic blocks with many predecessors. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let stream_base = 0x1_0000 (* 16384 words *)
+let stream_words = 16384
+let table_base = 0x3_0000
+
+let build ?(outer = 35_000) () =
+  let r = Reg.int in
+  Bench.make ~name:"gcc"
+    ~description:"switch-dispatch over a token stream, complex CFG"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = iterations, r2 = cursor, r3 = accumulator, r4 = token *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 2) stream_base;
+      Asm.li p (r 3) 0;
+      Asm.li p (r 20) table_base;
+      Asm.label p "loop";
+      Asm.load p (r 4) (r 2) 0;
+      (* dispatch tree: binary on bit 2, then chains of equality tests *)
+      Asm.andi p (r 5) (r 4) 4;
+      Asm.bne p (r 5) Reg.zero "hi_cases";
+      Asm.li p (r 6) 0;
+      Asm.beq p (r 4) (r 6) "case0";
+      Asm.li p (r 6) 1;
+      Asm.beq p (r 4) (r 6) "case1";
+      Asm.li p (r 6) 2;
+      Asm.beq p (r 4) (r 6) "case2";
+      Asm.jmp p "case3";
+      Asm.label p "hi_cases";
+      Asm.li p (r 6) 4;
+      Asm.beq p (r 4) (r 6) "case4";
+      Asm.li p (r 6) 5;
+      Asm.beq p (r 4) (r 6) "case5";
+      Asm.li p (r 6) 6;
+      Asm.beq p (r 4) (r 6) "case6";
+      Asm.jmp p "case7";
+      (* case bodies: distinct mixes, some goto-style jumps into shared
+         tails, some helper calls *)
+      Asm.label p "case0";
+      Asm.addi p (r 3) (r 3) 1;
+      Asm.shli p (r 7) (r 3) 1;
+      Asm.xor p (r 3) (r 3) (r 7);
+      Asm.load p (r 8) (r 20) 4;
+      Asm.load p (r 9) (r 20) 12;
+      Asm.add p (r 8) (r 8) (r 4);
+      Asm.xor p (r 9) (r 9) (r 3);
+      Asm.add p (r 3) (r 3) (r 8);
+      Asm.store p (r 20) (r 9) 12;
+      Asm.shri p (r 10) (r 3) 4;
+      Asm.xor p (r 3) (r 3) (r 10);
+      Asm.jmp p "join";
+      Asm.label p "case1";
+      Asm.load p (r 7) (r 20) 0;
+      Asm.load p (r 11) (r 20) 20;
+      Asm.add p (r 3) (r 3) (r 7);
+      Asm.shli p (r 12) (r 11) 2;
+      Asm.sub p (r 12) (r 12) (r 11);
+      Asm.add p (r 3) (r 3) (r 12);
+      Asm.store p (r 20) (r 3) 0;
+      Asm.andi p (r 13) (r 3) 255;
+      Asm.store p (r 20) (r 13) 24;
+      Asm.jmp p "join";
+      Asm.label p "case2";
+      Asm.mul p (r 7) (r 4) (r 3);
+      Asm.shri p (r 7) (r 7) 3;
+      Asm.add p (r 3) (r 3) (r 7);
+      Asm.jmp p "shared_tail"; (* goto into another case's tail *)
+      Asm.label p "case3";
+      Asm.call p "reduce";
+      Asm.jmp p "join";
+      Asm.label p "case4";
+      Asm.sub p (r 3) (r 3) (r 4);
+      Asm.label p "shared_tail";
+      Asm.andi p (r 3) (r 3) 1048575;
+      Asm.jmp p "join";
+      Asm.label p "case5";
+      Asm.load p (r 7) (r 20) 8;
+      Asm.mul p (r 8) (r 7) (r 7);
+      Asm.add p (r 3) (r 3) (r 8);
+      Asm.jmp p "join";
+      Asm.label p "case6";
+      Asm.call p "emit";
+      Asm.jmp p "join";
+      Asm.label p "case7";
+      Asm.shri p (r 7) (r 3) 2;
+      Asm.xor p (r 3) (r 3) (r 7);
+      Asm.addi p (r 3) (r 3) 7;
+      Asm.label p "join";
+      (* advance cursor with wrap *)
+      Asm.addi p (r 2) (r 2) 4;
+      Asm.li p (r 7) (stream_base + (stream_words * 4));
+      Asm.blt p (r 2) (r 7) "no_wrap";
+      Asm.li p (r 2) stream_base;
+      Asm.label p "no_wrap";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "loop";
+      Asm.store p Reg.zero (r 3) 0;
+      Asm.halt p;
+      (* helper: fold the accumulator (grammar reduction) *)
+      let q = Asm.proc b "reduce" in
+      Asm.shri q (r 9) (r 3) 5;
+      Asm.xor q (r 3) (r 3) (r 9);
+      Asm.addi q (r 3) (r 3) 13;
+      Asm.ret q;
+      (* helper: spill the accumulator into the side table *)
+      let q = Asm.proc b "emit" in
+      Asm.andi q (r 9) (r 3) 255;
+      Asm.shli q (r 9) (r 9) 2;
+      Asm.add q (r 9) (r 9) (r 20);
+      Asm.store q (r 9) (r 3) 16;
+      Asm.ret q)
+    ~init:(fun st ->
+      let rng = Rng.create 0x6CC in
+      Gen.fill_skewed rng st ~base:stream_base ~len:stream_words ~kinds:8;
+      Gen.fill_const st ~base:table_base ~len:512 1)

@@ -1,0 +1,4 @@
+(** The gcc stand-in; see the implementation header for its character.
+    [outer] scales the amount of work. *)
+
+val build : ?outer:int -> unit -> Bench.t

@@ -1,0 +1,90 @@
+(* gzip stand-in: LZ77-style compression kernel.
+
+   A rolling hash over the input selects candidate matches from two hash
+   tables; an inner loop measures the match length; literals update an
+   unrolled checksum. Character: a fat inner body with moderate ILP, a
+   data-dependent inner-loop trip count, a working set that spills the
+   L1. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let input_base = 0x10_0000 (* 32768 words = 128KB *)
+let input_words = 32768
+let htab_base = 0x1_0000 (* 8192 words *)
+let out_base = 0x5_0000
+
+let build ?(outer = 20_000) () =
+  let r = Reg.int in
+  Bench.make ~name:"gzip" ~description:"LZ77-style compression kernel"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = position counter, r2 = input cursor, r3 = checksum,
+         r10 = htab base, r11 = out cursor *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 2) input_base;
+      Asm.li p (r 3) 0;
+      Asm.li p (r 10) htab_base;
+      Asm.li p (r 11) out_base;
+      Asm.label p "loop";
+      (* rolling hash over four neighbouring words *)
+      Asm.load p (r 4) (r 2) 0;
+      Asm.load p (r 5) (r 2) 4;
+      Asm.load p (r 20) (r 2) 8;
+      Asm.load p (r 21) (r 2) 12;
+      Asm.shli p (r 6) (r 5) 5;
+      Asm.xor p (r 6) (r 6) (r 4);
+      Asm.shli p (r 22) (r 21) 3;
+      Asm.xor p (r 22) (r 22) (r 20);
+      Asm.add p (r 6) (r 6) (r 22);
+      Asm.andi p (r 6) (r 6) 8191;
+      Asm.shli p (r 6) (r 6) 2;
+      Asm.add p (r 6) (r 6) (r 10);
+      (* candidate from the hash table; install current position *)
+      Asm.load p (r 7) (r 6) 0;
+      Asm.store p (r 6) (r 2) 0;
+      (* unrolled checksum update over the four words *)
+      Asm.xor p (r 3) (r 3) (r 4);
+      Asm.add p (r 3) (r 3) (r 5);
+      Asm.xor p (r 3) (r 3) (r 20);
+      Asm.add p (r 3) (r 3) (r 21);
+      Asm.shri p (r 23) (r 3) 9;
+      Asm.xor p (r 3) (r 3) (r 23);
+      Asm.beq p (r 7) Reg.zero "literal";
+      (* match loop: compare up to 8 words *)
+      Asm.li p (r 8) 8;
+      Asm.mov p (r 9) (r 7);
+      Asm.label p "match";
+      Asm.load p (r 12) (r 9) 0;
+      Asm.load p (r 13) (r 2) 0;
+      Asm.bne p (r 12) (r 13) "literal";
+      Asm.addi p (r 3) (r 3) 3; (* match credit *)
+      Asm.addi p (r 9) (r 9) 4;
+      Asm.addi p (r 8) (r 8) (-1);
+      Asm.bne p (r 8) Reg.zero "match";
+      Asm.label p "literal";
+      (* emit a token every 8 positions *)
+      Asm.andi p (r 13) (r 1) 7;
+      Asm.bne p (r 13) Reg.zero "advance";
+      Asm.store p (r 11) (r 3) 0;
+      Asm.addi p (r 11) (r 11) 4;
+      Asm.label p "advance";
+      (* advance the cursor, wrapping within the input buffer *)
+      Asm.addi p (r 2) (r 2) 4;
+      Asm.li p (r 13) (input_base + (input_words * 4) - 64);
+      Asm.blt p (r 2) (r 13) "next";
+      Asm.li p (r 2) input_base;
+      Asm.label p "next";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "loop";
+      Asm.store p Reg.zero (r 3) 0;
+      Asm.halt p)
+    ~init:(fun st ->
+      let rng = Rng.create 0xA11CE in
+      (* Compressible input: values from a small alphabet with runs. *)
+      let v = ref 0 in
+      for i = 0 to input_words - 1 do
+        if Rng.chance rng 0.3 then v := Rng.int rng 50;
+        Exec.poke st (input_base + (i * 4)) !v
+      done;
+      Gen.fill_const st ~base:htab_base ~len:8192 0)

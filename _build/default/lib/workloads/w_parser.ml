@@ -1,0 +1,95 @@
+(* parser stand-in: dictionary classification.
+
+   Each "word" is classified through a data-dependent branch tree, a
+   suffix scan runs until a sentinel, and small frequency counters are
+   bumped in memory (load-modify-store with frequent forwarding).
+   Character: branchy with mediocre predictability, short dependence
+   chains, small working set. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let words_base = 0x1_0000 (* 16384 words *)
+let word_count = 16384
+let counts_base = 0x3_0000 (* 64 counters *)
+
+let build ?(outer = 30_000) () =
+  let r = Reg.int in
+  Bench.make ~name:"parser" ~description:"dictionary classification kernel"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = iterations, r2 = cursor, r3 = acc, r20/r21 bases *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 2) words_base;
+      Asm.li p (r 3) 0;
+      Asm.li p (r 21) counts_base;
+      Asm.label p "loop";
+      Asm.load p (r 4) (r 2) 0;
+      (* classification tree on value ranges *)
+      Asm.slti p (r 5) (r 4) 64;
+      Asm.beq p (r 5) Reg.zero "big";
+      Asm.slti p (r 5) (r 4) 16;
+      Asm.beq p (r 5) Reg.zero "mid_small";
+      Asm.addi p (r 3) (r 3) 1;
+      Asm.jmp p "classify_done";
+      Asm.label p "mid_small";
+      Asm.addi p (r 3) (r 3) 2;
+      Asm.jmp p "classify_done";
+      Asm.label p "big";
+      Asm.slti p (r 5) (r 4) 192;
+      Asm.beq p (r 5) Reg.zero "huge";
+      Asm.addi p (r 3) (r 3) 3;
+      Asm.jmp p "classify_done";
+      Asm.label p "huge";
+      Asm.addi p (r 3) (r 3) 5;
+      Asm.label p "classify_done";
+      (* morphological features: parallel bit tricks over the word *)
+      Asm.shli p (r 12) (r 4) 3;
+      Asm.shri p (r 14) (r 4) 2;
+      Asm.xor p (r 12) (r 12) (r 14);
+      Asm.andi p (r 14) (r 12) 4095;
+      Asm.add p (r 3) (r 3) (r 14);
+      Asm.load p (r 15) (r 2) 8;
+      Asm.load p (r 16) (r 2) 12;
+      Asm.add p (r 15) (r 15) (r 16);
+      Asm.xor p (r 3) (r 3) (r 15);
+      (* suffix scan: walk forward until a zero word (data-dependent trip) *)
+      Asm.mov p (r 6) (r 2);
+      Asm.li p (r 7) 6; (* bound the scan *)
+      Asm.label p "scan";
+      Asm.load p (r 8) (r 6) 4;
+      Asm.beq p (r 8) Reg.zero "scan_done";
+      Asm.addi p (r 6) (r 6) 4;
+      Asm.xor p (r 3) (r 3) (r 8);
+      Asm.addi p (r 7) (r 7) (-1);
+      Asm.bne p (r 7) Reg.zero "scan";
+      Asm.label p "scan_done";
+      (* bump the class counter: load-modify-store *)
+      Asm.andi p (r 9) (r 4) 63;
+      Asm.shli p (r 9) (r 9) 2;
+      Asm.add p (r 9) (r 9) (r 21);
+      Asm.load p (r 10) (r 9) 0;
+      Asm.addi p (r 10) (r 10) 1;
+      Asm.store p (r 9) (r 10) 0;
+      (* advance with wrap *)
+      Asm.addi p (r 2) (r 2) 4;
+      Asm.li p (r 11) (words_base + ((word_count - 8) * 4));
+      Asm.blt p (r 2) (r 11) "no_wrap";
+      Asm.li p (r 2) words_base;
+      Asm.label p "no_wrap";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "loop";
+      Asm.store p Reg.zero (r 3) 0;
+      Asm.halt p)
+    ~init:(fun st ->
+      let rng = Rng.create 0x9A45E4 in
+      for i = 0 to word_count - 1 do
+        (* Zero sentinels roughly every fourth word end the suffix scan. *)
+        let v =
+          if Rng.chance rng 0.25 then 0
+          else if Rng.chance rng 0.8 then Rng.int rng 64
+          else Rng.int rng 256
+        in
+        Exec.poke st (words_base + (i * 4)) v
+      done;
+      Gen.fill_const st ~base:counts_base ~len:64 0)

@@ -1,0 +1,133 @@
+(* perlbmk stand-in: bytecode interpreter with frequent calls.
+
+   A dispatch loop calls one handler procedure per opcode; handlers push
+   and pop an operand stack in memory and one of them hashes (multiplies).
+   Character: call-dense with short handler bodies, indirect-ish control
+   via an equality-test chain, store/load traffic through the operand
+   stack. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let code_base = 0x1_0000 (* 8192 words *)
+let code_words = 8192
+let stack_base = 0x3_0000
+let hash_base = 0x4_0000
+
+let build ?(outer = 30_000) () =
+  let r = Reg.int in
+  Bench.make ~name:"perlbmk" ~description:"bytecode interpreter, call-dense"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = iterations, r2 = code cursor, r3 = value reg,
+         r25 = operand stack pointer, r26 = hash base *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 2) code_base;
+      Asm.li p (r 3) 1;
+      Asm.li p (r 25) stack_base;
+      Asm.li p (r 26) hash_base;
+      Asm.label p "loop";
+      Asm.load p (r 4) (r 2) 0;
+      Asm.li p (r 5) 0;
+      Asm.beq p (r 4) (r 5) "op_push";
+      Asm.li p (r 5) 1;
+      Asm.beq p (r 4) (r 5) "op_add";
+      Asm.li p (r 5) 2;
+      Asm.beq p (r 4) (r 5) "op_hash";
+      Asm.li p (r 5) 3;
+      Asm.beq p (r 4) (r 5) "op_cmp";
+      Asm.call p "h_str";
+      Asm.jmp p "next";
+      Asm.label p "op_push";
+      Asm.call p "h_push";
+      Asm.jmp p "next";
+      Asm.label p "op_add";
+      Asm.call p "h_add";
+      Asm.jmp p "next";
+      Asm.label p "op_hash";
+      Asm.call p "h_hash";
+      Asm.jmp p "next";
+      Asm.label p "op_cmp";
+      Asm.call p "h_cmp";
+      Asm.label p "next";
+      Asm.addi p (r 2) (r 2) 4;
+      Asm.li p (r 5) (code_base + (code_words * 4));
+      Asm.blt p (r 2) (r 5) "no_wrap";
+      Asm.li p (r 2) code_base;
+      Asm.label p "no_wrap";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "loop";
+      Asm.store p Reg.zero (r 3) 0;
+      Asm.halt p;
+      (* push the value register, with a tag word and length update *)
+      let q = Asm.proc b "h_push" in
+      Asm.store q (r 25) (r 3) 0;
+      Asm.shli q (r 10) (r 3) 1;
+      Asm.xor q (r 10) (r 10) (r 3);
+      Asm.andi q (r 10) (r 10) 65535;
+      Asm.store q (r 25) (r 10) 2048;
+      Asm.load q (r 11) (r 26) 4092;
+      Asm.addi q (r 11) (r 11) 1;
+      Asm.store q (r 26) (r 11) 4092;
+      Asm.addi q (r 25) (r 25) 4;
+      Asm.addi q (r 3) (r 3) 17;
+      (* keep the stack bounded *)
+      Asm.li q (r 9) (stack_base + 4096);
+      Asm.blt q (r 25) (r 9) "ok";
+      Asm.li q (r 25) stack_base;
+      Asm.label q "ok";
+      Asm.ret q;
+      (* pop two, add, push *)
+      let q = Asm.proc b "h_add" in
+      Asm.li q (r 9) (stack_base + 8);
+      Asm.bge q (r 25) (r 9) "deep";
+      Asm.addi q (r 3) (r 3) 1;
+      Asm.ret q;
+      Asm.label q "deep";
+      Asm.load q (r 9) (r 25) (-4);
+      Asm.load q (r 10) (r 25) (-8);
+      Asm.add q (r 9) (r 9) (r 10);
+      Asm.store q (r 25) (r 9) (-8);
+      Asm.addi q (r 25) (r 25) (-4);
+      Asm.mov q (r 3) (r 9);
+      Asm.ret q;
+      (* hash the value into a table *)
+      let q = Asm.proc b "h_hash" in
+      Asm.li q (r 9) 2654435761;
+      Asm.mul q (r 10) (r 3) (r 9);
+      Asm.shri q (r 11) (r 10) 8;
+      Asm.andi q (r 11) (r 11) 1023;
+      Asm.shli q (r 11) (r 11) 2;
+      Asm.add q (r 11) (r 11) (r 26);
+      Asm.load q (r 12) (r 11) 0;
+      Asm.add q (r 12) (r 12) (r 3);
+      Asm.store q (r 11) (r 12) 0;
+      Asm.xor q (r 3) (r 3) (r 10);
+      Asm.ret q;
+      (* compare top of stack with the value register *)
+      let q = Asm.proc b "h_cmp" in
+      Asm.load q (r 9) (r 25) (-4);
+      Asm.blt q (r 9) (r 3) "less";
+      Asm.addi q (r 3) (r 3) 3;
+      Asm.ret q;
+      Asm.label q "less";
+      Asm.sub q (r 3) (r 3) (r 9);
+      Asm.ret q;
+      (* string-ish scramble over a few table words *)
+      let q = Asm.proc b "h_str" in
+      Asm.shli q (r 9) (r 3) 3;
+      Asm.xor q (r 3) (r 3) (r 9);
+      Asm.andi q (r 10) (r 3) 1023;
+      Asm.shli q (r 10) (r 10) 2;
+      Asm.add q (r 10) (r 10) (r 26);
+      Asm.load q (r 11) (r 10) 0;
+      Asm.load q (r 12) (r 10) 4096;
+      Asm.add q (r 11) (r 11) (r 12);
+      Asm.xor q (r 3) (r 3) (r 11);
+      Asm.shri q (r 9) (r 3) 11;
+      Asm.xor q (r 3) (r 3) (r 9);
+      Asm.ret q)
+    ~init:(fun st ->
+      let rng = Rng.create 0x9E7 in
+      Gen.fill_skewed rng st ~base:code_base ~len:code_words ~kinds:6;
+      Gen.fill_const st ~base:hash_base ~len:1024 0)

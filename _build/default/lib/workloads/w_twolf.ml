@@ -1,0 +1,81 @@
+(* twolf stand-in: simulated-annealing cell placement.
+
+   Each step proposes exchanging two cells, computes the wirelength delta
+   (loads, multiplies, branchy abs), and accepts the move either when it
+   improves or pseudo-randomly per the cooling schedule — an intrinsically
+   unpredictable branch. Character: mixed arithmetic/memory, unpredictable
+   accept branch, moderate footprint. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let cell_base = 0x10_0000
+let cell_count = 16384 (* 4 words each: x, y, width, net *)
+
+let build ?(outer = 25_000) () =
+  let r = Reg.int in
+  Bench.make ~name:"twolf" ~description:"annealing placement kernel"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = steps, r2 = lcg, r3 = cost, r4 = temperature *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 2) 362_436_069;
+      Asm.li p (r 3) 0;
+      Asm.li p (r 4) 1024;
+      Asm.li p (r 20) cell_base;
+      Asm.label p "step";
+      (* two random cells *)
+      Asm.shli p (r 5) (r 2) 11;
+      Asm.xor p (r 2) (r 2) (r 5);
+      Asm.shri p (r 5) (r 2) 19;
+      Asm.xor p (r 2) (r 2) (r 5);
+      Asm.andi p (r 6) (r 2) 16383;
+      Asm.shri p (r 7) (r 2) 15;
+      Asm.andi p (r 7) (r 7) 16383;
+      Asm.shli p (r 6) (r 6) 4; (* x16 bytes per cell *)
+      Asm.shli p (r 7) (r 7) 4;
+      Asm.add p (r 6) (r 6) (r 20);
+      Asm.add p (r 7) (r 7) (r 20);
+      (* wirelength delta: cross products of coordinates and net weights *)
+      Asm.load p (r 8) (r 6) 0;
+      Asm.load p (r 9) (r 7) 0;
+      Asm.load p (r 10) (r 6) 12;
+      Asm.load p (r 11) (r 7) 12;
+      Asm.sub p (r 12) (r 8) (r 9);
+      Asm.bge p (r 12) Reg.zero "abs_done";
+      Asm.sub p (r 12) Reg.zero (r 12);
+      Asm.label p "abs_done";
+      Asm.mul p (r 13) (r 12) (r 10);
+      Asm.mul p (r 14) (r 12) (r 11);
+      Asm.sub p (r 15) (r 13) (r 14);
+      (* accept when clearly improving, or per the cooling schedule; late
+         in the schedule most moves are rejected, so the branch is biased *)
+      Asm.li p (r 18) (-900);
+      Asm.blt p (r 15) (r 18) "accept";
+      Asm.andi p (r 16) (r 2) 8191;
+      Asm.blt p (r 16) (r 4) "accept";
+      Asm.jmp p "reject";
+      Asm.label p "accept";
+      Asm.store p (r 6) (r 9) 0;
+      Asm.store p (r 7) (r 8) 0;
+      Asm.add p (r 3) (r 3) (r 15);
+      Asm.label p "reject";
+      (* cool every 256 steps *)
+      Asm.andi p (r 17) (r 1) 255;
+      Asm.bne p (r 17) Reg.zero "no_cool";
+      Asm.shri p (r 4) (r 4) 1;
+      Asm.ori p (r 4) (r 4) 128; (* temperature floor *)
+      Asm.label p "no_cool";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "step";
+      Asm.store p Reg.zero (r 3) 0;
+      Asm.halt p)
+    ~init:(fun st ->
+      let rng = Rng.create 0x2201F in
+      for i = 0 to cell_count - 1 do
+        let a = cell_base + (i * 16) in
+        Exec.poke st a (Rng.int rng 2048);
+        Exec.poke st (a + 4) (Rng.int rng 2048);
+        Exec.poke st (a + 8) (1 + Rng.int rng 8);
+        Exec.poke st (a + 12) (1 + Rng.int rng 16)
+      done)

@@ -1,0 +1,4 @@
+(** The twolf stand-in; see the implementation header for its character.
+    [outer] scales the amount of work. *)
+
+val build : ?outer:int -> unit -> Bench.t

@@ -1,0 +1,82 @@
+(* vpr stand-in: placement cost evaluation.
+
+   Pseudo-randomly chosen cell pairs have their bounding-box cost delta
+   evaluated (loads of coordinates, absolute differences computed with
+   compare-and-branch, a floating-point accumulation) and are swapped when
+   the move helps. Character: data-dependent branches around arithmetic,
+   mixed int/fp, medium working set. *)
+
+open Sdiq_isa
+open Sdiq_util
+
+let x_base = 0x10_0000 (* 32768 words = 128KB *)
+let y_base = 0x20_0000
+let cells = 32768
+
+let build ?(outer = 30_000) () =
+  let r = Reg.int in
+  let f = Reg.fp in
+  Bench.make ~name:"vpr" ~description:"placement cost/swap kernel"
+    ~build:(fun b ->
+      let p = Asm.proc b "main" in
+      (* r1 = iterations, r2 = lcg state, r20 = x base, r21 = y base,
+         f1 = total cost *)
+      Asm.li p (r 1) outer;
+      Asm.li p (r 2) 123_456_789;
+      Asm.li p (r 20) x_base;
+      Asm.li p (r 21) y_base;
+      Asm.fli p (f 1) 0.0;
+      Asm.fli p (f 2) 0.999;
+      Asm.label p "loop";
+      (* two pseudo-random cell indices from an xorshift generator *)
+      Asm.shli p (r 3) (r 2) 13;
+      Asm.xor p (r 2) (r 2) (r 3);
+      Asm.shri p (r 3) (r 2) 7;
+      Asm.xor p (r 2) (r 2) (r 3);
+      Asm.andi p (r 4) (r 2) 32767;
+      Asm.shri p (r 5) (r 2) 15;
+      Asm.andi p (r 5) (r 5) 32767;
+      Asm.shli p (r 4) (r 4) 2;
+      Asm.shli p (r 5) (r 5) 2;
+      (* load both cells' coordinates *)
+      Asm.add p (r 6) (r 20) (r 4);
+      Asm.add p (r 7) (r 20) (r 5);
+      Asm.load p (r 8) (r 6) 0;  (* x[a] *)
+      Asm.load p (r 9) (r 7) 0;  (* x[b] *)
+      Asm.add p (r 10) (r 21) (r 4);
+      Asm.add p (r 11) (r 21) (r 5);
+      Asm.load p (r 12) (r 10) 0; (* y[a] *)
+      Asm.load p (r 13) (r 11) 0; (* y[b] *)
+      (* |dx| with a branch, as compiled abs() *)
+      Asm.sub p (r 14) (r 8) (r 9);
+      Asm.bge p (r 14) Reg.zero "dx_pos";
+      Asm.sub p (r 14) Reg.zero (r 14);
+      Asm.label p "dx_pos";
+      Asm.sub p (r 15) (r 12) (r 13);
+      Asm.bge p (r 15) Reg.zero "dy_pos";
+      Asm.sub p (r 15) Reg.zero (r 15);
+      Asm.label p "dy_pos";
+      Asm.add p (r 16) (r 14) (r 15);
+      (* accumulate the cost in floating point, with decay *)
+      Asm.itof p (f 3) (r 16);
+      Asm.fmul p (f 1) (f 1) (f 2);
+      Asm.fadd p (f 1) (f 1) (f 3);
+      (* swap when the half-perimeter is very small: improving moves are
+         rare, so the branch is well biased, as in the real annealer's
+         late phases *)
+      Asm.slti p (r 17) (r 16) 240;
+      Asm.beq p (r 17) Reg.zero "no_swap";
+      Asm.store p (r 6) (r 9) 0;
+      Asm.store p (r 7) (r 8) 0;
+      Asm.store p (r 10) (r 13) 0;
+      Asm.store p (r 11) (r 12) 0;
+      Asm.label p "no_swap";
+      Asm.addi p (r 1) (r 1) (-1);
+      Asm.bne p (r 1) Reg.zero "loop";
+      Asm.ftoi p (r 18) (f 1);
+      Asm.store p Reg.zero (r 18) 0;
+      Asm.halt p)
+    ~init:(fun st ->
+      let rng = Rng.create 0xB0B in
+      Gen.fill_random rng st ~base:x_base ~len:cells ~max:1024;
+      Gen.fill_random rng st ~base:y_base ~len:cells ~max:1024)

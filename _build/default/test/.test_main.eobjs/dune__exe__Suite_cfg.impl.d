@@ -1,0 +1,1 @@
+test/suite_cfg.ml: Alcotest Asm Hashtbl List Option Printf Prog Reg Sdiq_cfg Sdiq_isa

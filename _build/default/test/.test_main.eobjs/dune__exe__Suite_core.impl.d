@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Asm Exec Fu Instr List Opcode Printf Prog Reg Sdiq_core Sdiq_isa

@@ -1,0 +1,1 @@
+test/suite_core_more.ml: Alcotest Asm Exec Float Fu Instr List Opcode Option Printf Prog Reg Sdiq_cfg Sdiq_core Sdiq_harness Sdiq_isa Sdiq_workloads

@@ -1,0 +1,1 @@
+test/suite_cpu.ml: Alcotest Asm Exec Printf Reg Sdiq_cpu Sdiq_isa

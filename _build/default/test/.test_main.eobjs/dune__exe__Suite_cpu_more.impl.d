@@ -1,0 +1,1 @@
+test/suite_cpu_more.ml: Alcotest Array Asm Exec List Printf Reg Sdiq_core Sdiq_cpu Sdiq_isa Sdiq_util Sdiq_workloads

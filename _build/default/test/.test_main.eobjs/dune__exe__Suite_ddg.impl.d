@@ -1,0 +1,1 @@
+test/suite_ddg.ml: Alcotest Array Instr List Opcode Reg Sdiq_ddg Sdiq_isa

@@ -1,0 +1,1 @@
+test/suite_edge.ml: Alcotest Asm Exec Hashtbl Instr List Opcode Option Printf Prog Reg Sdiq_cfg Sdiq_ddg Sdiq_isa Sdiq_util Sdiq_workloads Str_split String

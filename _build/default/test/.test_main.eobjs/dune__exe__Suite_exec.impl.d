@@ -1,0 +1,1 @@
+test/suite_exec.ml: Alcotest Asm Exec Reg Sdiq_isa

@@ -1,0 +1,1 @@
+test/suite_isa.ml: Alcotest Array Asm Exec Fu Instr List Opcode Printf Prog Reg Rewrite Sdiq_isa

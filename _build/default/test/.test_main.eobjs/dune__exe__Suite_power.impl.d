@@ -1,0 +1,1 @@
+test/suite_power.ml: Alcotest Sdiq_cpu Sdiq_harness Sdiq_power Sdiq_workloads

@@ -1,0 +1,1 @@
+test/suite_tools.ml: Alcotest List Sdiq_cpu Sdiq_harness Sdiq_power Sdiq_workloads String

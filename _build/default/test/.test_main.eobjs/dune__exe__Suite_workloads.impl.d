@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Exec Instr List Opcode Option Prog Sdiq_cfg Sdiq_core Sdiq_cpu Sdiq_isa Sdiq_workloads

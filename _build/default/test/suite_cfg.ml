@@ -1,0 +1,211 @@
+(* Tests for CFG construction, dominators, natural loops and region
+   decomposition. *)
+
+open Sdiq_isa
+module Cfg = Sdiq_cfg.Cfg
+module Dom = Sdiq_cfg.Dom
+module Loops = Sdiq_cfg.Loops
+module Regions = Sdiq_cfg.Regions
+
+let r = Reg.int
+
+let build_cfg build =
+  let b = Asm.create () in
+  build b;
+  let prog = Asm.assemble b ~entry:"main" in
+  let proc = Option.get (Prog.find_proc prog "main") in
+  (prog, Cfg.build prog proc)
+
+(* A diamond: entry branches to then/else, both fall into join. *)
+let diamond b =
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 1;
+  Asm.beq p (r 1) Reg.zero "else_";
+  Asm.addi p (r 2) (r 2) 1;
+  Asm.jmp p "join";
+  Asm.label p "else_";
+  Asm.addi p (r 2) (r 2) 2;
+  Asm.label p "join";
+  Asm.halt p
+
+let test_diamond_blocks () =
+  let _, cfg = build_cfg diamond in
+  Alcotest.(check int) "4 blocks" 4 (Cfg.num_blocks cfg);
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ]
+    (List.sort compare (Cfg.succs cfg 0));
+  Alcotest.(check (list int)) "then succ" [ 3 ] (Cfg.succs cfg 1);
+  Alcotest.(check (list int)) "else succ" [ 3 ] (Cfg.succs cfg 2);
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ]
+    (List.sort compare (Cfg.preds cfg 3))
+
+let test_diamond_dominators () =
+  let _, cfg = build_cfg diamond in
+  let dom = Dom.compute cfg in
+  Alcotest.(check bool) "entry dominates all" true (Dom.dominates dom 0 3);
+  Alcotest.(check bool) "then does not dominate join" false
+    (Dom.dominates dom 1 3);
+  Alcotest.(check bool) "self domination" true (Dom.dominates dom 2 2)
+
+let simple_loop b =
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 10;
+  Asm.label p "loop";
+  Asm.addi p (r 1) (r 1) (-1);
+  Asm.bne p (r 1) Reg.zero "loop";
+  Asm.halt p
+
+let test_simple_loop_detected () =
+  let _, cfg = build_cfg simple_loop in
+  let loops = Loops.find cfg in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check int) "header is block 1" 1 l.Loops.header;
+  Alcotest.(check int) "depth 1" 1 l.Loops.depth;
+  Alcotest.(check bool) "body contains header" true
+    (Loops.Iset.mem 1 l.Loops.body)
+
+let nested_loops b =
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 5;
+  Asm.label p "outer";
+  Asm.li p (r 2) 5;
+  Asm.label p "inner";
+  Asm.addi p (r 2) (r 2) (-1);
+  Asm.bne p (r 2) Reg.zero "inner";
+  Asm.addi p (r 1) (r 1) (-1);
+  Asm.bne p (r 1) Reg.zero "outer";
+  Asm.halt p
+
+let test_nested_loops () =
+  let _, cfg = build_cfg nested_loops in
+  let loops = Loops.find cfg in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let inner = List.find (fun l -> l.Loops.depth = 2) loops in
+  let outer = List.find (fun l -> l.Loops.depth = 1) loops in
+  Alcotest.(check bool) "inner body inside outer" true
+    (Loops.Iset.subset inner.Loops.body outer.Loops.body);
+  (* The paper separates inner blocks from the outer loop's own blocks. *)
+  Alcotest.(check bool) "outer own excludes inner" true
+    (Loops.Iset.is_empty
+       (Loops.Iset.inter outer.Loops.own inner.Loops.body))
+
+let test_regions_cover_all_blocks () =
+  let _, cfg = build_cfg nested_loops in
+  let t = Regions.decompose cfg in
+  let covered = Hashtbl.create 16 in
+  List.iter
+    (fun reg ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "block %d not duplicated" b)
+            false (Hashtbl.mem covered b);
+          Hashtbl.replace covered b ())
+        (Regions.blocks t reg))
+    t.Regions.regions;
+  Alcotest.(check int) "all blocks covered" (Cfg.num_blocks cfg)
+    (Hashtbl.length covered)
+
+let call_heavy b =
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 1;
+  Asm.call p "helper";
+  Asm.addi p (r 1) (r 1) 1;
+  Asm.call p "helper";
+  Asm.addi p (r 1) (r 1) 1;
+  Asm.halt p;
+  let q = Asm.proc b "helper" in
+  Asm.addi q (r 2) (r 2) 1;
+  Asm.ret q
+
+let test_call_starts_new_dag () =
+  let prog, cfg = build_cfg call_heavy in
+  ignore prog;
+  let t = Regions.decompose cfg in
+  let dags =
+    List.filter (function Regions.Dag _ -> true | _ -> false)
+      t.Regions.regions
+  in
+  (* Blocks: [li,call] [addi,call] [addi,halt] — each post-call block seeds
+     its own DAG, so three DAGs. *)
+  Alcotest.(check int) "three dags" 3 (List.length dags)
+
+let test_regions_simple_loop () =
+  let _, cfg = build_cfg simple_loop in
+  let t = Regions.decompose cfg in
+  let nloops =
+    List.length
+      (List.filter (function Regions.Loop _ -> true | _ -> false)
+         t.Regions.regions)
+  in
+  Alcotest.(check int) "one loop region" 1 nloops
+
+let test_cfg_block_at () =
+  let _, cfg = build_cfg simple_loop in
+  let b = Cfg.block_at cfg 1 in
+  Alcotest.(check int) "addr 1 in block 1" 1 b.Cfg.id
+
+let test_reverse_postorder_starts_at_entry () =
+  let _, cfg = build_cfg diamond in
+  match Cfg.reverse_postorder cfg with
+  | 0 :: _ -> ()
+  | _ -> Alcotest.fail "rpo must start at entry"
+
+let test_rpo_covers_all () =
+  let _, cfg = build_cfg nested_loops in
+  let rpo = Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "covers all blocks" (Cfg.num_blocks cfg)
+    (List.length (List.sort_uniq compare rpo))
+
+(* A switch-like CFG via a jump table pattern (chain of beq). *)
+let switch_like b =
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 2;
+  Asm.li p (r 9) 1;
+  Asm.beq p (r 1) (r 9) "case1";
+  Asm.li p (r 9) 2;
+  Asm.beq p (r 1) (r 9) "case2";
+  Asm.li p (r 9) 3;
+  Asm.beq p (r 1) (r 9) "case3";
+  Asm.jmp p "done";
+  Asm.label p "case1";
+  Asm.li p (r 2) 10;
+  Asm.jmp p "done";
+  Asm.label p "case2";
+  Asm.li p (r 2) 20;
+  Asm.jmp p "done";
+  Asm.label p "case3";
+  Asm.li p (r 2) 30;
+  Asm.label p "done";
+  Asm.halt p
+
+let test_switch_cfg () =
+  let _, cfg = build_cfg switch_like in
+  Alcotest.(check bool) "many blocks" true (Cfg.num_blocks cfg >= 8);
+  let loops = Loops.find cfg in
+  Alcotest.(check int) "no loops" 0 (List.length loops);
+  (* Done block has four predecessors (three jmps + fallthrough). *)
+  let t = Regions.decompose cfg in
+  let total =
+    List.fold_left
+      (fun acc r -> acc + List.length (Regions.blocks t r))
+      0 t.Regions.regions
+  in
+  Alcotest.(check int) "regions cover blocks" (Cfg.num_blocks cfg) total
+
+let suite =
+  [
+    Alcotest.test_case "diamond blocks" `Quick test_diamond_blocks;
+    Alcotest.test_case "diamond dominators" `Quick test_diamond_dominators;
+    Alcotest.test_case "simple loop detected" `Quick test_simple_loop_detected;
+    Alcotest.test_case "nested loops" `Quick test_nested_loops;
+    Alcotest.test_case "regions cover all blocks" `Quick
+      test_regions_cover_all_blocks;
+    Alcotest.test_case "call starts new dag" `Quick test_call_starts_new_dag;
+    Alcotest.test_case "one loop region" `Quick test_regions_simple_loop;
+    Alcotest.test_case "block_at" `Quick test_cfg_block_at;
+    Alcotest.test_case "rpo starts at entry" `Quick
+      test_reverse_postorder_starts_at_entry;
+    Alcotest.test_case "rpo covers all" `Quick test_rpo_covers_all;
+    Alcotest.test_case "switch-like cfg" `Quick test_switch_cfg;
+  ]

@@ -1,0 +1,219 @@
+(* Tests for the DDG construction and the CDS/loop-schedule analysis,
+   including the paper's worked examples (Figures 1 and 4). *)
+
+open Sdiq_isa
+
+let r = Reg.int
+
+let instr ?dst ?src1 ?src2 op = Instr.make ?dst ?src1 ?src2 op
+
+(* The basic block of Figure 1(a):
+     a: add r1, 1, r1    b: add r2, 2, r2
+     c: mul r1, 5, r3    d: mul r2, 5, r4
+     e: add r3, r4, r5   f: add r2, r4, r6 *)
+let fig1_block () =
+  [|
+    Instr.make ~dst:(r 1) ~src1:(r 1) ~imm:1 Opcode.Addi;
+    Instr.make ~dst:(r 2) ~src1:(r 2) ~imm:2 Opcode.Addi;
+    Instr.make ~dst:(r 3) ~src1:(r 1) ~imm:5 Opcode.Shli (* stand-in mul-by-5 via 1-cycle alu, shape only *);
+    Instr.make ~dst:(r 4) ~src1:(r 2) ~imm:5 Opcode.Shli;
+    instr ~dst:(r 5) ~src1:(r 3) ~src2:(r 4) Opcode.Add;
+    instr ~dst:(r 6) ~src1:(r 2) ~src2:(r 4) Opcode.Add;
+  |]
+
+let test_block_edges () =
+  let g = Sdiq_ddg.Ddg.build (fig1_block ()) in
+  let has src dst =
+    List.exists
+      (fun (e : Sdiq_ddg.Ddg.edge) -> e.src = src && e.dst = dst)
+      (Sdiq_ddg.Ddg.edges g)
+  in
+  Alcotest.(check bool) "a -> c" true (has 0 2);
+  Alcotest.(check bool) "b -> d" true (has 1 3);
+  Alcotest.(check bool) "c -> e" true (has 2 4);
+  Alcotest.(check bool) "d -> e" true (has 3 4);
+  Alcotest.(check bool) "b -> f" true (has 1 5);
+  Alcotest.(check bool) "d -> f" true (has 3 5);
+  Alcotest.(check bool) "no a -> b" false (has 0 1);
+  Alcotest.(check bool) "no e -> f" false (has 4 5)
+
+let test_zero_reg_no_dep () =
+  let g =
+    Sdiq_ddg.Ddg.build
+      [|
+        instr ~dst:(Reg.int 0) ~src1:(r 1) Opcode.Mov;
+        instr ~dst:(r 2) ~src1:(Reg.int 0) Opcode.Mov;
+      |]
+  in
+  Alcotest.(check int) "r0 creates no edges" 0
+    (List.length (Sdiq_ddg.Ddg.edges g))
+
+let test_mem_edges_same_location () =
+  let g =
+    Sdiq_ddg.Ddg.build
+      [|
+        Instr.make ~src1:(r 1) ~src2:(r 2) ~imm:8 Opcode.Store;
+        Instr.make ~dst:(r 3) ~src1:(r 1) ~imm:8 Opcode.Load;
+        Instr.make ~dst:(r 4) ~src1:(r 1) ~imm:16 Opcode.Load;
+      |]
+  in
+  let has src dst =
+    List.exists
+      (fun (e : Sdiq_ddg.Ddg.edge) -> e.src = src && e.dst = dst)
+      (Sdiq_ddg.Ddg.edges g)
+  in
+  Alcotest.(check bool) "store->load same location" true (has 0 1);
+  Alcotest.(check bool) "store->load different offset" false (has 0 2)
+
+let test_mem_edge_killed_by_base_redef () =
+  let g =
+    Sdiq_ddg.Ddg.build
+      [|
+        Instr.make ~src1:(r 1) ~src2:(r 2) ~imm:0 Opcode.Store;
+        Instr.make ~dst:(r 1) ~src1:(r 1) ~imm:4 Opcode.Addi;
+        Instr.make ~dst:(r 3) ~src1:(r 1) ~imm:0 Opcode.Load;
+      |]
+  in
+  let has src dst =
+    List.exists
+      (fun (e : Sdiq_ddg.Ddg.edge) -> e.src = src && e.dst = dst)
+      (Sdiq_ddg.Ddg.edges g)
+  in
+  Alcotest.(check bool) "base redefined: no provable alias" false (has 0 2)
+
+(* The loop of Figure 4:
+     a: a_i = a_{i-1} + 1   (self-dependent)
+     b: b_i = a_i + 1
+     c: c_i = b_i + 1
+     d: d_i = b_i + 1
+     e: e_i = d_i + 1
+     f: f_i = c_i + 1
+   All latencies 1. The paper derives offsets b=+1, c=d=+2, e=f=+3 relative
+   to a, and an IQ requirement of 15 entries. *)
+let fig4_body () =
+  [|
+    Instr.make ~dst:(r 1) ~src1:(r 1) ~imm:1 Opcode.Addi;
+    Instr.make ~dst:(r 2) ~src1:(r 1) ~imm:1 Opcode.Addi;
+    Instr.make ~dst:(r 3) ~src1:(r 2) ~imm:1 Opcode.Addi;
+    Instr.make ~dst:(r 4) ~src1:(r 2) ~imm:1 Opcode.Addi;
+    Instr.make ~dst:(r 5) ~src1:(r 4) ~imm:1 Opcode.Addi;
+    Instr.make ~dst:(r 6) ~src1:(r 3) ~imm:1 Opcode.Addi;
+  |]
+
+let test_fig4_cds () =
+  let g = Sdiq_ddg.Ddg.of_loop_body (fig4_body ()) in
+  let sch = Sdiq_ddg.Cds.schedule g in
+  Alcotest.(check int) "II = 1" 1 sch.Sdiq_ddg.Cds.ii;
+  Alcotest.(check (list int)) "CDS = {a}" [ 0 ] sch.Sdiq_ddg.Cds.cds;
+  Alcotest.(check int) "reference = a" 0 sch.Sdiq_ddg.Cds.reference
+
+let test_fig4_equations () =
+  let g = Sdiq_ddg.Ddg.of_loop_body (fig4_body ()) in
+  let sch = Sdiq_ddg.Cds.schedule g in
+  let offset n =
+    let eq =
+      List.find (fun e -> e.Sdiq_ddg.Cds.node = n) sch.Sdiq_ddg.Cds.equations
+    in
+    (eq.Sdiq_ddg.Cds.iter_offset, eq.Sdiq_ddg.Cds.cycle_residual)
+  in
+  Alcotest.(check (pair int int)) "a: i+0" (0, 0) (offset 0);
+  Alcotest.(check (pair int int)) "b: i+1" (1, 0) (offset 1);
+  Alcotest.(check (pair int int)) "c: i+2" (2, 0) (offset 2);
+  Alcotest.(check (pair int int)) "d: i+2" (2, 0) (offset 3);
+  Alcotest.(check (pair int int)) "e: i+3" (3, 0) (offset 4);
+  Alcotest.(check (pair int int)) "f: i+3" (3, 0) (offset 5)
+
+let test_fig4_iq_need () =
+  let g = Sdiq_ddg.Ddg.of_loop_body (fig4_body ()) in
+  let sch = Sdiq_ddg.Cds.schedule g in
+  Alcotest.(check int) "15 entries, as in the paper" 15
+    (Sdiq_ddg.Cds.iq_need g sch)
+
+(* A loop whose recurrence has latency 3 through the multiplier: II = 3. *)
+let test_mul_recurrence_ii () =
+  let body =
+    [|
+      instr ~dst:(r 1) ~src1:(r 1) ~src2:(r 2) Opcode.Mul;
+      instr ~dst:(r 3) ~src1:(r 1) ~src2:(r 2) Opcode.Add;
+    |]
+  in
+  let g = Sdiq_ddg.Ddg.of_loop_body body in
+  let sch = Sdiq_ddg.Cds.schedule g in
+  Alcotest.(check int) "II = mul latency" 3 sch.Sdiq_ddg.Cds.ii
+
+(* Independent iterations: II limited by resources, not recurrences. *)
+let test_resource_ii () =
+  let body =
+    Array.init 12 (fun i ->
+        instr ~dst:(r (i + 1)) ~src1:(Reg.int 0) Opcode.Mov)
+  in
+  let g = Sdiq_ddg.Ddg.of_loop_body body in
+  let sch = Sdiq_ddg.Cds.schedule g in
+  (* 12 independent 1-cycle ALU ops, width 8, 6 ALUs: ceil(12/6) = 2 *)
+  Alcotest.(check int) "II = resource bound" 2 sch.Sdiq_ddg.Cds.ii;
+  Alcotest.(check (list int)) "no CDS" [] sch.Sdiq_ddg.Cds.cds
+
+(* A two-instruction mutual recurrence: a uses b from the previous
+   iteration, b uses a from this iteration. Total latency 2, distance 1:
+   II = 2. *)
+let test_two_node_cds () =
+  let body =
+    [|
+      instr ~dst:(r 1) ~src1:(r 2) Opcode.Mov;
+      instr ~dst:(r 2) ~src1:(r 1) Opcode.Mov;
+    |]
+  in
+  let g = Sdiq_ddg.Ddg.of_loop_body body in
+  let sch = Sdiq_ddg.Cds.schedule g in
+  Alcotest.(check int) "II = 2" 2 sch.Sdiq_ddg.Cds.ii;
+  Alcotest.(check (list int)) "CDS = {a, b}" [ 0; 1 ] sch.Sdiq_ddg.Cds.cds
+
+let test_carried_edge_exists () =
+  let g = Sdiq_ddg.Ddg.of_loop_body (fig4_body ()) in
+  let carried =
+    List.filter (fun (e : Sdiq_ddg.Ddg.edge) -> e.distance = 1)
+      (Sdiq_ddg.Ddg.edges g)
+  in
+  Alcotest.(check bool) "a -> a carried" true
+    (List.exists
+       (fun (e : Sdiq_ddg.Ddg.edge) -> e.src = 0 && e.dst = 0)
+       carried)
+
+let test_cds_sets_detect_multiple () =
+  (* Two independent recurrences: {0} on r1 and {2,3} on r2/r3. *)
+  let body =
+    [|
+      Instr.make ~dst:(r 1) ~src1:(r 1) ~imm:1 Opcode.Addi;
+      instr ~dst:(r 9) ~src1:(r 1) Opcode.Mov;
+      instr ~dst:(r 2) ~src1:(r 3) Opcode.Mov;
+      instr ~dst:(r 3) ~src1:(r 2) Opcode.Mov;
+    |]
+  in
+  let g = Sdiq_ddg.Ddg.of_loop_body body in
+  let sets = Sdiq_ddg.Cds.cds_sets g in
+  Alcotest.(check int) "two CDSs" 2 (List.length sets)
+
+let test_empty_ddg () =
+  let g = Sdiq_ddg.Ddg.build [||] in
+  let sch = Sdiq_ddg.Cds.schedule g in
+  Alcotest.(check int) "empty body II" 1 sch.Sdiq_ddg.Cds.ii;
+  Alcotest.(check int) "empty body need" 1 (Sdiq_ddg.Cds.iq_need g sch)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 block edges" `Quick test_block_edges;
+    Alcotest.test_case "zero register has no deps" `Quick test_zero_reg_no_dep;
+    Alcotest.test_case "memory edges same location" `Quick
+      test_mem_edges_same_location;
+    Alcotest.test_case "memory edge killed by base redef" `Quick
+      test_mem_edge_killed_by_base_redef;
+    Alcotest.test_case "fig4 CDS detection" `Quick test_fig4_cds;
+    Alcotest.test_case "fig4 equations" `Quick test_fig4_equations;
+    Alcotest.test_case "fig4 IQ need = 15" `Quick test_fig4_iq_need;
+    Alcotest.test_case "mul recurrence II" `Quick test_mul_recurrence_ii;
+    Alcotest.test_case "resource-bound II" `Quick test_resource_ii;
+    Alcotest.test_case "two-node CDS" `Quick test_two_node_cds;
+    Alcotest.test_case "carried self edge" `Quick test_carried_edge_exists;
+    Alcotest.test_case "multiple CDS sets" `Quick test_cds_sets_detect_multiple;
+    Alcotest.test_case "empty DDG" `Quick test_empty_ddg;
+  ]

@@ -1,0 +1,328 @@
+(* Edge cases across the substrates: assembler/program structure, CFG
+   shapes the workloads rely on, DDG subtleties, and generator
+   invariants. *)
+
+open Sdiq_isa
+module Cfg = Sdiq_cfg.Cfg
+module Loops = Sdiq_cfg.Loops
+module Regions = Sdiq_cfg.Regions
+
+let r = Reg.int
+
+let assemble build =
+  let b = Asm.create () in
+  build b;
+  Asm.assemble b ~entry:"main"
+
+(* --- assembler / program --- *)
+
+let test_multi_proc_layout_contiguous () =
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.nop p;
+        Asm.halt p;
+        let q1 = Asm.proc b "a" in
+        Asm.nop q1;
+        Asm.ret q1;
+        let q2 = Asm.proc b "b" in
+        Asm.ret q2)
+  in
+  let ends =
+    List.map (fun (p : Prog.proc) -> (p.Prog.entry, p.Prog.entry + p.Prog.len))
+      prog.Prog.procs
+  in
+  (* Procedures tile the address space without gaps. *)
+  let sorted = List.sort compare ends in
+  let rec tiles = function
+    | (_, e1) :: ((s2, _) :: _ as rest) -> e1 = s2 && tiles rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "contiguous layout" true (tiles sorted);
+  Alcotest.(check int) "total length" (Prog.length prog)
+    (List.fold_left (fun acc (p : Prog.proc) -> acc + p.Prog.len) 0
+       prog.Prog.procs)
+
+let test_forward_and_backward_labels () =
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.jmp p "fwd";       (* forward reference *)
+        Asm.label p "back";
+        Asm.halt p;
+        Asm.label p "fwd";
+        Asm.jmp p "back")      (* backward reference *)
+  in
+  Alcotest.(check int) "forward target" 2 (Prog.instr prog 0).Instr.target;
+  Alcotest.(check int) "backward target" 1 (Prog.instr prog 2).Instr.target
+
+let test_entry_can_be_any_proc () =
+  let b = Asm.create () in
+  let p = Asm.proc b "helper" in
+  Asm.ret p;
+  let q = Asm.proc b "main" in
+  Asm.halt q;
+  let prog = Asm.assemble b ~entry:"main" in
+  Alcotest.(check int) "entry points at main" 1 prog.Prog.entry
+
+(* --- executor --- *)
+
+let test_exec_negative_addresses_harmless () =
+  (* A load from a negative effective address must not fault. *)
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.li p (r 1) 4;
+        Asm.load p (r 2) (r 1) (-100);
+        Asm.store p Reg.zero (r 2) 0;
+        Asm.halt p)
+  in
+  let st = Exec.create prog in
+  ignore (Exec.run st);
+  Alcotest.(check int) "reads zero" 0 (Exec.peek st 0)
+
+let test_exec_deep_call_stack () =
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.li p (r 1) 5000;
+        Asm.call p "rec";
+        Asm.store p Reg.zero (r 2) 0;
+        Asm.halt p;
+        let q = Asm.proc b "rec" in
+        Asm.addi q (r 1) (r 1) (-1);
+        Asm.beq q (r 1) Reg.zero "done";
+        Asm.addi q (r 2) (r 2) 1;
+        Asm.call q "rec";
+        Asm.label q "done";
+        Asm.ret q)
+  in
+  let st = Exec.create prog in
+  ignore (Exec.run st);
+  Alcotest.(check int) "depth 5000 recursion" 4999 (Exec.peek st 0)
+
+(* --- cfg --- *)
+
+let test_single_block_procedure () =
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.nop p;
+        Asm.nop p;
+        Asm.halt p)
+  in
+  let cfg = Cfg.build prog (Option.get (Prog.find_proc prog "main")) in
+  Alcotest.(check int) "one block" 1 (Cfg.num_blocks cfg);
+  Alcotest.(check (list int)) "no successors" [] (Cfg.succs cfg 0)
+
+let test_self_loop_block () =
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.li p (r 1) 3;
+        Asm.label p "l";
+        Asm.addi p (r 1) (r 1) (-1);
+        Asm.bne p (r 1) Reg.zero "l";
+        Asm.halt p)
+  in
+  let cfg = Cfg.build prog (Option.get (Prog.find_proc prog "main")) in
+  let loops = Loops.find cfg in
+  Alcotest.(check int) "self-loop detected" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check int) "single-block body" 1 (Loops.Iset.cardinal l.Loops.body)
+
+let test_unreachable_code_still_partitioned () =
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.jmp p "end";
+        Asm.addi p (r 1) (r 1) 1; (* unreachable *)
+        Asm.addi p (r 1) (r 1) 2;
+        Asm.label p "end";
+        Asm.halt p)
+  in
+  let cfg = Cfg.build prog (Option.get (Prog.find_proc prog "main")) in
+  let t = Regions.decompose cfg in
+  let covered =
+    List.fold_left
+      (fun acc reg -> acc + List.length (Regions.blocks t reg))
+      0 t.Regions.regions
+  in
+  Alcotest.(check int) "unreachable blocks still in a region"
+    (Cfg.num_blocks cfg) covered
+
+let test_branch_to_proc_start () =
+  (* A loop whose header is the procedure's first instruction. *)
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.label p "top";
+        Asm.addi p (r 1) (r 1) 1;
+        Asm.slti p (r 2) (r 1) 10;
+        Asm.bne p (r 2) Reg.zero "top";
+        Asm.halt p)
+  in
+  let cfg = Cfg.build prog (Option.get (Prog.find_proc prog "main")) in
+  let loops = Loops.find cfg in
+  Alcotest.(check int) "loop at entry" 1 (List.length loops);
+  Alcotest.(check int) "header is entry block" 0 (List.hd loops).Loops.header
+
+(* --- ddg --- *)
+
+let test_two_source_same_register () =
+  (* add r2, r1, r1: one producer, but both operand slots read it. *)
+  let instrs =
+    [|
+      Instr.make ~dst:(r 1) ~imm:5 Opcode.Li;
+      Instr.make ~dst:(r 2) ~src1:(r 1) ~src2:(r 1) Opcode.Add;
+    |]
+  in
+  let g = Sdiq_ddg.Ddg.build instrs in
+  (* Two RAW edges (one per operand read). *)
+  Alcotest.(check int) "edges" 2 (List.length (Sdiq_ddg.Ddg.edges g))
+
+let test_store_then_store_no_spurious_edges () =
+  let instrs =
+    [|
+      Instr.make ~src1:(r 1) ~src2:(r 2) ~imm:0 Opcode.Store;
+      Instr.make ~src1:(r 1) ~src2:(r 3) ~imm:0 Opcode.Store;
+    |]
+  in
+  let g = Sdiq_ddg.Ddg.build instrs in
+  (* Same location: the second store depends on the first (ordering). *)
+  Alcotest.(check bool) "store->store edge" true
+    (List.exists
+       (fun (e : Sdiq_ddg.Ddg.edge) -> e.src = 0 && e.dst = 1)
+       (Sdiq_ddg.Ddg.edges g))
+
+let test_carried_edge_respects_redefinition () =
+  (* r1 is read at the top and redefined mid-body: the carried edge goes
+     to the top read only. *)
+  let instrs =
+    [|
+      Instr.make ~dst:(r 2) ~src1:(r 1) ~imm:0 Opcode.Addi; (* exposed read *)
+      Instr.make ~dst:(r 1) ~imm:7 Opcode.Li;               (* redefinition *)
+      Instr.make ~dst:(r 3) ~src1:(r 1) ~imm:0 Opcode.Addi; (* covered read *)
+    |]
+  in
+  let g = Sdiq_ddg.Ddg.of_loop_body instrs in
+  let carried =
+    List.filter (fun (e : Sdiq_ddg.Ddg.edge) -> e.distance = 1)
+      (Sdiq_ddg.Ddg.edges g)
+  in
+  Alcotest.(check int) "one carried edge" 1 (List.length carried);
+  let e = List.hd carried in
+  Alcotest.(check int) "from the redefinition" 1 e.Sdiq_ddg.Ddg.src;
+  Alcotest.(check int) "to the exposed read" 0 e.Sdiq_ddg.Ddg.dst
+
+(* --- workload generators --- *)
+
+let test_fill_chain_is_single_cycle () =
+  let rng = Sdiq_util.Rng.create 7 in
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.halt p)
+  in
+  let st = Exec.create prog in
+  let len = 257 in
+  let first =
+    Sdiq_workloads.Gen.fill_chain rng st ~base:1000 ~len ~stride:2
+  in
+  (* Following next pointers must visit every element once and return. *)
+  let visited = Hashtbl.create len in
+  let rec walk addr n =
+    if n > len then false
+    else if addr = first && n = len then true
+    else if Hashtbl.mem visited addr then false
+    else begin
+      Hashtbl.replace visited addr ();
+      walk (Exec.peek st addr) (n + 1)
+    end
+  in
+  Alcotest.(check bool) "single cycle covering all elements" true
+    (walk first 0)
+
+let test_fill_skewed_distribution () =
+  let rng = Sdiq_util.Rng.create 3 in
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.halt p)
+  in
+  let st = Exec.create prog in
+  Sdiq_workloads.Gen.fill_skewed rng st ~base:0 ~len:4000 ~kinds:8;
+  let zeros = ref 0 in
+  for i = 0 to 3999 do
+    if Exec.peek st (i * 4) = 0 then incr zeros
+  done;
+  (* Value 0 should take roughly its designed 55% share. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "zero share plausible (%d/4000)" !zeros)
+    true
+    (!zeros > 1800 && !zeros < 2600)
+
+let suite =
+  [
+    Alcotest.test_case "multi-proc layout" `Quick
+      test_multi_proc_layout_contiguous;
+    Alcotest.test_case "forward/backward labels" `Quick
+      test_forward_and_backward_labels;
+    Alcotest.test_case "entry can be any proc" `Quick test_entry_can_be_any_proc;
+    Alcotest.test_case "negative addresses harmless" `Quick
+      test_exec_negative_addresses_harmless;
+    Alcotest.test_case "deep call stack" `Quick test_exec_deep_call_stack;
+    Alcotest.test_case "single-block procedure" `Quick
+      test_single_block_procedure;
+    Alcotest.test_case "self-loop block" `Quick test_self_loop_block;
+    Alcotest.test_case "unreachable code partitioned" `Quick
+      test_unreachable_code_still_partitioned;
+    Alcotest.test_case "loop header at entry" `Quick test_branch_to_proc_start;
+    Alcotest.test_case "two sources same register" `Quick
+      test_two_source_same_register;
+    Alcotest.test_case "store-store ordering edge" `Quick
+      test_store_then_store_no_spurious_edges;
+    Alcotest.test_case "carried edge respects redefinition" `Quick
+      test_carried_edge_respects_redefinition;
+    Alcotest.test_case "fill_chain single cycle" `Quick
+      test_fill_chain_is_single_cycle;
+    Alcotest.test_case "fill_skewed distribution" `Quick
+      test_fill_skewed_distribution;
+  ]
+
+(* --- dot export (appended) --- *)
+
+let test_dot_cfg_output () =
+  let prog =
+    assemble (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.li p (r 1) 3;
+        Asm.label p "l";
+        Asm.addi p (r 1) (r 1) (-1);
+        Asm.bne p (r 1) Reg.zero "l";
+        Asm.halt p)
+  in
+  let cfg = Cfg.build prog (Option.get (Prog.find_proc prog "main")) in
+  let dot = Sdiq_ddg.Dot.cfg_to_dot cfg in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 20 && String.sub dot 0 11 = "digraph cfg");
+  (* The back edge must be marked red. *)
+  Alcotest.(check bool) "back edge styled" true
+    (String.length dot > 0
+    && Str_split.contains dot "color=red")
+
+let test_dot_ddg_output () =
+  let g =
+    Sdiq_ddg.Ddg.of_loop_body
+      [| Instr.make ~dst:(r 1) ~src1:(r 1) ~imm:1 Opcode.Addi |]
+  in
+  let dot = Sdiq_ddg.Dot.ddg_to_dot g in
+  Alcotest.(check bool) "carried edge dashed" true
+    (Str_split.contains dot "style=dashed")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "dot cfg export" `Quick test_dot_cfg_output;
+      Alcotest.test_case "dot ddg export" `Quick test_dot_ddg_output;
+    ]

@@ -1,0 +1,234 @@
+(* Tests for registers, instructions, the assembler and program rewriting. *)
+
+open Sdiq_isa
+
+let r = Reg.int
+
+let test_reg_zero () =
+  Alcotest.(check bool) "r0 is zero" true (Reg.is_zero Reg.zero);
+  Alcotest.(check bool) "r1 is not" false (Reg.is_zero (r 1));
+  Alcotest.(check bool) "f0 is not zero reg" false (Reg.is_zero (Reg.fp 0))
+
+let test_reg_dense_roundtrip () =
+  for i = 0 to Reg.count - 1 do
+    Alcotest.(check int) "dense roundtrip" i (Reg.dense (Reg.of_dense i))
+  done
+
+let test_reg_bounds () =
+  Alcotest.check_raises "int out of range"
+    (Invalid_argument "Reg.int: out of range") (fun () -> ignore (Reg.int 32));
+  Alcotest.check_raises "fp out of range"
+    (Invalid_argument "Reg.fp: out of range") (fun () -> ignore (Reg.fp (-1)))
+
+let test_instr_dest_zero_discarded () =
+  let i = Instr.make ~dst:Reg.zero ~src1:(r 1) Opcode.Mov in
+  Alcotest.(check bool) "write to r0 has no dest" true (Instr.dest i = None)
+
+let test_instr_sources_skip_zero () =
+  let i = Instr.make ~dst:(r 1) ~src1:Reg.zero ~src2:(r 2) Opcode.Add in
+  Alcotest.(check int) "only r2 is a source" 1
+    (List.length (Instr.sources i))
+
+let test_opcode_classes () =
+  Alcotest.(check bool) "mul on multiplier" true
+    (Opcode.fu_class Opcode.Mul = Fu.Int_mul);
+  Alcotest.(check bool) "load on mem port" true
+    (Opcode.fu_class Opcode.Load = Fu.Mem_port);
+  Alcotest.(check bool) "fdiv on fp muldiv" true
+    (Opcode.fu_class Opcode.Fdiv = Fu.Fp_muldiv);
+  Alcotest.(check int) "mul latency" 3 (Opcode.latency Opcode.Mul);
+  Alcotest.(check int) "fadd latency" 2 (Opcode.latency Opcode.Fadd);
+  Alcotest.(check int) "fdiv latency" 12 (Opcode.latency Opcode.Fdiv);
+  Alcotest.(check bool) "div unpipelined" true (Opcode.unpipelined Opcode.Div);
+  Alcotest.(check bool) "add pipelined" false (Opcode.unpipelined Opcode.Add)
+
+let test_fu_counts () =
+  Alcotest.(check int) "6 int alus" 6 (Fu.default_count Fu.Int_alu);
+  Alcotest.(check int) "3 multipliers" 3 (Fu.default_count Fu.Int_mul);
+  Alcotest.(check int) "4 fp alus" 4 (Fu.default_count Fu.Fp_alu);
+  Alcotest.(check int) "2 fp muldiv" 2 (Fu.default_count Fu.Fp_muldiv)
+
+let test_asm_labels_resolve () =
+  let b = Asm.create () in
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 3;
+  Asm.label p "loop";
+  Asm.addi p (r 1) (r 1) (-1);
+  Asm.bne p (r 1) Reg.zero "loop";
+  Asm.halt p;
+  let prog = Asm.assemble b ~entry:"main" in
+  Alcotest.(check int) "4 instructions" 4 (Prog.length prog);
+  let branch = Prog.instr prog 2 in
+  Alcotest.(check int) "branch targets the label" 1 branch.Instr.target
+
+let test_asm_call_resolves () =
+  let b = Asm.create () in
+  let p = Asm.proc b "main" in
+  Asm.call p "helper";
+  Asm.halt p;
+  let h = Asm.proc b "helper" in
+  Asm.ret h;
+  let prog = Asm.assemble b ~entry:"main" in
+  let call = Prog.instr prog 0 in
+  Alcotest.(check int) "call targets helper entry" 2 call.Instr.target;
+  match Prog.find_proc prog "helper" with
+  | Some hp ->
+    Alcotest.(check int) "helper entry" 2 hp.Prog.entry;
+    Alcotest.(check int) "helper len" 1 hp.Prog.len
+  | None -> Alcotest.fail "helper not found"
+
+let test_asm_unknown_label () =
+  let b = Asm.create () in
+  let p = Asm.proc b "main" in
+  Asm.jmp p "nowhere";
+  Asm.halt p;
+  match Asm.assemble b ~entry:"main" with
+  | exception Asm.Error _ -> ()
+  | _ -> Alcotest.fail "expected Asm.Error"
+
+let test_asm_unknown_entry () =
+  let b = Asm.create () in
+  let p = Asm.proc b "main" in
+  Asm.halt p;
+  match Asm.assemble b ~entry:"other" with
+  | exception Asm.Error _ -> ()
+  | _ -> Alcotest.fail "expected Asm.Error"
+
+let test_asm_duplicate_proc () =
+  let b = Asm.create () in
+  let _ = Asm.proc b "main" in
+  match Asm.proc b "main" with
+  | exception Asm.Error _ -> ()
+  | _ -> Alcotest.fail "expected Asm.Error"
+
+let test_asm_duplicate_label () =
+  let b = Asm.create () in
+  let p = Asm.proc b "main" in
+  Asm.label p "x";
+  Asm.nop p;
+  match Asm.label p "x" with
+  | exception Asm.Error _ -> ()
+  | _ -> Alcotest.fail "expected Asm.Error"
+
+let test_proc_of_addr () =
+  let b = Asm.create () in
+  let p = Asm.proc b "main" in
+  Asm.nop p;
+  Asm.halt p;
+  let q = Asm.proc b "aux" in
+  Asm.ret q;
+  let prog = Asm.assemble b ~entry:"main" in
+  (match Prog.proc_of_addr prog 1 with
+  | Some pr -> Alcotest.(check string) "addr 1 in main" "main" pr.Prog.name
+  | None -> Alcotest.fail "no proc");
+  match Prog.proc_of_addr prog 2 with
+  | Some pr -> Alcotest.(check string) "addr 2 in aux" "aux" pr.Prog.name
+  | None -> Alcotest.fail "no proc"
+
+(* Rewrite: inserting IQSETs shifts targets and entries correctly, and the
+   program still computes the same result. *)
+let make_loop_prog () =
+  let b = Asm.create () in
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 10;
+  Asm.li p (r 2) 0;
+  Asm.label p "loop";
+  Asm.add p (r 2) (r 2) (r 1);
+  Asm.addi p (r 1) (r 1) (-1);
+  Asm.bne p (r 1) Reg.zero "loop";
+  Asm.store p Reg.zero (r 2) 100;
+  Asm.halt p;
+  Asm.assemble b ~entry:"main"
+
+let run_result prog =
+  let st = Exec.create prog in
+  ignore (Exec.run st);
+  Exec.peek st 100
+
+let test_rewrite_insert_preserves_semantics () =
+  let prog = make_loop_prog () in
+  let base = run_result prog in
+  (* Annotate the loop header (address 2) and the entry (address 0). *)
+  let ann a = if a = 0 then Some 8 else if a = 2 then Some 4 else None in
+  let prog' = Rewrite.insert_iqsets prog ann in
+  Alcotest.(check int) "two instructions inserted" (Prog.length prog + 2)
+    (Prog.length prog');
+  Alcotest.(check int) "same result" base (run_result prog');
+  (* The branch must now target the inserted IQSET before the old header. *)
+  let iqsets =
+    Prog.count_matching prog' (fun i -> i.Instr.op = Opcode.Iqset)
+  in
+  Alcotest.(check int) "iqsets present" 2 iqsets
+
+let test_rewrite_branch_targets_iqset () =
+  let prog = make_loop_prog () in
+  let ann a = if a = 2 then Some 4 else None in
+  let prog' = Rewrite.insert_iqsets prog ann in
+  (* Find the backward branch in the new program and check it lands on the
+     IQSET. *)
+  let found = ref false in
+  Array.iteri
+    (fun _ (i : Instr.t) ->
+      if i.op = Opcode.Bne then begin
+        found := true;
+        let tgt = prog'.Prog.code.(i.target) in
+        Alcotest.(check bool) "branch lands on iqset" true
+          (tgt.Instr.op = Opcode.Iqset);
+        Alcotest.(check int) "iqset value" 4 tgt.Instr.imm
+      end)
+    prog'.Prog.code;
+  Alcotest.(check bool) "branch found" true !found
+
+let test_rewrite_strip_roundtrip () =
+  let prog = make_loop_prog () in
+  let ann a = if a = 0 then Some 8 else if a = 2 then Some 4 else None in
+  let prog' = Rewrite.insert_iqsets prog ann in
+  let stripped = Rewrite.strip prog' in
+  Alcotest.(check int) "same length as original" (Prog.length prog)
+    (Prog.length stripped);
+  Alcotest.(check int) "same result" (run_result prog) (run_result stripped);
+  Array.iteri
+    (fun a (i : Instr.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "op %d matches" a)
+        true
+        (i.op = (Prog.instr prog a).Instr.op))
+    stripped.Prog.code
+
+let test_rewrite_tags () =
+  let prog = make_loop_prog () in
+  let ann a = if a = 2 then Some 6 else None in
+  let tagged = Rewrite.apply_tags prog ann in
+  Alcotest.(check int) "same length" (Prog.length prog) (Prog.length tagged);
+  Alcotest.(check bool) "tag applied" true
+    ((Prog.instr tagged 2).Instr.tag = Some 6);
+  Alcotest.(check bool) "original untouched" true
+    ((Prog.instr prog 2).Instr.tag = None);
+  Alcotest.(check int) "same result" (run_result prog) (run_result tagged)
+
+let suite =
+  [
+    Alcotest.test_case "reg zero" `Quick test_reg_zero;
+    Alcotest.test_case "reg dense roundtrip" `Quick test_reg_dense_roundtrip;
+    Alcotest.test_case "reg bounds" `Quick test_reg_bounds;
+    Alcotest.test_case "write to r0 discarded" `Quick
+      test_instr_dest_zero_discarded;
+    Alcotest.test_case "sources skip r0" `Quick test_instr_sources_skip_zero;
+    Alcotest.test_case "opcode classes and latencies" `Quick
+      test_opcode_classes;
+    Alcotest.test_case "fu default counts" `Quick test_fu_counts;
+    Alcotest.test_case "asm labels resolve" `Quick test_asm_labels_resolve;
+    Alcotest.test_case "asm call resolves" `Quick test_asm_call_resolves;
+    Alcotest.test_case "asm unknown label" `Quick test_asm_unknown_label;
+    Alcotest.test_case "asm unknown entry" `Quick test_asm_unknown_entry;
+    Alcotest.test_case "asm duplicate proc" `Quick test_asm_duplicate_proc;
+    Alcotest.test_case "asm duplicate label" `Quick test_asm_duplicate_label;
+    Alcotest.test_case "proc_of_addr" `Quick test_proc_of_addr;
+    Alcotest.test_case "rewrite preserves semantics" `Quick
+      test_rewrite_insert_preserves_semantics;
+    Alcotest.test_case "rewrite branch targets iqset" `Quick
+      test_rewrite_branch_targets_iqset;
+    Alcotest.test_case "rewrite strip roundtrip" `Quick
+      test_rewrite_strip_roundtrip;
+    Alcotest.test_case "rewrite tags" `Quick test_rewrite_tags;
+  ]

@@ -1,0 +1,260 @@
+(* Property-based tests (qcheck): random programs through the whole stack.
+
+   The generator produces small but structurally varied programs —
+   straight-line arithmetic, memory traffic, a counted loop, a helper
+   call — and the properties assert the invariants the paper's technique
+   rests on: annotation never changes program semantics, the pipeline
+   agrees with the functional executor under every policy, the wakeup
+   accounting is ordered, and the analysis outputs are in range. *)
+
+open Sdiq_isa
+
+(* --- program generator -------------------------------------------------- *)
+
+type op_kind =
+  | K_addi of int * int * int (* dst, src, imm *)
+  | K_add of int * int * int
+  | K_mul of int * int * int
+  | K_xor of int * int * int
+  | K_load of int * int * int (* dst, base, offset *)
+  | K_store of int * int * int (* base, value, offset *)
+
+let gen_kind =
+  let open QCheck.Gen in
+  let reg = int_range 1 8 in
+  let reg0 = int_range 0 8 in
+  frequency
+    [
+      (4, map3 (fun d s i -> K_addi (d, s, i)) reg reg0 (int_range (-20) 20));
+      (3, map3 (fun d a b -> K_add (d, a, b)) reg reg0 reg0);
+      (1, map3 (fun d a b -> K_mul (d, a, b)) reg reg0 reg0);
+      (2, map3 (fun d a b -> K_xor (d, a, b)) reg reg0 reg0);
+      (2, map3 (fun d b o -> K_load (d, b, o * 4)) reg reg (int_range 0 63));
+      (1, map3 (fun b v o -> K_store (b, v, o * 4)) reg reg (int_range 0 63));
+    ]
+
+type prog_desc = {
+  prologue : op_kind list;
+  loop_body : op_kind list;
+  loop_count : int;
+  helper_body : op_kind list;
+  call_helper : bool;
+}
+
+let gen_desc =
+  let open QCheck.Gen in
+  let body n = list_size (int_range 1 n) gen_kind in
+  map
+    (fun (prologue, loop_body, loop_count, helper_body, call_helper) ->
+      { prologue; loop_body; loop_count; helper_body; call_helper })
+    (tup5 (body 12) (body 10) (int_range 1 25) (body 6) bool)
+
+let emit p kind =
+  let r = Reg.int in
+  match kind with
+  | K_addi (d, s, i) -> Asm.addi p (r d) (r s) i
+  | K_add (d, a, b) -> Asm.add p (r d) (r a) (r b)
+  | K_mul (d, a, b) -> Asm.mul p (r d) (r a) (r b)
+  | K_xor (d, a, b) -> Asm.xor p (r d) (r a) (r b)
+  | K_load (d, b, o) ->
+    (* Keep addresses positive and bounded: mask the base first. *)
+    Asm.andi p (r b) (r b) 4095;
+    Asm.load p (r d) (r b) o
+  | K_store (b, v, o) ->
+    Asm.andi p (r b) (r b) 4095;
+    Asm.store p (r b) (r v) o
+
+let build_program desc =
+  let r = Reg.int in
+  let b = Asm.create () in
+  let p = Asm.proc b "main" in
+  (* Seed registers deterministically so arithmetic has material. *)
+  for i = 1 to 8 do
+    Asm.li p (r i) (i * 37)
+  done;
+  List.iter (emit p) desc.prologue;
+  Asm.li p (r 9) desc.loop_count;
+  Asm.label p "loop";
+  List.iter (emit p) desc.loop_body;
+  if desc.call_helper then Asm.call p "helper";
+  Asm.addi p (r 9) (r 9) (-1);
+  Asm.bne p (r 9) Reg.zero "loop";
+  (* Publish the architectural state. *)
+  for i = 1 to 8 do
+    Asm.store p Reg.zero (r i) (8000 + (i * 4))
+  done;
+  Asm.halt p;
+  let q = Asm.proc b "helper" in
+  List.iter (emit q) desc.helper_body;
+  Asm.ret q;
+  Asm.assemble b ~entry:"main"
+
+let arbitrary_prog =
+  QCheck.make ~print:(fun d ->
+      Printf.sprintf "prologue=%d loop=%dx%d helper=%b"
+        (List.length d.prologue) (List.length d.loop_body) d.loop_count
+        d.call_helper)
+    gen_desc
+
+(* Final architectural fingerprint of a functional run. *)
+let functional_result prog =
+  let st = Exec.create prog in
+  let steps = Exec.run ~max_steps:500_000 st in
+  let regs = List.init 8 (fun i -> Exec.peek st (8000 + ((i + 1) * 4))) in
+  (steps, regs)
+
+let pipeline_result ?policy prog =
+  let t = Sdiq_cpu.Pipeline.create ?policy prog in
+  let stats = Sdiq_cpu.Pipeline.run ~max_cycles:3_000_000 t in
+  let regs =
+    List.init 8 (fun i -> Exec.peek t.Sdiq_cpu.Pipeline.exec (8000 + ((i + 1) * 4)))
+  in
+  (stats, regs)
+
+(* --- properties --------------------------------------------------------- *)
+
+let count = 40
+
+let prop_annotation_preserves_semantics =
+  QCheck.Test.make ~count ~name:"noop annotation preserves semantics"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      let annotated, _ = Sdiq_core.Annotate.noop prog in
+      let _, r1 = functional_result prog in
+      let _, r2 = functional_result annotated in
+      r1 = r2)
+
+let prop_tagging_preserves_semantics =
+  QCheck.Test.make ~count ~name:"tagging preserves semantics" arbitrary_prog
+    (fun desc ->
+      let prog = build_program desc in
+      let tagged, _ = Sdiq_core.Annotate.extension prog in
+      let _, r1 = functional_result prog in
+      let _, r2 = functional_result tagged in
+      r1 = r2)
+
+let prop_pipeline_matches_functional =
+  QCheck.Test.make ~count ~name:"pipeline matches functional execution"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      let _, expected = functional_result prog in
+      let _, got = pipeline_result prog in
+      got = expected)
+
+let prop_software_policy_correct_and_live =
+  QCheck.Test.make ~count ~name:"software policy: same result, no deadlock"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      let annotated, _ = Sdiq_core.Annotate.noop prog in
+      let _, expected = functional_result prog in
+      let _, got =
+        pipeline_result ~policy:(Sdiq_cpu.Policy.software ()) annotated
+      in
+      got = expected)
+
+let prop_abella_policy_correct_and_live =
+  QCheck.Test.make ~count ~name:"abella policy: same result, no deadlock"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      let _, expected = functional_result prog in
+      let _, got = pipeline_result ~policy:(Sdiq_cpu.Policy.abella ()) prog in
+      got = expected)
+
+let prop_analysis_values_in_range =
+  QCheck.Test.make ~count ~name:"annotation values within [2, 80]"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      let anns = Sdiq_core.Procedure.analyze_program prog in
+      anns <> []
+      && List.for_all
+           (fun (a : Sdiq_core.Procedure.annotation) ->
+             a.value >= 2 && a.value <= 80)
+           anns)
+
+let prop_wakeup_ordering =
+  QCheck.Test.make ~count ~name:"gated <= nonEmpty <= naive wakeups"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      let stats, _ = pipeline_result prog in
+      stats.Sdiq_cpu.Stats.iq_wakeups_gated
+      <= stats.Sdiq_cpu.Stats.iq_wakeups_nonempty
+      && stats.Sdiq_cpu.Stats.iq_wakeups_nonempty
+         <= stats.Sdiq_cpu.Stats.iq_wakeups_naive)
+
+let prop_software_reduces_or_preserves_wakeups =
+  QCheck.Test.make ~count:25
+    ~name:"software technique never increases gated wakeups materially"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      let annotated, _ = Sdiq_core.Annotate.extension prog in
+      let base, _ = pipeline_result prog in
+      let tech, _ =
+        pipeline_result ~policy:(Sdiq_cpu.Policy.software ()) annotated
+      in
+      (* Identical committed work; the window can only remove waiting
+         operands from the queue. Tiny timing wobbles allowed. *)
+      float_of_int tech.Sdiq_cpu.Stats.iq_wakeups_gated
+      <= (1.05 *. float_of_int base.Sdiq_cpu.Stats.iq_wakeups_gated) +. 200.)
+
+let prop_strip_insert_roundtrip =
+  QCheck.Test.make ~count ~name:"strip (insert_iqsets p) ~ p" arbitrary_prog
+    (fun desc ->
+      let prog = build_program desc in
+      let annotated, _ = Sdiq_core.Annotate.noop prog in
+      let stripped = Rewrite.strip annotated in
+      Prog.length stripped = Prog.length prog
+      && Array.for_all2
+           (fun (a : Instr.t) (b : Instr.t) ->
+             a.op = b.op && a.imm = b.imm && a.target = b.target)
+           stripped.Prog.code prog.Prog.code)
+
+let prop_pseudo_iq_respects_deps =
+  QCheck.Test.make ~count ~name:"pseudo-IQ schedule respects dependences"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      let proc = Option.get (Prog.find_proc prog "main") in
+      let cfg = Sdiq_cfg.Cfg.build prog proc in
+      let blk = Sdiq_cfg.Cfg.entry_block cfg in
+      let instrs = Array.of_list (Sdiq_cfg.Cfg.instrs cfg blk) in
+      let res = Sdiq_core.Pseudo_iq.analyze instrs in
+      let g = Sdiq_ddg.Ddg.build instrs in
+      res.Sdiq_core.Pseudo_iq.need >= 1
+      && res.Sdiq_core.Pseudo_iq.need <= Array.length instrs
+      && List.for_all
+           (fun (e : Sdiq_ddg.Ddg.edge) ->
+             res.Sdiq_core.Pseudo_iq.issue_cycle.(e.dst)
+             > res.Sdiq_core.Pseudo_iq.issue_cycle.(e.src))
+           (Sdiq_ddg.Ddg.edges g))
+
+let prop_loop_schedule_sane =
+  QCheck.Test.make ~count ~name:"loop schedule: II >= 1, need in range"
+    arbitrary_prog (fun desc ->
+      let body =
+        build_program desc |> fun prog ->
+        let proc = Option.get (Prog.find_proc prog "main") in
+        let cfg = Sdiq_cfg.Cfg.build prog proc in
+        Array.of_list
+          (Sdiq_cfg.Cfg.instrs cfg (Sdiq_cfg.Cfg.entry_block cfg))
+      in
+      let g = Sdiq_ddg.Ddg.of_loop_body body in
+      let sch = Sdiq_ddg.Cds.schedule g in
+      let need = Sdiq_ddg.Cds.iq_need ~cap:80 g sch in
+      sch.Sdiq_ddg.Cds.ii >= 1
+      && need >= 1 && need <= 80
+      && Array.for_all (fun s -> s >= 0) sch.Sdiq_ddg.Cds.start)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_annotation_preserves_semantics;
+      prop_tagging_preserves_semantics;
+      prop_pipeline_matches_functional;
+      prop_software_policy_correct_and_live;
+      prop_abella_policy_correct_and_live;
+      prop_analysis_values_in_range;
+      prop_wakeup_ordering;
+      prop_software_reduces_or_preserves_wakeups;
+      prop_strip_insert_roundtrip;
+      prop_pseudo_iq_respects_deps;
+      prop_loop_schedule_sane;
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the utility library: RNG determinism and statistics. *)
+
+open Sdiq_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let da = List.init 10 (fun _ -> Rng.next a) in
+  let db = List.init 10 (fun _ -> Rng.next b) in
+  Alcotest.(check bool) "different streams" true (da <> db)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  let va = Rng.next a in
+  let vb = Rng.next b in
+  Alcotest.(check int) "copy replays" va vb
+
+let test_rng_bounds () =
+  let t = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in t 5 9 in
+    Alcotest.(check bool) "in inclusive range" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_int_invalid () =
+  let t = Rng.create 1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int t 0))
+
+let test_rng_chance_extremes () =
+  let t = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.chance t 1.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 always false" false (Rng.chance t 0.0)
+  done
+
+let test_rng_shuffle_permutes () =
+  let t = Rng.create 5 in
+  let arr = Array.init 20 (fun i -> i) in
+  let orig = Array.copy arr in
+  Rng.shuffle t arr;
+  Alcotest.(check int) "same length" (Array.length orig) (Array.length arr);
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same elements" true (sorted = orig)
+
+let test_rng_uniformity () =
+  (* Coarse sanity: each bucket of ten gets a plausible share. *)
+  let t = Rng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let v = Rng.int t 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d plausible (%d)" i c)
+        true
+        (c > n / 20 && c < n / 5))
+    buckets
+
+let test_stat_basic () =
+  let s = Stat.create () in
+  Stat.add s 1.;
+  Stat.add s 2.;
+  Stat.add s 3.;
+  Alcotest.(check int) "count" 3 (Stat.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stat.mean s);
+  Alcotest.(check (float 1e-9)) "sum" 6. (Stat.sum s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stat.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 3. (Stat.max_value s)
+
+let test_stat_empty () =
+  let s = Stat.create () in
+  Alcotest.(check int) "count" 0 (Stat.count s);
+  Alcotest.(check (float 1e-9)) "mean of empty" 0. (Stat.mean s);
+  Alcotest.(check (float 1e-9)) "min of empty" 0. (Stat.min_value s)
+
+let test_stat_reset () =
+  let s = Stat.create () in
+  Stat.add s 5.;
+  Stat.reset s;
+  Alcotest.(check int) "count after reset" 0 (Stat.count s);
+  Stat.add s 7.;
+  Alcotest.(check (float 1e-9)) "mean after reset" 7. (Stat.mean s)
+
+let test_pct_reduction () =
+  Alcotest.(check (float 1e-9)) "50%" 50. (Stat.pct_reduction ~base:10. 5.);
+  Alcotest.(check (float 1e-9)) "0%" 0. (Stat.pct_reduction ~base:10. 10.);
+  Alcotest.(check (float 1e-9)) "negative (increase)" (-10.)
+    (Stat.pct_reduction ~base:10. 11.);
+  Alcotest.(check (float 1e-9)) "zero base" 0. (Stat.pct_reduction ~base:0. 5.)
+
+let test_mean_of () =
+  Alcotest.(check (float 1e-9)) "mean of list" 2. (Stat.mean_of [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "mean of empty list" 0. (Stat.mean_of [])
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng copy independent" `Quick test_rng_copy_independent;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng invalid bound" `Quick test_rng_int_invalid;
+    Alcotest.test_case "rng chance extremes" `Quick test_rng_chance_extremes;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "stat basic" `Quick test_stat_basic;
+    Alcotest.test_case "stat empty" `Quick test_stat_empty;
+    Alcotest.test_case "stat reset" `Quick test_stat_reset;
+    Alcotest.test_case "pct reduction" `Quick test_pct_reduction;
+    Alcotest.test_case "mean of list" `Quick test_mean_of;
+  ]

@@ -1,0 +1,156 @@
+(* Tests for the workload suite: every benchmark assembles, runs to
+   completion functionally, is deterministic, and has the character its
+   SPECint namesake is chosen for. *)
+
+open Sdiq_isa
+module Suite = Sdiq_workloads.Suite
+module Bench = Sdiq_workloads.Bench
+module Stats = Sdiq_cpu.Stats
+
+let paper_order =
+  [ "gzip"; "vpr"; "gcc"; "mcf"; "crafty"; "parser"; "perlbmk"; "gap";
+    "vortex"; "bzip2"; "twolf" ]
+
+let test_suite_complete () =
+  Alcotest.(check (list string)) "the paper's eleven benchmarks" paper_order
+    (Suite.names ())
+
+let test_all_assemble_and_run_functionally () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let st = Exec.create b.Bench.prog in
+      b.Bench.init st;
+      let steps = Exec.run ~max_steps:2_000_000 st in
+      Alcotest.(check bool)
+        (b.Bench.name ^ " terminates")
+        true
+        (st.Exec.halted && steps < 2_000_000);
+      Alcotest.(check bool)
+        (b.Bench.name ^ " does work")
+        true (steps > 1_000))
+    (Suite.tiny ())
+
+let simulate ?(policy = Sdiq_cpu.Policy.unlimited) ?(budget = 12_000)
+    (b : Bench.t) =
+  Sdiq_cpu.Pipeline.simulate ~policy ~init:b.Bench.init ~max_insns:budget
+    b.Bench.prog
+
+let find name = Option.get (Suite.find name)
+
+let test_all_simulate_deterministically () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let s1 = simulate ~budget:5_000 b in
+      let s2 = simulate ~budget:5_000 b in
+      Alcotest.(check int) (b.Bench.name ^ " same cycles") s1.Stats.cycles
+        s2.Stats.cycles;
+      Alcotest.(check int)
+        (b.Bench.name ^ " same wakeups")
+        s1.Stats.iq_wakeups_gated s2.Stats.iq_wakeups_gated)
+    (Suite.all ())
+
+let test_mcf_is_memory_bound () =
+  let s = simulate (find "mcf") in
+  Alcotest.(check bool) "very low IPC" true (Stats.ipc s < 0.6);
+  Alcotest.(check bool) "L2 misses dominate" true (s.Stats.l2_misses > 500);
+  Alcotest.(check bool) "queue is full of waiters" true
+    (Stats.avg_iq_occupancy s > 25.)
+
+let test_crafty_is_ilp_rich () =
+  let s = simulate (find "crafty") in
+  Alcotest.(check bool) "high IPC" true (Stats.ipc s > 3.5);
+  Alcotest.(check bool) "almost no memory traffic" true
+    (s.Stats.loads + s.Stats.stores < s.Stats.committed / 10)
+
+let test_vortex_is_call_heavy () =
+  let b = find "vortex" in
+  let calls =
+    Prog.count_matching b.Bench.prog (fun i -> i.Instr.op = Opcode.Call)
+  in
+  Alcotest.(check bool) "has call sites" true (calls >= 4);
+  let s = simulate b in
+  (* Returns are frequent: the RAS must be exercised heavily. *)
+  Alcotest.(check bool) "branch traffic includes returns" true
+    (s.Stats.branches > s.Stats.committed / 20)
+
+let test_gcc_has_complex_cfg () =
+  let b = find "gcc" in
+  let proc = Option.get (Prog.find_proc b.Bench.prog "main") in
+  let cfg = Sdiq_cfg.Cfg.build b.Bench.prog proc in
+  Alcotest.(check bool) "many basic blocks" true
+    (Sdiq_cfg.Cfg.num_blocks cfg > 20);
+  (* The shared tail has several predecessors (the gotos). *)
+  let max_preds =
+    List.fold_left
+      (fun acc id -> max acc (List.length (Sdiq_cfg.Cfg.preds cfg id)))
+      0
+      (List.init (Sdiq_cfg.Cfg.num_blocks cfg) (fun i -> i))
+  in
+  Alcotest.(check bool) "a join block with many predecessors" true
+    (max_preds >= 4)
+
+let test_gap_pressures_multiplier () =
+  let b = find "gap" in
+  let muls =
+    Prog.count_matching b.Bench.prog (fun i ->
+        i.Instr.op = Opcode.Mul || i.Instr.op = Opcode.Div)
+  in
+  Alcotest.(check bool) "multiplies in the hot loop" true (muls >= 4)
+
+let test_twolf_has_unpredictable_accepts () =
+  let s = simulate (find "twolf") in
+  Alcotest.(check bool) "meaningful mispredict rate" true
+    (Stats.mispredict_rate s > 0.02)
+
+let test_benchmarks_have_stores_and_loads () =
+  List.iter
+    (fun (b : Bench.t) ->
+      if b.Bench.name <> "crafty" then begin
+        let s = simulate ~budget:5_000 b in
+        Alcotest.(check bool) (b.Bench.name ^ " loads") true
+          (s.Stats.loads > 0);
+        Alcotest.(check bool) (b.Bench.name ^ " stores") true
+          (s.Stats.stores > 0)
+      end)
+    (Suite.all ())
+
+let test_every_bench_analyzable () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let annotated, anns = Sdiq_core.Annotate.noop b.Bench.prog in
+      Alcotest.(check bool)
+        (b.Bench.name ^ " has annotations")
+        true
+        (List.length anns > 0);
+      (* The annotated binary computes the same result. *)
+      let st = Exec.create b.Bench.prog in
+      b.Bench.init st;
+      ignore (Exec.run ~max_steps:300_000 st);
+      let st' = Exec.create annotated in
+      b.Bench.init st';
+      ignore (Exec.run ~max_steps:400_000 st');
+      Alcotest.(check int)
+        (b.Bench.name ^ " same output")
+        (Exec.peek st 0) (Exec.peek st' 0))
+    (Suite.tiny ())
+
+let suite =
+  [
+    Alcotest.test_case "suite matches the paper" `Quick test_suite_complete;
+    Alcotest.test_case "all run functionally" `Quick
+      test_all_assemble_and_run_functionally;
+    Alcotest.test_case "all simulate deterministically" `Slow
+      test_all_simulate_deterministically;
+    Alcotest.test_case "mcf memory-bound" `Quick test_mcf_is_memory_bound;
+    Alcotest.test_case "crafty ILP-rich" `Quick test_crafty_is_ilp_rich;
+    Alcotest.test_case "vortex call-heavy" `Quick test_vortex_is_call_heavy;
+    Alcotest.test_case "gcc complex CFG" `Quick test_gcc_has_complex_cfg;
+    Alcotest.test_case "gap multiplier pressure" `Quick
+      test_gap_pressures_multiplier;
+    Alcotest.test_case "twolf unpredictable accepts" `Quick
+      test_twolf_has_unpredictable_accepts;
+    Alcotest.test_case "benches touch memory" `Slow
+      test_benchmarks_have_stores_and_loads;
+    Alcotest.test_case "all analyzable, semantics preserved" `Quick
+      test_every_bench_analyzable;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "sdiq"
+    [
+      ("util", Suite_util.suite);
+      ("isa", Suite_isa.suite);
+      ("exec", Suite_exec.suite);
+      ("cfg", Suite_cfg.suite);
+      ("ddg", Suite_ddg.suite);
+      ("core", Suite_core.suite);
+      ("core-more", Suite_core_more.suite);
+      ("cpu", Suite_cpu.suite);
+      ("cpu-more", Suite_cpu_more.suite);
+      ("power", Suite_power.suite);
+      ("workloads", Suite_workloads.suite);
+      ("harness", Suite_harness.suite);
+      ("edge", Suite_edge.suite);
+      ("tools", Suite_tools.suite);
+      ("properties", Suite_properties.suite);
+    ]
