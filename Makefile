@@ -1,0 +1,26 @@
+# Convenience targets for the sdiq reproduction.
+
+DOMAINS ?= 4
+BENCH   := _build/default/bench/main.exe
+
+.PHONY: all build test campaign
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Smoke-check the parallel campaign: every figure bench/main.exe derives
+# from the simulation table must be byte-identical on 1 domain and on
+# $(DOMAINS) domains. Only the figures (fig6..fig12) are diffed — the
+# campaign timing line and table2's measured compile times legitimately
+# vary between any two runs, parallel or not.
+campaign:
+	dune build bench/main.exe
+	@$(BENCH) --quick --domains 1 | sed -n '/^== fig/,$$p' > _build/campaign-1.out
+	@$(BENCH) --quick --domains $(DOMAINS) | sed -n '/^== fig/,$$p' > _build/campaign-n.out
+	@diff _build/campaign-1.out _build/campaign-n.out \
+	  && echo "campaign: figures identical on 1 vs $(DOMAINS) domains"

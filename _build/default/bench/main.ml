@@ -13,15 +13,18 @@ let print_table1 () =
   Fmt.pr "== table1: processor configuration ==@.%a@.@." Sdiq_cpu.Config.pp
     Sdiq_cpu.Config.default
 
-let run_experiments ~budget () =
-  let r = H.Runner.create ~budget () in
-  Fmt.pr "Running %d benchmarks x %d techniques at %d instructions each...@."
+let run_experiments ?domains ~budget () =
+  let r = H.Runner.create ?domains ~budget () in
+  Fmt.pr
+    "Running %d benchmarks x %d techniques at %d instructions each on %d \
+     domain(s)...@."
     (List.length (H.Runner.bench_names r))
     (List.length H.Technique.all)
-    budget;
-  let t0 = Sys.time () in
+    budget (H.Runner.domains r);
   H.Runner.run_all r;
-  Fmt.pr "(simulation campaign: %.1fs)@.@." (Sys.time () -. t0);
+  (match H.Runner.campaign_stats r with
+  | Some c -> Fmt.pr "%a@.@." H.Runner.pp_campaign c
+  | None -> ());
   print_table1 ();
   Fmt.pr "%a@." H.Experiments.pp_table2 (H.Experiments.table2 r);
   List.iter
@@ -128,11 +131,24 @@ let run_ablations ~budget () =
     (fun s -> Fmt.pr "%a@." H.Ablations.pp_study s)
     (H.Ablations.all ~budget ())
 
+(* [--domains N] caps the campaign pool; default is the hardware's
+   recommended domain count. *)
+let parse_domains argv =
+  let n = Array.length argv in
+  let rec find i =
+    if i >= n then None
+    else if argv.(i) = "--domains" && i + 1 < n then
+      int_of_string_opt argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let () =
   let micro = Array.exists (fun a -> a = "--micro") Sys.argv in
   let ablations = Array.exists (fun a -> a = "--ablations") Sys.argv in
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let domains = parse_domains Sys.argv in
   let budget = if quick then 20_000 else 100_000 in
-  run_experiments ~budget ();
+  run_experiments ?domains ~budget ();
   if ablations then run_ablations ~budget:(budget / 2) ();
   if micro then run_micro ()

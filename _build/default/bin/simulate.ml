@@ -46,7 +46,14 @@ let timeline_arg =
   let doc = "Emit a per-interval CSV timeline of the run to stdout." in
   Arg.(value & flag & info [ "timeline" ] ~doc)
 
-let run bench_name technique budget verbose timeline =
+let domains_arg =
+  let doc =
+    "Domains for the runner's campaign pool (default: the hardware's \
+     recommended domain count)."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let run bench_name technique budget verbose timeline domains =
   match Sdiq_workloads.Suite.find bench_name with
   | None ->
     Fmt.epr "unknown benchmark %S; available: %s@." bench_name
@@ -54,7 +61,7 @@ let run bench_name technique budget verbose timeline =
     exit 1
   | Some bench ->
     let runner =
-      Sdiq_harness.Runner.create ~budget ~benches:[ bench ] ()
+      Sdiq_harness.Runner.create ~budget ~benches:[ bench ] ?domains ()
     in
     if verbose then begin
       let anns =
@@ -97,6 +104,6 @@ let cmd =
     (Cmd.info "sdiq-simulate" ~doc)
     Term.(
       const run $ bench_arg $ technique_arg $ budget_arg $ verbose_arg
-      $ timeline_arg)
+      $ timeline_arg $ domains_arg)
 
 let () = exit (Cmd.eval cmd)

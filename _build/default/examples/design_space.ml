@@ -8,7 +8,10 @@
    4. the compiler's assumed load latency (the paper assumes L1 hits;
       what if it budgeted for the occasional miss?).
 
-     dune exec examples/design_space.exe *)
+   Each ablation's per-benchmark rows are independent simulations, so
+   they run on a shared Sdiq_util.Pool and print in order afterwards.
+
+     dune exec examples/design_space.exe -- [--domains N] *)
 
 module H = Sdiq_harness
 
@@ -17,6 +20,14 @@ let benches () =
     Sdiq_workloads.W_vortex.build () ]
 
 let budget = 50_000
+
+let pool =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--domains" then int_of_string_opt Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  Sdiq_util.Pool.create ?domains:(find 1) ()
 
 let ipc_loss base tech =
   (Sdiq_cpu.Stats.ipc base -. Sdiq_cpu.Stats.ipc tech)
@@ -35,12 +46,19 @@ let baseline ?(config = Sdiq_cpu.Config.default) bench =
     ~init:bench.Sdiq_workloads.Bench.init ~max_insns:budget
     bench.Sdiq_workloads.Bench.prog
 
+(* Map [row] over the benchmarks on the pool, then print in suite order. *)
+let each_bench row print =
+  List.iter print
+    (Sdiq_util.Pool.map_list pool
+       ~f:(fun bench -> (bench.Sdiq_workloads.Bench.name, row bench))
+       (benches ()))
+
 (* --- 1. NOOP vs tag delivery ------------------------------------------- *)
 
 let ablation_delivery () =
   Fmt.pr "=== ablation 1: annotation delivery (same analysis values) ===@.";
   Fmt.pr "%-10s %14s %14s@." "bench" "noop loss%" "tagged loss%";
-  List.iter
+  each_bench
     (fun bench ->
       let base = baseline bench in
       let noop =
@@ -51,9 +69,8 @@ let ablation_delivery () =
         run_with ~opts:Sdiq_core.Options.default
           ~mode:Sdiq_core.Annotate.Tagged bench
       in
-      Fmt.pr "%-10s %14.2f %14.2f@." bench.Sdiq_workloads.Bench.name
-        (ipc_loss base noop) (ipc_loss base tag))
-    (benches ());
+      (ipc_loss base noop, ipc_loss base tag))
+    (fun (name, (noop, tag)) -> Fmt.pr "%-10s %14.2f %14.2f@." name noop tag);
   Fmt.pr "@."
 
 (* --- 2. bank granularity ------------------------------------------------ *)
@@ -62,7 +79,7 @@ let ablation_banks () =
   Fmt.pr "=== ablation 2: issue-queue bank granularity ===@.";
   Fmt.pr "%-10s %16s %16s %16s@." "bench" "4/bank off%" "8/bank off%"
     "16/bank off%";
-  List.iter
+  each_bench
     (fun bench ->
       let off bank_size =
         let config =
@@ -78,9 +95,9 @@ let ablation_banks () =
             -. float_of_int tech.Sdiq_cpu.Stats.iq_banks_on_sum
                /. (float_of_int nb *. float_of_int tech.Sdiq_cpu.Stats.cycles))
       in
-      Fmt.pr "%-10s %16.1f %16.1f %16.1f@." bench.Sdiq_workloads.Bench.name
-        (off 4) (off 8) (off 16))
-    (benches ());
+      (off 4, off 8, off 16))
+    (fun (name, (o4, o8, o16)) ->
+      Fmt.pr "%-10s %16.1f %16.1f %16.1f@." name o4 o8 o16);
   Fmt.pr "@."
 
 (* --- 3. analysis slack --------------------------------------------------- *)
@@ -89,16 +106,16 @@ let ablation_slack () =
   Fmt.pr "=== ablation 3: conservatism slack (extra entries per region) ===@.";
   Fmt.pr "%-10s %12s %12s %12s %12s@." "bench" "slack 0" "slack 4" "slack 8"
     "slack 16";
-  List.iter
+  each_bench
     (fun bench ->
       let base = baseline bench in
       let loss slack =
         let opts = { Sdiq_core.Options.default with Sdiq_core.Options.slack } in
         ipc_loss base (run_with ~opts ~mode:Sdiq_core.Annotate.Tagged bench)
       in
-      Fmt.pr "%-10s %12.2f %12.2f %12.2f %12.2f@."
-        bench.Sdiq_workloads.Bench.name (loss 0) (loss 4) (loss 8) (loss 16))
-    (benches ());
+      (loss 0, loss 4, loss 8, loss 16))
+    (fun (name, (s0, s4, s8, s16)) ->
+      Fmt.pr "%-10s %12.2f %12.2f %12.2f %12.2f@." name s0 s4 s8 s16);
   Fmt.pr "@."
 
 (* --- 4. assumed load latency --------------------------------------------- *)
@@ -107,7 +124,7 @@ let ablation_load_latency () =
   Fmt.pr "=== ablation 4: compiler's assumed load latency ===@.";
   Fmt.pr "(the paper assumes L1 hits: extra = 2 cycles)@.";
   Fmt.pr "%-10s %12s %12s %12s@." "bench" "extra 2" "extra 5" "extra 10";
-  List.iter
+  each_bench
     (fun bench ->
       let base = baseline bench in
       let loss extra =
@@ -116,9 +133,9 @@ let ablation_load_latency () =
         in
         ipc_loss base (run_with ~opts ~mode:Sdiq_core.Annotate.Tagged bench)
       in
-      Fmt.pr "%-10s %12.2f %12.2f %12.2f@." bench.Sdiq_workloads.Bench.name
-        (loss 2) (loss 5) (loss 10))
-    (benches ());
+      (loss 2, loss 5, loss 10))
+    (fun (name, (l2, l5, l10)) ->
+      Fmt.pr "%-10s %12.2f %12.2f %12.2f@." name l2 l5 l10);
   Fmt.pr "@."
 
 let () =

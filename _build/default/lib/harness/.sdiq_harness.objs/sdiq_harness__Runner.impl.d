@@ -1,1 +1,1 @@
-lib/harness/runner.ml: Bench Hashtbl List Sdiq_cpu Sdiq_power Sdiq_workloads Suite Technique
+lib/harness/runner.ml: Array Bench Format Hashtbl List Printf Sdiq_cpu Sdiq_power Sdiq_util Sdiq_workloads String Suite Sys Technique Unix

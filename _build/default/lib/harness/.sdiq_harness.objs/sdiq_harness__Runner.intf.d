@@ -1,1 +1,1 @@
-lib/harness/runner.mli: Sdiq_cpu Sdiq_power Sdiq_workloads Technique
+lib/harness/runner.mli: Format Sdiq_cpu Sdiq_power Sdiq_workloads Technique

@@ -1,25 +1,57 @@
 (** Experiment runner: simulate (benchmark x technique) pairs, memoised,
-    so every figure reads from one simulation campaign. *)
+    so every figure reads from one simulation campaign. The campaign runs
+    in parallel on a {!Sdiq_util.Pool} of OCaml domains; each pair's
+    simulation is pure given the runner's config, so the resulting table
+    is identical whatever the domain count. *)
 
 type t
+
+(** Summary of the last {!run_all} campaign. [serial_estimate_s] is the
+    sum of every pair's own wall-clock time — what a 1-domain campaign
+    would have cost — so [speedup] compares against serial execution
+    without running it. *)
+type campaign = {
+  pairs_total : int;  (** size of the (benchmark x technique) grid *)
+  pairs_run : int;  (** pairs actually simulated (not already memoised) *)
+  domains_used : int;
+  wall_s : float;
+  serial_estimate_s : float;
+}
 
 val create :
   ?config:Sdiq_cpu.Config.t ->
   ?budget:int ->
   ?benches:Sdiq_workloads.Bench.t list ->
+  ?domains:int ->
   unit ->
   t
+(** [domains] sizes the campaign pool (default
+    [Domain.recommended_domain_count ()]); [~domains:1] forces a serial
+    campaign. *)
 
 val bench_names : t -> string list
 
-(** Raises [Invalid_argument] on an unknown name. *)
+val domains : t -> int
+(** Domains {!run_all} will use. *)
+
+(** Raises [Invalid_argument] on an unknown name; the message lists the
+    known benchmark names. *)
 val find_bench : t -> string -> Sdiq_workloads.Bench.t
 
 (** Run one pair (cached). *)
 val run : t -> string -> Technique.t -> Sdiq_cpu.Stats.t
 
-(** Populate the whole (benchmark x technique) table. *)
+(** Populate the whole (benchmark x technique) table, in parallel across
+    the runner's domain pool. Already-memoised pairs are not re-run. *)
 val run_all : t -> unit
+
+val campaign_stats : t -> campaign option
+(** Stats of the most recent {!run_all} ([None] before the first). *)
+
+val speedup : campaign -> float
+(** [serial_estimate_s /. wall_s]. *)
+
+val pp_campaign : Format.formatter -> campaign -> unit
 
 (** Savings of a technique against the same benchmark's baseline. *)
 val savings :

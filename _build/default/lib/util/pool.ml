@@ -1,0 +1,71 @@
+(* Work-stealing domain pool.
+
+   Tasks sit in a shared array and a single atomic cursor hands out the
+   next unclaimed index; every worker (the spawned domains plus the
+   calling one) loops on the cursor until the arena is empty. That is the
+   degenerate-but-effective form of work stealing for a flat task bag: no
+   per-worker deques to rebalance, yet a worker that drew a cheap task
+   immediately steals the next one, so load balances to within one task.
+
+   Domains are spawned per operation and joined before it returns. A pool
+   value is therefore just a size: there is no teardown to forget, and an
+   exception inside a task cannot leak a domain — we always join, then
+   re-raise the first exception observed (with its backtrace). *)
+
+type t = { domains : int }
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
+      d
+    | None -> Domain.recommended_domain_count ()
+  in
+  { domains }
+
+let domains t = t.domains
+
+(* First exception wins; later ones are dropped (they are almost always
+   the same root cause hit by several workers). *)
+type error = { exn : exn; bt : Printexc.raw_backtrace }
+
+let map_array t ~f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let error = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i >= n || Atomic.get error <> None then continue := false
+        else
+          match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set error None (Some { exn; bt }))
+      done
+    in
+    let helpers =
+      Array.init (min t.domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join helpers;
+    match Atomic.get error with
+    | Some { exn; bt } -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.map
+        (function
+          | Some v -> v
+          | None -> assert false (* no error => every slot was filled *))
+        results
+  end
+
+let map_list t ~f l = Array.to_list (map_array t ~f (Array.of_list l))
+
+let run t tasks =
+  ignore (map_array t ~f:(fun task -> task ()) (Array.of_list tasks))

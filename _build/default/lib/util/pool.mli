@@ -1,0 +1,32 @@
+(** A work-stealing pool of OCaml 5 domains for embarrassingly parallel
+    campaigns: tasks live in one shared arena and idle workers steal the
+    next unclaimed index, so an uneven mix (a long mcf run next to a short
+    gzip run) still balances. Results come back in input order, which keeps
+    parallel campaigns deterministic: slot [i] of the output is always
+    [f input.(i)], no matter which domain computed it. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] sizes the pool. [domains] defaults to
+    {!Domain.recommended_domain_count}. Raises [Invalid_argument] if
+    [domains < 1]. A pool holds no live domains between calls: workers are
+    spawned per operation and joined before it returns, so there is
+    nothing to shut down and a pool survives a task that raises. *)
+
+val domains : t -> int
+(** Number of domains a parallel operation may use (including the caller,
+    which also works). *)
+
+val map_array : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map_array t ~f arr] applies [f] to every element on the pool.
+    Output order matches input order. If one or more tasks raise, every
+    domain is still joined (no leak), and then the first exception
+    observed is re-raised with its backtrace. *)
+
+val map_list : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map_array}; same ordering and exception contract. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** [run t tasks] executes a list of thunks on the pool. Same exception
+    contract as {!map_array}; an empty list is a no-op. *)

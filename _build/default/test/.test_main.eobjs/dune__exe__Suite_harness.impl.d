@@ -1,1 +1,1 @@
-test/suite_harness.ml: Alcotest Float Instr List Opcode Prog Sdiq_harness Sdiq_isa Sdiq_power Sdiq_workloads
+test/suite_harness.ml: Alcotest Float Instr List Opcode Printf Prog Sdiq_harness Sdiq_isa Sdiq_power Sdiq_workloads String

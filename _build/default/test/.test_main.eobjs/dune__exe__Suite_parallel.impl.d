@@ -1,0 +1,1 @@
+test/suite_parallel.ml: Alcotest Float List Marshal Printf Sdiq_cpu Sdiq_harness Sdiq_workloads

@@ -1,1 +1,1 @@
-test/suite_properties.ml: Array Asm Exec Instr List Option Printf Prog QCheck QCheck_alcotest Reg Rewrite Sdiq_cfg Sdiq_core Sdiq_cpu Sdiq_ddg Sdiq_isa
+test/suite_properties.ml: Array Asm Exec Gen Instr List Option Printf Prog QCheck QCheck_alcotest Reg Rewrite Sdiq_cfg Sdiq_core Sdiq_cpu Sdiq_ddg Sdiq_harness Sdiq_isa Sdiq_workloads

@@ -1,1 +1,1 @@
-test/suite_util.ml: Alcotest Array List Printf Rng Sdiq_util Stat
+test/suite_util.ml: Alcotest Array List Pool Printf Rng Sdiq_util Stat

@@ -54,6 +54,25 @@ let test_runner_unknown_bench () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let test_find_bench_error_lists_names () =
+  let r = small_runner () in
+  match H.Runner.find_bench r "nonesuch" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "names the culprit" true
+      (contains ~needle:"nonesuch" msg);
+    List.iter
+      (fun known ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lists %S" known)
+          true (contains ~needle:known msg))
+      (H.Runner.bench_names r)
+
 let test_savings_well_formed () =
   let r = small_runner () in
   let s = H.Runner.savings r "gzip" H.Technique.Noop in
@@ -129,6 +148,8 @@ let suite =
       test_prepare_extension_tags;
     Alcotest.test_case "runner memoises" `Quick test_runner_memoises;
     Alcotest.test_case "runner unknown bench" `Quick test_runner_unknown_bench;
+    Alcotest.test_case "find_bench error lists names" `Quick
+      test_find_bench_error_lists_names;
     Alcotest.test_case "savings well-formed" `Quick test_savings_well_formed;
     Alcotest.test_case "fig6 structure" `Quick test_fig6_structure;
     Alcotest.test_case "fig8 nonEmpty bar" `Quick test_fig8_has_nonempty_bar;

@@ -243,9 +243,32 @@ let prop_loop_schedule_sane =
       && need >= 1 && need <= 80
       && Array.for_all (fun s -> s >= 0) sch.Sdiq_ddg.Cds.start)
 
+let prop_runner_memo_stable_across_parallel =
+  (* For random small budgets, memoisation must return physically-equal
+     stats on repeat calls — and a parallel run_all in between must not
+     displace entries already in the table. *)
+  QCheck.Test.make ~count:6
+    ~name:"runner memoisation physically stable across parallel run_all"
+    QCheck.(make ~print:string_of_int Gen.(int_range 500 3_000))
+    (fun budget ->
+      let benches =
+        [
+          Sdiq_workloads.W_gzip.build ~outer:budget ();
+          Sdiq_workloads.W_crafty.build ~outer:budget ();
+        ]
+      in
+      let r = Sdiq_harness.Runner.create ~budget ~benches ~domains:2 () in
+      let tech = Sdiq_harness.Technique.Extension in
+      let before = Sdiq_harness.Runner.run r "gzip" tech in
+      let repeat = Sdiq_harness.Runner.run r "gzip" tech in
+      Sdiq_harness.Runner.run_all r;
+      let after = Sdiq_harness.Runner.run r "gzip" tech in
+      before == repeat && before == after)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
+      prop_runner_memo_stable_across_parallel;
       prop_annotation_preserves_semantics;
       prop_tagging_preserves_semantics;
       prop_pipeline_matches_functional;

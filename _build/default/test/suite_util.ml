@@ -110,6 +110,59 @@ let test_mean_of () =
   Alcotest.(check (float 1e-9)) "mean of list" 2. (Stat.mean_of [ 1.; 2.; 3. ]);
   Alcotest.(check (float 1e-9)) "mean of empty list" 0. (Stat.mean_of [])
 
+(* --- Pool: the work-stealing domain pool -------------------------------- *)
+
+exception Boom
+
+let test_pool_empty () =
+  let p = Pool.create ~domains:3 () in
+  Alcotest.(check (array int)) "map of empty array" [||]
+    (Pool.map_array p ~f:(fun x -> x) [||]);
+  Alcotest.(check (list int)) "map of empty list" []
+    (Pool.map_list p ~f:(fun x -> x) []);
+  (* run of an empty task list is a no-op, not an error *)
+  Pool.run p []
+
+let test_pool_single_task () =
+  let p = Pool.create ~domains:4 () in
+  Alcotest.(check (array int)) "one task" [| 49 |]
+    (Pool.map_array p ~f:(fun x -> x * x) [| 7 |]);
+  let hit = ref false in
+  Pool.run p [ (fun () -> hit := true) ];
+  Alcotest.(check bool) "thunk ran" true !hit
+
+let test_pool_many_tasks () =
+  (* Tasks vastly outnumber domains; results must come back in order. *)
+  let p = Pool.create ~domains:4 () in
+  let n = 1_000 in
+  let input = Array.init n (fun i -> i) in
+  let out = Pool.map_array p ~f:(fun i -> (i * 2) + 1) input in
+  Alcotest.(check int) "all results" n (Array.length out);
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "ordered result" ((i * 2) + 1) v)
+    out
+
+let test_pool_exception_propagates () =
+  let p = Pool.create ~domains:4 () in
+  (match
+     Pool.map_array p
+       ~f:(fun i -> if i = 13 then raise Boom else i)
+       (Array.init 100 (fun i -> i))
+   with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom -> ());
+  (* The pool survives a raising task: all domains were joined. *)
+  Alcotest.(check (array int)) "pool still works" [| 1; 2; 3 |]
+    (Pool.map_array p ~f:(fun x -> x + 1) [| 0; 1; 2 |])
+
+let test_pool_sizes () =
+  Alcotest.(check int) "explicit size" 7 (Pool.domains (Pool.create ~domains:7 ()));
+  Alcotest.(check bool) "default size >= 1" true
+    (Pool.domains (Pool.create ()) >= 1);
+  match Pool.create ~domains:0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -125,4 +178,10 @@ let suite =
     Alcotest.test_case "stat reset" `Quick test_stat_reset;
     Alcotest.test_case "pct reduction" `Quick test_pct_reduction;
     Alcotest.test_case "mean of list" `Quick test_mean_of;
+    Alcotest.test_case "pool: empty task list" `Quick test_pool_empty;
+    Alcotest.test_case "pool: single task" `Quick test_pool_single_task;
+    Alcotest.test_case "pool: tasks >> domains" `Quick test_pool_many_tasks;
+    Alcotest.test_case "pool: exception propagates, pool survives" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "pool: sizing" `Quick test_pool_sizes;
   ]

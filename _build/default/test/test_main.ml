@@ -13,6 +13,7 @@ let () =
       ("power", Suite_power.suite);
       ("workloads", Suite_workloads.suite);
       ("harness", Suite_harness.suite);
+      ("parallel", Suite_parallel.suite);
       ("edge", Suite_edge.suite);
       ("tools", Suite_tools.suite);
       ("properties", Suite_properties.suite);
