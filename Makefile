@@ -2,8 +2,9 @@
 
 DOMAINS ?= 4
 BENCH   := _build/default/bench/main.exe
+FUZZ_N  ?= 500
 
-.PHONY: all build test campaign
+.PHONY: all build test campaign fuzz check-campaign
 
 all: build
 
@@ -24,3 +25,24 @@ campaign:
 	@$(BENCH) --quick --domains $(DOMAINS) | sed -n '/^== fig/,$$p' > _build/campaign-n.out
 	@diff _build/campaign-1.out _build/campaign-n.out \
 	  && echo "campaign: figures identical on 1 vs $(DOMAINS) domains"
+
+# Differential fuzzing: FUZZ_N random programs through the oracle and
+# the pipeline under every technique, invariant checker installed.
+# Reproducible: a failure prints its seed; replay one program with
+#   FUZZ_SEED=<seed> FUZZ_N=1 dune exec test/fuzz_main.exe
+fuzz:
+	dune build test/fuzz_main.exe
+	FUZZ_N=$(FUZZ_N) FUZZ_SEED=$(or $(FUZZ_SEED),1) \
+	  dune exec test/fuzz_main.exe
+
+# The full (benchmark x technique) campaign with the cycle-level
+# invariant checker auditing every run on every domain.
+check-campaign:
+	dune build bin/simulate.exe
+	@for b in gzip vpr mcf; do \
+	  for t in baseline noop extension improved abella; do \
+	    dune exec bin/simulate.exe -- --bench $$b --technique $$t \
+	      --budget 20000 --check | head -1; \
+	  done; \
+	done
+	@echo "check-campaign: all pairs audited cycle-by-cycle"

@@ -49,6 +49,17 @@ let tiny_runner () =
     ~benches:[ Sdiq_workloads.W_gzip.build ~outer:2_000 () ]
     ()
 
+(* The invariant checker's per-cycle audit is O(machine size); these two
+   benches time the same small simulation bare and audited, so the
+   checker's slowdown factor is their ratio. *)
+let bench_simulation ~checked () =
+  let bench = Sdiq_workloads.W_gzip.build ~outer:2_000 () in
+  let checker =
+    if checked then Some (Sdiq_check.Checker.fresh_hook ()) else None
+  in
+  Sdiq_cpu.Pipeline.simulate ?checker ~init:bench.Sdiq_workloads.Bench.init
+    ~max_insns:2_000 bench.Sdiq_workloads.Bench.prog
+
 let bench_experiment name f =
   Test.make ~name (Staged.stage (fun () -> Sys.opaque_identity (f ())))
 
@@ -95,6 +106,11 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let g = Sdiq_ddg.Ddg.of_loop_body loop_body in
            Sys.opaque_identity (Sdiq_ddg.Cds.schedule g)));
+    (* checker overhead: same simulation, bare vs audited every cycle *)
+    bench_experiment "simulate-bare" (fun () ->
+        bench_simulation ~checked:false ());
+    bench_experiment "simulate-checked" (fun () ->
+        bench_simulation ~checked:true ());
     (* one bench per table/figure: the full computation at a tiny scale *)
     bench_experiment "table2" (fun () -> H.Experiments.table2 (tiny_runner ()));
     bench_experiment "fig6" (fun () -> H.Experiments.fig6 (tiny_runner ()));

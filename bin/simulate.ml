@@ -53,15 +53,28 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
-let run bench_name technique budget verbose timeline domains =
+let check_arg =
+  let doc =
+    "Audit every cycle with the invariant checker (dispatch window, \
+     gated banks, power integrals, ROB order, register conservation, \
+     wakeup counts); aborts with a structured report on the first \
+     violation."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let run bench_name technique budget verbose timeline domains check =
   match Sdiq_workloads.Suite.find bench_name with
   | None ->
     Fmt.epr "unknown benchmark %S; available: %s@." bench_name
       (String.concat ", " (Sdiq_workloads.Suite.names ()));
     exit 1
   | Some bench ->
+    let checker =
+      if check then Some Sdiq_check.Checker.fresh_hook else None
+    in
     let runner =
-      Sdiq_harness.Runner.create ~budget ~benches:[ bench ] ?domains ()
+      Sdiq_harness.Runner.create ~budget ~benches:[ bench ] ?domains ?checker
+        ()
     in
     if verbose then begin
       let anns =
@@ -77,7 +90,13 @@ let run bench_name technique budget verbose timeline domains =
             | None -> ""))
         anns
     end;
-    let stats = Sdiq_harness.Runner.run runner bench_name technique in
+    let stats =
+      try Sdiq_harness.Runner.run runner bench_name technique
+      with Sdiq_check.Checker.Invariant_violation v ->
+        Fmt.epr "%a@." Sdiq_check.Checker.pp_violation v;
+        exit 2
+    in
+    if check then Fmt.pr "(invariant checker: every cycle audited)@.";
     Fmt.pr "%s / %s:@.%a@." bench_name
       (Sdiq_harness.Technique.name technique)
       Sdiq_cpu.Stats.pp stats;
@@ -104,6 +123,6 @@ let cmd =
     (Cmd.info "sdiq-simulate" ~doc)
     Term.(
       const run $ bench_arg $ technique_arg $ budget_arg $ verbose_arg
-      $ timeline_arg $ domains_arg)
+      $ timeline_arg $ domains_arg $ check_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,367 @@
+(* Cycle-level invariant checker.
+
+   Installed on a pipeline via the [?checker] hook, it audits the machine
+   after every cycle against the structural invariants the paper's results
+   rest on (see DESIGN.md, "Invariants the pipeline maintains"): the
+   software dispatch window is honoured, gated banks are genuinely empty,
+   the per-cycle power integrals match a recount of the actual state, the
+   ROB drains in program order, the physical register files conserve
+   registers across rename and commit, and the wakeup counters fed to
+   [Sdiq_power] equal the comparisons the queue really performed.
+
+   The wakeup check exploits the pipeline's phase order (commit →
+   writeback → issue → dispatch): the issue queue is untouched between the
+   end of cycle k-1 and cycle k's writeback broadcast, so the end-of-cycle
+   operand exposure recorded at k-1 is exactly the snapshot the parallel
+   CAM ports compare against at k. The checker replays the accounting
+   arithmetic from that snapshot and demands equality, not bounds.
+
+   Checks are O(machine size) per cycle (IQ slots + ROB entries + register
+   files); `bench/main.exe --micro` measures the slowdown. Violations are
+   formatted only on failure — the passing path allocates nothing. *)
+
+open Sdiq_cpu
+
+type violation = {
+  cycle : int;
+  invariant : string;  (* which rule tripped, e.g. "iq-dispatch-window" *)
+  detail : string;     (* what was expected and what was found *)
+  excerpt : string;    (* one-line machine-state summary *)
+}
+
+exception Invariant_violation of violation
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v>invariant %S violated at cycle %d:@ %s@ state: %s@]"
+    v.invariant v.cycle v.detail v.excerpt
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation v -> Some (Fmt.str "%a" pp_violation v)
+    | _ -> None)
+
+type t = {
+  mutable cycles_checked : int;
+  mutable checks_run : int;
+  (* previous per-cycle integrals, to verify this cycle's increments *)
+  mutable prev_iq_banks_on_sum : int;
+  mutable prev_int_rf_banks_on_sum : int;
+  mutable prev_fp_rf_banks_on_sum : int;
+  mutable prev_int_rf_live_sum : int;
+  (* commit-order watermark *)
+  mutable prev_oldest_sn : int;
+  (* previous wakeup counters and the operand exposure they will see *)
+  mutable prev_broadcasts : int;
+  mutable prev_naive : int;
+  mutable prev_nonempty : int;
+  mutable prev_gated : int;
+  mutable prev_present_ops : int;
+  mutable prev_waiting_ops : int;
+}
+
+let create () =
+  {
+    cycles_checked = 0;
+    checks_run = 0;
+    prev_iq_banks_on_sum = 0;
+    prev_int_rf_banks_on_sum = 0;
+    prev_fp_rf_banks_on_sum = 0;
+    prev_int_rf_live_sum = 0;
+    prev_oldest_sn = -1;
+    prev_broadcasts = 0;
+    prev_naive = 0;
+    prev_nonempty = 0;
+    prev_gated = 0;
+    prev_present_ops = 0;
+    prev_waiting_ops = 0;
+  }
+
+let cycles_checked c = c.cycles_checked
+let checks_run c = c.checks_run
+
+let fail p ~invariant fmt =
+  Printf.ksprintf
+    (fun detail ->
+      raise
+        (Invariant_violation
+           {
+             cycle = Pipeline.Debug.cycle p;
+             invariant;
+             detail;
+             excerpt = Pipeline.Debug.excerpt p;
+           }))
+    fmt
+
+(* --- issue-queue structure --------------------------------------------- *)
+
+let check_iq c p =
+  let iq = Pipeline.Debug.iq p in
+  let active = iq.Iq.active_size in
+  (* Gated-off banks (beyond the adaptive scheme's active ring) must hold
+     nothing — they are powered down. *)
+  for s = active to iq.Iq.size - 1 do
+    if (Iq.entry iq s).Iq.valid then
+      fail p ~invariant:"iq-gated-bank-empty"
+        "slot %d is valid but lies beyond active_size %d (its bank is off)"
+        s active
+  done;
+  (* The occupancy count must equal a recount of valid slots. *)
+  let valid = ref 0 in
+  for s = 0 to active - 1 do
+    if (Iq.entry iq s).Iq.valid then incr valid
+  done;
+  if !valid <> iq.Iq.count then
+    fail p ~invariant:"iq-count"
+      "count field says %d valid entries, recount finds %d" iq.Iq.count !valid;
+  if iq.Iq.head >= active || iq.Iq.new_head >= active || iq.Iq.tail >= active
+  then
+    fail p ~invariant:"iq-pointers"
+      "pointer outside active ring: head=%d new_head=%d tail=%d active=%d"
+      iq.Iq.head iq.Iq.new_head iq.Iq.tail active;
+  (* When occupied, [head] must rest on a valid entry (it sweeps to one). *)
+  if iq.Iq.count > 0 && not (Iq.entry iq iq.Iq.head).Iq.valid then
+    fail p ~invariant:"iq-head-valid"
+      "head=%d points at an empty slot while count=%d" iq.Iq.head iq.Iq.count;
+  (* The recorded region span must agree with the pointers: congruent to
+     tail - new_head modulo the ring, and never exceeding the ring. *)
+  let span = iq.Iq.new_span in
+  if
+    span < 0 || span > active
+    || span mod active <> (iq.Iq.tail - iq.Iq.new_head + active) mod active
+  then
+    fail p ~invariant:"iq-span"
+      "new_span=%d disagrees with new_head=%d tail=%d (active=%d)" span
+      iq.Iq.new_head iq.Iq.tail active;
+  c.checks_run <- c.checks_run + 5
+
+(* --- the paper's dispatch limit ---------------------------------------- *)
+
+let check_dispatch_window c p =
+  let iq = Pipeline.Debug.iq p in
+  match Pipeline.Debug.policy p with
+  | Policy.Software s ->
+    (* Section 3.2: at most max_new_range slots (holes included) between
+       new_head and tail, itself capped at size - 1 so the region can
+       never wrap the whole ring. *)
+    let cap = min s.Policy.max_new_range (Iq.size iq - 1) in
+    if Iq.new_region_span iq > cap then
+      fail p ~invariant:"iq-dispatch-window"
+        "region spans %d slots, exceeding the compiler's max_new_range %d \
+         (cap %d)"
+        (Iq.new_region_span iq) s.Policy.max_new_range cap;
+    c.checks_run <- c.checks_run + 1
+  | Policy.Unlimited | Policy.Abella _ -> ()
+
+(* --- per-cycle power integrals ----------------------------------------- *)
+
+let count_rf_banks_on (rf : Regfile.t) =
+  let nb = Regfile.banks rf in
+  let on = ref 0 in
+  for b = 0 to nb - 1 do
+    let lo = b * rf.Regfile.bank_size in
+    let hi = min rf.Regfile.size (lo + rf.Regfile.bank_size) - 1 in
+    let live = ref false in
+    for i = lo to hi do
+      if not rf.Regfile.free.(i) then live := true
+    done;
+    if !live then incr on
+  done;
+  !on
+
+let check_power_integrals c p =
+  let stats = Pipeline.Debug.stats p in
+  let iq = Pipeline.Debug.iq p in
+  let int_rf = Pipeline.Debug.int_rf p in
+  let fp_rf = Pipeline.Debug.fp_rf p in
+  (* Each per-cycle sum must have grown by exactly the value a recount of
+     the live state yields — the power model integrates these. *)
+  let d_iq = stats.Stats.iq_banks_on_sum - c.prev_iq_banks_on_sum in
+  let iq_on = Iq.banks_on iq in
+  if d_iq <> iq_on then
+    fail p ~invariant:"iq-banks-on-accounting"
+      "iq_banks_on_sum grew by %d this cycle but %d banks hold entries" d_iq
+      iq_on;
+  let d_int = stats.Stats.int_rf_banks_on_sum - c.prev_int_rf_banks_on_sum in
+  let int_on = count_rf_banks_on int_rf in
+  if d_int <> int_on then
+    fail p ~invariant:"rf-banks-on-accounting"
+      "int_rf_banks_on_sum grew by %d but %d banks hold live registers" d_int
+      int_on;
+  let d_fp = stats.Stats.fp_rf_banks_on_sum - c.prev_fp_rf_banks_on_sum in
+  let fp_on = count_rf_banks_on fp_rf in
+  if d_fp <> fp_on then
+    fail p ~invariant:"rf-banks-on-accounting"
+      "fp_rf_banks_on_sum grew by %d but %d banks hold live registers" d_fp
+      fp_on;
+  let d_live = stats.Stats.int_rf_live_sum - c.prev_int_rf_live_sum in
+  let live = Regfile.live_count int_rf in
+  if d_live <> live then
+    fail p ~invariant:"rf-live-accounting"
+      "int_rf_live_sum grew by %d but %d registers are live" d_live live;
+  c.prev_iq_banks_on_sum <- stats.Stats.iq_banks_on_sum;
+  c.prev_int_rf_banks_on_sum <- stats.Stats.int_rf_banks_on_sum;
+  c.prev_fp_rf_banks_on_sum <- stats.Stats.fp_rf_banks_on_sum;
+  c.prev_int_rf_live_sum <- stats.Stats.int_rf_live_sum;
+  c.checks_run <- c.checks_run + 4
+
+(* --- reorder buffer ----------------------------------------------------- *)
+
+let check_rob c p =
+  let rob = Pipeline.Debug.rob p in
+  (* Program order head→tail: strictly increasing sequence numbers, and
+     the oldest in-flight instruction only ever moves forward (commits
+     happen at the head, in order, or not at all). *)
+  let prev_sn = ref (-1) in
+  let oldest = ref (-1) in
+  Rob.iter_in_flight rob (fun idx e ->
+      match e.Rob.dyn with
+      | None ->
+        fail p ~invariant:"rob-entry-live"
+          "in-flight ROB entry %d carries no instruction" idx
+      | Some d ->
+        if !oldest < 0 then oldest := d.Sdiq_isa.Exec.sn;
+        if d.Sdiq_isa.Exec.sn <= !prev_sn then
+          fail p ~invariant:"rob-program-order"
+            "ROB entry %d has sn %d after sn %d — commit order broken" idx
+            d.Sdiq_isa.Exec.sn !prev_sn;
+        prev_sn := d.Sdiq_isa.Exec.sn);
+  if !oldest >= 0 then begin
+    if !oldest < c.prev_oldest_sn then
+      fail p ~invariant:"rob-head-monotonic"
+        "oldest in-flight sn went backwards: %d after %d" !oldest
+        c.prev_oldest_sn;
+    c.prev_oldest_sn <- !oldest
+  end;
+  c.checks_run <- c.checks_run + 2
+
+(* --- physical register conservation ------------------------------------ *)
+
+(* Every allocated physical register must be reachable exactly once: either
+   as the current mapping of an architectural register, or as the previous
+   mapping held by one in-flight ROB entry for release at commit. Anything
+   else is a leak (never freed) or a double mapping (freed twice). *)
+let check_rf_conservation c p =
+  let rob = Pipeline.Debug.rob p in
+  let audit ~name (rf : Regfile.t) map select =
+    let owner = Array.make rf.Regfile.size (-2) in
+    (* owner codes: -2 unclaimed, arch index >= 0, ROB entry as -(3+idx) *)
+    let describe = function
+      | o when o >= 0 -> Printf.sprintf "arch r%d" o
+      | o -> Printf.sprintf "ROB entry %d" (-o - 3)
+    in
+    let claim p_reg who =
+      if p_reg < 0 || p_reg >= rf.Regfile.size then
+        fail p ~invariant:"rf-conservation" "%s file: %s maps to p%d, out of \
+                                             range" name (describe who) p_reg;
+      if rf.Regfile.free.(p_reg) then
+        fail p ~invariant:"rf-conservation"
+          "%s register p%d is on the free list but %s still claims it" name
+          p_reg (describe who);
+      if owner.(p_reg) <> -2 then
+        fail p ~invariant:"rf-conservation"
+          "%s register p%d claimed twice: by %s and by %s" name p_reg
+          (describe owner.(p_reg)) (describe who);
+      owner.(p_reg) <- who
+    in
+    Array.iteri (fun arch p_reg -> claim p_reg arch) map;
+    Rob.iter_in_flight rob (fun idx e ->
+        match select e.Rob.old_phys with
+        | Some p_reg -> claim p_reg (-(3 + idx))
+        | None -> ());
+    let claimed =
+      Array.fold_left (fun n o -> if o <> -2 then n + 1 else n) 0 owner
+    in
+    if claimed <> Regfile.live_count rf then
+      fail p ~invariant:"rf-conservation"
+        "%s file: %d registers claimed by the map and in-flight entries, \
+         but %d are allocated — registers leaked"
+        name claimed (Regfile.live_count rf);
+    let free =
+      Array.fold_left (fun n f -> if f then n + 1 else n) 0 rf.Regfile.free
+    in
+    if free <> rf.Regfile.free_count then
+      fail p ~invariant:"rf-free-count"
+        "%s file free_count says %d but the free list holds %d" name
+        rf.Regfile.free_count free
+  in
+  audit ~name:"int" (Pipeline.Debug.int_rf p) (Pipeline.Debug.int_map p)
+    (function Rob.Int_dest q -> Some q | Rob.No_dest | Rob.Fp_dest _ -> None);
+  audit ~name:"fp" (Pipeline.Debug.fp_rf p) (Pipeline.Debug.fp_map p)
+    (function Rob.Fp_dest q -> Some q | Rob.No_dest | Rob.Int_dest _ -> None);
+  c.checks_run <- c.checks_run + 4
+
+(* --- wakeup accounting -------------------------------------------------- *)
+
+let operand_exposure (iq : Iq.t) =
+  let present = ref 0 and waiting = ref 0 in
+  for s = 0 to iq.Iq.size - 1 do
+    let e = Iq.entry iq s in
+    if e.Iq.valid then
+      Array.iter
+        (fun (o : Iq.operand) ->
+          if o.Iq.present then begin
+            incr present;
+            if not o.Iq.ready then incr waiting
+          end)
+        e.Iq.ops
+  done;
+  (!present, !waiting)
+
+let check_wakeups c p =
+  let iq = Pipeline.Debug.iq p in
+  (* Nothing touches the queue between the end of the previous cycle and
+     this cycle's writeback broadcast, so the exposure recorded then is
+     the snapshot the CAM ports compared against now. *)
+  let d_tags = iq.Iq.broadcasts - c.prev_broadcasts in
+  let d_naive = iq.Iq.wakeups_naive - c.prev_naive in
+  let d_nonempty = iq.Iq.wakeups_nonempty - c.prev_nonempty in
+  let d_gated = iq.Iq.wakeups_gated - c.prev_gated in
+  if d_naive <> 2 * Iq.size iq * d_tags then
+    fail p ~invariant:"wakeup-naive"
+      "naive wakeups grew by %d for %d tags over %d slots (expected %d)"
+      d_naive d_tags (Iq.size iq)
+      (2 * Iq.size iq * d_tags);
+  if d_nonempty <> c.prev_present_ops * d_tags then
+    fail p ~invariant:"wakeup-nonempty"
+      "nonEmpty wakeups grew by %d for %d tags against %d present operands \
+       (expected %d)"
+      d_nonempty d_tags c.prev_present_ops
+      (c.prev_present_ops * d_tags);
+  if d_gated <> c.prev_waiting_ops * d_tags then
+    fail p ~invariant:"wakeup-gated"
+      "gated wakeups grew by %d for %d tags against %d waiting operands \
+       (expected %d)"
+      d_gated d_tags c.prev_waiting_ops
+      (c.prev_waiting_ops * d_tags);
+  c.prev_broadcasts <- iq.Iq.broadcasts;
+  c.prev_naive <- iq.Iq.wakeups_naive;
+  c.prev_nonempty <- iq.Iq.wakeups_nonempty;
+  c.prev_gated <- iq.Iq.wakeups_gated;
+  let present, waiting = operand_exposure iq in
+  c.prev_present_ops <- present;
+  c.prev_waiting_ops <- waiting;
+  c.checks_run <- c.checks_run + 3
+
+(* --- entry point -------------------------------------------------------- *)
+
+let check c p =
+  check_iq c p;
+  check_dispatch_window c p;
+  check_power_integrals c p;
+  check_rob c p;
+  check_rf_conservation c p;
+  check_wakeups c p;
+  c.cycles_checked <- c.cycles_checked + 1
+
+let hook c = check c
+
+(* Fresh checker installed on an existing pipeline. *)
+let attach p =
+  let c = create () in
+  Pipeline.set_checker p (hook c);
+  c
+
+(* Factory for Runner/simulate: a fresh checker per run. *)
+let fresh_hook () =
+  let c = create () in
+  hook c

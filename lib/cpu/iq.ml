@@ -245,30 +245,44 @@ let resize t target =
     t.active_size <- target;
     true
   end
-  else if target > t.active_size then begin
-    (* Growing inserts a run of empty slots between the oldest entries (at
-       and after [head]) and any wrapped younger ones (before [tail]);
-       pointer sweeps skip holes, so circular order is preserved. *)
-    t.active_size <- target;
-    true
-  end
   else begin
-    (* Shrinking is safe only once the dropped banks hold nothing and all
-       three pointers are inside the surviving region. *)
-    let clear =
-      ref (t.head < target && t.new_head < target && t.tail < target)
+    (* Any modulus change invalidates [new_span]: the region is the
+       circular slot range [new_head, tail), and changing [active_size]
+       inserts (grow) or removes (shrink) the run of slots between the
+       old boundary and slot 0 — inside the region whenever it wraps.
+       Re-derive the span from the pointers under the new modulus; the
+       pre-resize span disambiguates [tail = new_head], which means a
+       full ring when the span was non-zero and an empty region
+       otherwise. *)
+    let respan target =
+      if t.new_span = 0 then 0
+      else (((t.tail - t.new_head - 1) + target) mod target) + 1
     in
-    for s = target to t.active_size - 1 do
-      if t.slots.(s).valid then clear := false
-    done;
-    if !clear then begin
+    if target > t.active_size then begin
+      (* Growing inserts a run of empty slots between the oldest entries
+         (at and after [head]) and any wrapped younger ones (before
+         [tail]); pointer sweeps skip holes, so circular order is
+         preserved. *)
+      t.new_span <- respan target;
       t.active_size <- target;
-      (* The region span may have crossed the dropped slots; re-derive it
-         from the pointers under the new modulus. *)
-      t.new_span <- ((t.tail - t.new_head) + target) mod target;
       true
     end
-    else false
+    else begin
+      (* Shrinking is safe only once the dropped banks hold nothing and
+         all three pointers are inside the surviving region. *)
+      let clear =
+        ref (t.head < target && t.new_head < target && t.tail < target)
+      in
+      for s = target to t.active_size - 1 do
+        if t.slots.(s).valid then clear := false
+      done;
+      if !clear then begin
+        t.new_span <- respan target;
+        t.active_size <- target;
+        true
+      end
+      else false
+    end
   end
 
 let active_size t = t.active_size

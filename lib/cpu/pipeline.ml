@@ -45,11 +45,17 @@ type t = {
   mutable fetch_resume_at : int;
   mutable blocked_sn : int option; (* fetch stalled on this dynamic instr *)
   stats : Stats.t;
+  mutable checker : (t -> unit) option;
+      (* called after every completed cycle with the machine state; an
+         invariant checker (Sdiq_check.Checker) raises from here *)
+  mutable on_commit : (Exec.dyn -> unit) option;
+      (* called once per committed instruction, in commit order *)
 }
 
 exception Simulation_limit of string
 
-let create ?(config = Config.default) ?(policy = Policy.unlimited) prog =
+let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
+    ?on_commit prog =
   let exec = Exec.create prog in
   let int_rf =
     Regfile.create ~size:config.Config.rf_size
@@ -100,7 +106,12 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) prog =
     fetch_resume_at = 0;
     blocked_sn = None;
     stats = Stats.create ();
+    checker;
+    on_commit;
   }
+
+let set_checker t f = t.checker <- Some f
+let set_on_commit t f = t.on_commit <- Some f
 
 (* Physical-register tag space: int regs as-is, fp regs offset. *)
 let int_tag p = p
@@ -117,6 +128,7 @@ let commit_one t (e : Rob.entry) =
   let dyn = Option.get e.Rob.dyn in
   let i = dyn.Exec.instr in
   t.stats.Stats.committed <- t.stats.Stats.committed + 1;
+  (match t.on_commit with Some f -> f dyn | None -> ());
   release_dest t e.Rob.old_phys;
   (* The predictor trains at fetch (see [fetch_stage]): with no wrong-path
      instructions, fetch order equals commit order, so updating there is
@@ -596,7 +608,8 @@ let step_cycle t =
   fetch_stage t;
   account_stage t ~throttled;
   t.cycle <- t.cycle + 1;
-  t.stats.Stats.cycles <- t.cycle
+  t.stats.Stats.cycles <- t.cycle;
+  match t.checker with Some f -> f t | None -> ()
 
 (* Run until the program drains or [max_insns] instructions have
    committed. Raises [Simulation_limit] after [max_cycles] as a deadlock
@@ -617,7 +630,51 @@ let run ?(max_insns = max_int) ?(max_cycles = 200_000_000) t =
   t.stats
 
 (* Convenience: build, initialise memory, run. *)
-let simulate ?config ?policy ?init ?max_insns ?max_cycles prog =
-  let t = create ?config ?policy prog in
+let simulate ?config ?policy ?checker ?on_commit ?init ?max_insns ?max_cycles
+    prog =
+  let t = create ?config ?policy ?checker ?on_commit prog in
   (match init with Some f -> f t.exec | None -> ());
   run ?max_insns ?max_cycles t
+
+(* --- read-only view ----------------------------------------------------- *)
+
+(* A stable accessor surface for observers (the invariant checker, tests):
+   everything needed to audit the machine without reaching into record
+   fields, and nothing that mutates it. *)
+module Debug = struct
+  let cfg t = t.cfg
+  let policy t = t.policy
+  let iq t = t.iq
+  let rob t = t.rob
+  let int_rf t = t.int_rf
+  let fp_rf t = t.fp_rf
+  let int_map t = Array.copy t.int_map
+  let fp_map t = Array.copy t.fp_map
+  let cycle t = t.cycle
+  let halted t = t.halted
+  let exec t = t.exec
+  let stats t = t.stats
+  let fetch_queue_length t = Queue.length t.fq
+
+  (* One-line machine-state excerpt for diagnostics. *)
+  let excerpt t =
+    let iq = t.iq in
+    let oldest_sn = ref (-1) in
+    Rob.iter_in_flight t.rob (fun _ e ->
+        match e.Rob.dyn with
+        | Some d when !oldest_sn < 0 -> oldest_sn := d.Exec.sn
+        | Some _ | None -> ());
+    Printf.sprintf
+      "cycle=%d policy=%s iq[head=%d new_head=%d tail=%d count=%d span=%d \
+       active=%d/%d] rob[count=%d oldest_sn=%d] rf[int live=%d free=%d; \
+       fp live=%d free=%d] fq=%d committed=%d%s"
+      t.cycle (Policy.name t.policy) iq.Iq.head iq.Iq.new_head iq.Iq.tail
+      iq.Iq.count iq.Iq.new_span iq.Iq.active_size iq.Iq.size
+      (Rob.occupancy t.rob) !oldest_sn
+      (Regfile.live_count t.int_rf)
+      (Regfile.free_count t.int_rf)
+      (Regfile.live_count t.fp_rf)
+      (Regfile.free_count t.fp_rf)
+      (Queue.length t.fq) t.stats.Stats.committed
+      (if t.halted then " halted" else "")
+end

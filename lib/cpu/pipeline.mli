@@ -40,12 +40,30 @@ type t = {
   mutable fetch_resume_at : int;
   mutable blocked_sn : int option;
   stats : Stats.t;
+  mutable checker : (t -> unit) option;
+      (** called after every completed cycle with the machine state; an
+          invariant checker raises {e its own} structured exception from
+          here (the pipeline itself attaches no meaning to it) *)
+  mutable on_commit : (Sdiq_isa.Exec.dyn -> unit) option;
+      (** called once per committed instruction, in commit order *)
 }
 
 (** Raised by {!run} after [max_cycles] — a deadlock guard. *)
 exception Simulation_limit of string
 
-val create : ?config:Config.t -> ?policy:Policy.t -> Sdiq_isa.Prog.t -> t
+val create :
+  ?config:Config.t ->
+  ?policy:Policy.t ->
+  ?checker:(t -> unit) ->
+  ?on_commit:(Sdiq_isa.Exec.dyn -> unit) ->
+  Sdiq_isa.Prog.t ->
+  t
+
+(** Install a per-cycle observer after the fact (see [?checker]). *)
+val set_checker : t -> (t -> unit) -> unit
+
+(** Install a commit observer after the fact (see [?on_commit]). *)
+val set_on_commit : t -> (Sdiq_isa.Exec.dyn -> unit) -> unit
 
 (** Advance one cycle (commit, writeback, issue, dispatch, fetch,
     accounting). *)
@@ -61,8 +79,35 @@ val run : ?max_insns:int -> ?max_cycles:int -> t -> Stats.t
 val simulate :
   ?config:Config.t ->
   ?policy:Policy.t ->
+  ?checker:(t -> unit) ->
+  ?on_commit:(Sdiq_isa.Exec.dyn -> unit) ->
   ?init:(Sdiq_isa.Exec.state -> unit) ->
   ?max_insns:int ->
   ?max_cycles:int ->
   Sdiq_isa.Prog.t ->
   Stats.t
+
+(** Read-only view of the machine for observers (invariant checkers,
+    tests): stable accessors instead of record plumbing, and nothing
+    that mutates the pipeline. *)
+module Debug : sig
+  val cfg : t -> Config.t
+  val policy : t -> Policy.t
+  val iq : t -> Iq.t
+  val rob : t -> Rob.t
+  val int_rf : t -> Regfile.t
+  val fp_rf : t -> Regfile.t
+
+  (** Current architectural→physical mappings (fresh copies). *)
+  val int_map : t -> int array
+
+  val fp_map : t -> int array
+  val cycle : t -> int
+  val halted : t -> bool
+  val exec : t -> Sdiq_isa.Exec.state
+  val stats : t -> Stats.t
+  val fetch_queue_length : t -> int
+
+  (** One-line machine-state summary for diagnostics. *)
+  val excerpt : t -> string
+end

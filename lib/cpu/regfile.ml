@@ -59,7 +59,15 @@ let alloc t =
       t.free_count <- t.free_count - 1;
       t.allocs <- t.allocs + 1;
       Some i
-    | None -> assert false
+    | None ->
+      (* free_count > 0 yet no free slot: the count has drifted from the
+         free array — a conservation bug upstream (double release or a
+         release bypassing this module). *)
+      failwith
+        (Printf.sprintf
+           "Regfile.alloc: free_count=%d but the free list has no free \
+            register (size=%d)"
+           t.free_count t.size)
   end
 
 (* Allocate a specific register (initial architectural mapping). *)

@@ -180,8 +180,11 @@ let schedule ?(width = 8) ?(fu_count = Fu.default_count) (g : Ddg.t) :
       match solve_starts g ~ii with
       | Some s -> s
       | None ->
-        (* Cannot happen: ii >= every component's recurrence bound. *)
-        assert false
+        failwith
+          (Printf.sprintf
+             "Cds.schedule: no start times at ii=%d (rec_mii=%d, %d nodes) \
+              — ii should dominate every component's recurrence bound"
+             ii rec_mii n)
     in
     (* The critical CDS: greatest forced II; ties broken by earliest
        position, matching "the CDS that has the greatest latency". *)

@@ -30,17 +30,21 @@ type t = {
   table : (key, Sdiq_cpu.Stats.t) Hashtbl.t;
   benches : Bench.t list;
   pool : Sdiq_util.Pool.t;
+  checker : (unit -> Sdiq_cpu.Pipeline.t -> unit) option;
+      (* per-run hook factory: called once per simulation so each run
+         (possibly on another domain) gets fresh observer state *)
   mutable last_campaign : campaign option;
 }
 
 let create ?(config = Sdiq_cpu.Config.default) ?(budget = 100_000)
-    ?(benches = Suite.all ()) ?domains () =
+    ?(benches = Suite.all ()) ?domains ?checker () =
   {
     config;
     budget;
     table = Hashtbl.create 64;
     benches;
     pool = Sdiq_util.Pool.create ?domains ();
+    checker;
     last_campaign = None;
   }
 
@@ -61,8 +65,9 @@ let simulate_pair t name technique : Sdiq_cpu.Stats.t =
   let bench = find_bench t name in
   let prog = Technique.prepare technique bench.Bench.prog in
   let policy = Technique.policy technique in
-  Sdiq_cpu.Pipeline.simulate ~config:t.config ~policy ~init:bench.Bench.init
-    ~max_insns:t.budget prog
+  let checker = Option.map (fun mk -> mk ()) t.checker in
+  Sdiq_cpu.Pipeline.simulate ~config:t.config ~policy ?checker
+    ~init:bench.Bench.init ~max_insns:t.budget prog
 
 (* Run one (benchmark, technique) pair, memoised. *)
 let run t name technique : Sdiq_cpu.Stats.t =

@@ -23,11 +23,18 @@ val create :
   ?budget:int ->
   ?benches:Sdiq_workloads.Bench.t list ->
   ?domains:int ->
+  ?checker:(unit -> Sdiq_cpu.Pipeline.t -> unit) ->
   unit ->
   t
 (** [domains] sizes the campaign pool (default
     [Domain.recommended_domain_count ()]); [~domains:1] forces a serial
-    campaign. *)
+    campaign.
+
+    [checker] is a per-run observer {e factory}: it is invoked once per
+    simulation (possibly on a worker domain) and the resulting hook is
+    installed as the pipeline's [?checker], so each run gets fresh,
+    domain-local observer state. Pass
+    [Sdiq_check.Checker.fresh_hook] to audit every campaign cycle. *)
 
 val bench_names : t -> string list
 

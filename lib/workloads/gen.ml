@@ -55,3 +55,156 @@ let fill_skewed rng st ~base ~len ~kinds =
     in
     Exec.poke st (base + (i * word)) v
   done
+
+(* --- random programs for the differential fuzzer ------------------------- *)
+
+(* An operation is four unconstrained integers decoded totally (every
+   quad is a valid operation), so qcheck's structural shrinking on
+   [list (quad int int int int)] minimises failing programs for free.
+
+   The decoded instruction mix deliberately includes the executor's edge
+   cases: division with a possibly-zero divisor, register-count shifts
+   with wild amounts, loads of unwritten memory, and forward conditional
+   skips. Working registers are r1..r8 / f1..f4; r9/r10 are loop
+   counters, r13 the address scratch and r20 the publish base, none of
+   which the decoder can name — loops always terminate. *)
+type op = int * int * int * int
+
+type desc = {
+  prologue : op list;
+  loop_body : op list;      (* outer loop, executed [loop_count] times *)
+  loop_count : int;
+  inner_body : op list;     (* nested loop inside the outer body *)
+  inner_count : int;
+  helper_body : op list;    (* separate procedure, called from the loop *)
+  call_helper : bool;
+}
+
+let num_op_kinds = 16
+
+let pos x = if x >= 0 then x else if x = min_int then 0 else -x
+let reg x = Reg.int (1 + (pos x mod 8))
+let freg x = Reg.fp (1 + (pos x mod 4))
+let addr_scratch = Reg.int 13
+
+(* Memory operands mask their base into [0, 4096) so random programs
+   touch a bounded heap (the publish area at 8000+ stays clean). *)
+let emit_masked_base p a =
+  Asm.andi p addr_scratch (reg a) 4095
+
+let emit_op p ~fresh_label ((k, a, b, c) : op) =
+  let imm = (pos c mod 128) - 64 in
+  match pos k mod num_op_kinds with
+  | 0 -> Asm.addi p (reg a) (reg b) imm
+  | 1 -> Asm.add p (reg a) (reg b) (reg c)
+  | 2 -> Asm.sub p (reg a) (reg b) (reg c)
+  | 3 -> Asm.mul p (reg a) (reg b) (reg c)
+  | 4 ->
+    (* One divisor in five is the hardwired zero register: division by
+       zero must yield 0 in both models. *)
+    let divisor = if pos c mod 5 = 0 then Reg.zero else reg c in
+    Asm.div p (reg a) (reg b) divisor
+  | 5 -> Asm.shl p (reg a) (reg b) (reg c)  (* wild shift counts *)
+  | 6 -> Asm.shr p (reg a) (reg b) (reg c)
+  | 7 -> (
+    match pos b mod 3 with
+    | 0 -> Asm.and_ p (reg a) (reg b) (reg c)
+    | 1 -> Asm.or_ p (reg a) (reg b) (reg c)
+    | _ -> Asm.xor p (reg a) (reg b) (reg c))
+  | 8 -> Asm.li p (reg a) ((pos b * 40503) lxor pos c)
+  | 9 ->
+    emit_masked_base p b;
+    Asm.load p (reg a) addr_scratch (pos c mod 64)
+  | 10 ->
+    emit_masked_base p a;
+    Asm.store p addr_scratch (reg b) (pos c mod 64)
+  | 11 -> Asm.fadd p (freg a) (freg b) (freg c)
+  | 12 -> Asm.fmul p (freg a) (freg b) (freg c)
+  | 13 -> Asm.fdiv p (freg a) (freg b) (freg c)
+  | 14 -> if pos b mod 2 = 0 then Asm.itof p (freg a) (reg b)
+          else Asm.ftoi p (reg a) (freg b)
+  | _ ->
+    (* Forward conditional skip: data-dependent control flow without
+       risking non-termination. *)
+    let l = fresh_label () in
+    Asm.beq p (reg a) (reg b) l;
+    Asm.addi p (reg c) (reg c) 1;
+    Asm.label p l
+
+let program_of_desc d =
+  let b = Asm.create () in
+  let labels = ref 0 in
+  let fresh_label () =
+    incr labels;
+    Printf.sprintf "skip%d" !labels
+  in
+  let emit_all p ops = List.iter (emit_op p ~fresh_label) ops in
+  let has_helper = d.call_helper && d.helper_body <> [] in
+  let main = Asm.proc b "main" in
+  for i = 1 to 8 do
+    Asm.li main (Reg.int i) (i * 37)
+  done;
+  for i = 1 to 4 do
+    Asm.fli main (Reg.fp i) (float_of_int i *. 1.5)
+  done;
+  emit_all main d.prologue;
+  let loop_count = max 1 d.loop_count in
+  Asm.li main (Reg.int 9) loop_count;
+  Asm.label main "outer";
+  emit_all main d.loop_body;
+  if d.inner_body <> [] && d.inner_count > 0 then begin
+    Asm.li main (Reg.int 10) d.inner_count;
+    Asm.label main "inner";
+    emit_all main d.inner_body;
+    Asm.addi main (Reg.int 10) (Reg.int 10) (-1);
+    Asm.bne main (Reg.int 10) Reg.zero "inner"
+  end;
+  if has_helper then Asm.call main "helper";
+  Asm.addi main (Reg.int 9) (Reg.int 9) (-1);
+  Asm.bne main (Reg.int 9) Reg.zero "outer";
+  (* Publish the working registers so dead code cannot hide a bug from
+     the final-state comparison. *)
+  Asm.li main (Reg.int 20) 8000;
+  for i = 1 to 8 do
+    Asm.store main (Reg.int 20) (Reg.int i) (i * word)
+  done;
+  for i = 1 to 4 do
+    Asm.fstore main (Reg.int 20) (Reg.fp i) (100 + (i * word))
+  done;
+  Asm.halt main;
+  if has_helper then begin
+    let h = Asm.proc b "helper" in
+    emit_all h d.helper_body;
+    Asm.ret h
+  end;
+  Asm.assemble b ~entry:"main"
+
+let random_ops rng n =
+  List.init n (fun _ ->
+      (Rng.int rng 1000, Rng.int rng 1000, Rng.int rng 1000, Rng.int rng 1000))
+
+let random_desc rng =
+  {
+    prologue = random_ops rng (Rng.int rng 8);
+    loop_body = random_ops rng (1 + Rng.int rng 12);
+    loop_count = 1 + Rng.int rng 30;
+    inner_body = (if Rng.bool rng then random_ops rng (1 + Rng.int rng 6) else []);
+    inner_count = 1 + Rng.int rng 10;
+    helper_body = (if Rng.bool rng then random_ops rng (1 + Rng.int rng 8) else []);
+    call_helper = Rng.bool rng;
+  }
+
+let random_program rng = program_of_desc (random_desc rng)
+
+let pp_desc ppf d =
+  let pp_ops ppf ops =
+    Fmt.pf ppf "[%a]"
+      (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (k, a, b, c) ->
+           Fmt.pf ppf "(%d,%d,%d,%d)" k a b c))
+      ops
+  in
+  Fmt.pf ppf
+    "{ prologue = %a;@ loop_body = %a;@ loop_count = %d;@ inner_body = %a;@ \
+     inner_count = %d;@ helper_body = %a;@ call_helper = %b }"
+    pp_ops d.prologue pp_ops d.loop_body d.loop_count pp_ops d.inner_body
+    d.inner_count pp_ops d.helper_body d.call_helper

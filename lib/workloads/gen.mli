@@ -27,3 +27,37 @@ val fill_chain :
 val fill_skewed :
   Sdiq_util.Rng.t -> Sdiq_isa.Exec.state -> base:int -> len:int -> kinds:int ->
   unit
+
+(** {2 Random programs for the differential fuzzer}
+
+    An operation is four unconstrained integers decoded {e totally} —
+    every quad maps to a valid instruction — so qcheck's structural
+    shrinking over [list (quad int int int int)] minimises failing
+    programs without a custom shrinker. The decoded mix exercises the
+    executor's edge cases: division by the zero register, register-count
+    shifts with wild amounts, loads of unwritten memory, and forward
+    conditional skips. Loop counters and address masking are outside the
+    decoder's register range, so generated programs always terminate. *)
+
+type op = int * int * int * int
+
+type desc = {
+  prologue : op list;
+  loop_body : op list;  (** outer loop, executed [loop_count] times *)
+  loop_count : int;
+  inner_body : op list;  (** nested loop inside the outer body *)
+  inner_count : int;
+  helper_body : op list;  (** separate procedure, called from the loop *)
+  call_helper : bool;
+}
+
+(** Assemble a description: register prologue, optional nested loop,
+    optional helper call, and a final publish of every working register
+    to memory (so dead code cannot hide from the final-state check). *)
+val program_of_desc : desc -> Sdiq_isa.Prog.t
+
+val random_desc : Sdiq_util.Rng.t -> desc
+val random_program : Sdiq_util.Rng.t -> Sdiq_isa.Prog.t
+
+(** Print a description as a pasteable OCaml-ish literal (replay aid). *)
+val pp_desc : Format.formatter -> desc -> unit

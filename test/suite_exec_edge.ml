@@ -1,0 +1,182 @@
+(* Edge cases of the functional executor: the totality guarantees random
+   programs lean on (division by zero, wild shifts, unwritten and far
+   out-of-range memory) and loop bounds around backward branches. *)
+
+open Sdiq_isa
+
+let r = Reg.int
+let f = Reg.fp
+
+let run_prog build =
+  let b = Asm.create () in
+  build b;
+  let prog = Asm.assemble b ~entry:"main" in
+  let st = Exec.create prog in
+  let steps = Exec.run st in
+  (st, steps)
+
+let test_div_and_mod_by_zero () =
+  let st, _ =
+    run_prog (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.li p (r 1) 17;
+        Asm.div p (r 2) (r 1) Reg.zero;      (* 17 / 0 *)
+        Asm.li p (r 3) min_int;
+        Asm.li p (r 4) (-1);
+        Asm.div p (r 5) (r 3) (r 4);         (* min_int / -1 overflows *)
+        Asm.store p Reg.zero (r 2) 0;
+        Asm.store p Reg.zero (r 5) 4;
+        Asm.halt p)
+  in
+  Alcotest.(check int) "n / 0 = 0" 0 (Exec.peek st 0);
+  (* OCaml's native division computes min_int / -1 = min_int by
+     wraparound; what matters here is that it does not trap. *)
+  Alcotest.(check int) "min_int / -1 does not trap" min_int (Exec.peek st 4)
+
+let test_wild_shift_amounts () =
+  let st, _ =
+    run_prog (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.li p (r 1) 1;
+        Asm.li p (r 2) 64;
+        Asm.shl p (r 3) (r 1) (r 2);         (* shift by width *)
+        Asm.li p (r 4) (-5);
+        Asm.shl p (r 5) (r 1) (r 4);         (* negative shift *)
+        Asm.shr p (r 6) (r 1) (r 2);
+        Asm.shli p (r 7) (r 1) 3;            (* sane shift still works *)
+        Asm.store p Reg.zero (r 3) 0;
+        Asm.store p Reg.zero (r 5) 4;
+        Asm.store p Reg.zero (r 6) 8;
+        Asm.store p Reg.zero (r 7) 12;
+        Asm.halt p)
+  in
+  Alcotest.(check int) "shl by 64 = 0" 0 (Exec.peek st 0);
+  Alcotest.(check int) "shl by -5 = 0" 0 (Exec.peek st 4);
+  Alcotest.(check int) "shr by 64 = 0" 0 (Exec.peek st 8);
+  Alcotest.(check int) "shl by 3 = 8" 8 (Exec.peek st 12)
+
+let test_unwritten_and_far_memory () =
+  let st, _ =
+    run_prog (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.load p (r 1) Reg.zero 123;        (* never written *)
+        Asm.li p (r 2) max_int;
+        Asm.load p (r 3) (r 2) 0;             (* address max_int *)
+        Asm.li p (r 4) (-4096);
+        Asm.li p (r 5) 77;
+        Asm.store p (r 4) (r 5) 0;            (* negative address *)
+        Asm.load p (r 6) (r 4) 0;
+        Asm.store p Reg.zero (r 1) 0;
+        Asm.store p Reg.zero (r 3) 4;
+        Asm.store p Reg.zero (r 6) 8;
+        Asm.halt p)
+  in
+  Alcotest.(check int) "unwritten load reads 0" 0 (Exec.peek st 0);
+  Alcotest.(check int) "far address reads 0" 0 (Exec.peek st 4);
+  Alcotest.(check int) "negative address round-trips" 77 (Exec.peek st 8)
+
+(* Unaligned addresses are distinct cells: the word-granularity memory
+   keys on the raw address, so 100 and 101 do not alias. *)
+let test_unaligned_addresses_distinct () =
+  let st, _ =
+    run_prog (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.li p (r 1) 100;
+        Asm.li p (r 2) 11;
+        Asm.li p (r 3) 22;
+        Asm.store p (r 1) (r 2) 0;            (* [100] <- 11 *)
+        Asm.store p (r 1) (r 3) 1;            (* [101] <- 22 *)
+        Asm.load p (r 4) (r 1) 0;
+        Asm.load p (r 5) (r 1) 1;
+        Asm.store p Reg.zero (r 4) 0;
+        Asm.store p Reg.zero (r 5) 4;
+        Asm.halt p)
+  in
+  Alcotest.(check int) "[100]" 11 (Exec.peek st 0);
+  Alcotest.(check int) "[101]" 22 (Exec.peek st 4)
+
+(* A backward branch runs its body exactly n times: the classic
+   off-by-one trap for decrement-and-branch loops. *)
+let test_backward_branch_loop_bounds () =
+  List.iter
+    (fun n ->
+      let st, _ =
+        run_prog (fun b ->
+            let p = Asm.proc b "main" in
+            Asm.li p (r 9) n;
+            Asm.li p (r 1) 0;
+            Asm.label p "loop";
+            Asm.addi p (r 1) (r 1) 1;
+            Asm.addi p (r 9) (r 9) (-1);
+            Asm.bne p (r 9) Reg.zero "loop";
+            Asm.store p Reg.zero (r 1) 0;
+            Asm.halt p)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "loop of %d iterates %d times" n n)
+        n (Exec.peek st 0))
+    [ 1; 2; 7 ]
+
+(* A loop whose counter starts at 0 under decrement-and-branch wraps all
+   the way around — guarded loops must use blt/bge. *)
+let test_zero_trip_guard () =
+  let st, _ =
+    run_prog (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.li p (r 9) 0;
+        Asm.li p (r 1) 0;
+        Asm.label p "head";
+        Asm.bge p Reg.zero (r 9) "done";      (* guard: skip when n <= 0 *)
+        Asm.addi p (r 1) (r 1) 1;
+        Asm.addi p (r 9) (r 9) (-1);
+        Asm.jmp p "head";
+        Asm.label p "done";
+        Asm.store p Reg.zero (r 1) 0;
+        Asm.halt p)
+  in
+  Alcotest.(check int) "guarded loop of 0 runs 0 times" 0 (Exec.peek st 0)
+
+let test_fp_totality () =
+  let st, _ =
+    run_prog (fun b ->
+        let p = Asm.proc b "main" in
+        Asm.fli p (f 1) 1.0;
+        Asm.fli p (f 2) 0.0;
+        Asm.fdiv p (f 3) (f 1) (f 2);         (* guarded: 1 / 0 = 0 *)
+        (* overflow a product into +inf: 1e3 squared 7 times passes
+           the double range *)
+        Asm.fli p (f 4) 1000.0;
+        for _ = 1 to 7 do
+          Asm.fmul p (f 4) (f 4) (f 4)
+        done;
+        Asm.fmul p (f 5) (f 4) (f 2);         (* inf * 0 = nan *)
+        Asm.ftoi p (r 1) (f 5);               (* nan to int: no trap *)
+        Asm.fstore p Reg.zero (f 3) 0;
+        Asm.fstore p Reg.zero (f 4) 8;
+        Asm.fstore p Reg.zero (f 5) 16;
+        Asm.store p Reg.zero (r 1) 24;
+        Asm.halt p)
+  in
+  Alcotest.(check (float 0.)) "fdiv by zero is guarded to 0" 0.
+    (Exec.fpeek st 0);
+  Alcotest.(check bool) "overflow reaches +inf" true
+    (Exec.fpeek st 8 = infinity);
+  let nan_v = Exec.fpeek st 16 in
+  Alcotest.(check bool) "inf * 0 is nan" true (nan_v <> nan_v);
+  (* int_of_float nan must not trap; any deterministic value will do. *)
+  ignore (Exec.peek st 24)
+
+let suite =
+  [
+    Alcotest.test_case "integer division edge cases" `Quick
+      test_div_and_mod_by_zero;
+    Alcotest.test_case "wild shift amounts" `Quick test_wild_shift_amounts;
+    Alcotest.test_case "unwritten and far memory" `Quick
+      test_unwritten_and_far_memory;
+    Alcotest.test_case "unaligned addresses are distinct cells" `Quick
+      test_unaligned_addresses_distinct;
+    Alcotest.test_case "backward-branch loop bounds" `Quick
+      test_backward_branch_loop_bounds;
+    Alcotest.test_case "zero-trip guarded loop" `Quick test_zero_trip_guard;
+    Alcotest.test_case "fp totality (inf, nan)" `Quick test_fp_totality;
+  ]

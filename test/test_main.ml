@@ -4,6 +4,7 @@ let () =
       ("util", Suite_util.suite);
       ("isa", Suite_isa.suite);
       ("exec", Suite_exec.suite);
+      ("exec-edge", Suite_exec_edge.suite);
       ("cfg", Suite_cfg.suite);
       ("ddg", Suite_ddg.suite);
       ("core", Suite_core.suite);
@@ -17,4 +18,6 @@ let () =
       ("edge", Suite_edge.suite);
       ("tools", Suite_tools.suite);
       ("properties", Suite_properties.suite);
+      ("check", Suite_check.suite);
+      ("golden", Suite_golden.suite);
     ]
