@@ -4,15 +4,22 @@ DOMAINS ?= 4
 BENCH   := _build/default/bench/main.exe
 FUZZ_N  ?= 500
 
-.PHONY: all build test campaign fuzz check-campaign
+.PHONY: all build test lint campaign fuzz check-campaign
 
-all: build
+all: build lint
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Static audit: the dataflow lints, the annotation-soundness pass and
+# the delivery-integrity check over every built-in benchmark under all
+# three annotation modes. Non-zero exit on any error-severity finding.
+lint:
+	dune build bin/lint.exe
+	dune exec bin/lint.exe --
 
 # Smoke-check the parallel campaign: every figure bench/main.exe derives
 # from the simulation table must be byte-identical on 1 domain and on

@@ -1,0 +1,164 @@
+(* sdiq-lint: static analysis over the built-in benchmarks — annotation
+   soundness audit, delivery integrity, workload lints and the
+   register-pressure check — with structured findings and a non-zero
+   exit when any error-severity finding survives.
+
+     dune exec bin/lint.exe --                       # all benches, all modes
+     dune exec bin/lint.exe -- --bench gcc -m noop --dot _build/dot
+     dune exec bin/lint.exe -- --quiet               # summaries only *)
+
+open Cmdliner
+module Finding = Sdiq_analysis.Finding
+module Driver = Sdiq_analysis.Driver
+
+(* Findings on the built-in workloads that are understood and accepted;
+   each carries the recorded reason. Matched by (bench, pass suffix,
+   procedure). *)
+let waivers : (string * string * string * string) list = []
+
+let waiver_reason ~bench (f : Finding.t) =
+  List.find_map
+    (fun (b, pass, proc, reason) ->
+      let suffix_of p s =
+        let lp = String.length p and ls = String.length s in
+        ls >= lp && String.sub s (ls - lp) lp = p
+      in
+      if b = bench && suffix_of pass f.Finding.pass && proc = f.Finding.proc
+      then Some reason
+      else None)
+    waivers
+
+let bench_arg =
+  let doc =
+    "Benchmark to lint (default: every built-in benchmark). Available: "
+    ^ String.concat ", " (Sdiq_workloads.Suite.names ())
+  in
+  Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let mode_arg =
+  let doc = "Annotation mode to audit: noop, extension, improved or all." in
+  Arg.(value & opt string "all" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let dot_arg =
+  let doc =
+    "Directory to dump Graphviz views into: one CFG per procedure and one \
+     DDG per loop region (via Sdiq_ddg.Dot)."
+  in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DIR" ~doc)
+
+let quiet_arg =
+  let doc = "Print only per-benchmark summaries and waived findings." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let infos_arg =
+  let doc = "Also print info-severity findings (proved facts, statistics)." in
+  Arg.(value & flag & info [ "infos" ] ~doc)
+
+let dump_dot dir (bench : Sdiq_workloads.Bench.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let prog = bench.Sdiq_workloads.Bench.prog in
+  List.iter
+    (fun (p : Sdiq_isa.Prog.proc) ->
+      if (not p.Sdiq_isa.Prog.is_library) && p.Sdiq_isa.Prog.len > 0 then begin
+        let cfg = Sdiq_cfg.Cfg.build prog p in
+        let write name contents =
+          let oc =
+            open_out
+              (Filename.concat dir
+                 (Fmt.str "%s_%s_%s.dot" bench.Sdiq_workloads.Bench.name
+                    p.Sdiq_isa.Prog.name name))
+          in
+          output_string oc contents;
+          close_out oc
+        in
+        write "cfg" (Sdiq_ddg.Dot.cfg_to_dot cfg);
+        let regions = Sdiq_cfg.Regions.decompose cfg in
+        List.iteri
+          (fun i region ->
+            match region with
+            | Sdiq_cfg.Regions.Loop _ ->
+              let body =
+                Sdiq_core.Loop_need.body_of_region cfg regions region
+              in
+              let g = Sdiq_ddg.Ddg.of_loop_body body in
+              write (Fmt.str "loop%d_ddg" i) (Sdiq_ddg.Dot.ddg_to_dot g)
+            | Sdiq_cfg.Regions.Dag _ -> ())
+          regions.Sdiq_cfg.Regions.regions
+      end)
+    prog.Sdiq_isa.Prog.procs
+
+let run bench_name mode dot quiet infos =
+  let benches =
+    match bench_name with
+    | None -> Sdiq_workloads.Suite.all ()
+    | Some n -> (
+      match Sdiq_workloads.Suite.find n with
+      | Some b -> [ b ]
+      | None ->
+        Fmt.epr "unknown benchmark %S; available: %s@." n
+          (String.concat ", " (Sdiq_workloads.Suite.names ()));
+        exit 64)
+  in
+  let modes =
+    if mode = "all" then Driver.modes
+    else
+      match Driver.mode_named mode with
+      | Some m -> [ m ]
+      | None ->
+        Fmt.epr "unknown mode %S; available: noop, extension, improved, all@."
+          mode;
+        exit 64
+  in
+  let total_errors = ref 0 in
+  List.iter
+    (fun (bench : Sdiq_workloads.Bench.t) ->
+      let name = bench.Sdiq_workloads.Bench.name in
+      let prog = bench.Sdiq_workloads.Bench.prog in
+      let findings =
+        List.concat_map (fun m -> Driver.audit_mode m prog) modes
+        @ Driver.lint_program prog
+        |> List.sort Finding.compare
+      in
+      let waived, active =
+        List.partition_map
+          (fun f ->
+            match waiver_reason ~bench:name f with
+            | Some reason -> Either.Left (f, reason)
+            | None -> Either.Right f)
+          findings
+      in
+      total_errors := !total_errors + Finding.errors active;
+      Fmt.pr "== %s: %a (%d waived)@." name Finding.pp_summary active
+        (List.length waived);
+      List.iter
+        (fun (f : Finding.t) ->
+          let show =
+            match f.Finding.severity with
+            | Finding.Error -> true
+            | Finding.Warning -> not quiet
+            | Finding.Info -> infos && not quiet
+          in
+          if show then Fmt.pr "  %a@." Finding.pp f)
+        active;
+      List.iter
+        (fun ((f : Finding.t), reason) ->
+          Fmt.pr "  waived: %a@.    reason: %s@." Finding.pp f reason)
+        waived;
+      Option.iter (fun dir -> dump_dot dir bench) dot)
+    benches;
+  if !total_errors > 0 then begin
+    Fmt.pr "lint: %d error-severity finding(s)@." !total_errors;
+    exit 1
+  end
+  else Fmt.pr "lint: clean (no error-severity findings)@."
+
+let cmd =
+  let doc =
+    "statically audit annotation soundness, delivery integrity, workload \
+     hygiene and register pressure"
+  in
+  Cmd.v
+    (Cmd.info "sdiq-lint" ~doc)
+    Term.(const run $ bench_arg $ mode_arg $ dot_arg $ quiet_arg $ infos_arg)
+
+let () = exit (Cmd.eval cmd)

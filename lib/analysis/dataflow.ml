@@ -1,0 +1,89 @@
+(* Generic monotone dataflow over Sdiq_cfg.Cfg: a worklist seeded in
+   reverse post-order (or its reverse, for backward analyses) so that on
+   reducible graphs most facts settle in one or two sweeps. Internally
+   [input]/[output] are direction-relative; they are swapped back into
+   program-order [entry]/[exit] when building the solution. *)
+
+module Cfg = Sdiq_cfg.Cfg
+
+type direction =
+  | Forward
+  | Backward
+
+exception Diverged of string * int
+
+type 'fact spec = {
+  name : string;
+  direction : direction;
+  boundary : 'fact;
+  init : 'fact;
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  transfer : int -> 'fact -> 'fact;
+}
+
+type 'fact solution = {
+  entry : 'fact array;
+  exit : 'fact array;
+  steps : int;
+}
+
+let run ?max_steps (cfg : Cfg.t) (spec : 'fact spec) : 'fact solution =
+  let nb = Cfg.num_blocks cfg in
+  let limit =
+    match max_steps with Some m -> m | None -> 256 * (nb + 1)
+  in
+  let rpo = Cfg.reverse_postorder cfg in
+  let order =
+    match spec.direction with Forward -> rpo | Backward -> List.rev rpo
+  in
+  let sources b =
+    match spec.direction with
+    | Forward -> Cfg.preds cfg b
+    | Backward -> Cfg.succs cfg b
+  in
+  let sinks b =
+    match spec.direction with
+    | Forward -> Cfg.succs cfg b
+    | Backward -> Cfg.preds cfg b
+  in
+  (* The boundary fact enters at the entry block (forward) or at blocks
+     with no successors (backward). A block can be both a boundary and
+     have incoming edges (a branch back to the procedure's first
+     instruction), so the boundary is joined in rather than substituted. *)
+  let is_boundary b =
+    match spec.direction with
+    | Forward -> b = 0
+    | Backward -> Cfg.succs cfg b = []
+  in
+  let input = Array.make nb spec.init in
+  let output = Array.make nb spec.init in
+  let on_list = Array.make nb true in
+  let q = Queue.create () in
+  List.iter (fun b -> Queue.add b q) order;
+  let steps = ref 0 in
+  while not (Queue.is_empty q) do
+    if !steps >= limit then raise (Diverged (spec.name, !steps));
+    incr steps;
+    let b = Queue.pop q in
+    on_list.(b) <- false;
+    let in_fact =
+      let base = if is_boundary b then spec.boundary else spec.init in
+      List.fold_left (fun acc s -> spec.join acc output.(s)) base (sources b)
+    in
+    input.(b) <- in_fact;
+    let out = spec.transfer b in_fact in
+    if not (spec.equal out output.(b)) then begin
+      output.(b) <- out;
+      List.iter
+        (fun s ->
+          if not on_list.(s) then begin
+            on_list.(s) <- true;
+            Queue.add s q
+          end)
+        (sinks b)
+    end
+  done;
+  match spec.direction with
+  | Forward -> { entry = input; exit = output; steps = !steps }
+  | Backward -> { entry = output; exit = input; steps = !steps }

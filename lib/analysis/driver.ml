@@ -1,0 +1,44 @@
+(* Pass orchestration: mirror the harness's annotation pipeline
+   (Annotate.apply with the mode's options), then audit both the
+   annotation list and the emitted binary. *)
+
+module Annotate = Sdiq_core.Annotate
+module Options = Sdiq_core.Options
+
+type mode = {
+  name : string;
+  delivery : Annotate.mode;
+  opts : Options.t;
+}
+
+let modes =
+  [
+    { name = "noop"; delivery = Annotate.Noop; opts = Options.default };
+    { name = "extension"; delivery = Annotate.Tagged; opts = Options.default };
+    { name = "improved"; delivery = Annotate.Tagged; opts = Options.improved };
+  ]
+
+let mode_named name = List.find_opt (fun m -> m.name = name) modes
+
+let tag_pass mode fs =
+  List.map
+    (fun (f : Finding.t) -> { f with Finding.pass = mode.name ^ "/" ^ f.Finding.pass })
+    fs
+
+let audit_mode mode (prog : Sdiq_isa.Prog.t) : Finding.t list =
+  let annotated, annotations =
+    Annotate.apply ~opts:mode.opts mode.delivery prog
+  in
+  tag_pass mode
+    (Soundness.audit ~opts:mode.opts prog annotations
+    @ Lint.delivery ~mode:mode.delivery ~original:prog ~annotated annotations)
+
+let lint_program ?rf_size (prog : Sdiq_isa.Prog.t) : Finding.t list =
+  let summaries = Summary.of_program prog in
+  let _, pressure = Pressure.audit ?rf_size ~summaries prog in
+  Lint.check_program ~summaries prog @ pressure
+
+let audit_all ?rf_size (prog : Sdiq_isa.Prog.t) : Finding.t list =
+  List.sort Finding.compare
+    (List.concat_map (fun m -> audit_mode m prog) modes
+    @ lint_program ?rf_size prog)

@@ -1,0 +1,26 @@
+(** Top-level orchestration of the static-analysis passes: one call
+    audits a program under one annotation mode (soundness + delivery)
+    and runs the mode-independent lints and the register-pressure
+    check. *)
+
+(** One of the paper's three annotation configurations. *)
+type mode = {
+  name : string;  (** ["noop"], ["extension"] or ["improved"] *)
+  delivery : Sdiq_core.Annotate.mode;
+  opts : Sdiq_core.Options.t;
+}
+
+val modes : mode list
+val mode_named : string -> mode option
+
+(** Soundness audit plus delivery-integrity lint for one mode: the
+    program is analysed and annotated exactly as the simulator harness
+    would, then both artefacts are audited. *)
+val audit_mode : mode -> Sdiq_isa.Prog.t -> Finding.t list
+
+(** Mode-independent program lints and the register-pressure pass. *)
+val lint_program : ?rf_size:int -> Sdiq_isa.Prog.t -> Finding.t list
+
+(** [audit_mode] under every mode, plus [lint_program], sorted with
+    errors first. *)
+val audit_all : ?rf_size:int -> Sdiq_isa.Prog.t -> Finding.t list

@@ -1,0 +1,330 @@
+(* Workload lints. The program lints run the dataflow engine; the
+   delivery lints audit the emitted binary against the annotation list,
+   reconstructing the NOOP-insertion address map from the artifact
+   itself so a rewriter bug cannot hide behind its own arithmetic. *)
+
+open Sdiq_isa
+module Cfg = Sdiq_cfg.Cfg
+module Annotate = Sdiq_core.Annotate
+module Procedure = Sdiq_core.Procedure
+
+(* --- reachability -------------------------------------------------------- *)
+
+let reachable (cfg : Cfg.t) : bool array =
+  let seen = Array.make (Cfg.num_blocks cfg) false in
+  let rec dfs b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter dfs (Cfg.succs cfg b)
+    end
+  in
+  dfs 0;
+  seen
+
+let unreachable (proc : Prog.proc) (cfg : Cfg.t) : Finding.t list =
+  let seen = reachable cfg in
+  let findings = ref [] in
+  Array.iteri
+    (fun b ok ->
+      if not ok then
+        let blk = cfg.Cfg.blocks.(b) in
+        findings :=
+          Finding.make ~proc:proc.Prog.name ~addr:blk.Cfg.first ~blocks:[ b ]
+            Finding.Warning ~pass:"unreachable"
+            (Fmt.str "block B%d (addresses %d..%d) is unreachable" b
+               blk.Cfg.first blk.Cfg.last)
+          :: !findings)
+    seen;
+  List.rev !findings
+
+(* --- use before definition ----------------------------------------------- *)
+
+(* Forward must-defined analysis: intersection join, full set as the
+   optimistic top. The entry procedure starts with nothing defined;
+   other procedures are entered from call sites that may have defined
+   anything, so they start full (their callers' obligations are checked
+   in the callers, against the callee's summary [uses]). A Call defines
+   the callee's must-defs — or, without summaries, every register, which
+   can only suppress reports, never invent them. Reads of the hardwired
+   zero register are excluded at the [Instr.sources] level. *)
+
+let defined_after ~call_effect (i : Instr.t) defined =
+  if i.Instr.op = Opcode.Call then
+    Regset.union defined (call_effect i.Instr.target).Summary.defs
+  else
+    match Instr.dest i with
+    | Some r -> Regset.add r defined
+    | None -> defined
+
+let use_before_def ?summaries (prog : Prog.t) (proc : Prog.proc)
+    (cfg : Cfg.t) : Finding.t list =
+  let call_effect =
+    match summaries with
+    | None -> fun _ -> { Summary.uses = Regset.empty; defs = Regset.full }
+    | Some table -> Summary.at table
+  in
+  let entry_defined =
+    if proc.Prog.entry = prog.Prog.entry then Regset.empty else Regset.full
+  in
+  let transfer b defined =
+    List.fold_left
+      (fun acc i -> defined_after ~call_effect i acc)
+      defined
+      (Cfg.instrs cfg cfg.Cfg.blocks.(b))
+  in
+  let sol =
+    Dataflow.run cfg
+      {
+        Dataflow.name = "must-defined";
+        direction = Dataflow.Forward;
+        boundary = entry_defined;
+        init = Regset.full;
+        join = Regset.inter;
+        equal = Regset.equal;
+        transfer;
+      }
+  in
+  let seen = reachable cfg in
+  let findings = ref [] in
+  let flag ~pass ~addr r =
+    findings :=
+      Finding.make ~proc:proc.Prog.name ~addr Finding.Warning ~pass
+        (Fmt.str "%s may be read before any definition reaches address %d"
+           (Reg.to_string r) addr)
+      :: !findings
+  in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      if seen.(blk.Cfg.id) then
+        ignore
+          (List.fold_left
+             (fun defined addr ->
+               let i = Prog.instr prog addr in
+               let base =
+                 if Instr.is_mem i then i.Instr.src1 else None
+               in
+               List.iter
+                 (fun r ->
+                   if not (Regset.mem r defined) then
+                     if base = Some r then flag ~pass:"undef-base" ~addr r
+                     else flag ~pass:"use-before-def" ~addr r)
+                 (Instr.sources i);
+               (* A call reads the callee's transitive uses: each must be
+                  defined here or the callee reads garbage. *)
+               if i.Instr.op = Opcode.Call then
+                 List.iter
+                   (fun r ->
+                     if not (Regset.mem r defined) then
+                       findings :=
+                         Finding.make ~proc:proc.Prog.name ~addr
+                           Finding.Warning ~pass:"use-before-def"
+                           (Fmt.str
+                              "callee at %d may read %s before the caller \
+                               defines it"
+                              i.Instr.target (Reg.to_string r))
+                         :: !findings)
+                   (Regset.elements (call_effect i.Instr.target).Summary.uses);
+               defined_after ~call_effect i defined)
+             sol.Dataflow.entry.(blk.Cfg.id)
+             (Cfg.block_addrs blk)))
+    cfg.Cfg.blocks;
+  List.rev !findings
+
+(* --- dead writes --------------------------------------------------------- *)
+
+let dead_writes ?summaries (proc : Prog.proc) (cfg : Cfg.t) :
+    Finding.t list =
+  let live = Liveness.compute ?summaries cfg in
+  let seen = reachable cfg in
+  let findings = ref [] in
+  for b = 0 to Cfg.num_blocks cfg - 1 do
+    if seen.(b) then
+      Liveness.fold_block live b ~init:()
+        ~f:(fun () ~addr i ~live_before:_ ~live_after ->
+          match Instr.dest i with
+          | Some r when not (Regset.mem r live_after) ->
+            findings :=
+              Finding.make ~proc:proc.Prog.name ~addr ~blocks:[ b ]
+                Finding.Info ~pass:"dead-write"
+                (Fmt.str "%s written by '%s' is never read on any path"
+                   (Reg.to_string r) (Instr.to_string i))
+              :: !findings
+          | Some _ | None -> ())
+  done;
+  List.sort Finding.compare !findings
+
+(* --- whole-program lints ------------------------------------------------- *)
+
+let check_program ?summaries (prog : Prog.t) : Finding.t list =
+  let summaries =
+    match summaries with Some s -> s | None -> Summary.of_program prog
+  in
+  List.concat_map
+    (fun (p : Prog.proc) ->
+      if p.Prog.is_library || p.Prog.len = 0 then []
+      else
+        let cfg = Cfg.build prog p in
+        unreachable p cfg
+        @ use_before_def ~summaries prog p cfg
+        @ dead_writes ~summaries p cfg)
+    prog.Prog.procs
+
+(* --- delivery integrity -------------------------------------------------- *)
+
+(* Reconstruct the NOOP-insertion address map from the emitted binary:
+   the k-th non-Iqset instruction of the annotated program is the
+   original instruction k, and an Iqset immediately before it is its
+   region marker. *)
+let reconstruct_map (original : Prog.t) (annotated : Prog.t) =
+  let n = Prog.length original in
+  let new_of_orig = Array.make n (-1) in
+  let iqset_before = Array.make n None in
+  let k = ref 0 in
+  let pending = ref None in
+  Array.iteri
+    (fun j (i : Instr.t) ->
+      if i.Instr.op = Opcode.Iqset then pending := Some (j, i.Instr.imm)
+      else begin
+        if !k < n then begin
+          new_of_orig.(!k) <- j;
+          iqset_before.(!k) <- !pending
+        end;
+        pending := None;
+        incr k
+      end)
+    annotated.Prog.code;
+  if !k <> n then None else Some (new_of_orig, iqset_before)
+
+let delivery ~(mode : Annotate.mode) ~(original : Prog.t)
+    ~(annotated : Prog.t) (annotations : Procedure.annotation list) :
+    Finding.t list =
+  let findings = ref [] in
+  let error ?proc ?addr ?blocks msg =
+    findings :=
+      Finding.make ?proc ?addr ?blocks Finding.Error ~pass:"delivery"
+        msg
+      :: !findings
+  in
+  let ann_at addr =
+    List.find_opt
+      (fun (a : Procedure.annotation) -> a.Procedure.addr = addr)
+      annotations
+  in
+  (match mode with
+  | Annotate.Tagged ->
+    if Prog.length annotated <> Prog.length original then
+      error "tag delivery changed the program length"
+    else begin
+      let expected = Annotate.annotation_map annotations in
+      Array.iteri
+        (fun a (i : Instr.t) ->
+          match (expected a, i.Instr.tag) with
+          | Some v, Some t when v = t -> ()
+          | Some v, Some t ->
+            error ~addr:a
+              (Fmt.str "tag %d emitted where the analysis computed %d" t v)
+          | Some v, None ->
+            error ~addr:a (Fmt.str "annotation %d was not delivered as a tag" v)
+          | None, Some t ->
+            error ~addr:a (Fmt.str "stray tag %d with no annotation" t)
+          | None, None -> ())
+        annotated.Prog.code
+    end
+  | Annotate.Noop -> (
+    match reconstruct_map original annotated with
+    | None ->
+      error
+        "annotated binary does not contain the original instruction \
+         sequence"
+    | Some (new_of_orig, iqset_before) ->
+      (* Every annotation materialised, with the right value. *)
+      List.iter
+        (fun (a : Procedure.annotation) ->
+          match iqset_before.(a.Procedure.addr) with
+          | Some (_, v) when v = a.Procedure.value -> ()
+          | Some (_, v) ->
+            error ~addr:a.Procedure.addr
+              (Fmt.str "Iqset carries %d where the analysis computed %d" v
+                 a.Procedure.value)
+          | None ->
+            error ~addr:a.Procedure.addr
+              (Fmt.str "annotation %d has no Iqset in the emitted binary"
+                 a.Procedure.value))
+        annotations;
+      (* No stray Iqsets. *)
+      Array.iteri
+        (fun k before ->
+          match before with
+          | Some (j, v) when ann_at k = None ->
+            error ~addr:k
+              (Fmt.str "stray Iqset #%d at emitted address %d" v j)
+          | Some _ | None -> ())
+        iqset_before;
+      (* Every control edge lands where the redirect policy demands:
+         back edges of an annotated loop bypass the header's Iqset (it
+         runs on entry only); every other edge into an annotated region
+         must pass through the Iqset, or the region runs under a stale,
+         possibly smaller window. *)
+      let n = Prog.length original in
+      for src = 0 to n - 1 do
+        let i = Prog.instr original src in
+        let t = i.Instr.target in
+        if Instr.is_control i && t >= 0 && t < n then begin
+          let emitted =
+            (Prog.instr annotated new_of_orig.(src)).Instr.target
+          in
+          match ann_at t with
+          | None ->
+            if emitted <> new_of_orig.(t) then
+              error ~addr:src
+                (Fmt.str
+                   "branch %d->%d emitted as ->%d, expected ->%d"
+                   src t emitted new_of_orig.(t))
+          | Some a ->
+            let is_back_edge =
+              match a.Procedure.loop_span with
+              | Some (lo, hi) -> src >= lo && src <= hi
+              | None -> false
+            in
+            let iqset_addr =
+              match iqset_before.(t) with
+              | Some (j, _) -> j
+              | None -> new_of_orig.(t) (* already reported above *)
+            in
+            if is_back_edge && emitted <> new_of_orig.(t) then
+              error ~addr:src
+                (Fmt.str
+                   "back edge %d->%d re-executes the loop's Iqset (lands \
+                    on %d, expected the header at %d)"
+                   src t emitted new_of_orig.(t))
+            else if (not is_back_edge) && emitted <> iqset_addr then
+              error ~addr:src
+                (Fmt.str
+                   "branch %d->%d bypasses the region's Iqset (lands on \
+                    %d, expected %d): the region would run under a stale \
+                    window"
+                   src t emitted iqset_addr)
+        end
+      done;
+      (* Entry points must pass through their region's Iqset too. *)
+      let entry_target a =
+        match iqset_before.(a) with
+        | Some (j, _) -> j
+        | None -> new_of_orig.(a)
+      in
+      if annotated.Prog.entry <> entry_target original.Prog.entry then
+        error ~addr:original.Prog.entry "program entry bypasses its Iqset";
+      List.iter
+        (fun (p : Prog.proc) ->
+          match
+            List.find_opt
+              (fun (q : Prog.proc) -> q.Prog.name = p.Prog.name)
+              annotated.Prog.procs
+          with
+          | None -> error ~proc:p.Prog.name "procedure lost by delivery"
+          | Some q ->
+            if q.Prog.entry <> entry_target p.Prog.entry then
+              error ~proc:p.Prog.name ~addr:p.Prog.entry
+                "procedure entry bypasses its Iqset")
+        original.Prog.procs));
+  List.rev !findings

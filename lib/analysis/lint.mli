@@ -1,0 +1,56 @@
+(** Workload lints: structural checks over programs and over the
+    annotated binaries the delivery layer emits.
+
+    Program lints (mode-independent):
+    - unreachable blocks ([Warning]);
+    - registers that may be read before any definition on some path, a
+      forward must-defined analysis ([Warning]; loads and stores whose
+      {e base} register may be undefined are reported by the separate
+      ["undef-base"] pass, and calls whose callee's transitive
+      {!Summary.t.uses} exceed what the caller has defined are flagged at
+      the call site);
+    - dead writes, values never read on any path ([Info]) — liveness is
+      conservative across calls (callee summaries) and procedure exits,
+      so a reported write is dead under any calling convention.
+
+    Delivery lints (per annotation mode):
+    - NOOP-mode emission integrity: every annotation materialised as an
+      [Iqset] with the right value, every branch into an annotated
+      region redirected to the region's [Iqset], and every back edge of
+      an annotated loop {e bypassing} the header's [Iqset]
+      ({!Sdiq_core.Annotate.redirect_of} integrity) — checked
+      independently by reconstructing the address map from the emitted
+      binary, not by re-running the rewriter ([Error] on mismatch);
+    - tag-mode emission: tags present exactly at annotated addresses
+      with the annotated values ([Error] on mismatch). *)
+
+(** Lints over one procedure; [cfg] must be [Cfg.build prog proc]. *)
+val unreachable :
+  Sdiq_isa.Prog.proc -> Sdiq_cfg.Cfg.t -> Finding.t list
+
+val use_before_def :
+  ?summaries:(int, Summary.t) Hashtbl.t ->
+  Sdiq_isa.Prog.t ->
+  Sdiq_isa.Prog.proc ->
+  Sdiq_cfg.Cfg.t ->
+  Finding.t list
+
+val dead_writes :
+  ?summaries:(int, Summary.t) Hashtbl.t ->
+  Sdiq_isa.Prog.proc ->
+  Sdiq_cfg.Cfg.t ->
+  Finding.t list
+
+(** All program lints over every non-library procedure; [summaries] is
+    computed from [prog] when not supplied. *)
+val check_program :
+  ?summaries:(int, Summary.t) Hashtbl.t -> Sdiq_isa.Prog.t -> Finding.t list
+
+(** Audit an annotated binary against the annotation list that produced
+    it. [original] is the pre-delivery program. *)
+val delivery :
+  mode:Sdiq_core.Annotate.mode ->
+  original:Sdiq_isa.Prog.t ->
+  annotated:Sdiq_isa.Prog.t ->
+  Sdiq_core.Procedure.annotation list ->
+  Finding.t list

@@ -1,0 +1,146 @@
+(* Register pressure: per-instruction live-set cardinalities from the
+   backward liveness fixpoint, maximised per procedure and per file. *)
+
+open Sdiq_isa
+module Cfg = Sdiq_cfg.Cfg
+
+type report = {
+  proc : string;
+  max_int_live : int;
+  max_fp_live : int;
+  int_addr : int;
+  fp_addr : int;
+}
+
+(* Live-at-return per procedure: the union over call sites of the
+   caller's live-after at the call, a fixpoint over the call graph
+   seeded empty. Gives each Ret a real boundary instead of "everything",
+   which is what turns the peak numbers from the architectural ceiling
+   into facts about the program. Still an over-approximation: every
+   call site contributes, reachable or not. *)
+let exit_boundaries (prog : Prog.t) summaries : (int, Regset.t) Hashtbl.t =
+  let procs =
+    List.filter (fun (p : Prog.proc) -> p.Prog.len > 0) prog.Prog.procs
+  in
+  let boundary = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Prog.proc) ->
+      Hashtbl.replace boundary p.Prog.entry Regset.empty)
+    procs;
+  let lookup e =
+    match Hashtbl.find_opt boundary e with
+    | Some s -> s
+    | None -> Regset.full (* callee without code: stay conservative *)
+  in
+  let max_rounds = (2 * Reg.count * List.length procs) + 2 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < max_rounds do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (p : Prog.proc) ->
+        let cfg = Cfg.build prog p in
+        let live =
+          Liveness.compute ~exit_boundary:(lookup p.Prog.entry) ~summaries
+            cfg
+        in
+        for b = 0 to Cfg.num_blocks cfg - 1 do
+          Liveness.fold_block live b ~init:()
+            ~f:(fun () ~addr:_ i ~live_before:_ ~live_after ->
+              if i.Instr.op = Opcode.Call then begin
+                let cur = lookup i.Instr.target in
+                let next = Regset.union cur live_after in
+                if not (Regset.equal next cur) then begin
+                  Hashtbl.replace boundary i.Instr.target next;
+                  changed := true
+                end
+              end)
+        done)
+      procs
+  done;
+  boundary
+
+let report_proc ?summaries ?(exit_boundary = Regset.full) (_prog : Prog.t)
+    (proc : Prog.proc) (cfg : Cfg.t) : report =
+  let live = Liveness.compute ~exit_boundary ?summaries cfg in
+  let r =
+    ref
+      {
+        proc = proc.Prog.name;
+        max_int_live = 0;
+        max_fp_live = 0;
+        int_addr = proc.Prog.entry;
+        fp_addr = proc.Prog.entry;
+      }
+  in
+  let consider ~addr set =
+    let i = Regset.int_card set and f = Regset.fp_card set in
+    if i > !r.max_int_live then r := { !r with max_int_live = i; int_addr = addr };
+    if f > !r.max_fp_live then r := { !r with max_fp_live = f; fp_addr = addr }
+  in
+  for b = 0 to Cfg.num_blocks cfg - 1 do
+    Liveness.fold_block live b ~init:()
+      ~f:(fun () ~addr _i ~live_before ~live_after ->
+        consider ~addr live_before;
+        consider ~addr live_after)
+  done;
+  !r
+
+let audit ?rf_size ?summaries (prog : Prog.t) : report list * Finding.t list =
+  let rf_size =
+    match rf_size with
+    | Some n -> n
+    | None -> Sdiq_cpu.Config.default.Sdiq_cpu.Config.rf_size
+  in
+  let summaries =
+    match summaries with Some s -> s | None -> Summary.of_program prog
+  in
+  let boundaries = exit_boundaries prog summaries in
+  let boundary_of (p : Prog.proc) =
+    match Hashtbl.find_opt boundaries p.Prog.entry with
+    | Some s -> s
+    | None -> Regset.full
+  in
+  let reports =
+    List.filter_map
+      (fun (p : Prog.proc) ->
+        if p.Prog.is_library || p.Prog.len = 0 then None
+        else
+          Some
+            (report_proc ~summaries ~exit_boundary:(boundary_of p) prog p
+               (Cfg.build prog p)))
+      prog.Prog.procs
+  in
+  let worst field =
+    List.fold_left (fun acc r -> max acc (field r)) 0 reports
+  in
+  let wi = worst (fun r -> r.max_int_live)
+  and wf = worst (fun r -> r.max_fp_live) in
+  let findings =
+    if wi >= rf_size || wf >= rf_size then
+      List.concat_map
+        (fun r ->
+          if r.max_int_live >= rf_size || r.max_fp_live >= rf_size then
+            [
+              Finding.make ~proc:r.proc ~addr:r.int_addr Finding.Error
+                ~pass:"reg-pressure"
+                (Fmt.str
+                   "up to %d int / %d fp values live at once but only %d \
+                    physical registers per file: renaming can deadlock \
+                    dispatch"
+                   r.max_int_live r.max_fp_live rf_size);
+            ]
+          else [])
+        reports
+    else
+      [
+        Finding.make Finding.Info ~pass:"reg-pressure"
+          (Fmt.str
+             "peak %d int / %d fp live values vs %d physical registers \
+              per file: dispatch can never deadlock on renaming (margin \
+              %d int, %d fp)"
+             wi wf rf_size (rf_size - wi) (rf_size - wf));
+      ]
+  in
+  (reports, findings)

@@ -1,0 +1,45 @@
+(** Register-pressure pass: liveness-based maximum number of
+    simultaneously live architectural values, checked against the
+    physical register file.
+
+    At any program point the renamer must hold one physical register per
+    live architectural value, plus one per in-flight (dispatched,
+    uncommitted) write. Commit never allocates, so dispatch stalls on a
+    full file always drain: renaming deadlocks only if the live values
+    alone exhaust the file. This pass computes, per procedure and per
+    file, the conservative maximum of live values over every path:
+    liveness with {!Summary}-refined calls and, at each procedure's
+    returns, the union over its call sites of what the callers keep live
+    across the call (a whole-program fixpoint; the program is fixed at
+    annotation time, so this is sound for the binary being audited). It
+    emits an [Error] if the peak reaches the file size — otherwise an
+    [Info] recording the proved margin, the paper's Table 1 headroom
+    made explicit. *)
+
+type report = {
+  proc : string;
+  max_int_live : int;  (** peak simultaneously live integer registers *)
+  max_fp_live : int;
+  int_addr : int;      (** address achieving the integer peak *)
+  fp_addr : int;
+}
+
+(** [exit_boundary] is what stays live at the procedure's returns
+    (default: everything, the single-procedure-sound assumption). *)
+val report_proc :
+  ?summaries:(int, Summary.t) Hashtbl.t ->
+  ?exit_boundary:Regset.t ->
+  Sdiq_isa.Prog.t ->
+  Sdiq_isa.Prog.proc ->
+  Sdiq_cfg.Cfg.t ->
+  report
+
+(** Reports for every non-library procedure, plus findings checked
+    against [rf_size] physical registers per file (default: the Table 1
+    machine, {!Sdiq_cpu.Config.default}). [summaries] is computed from
+    the program when not supplied. *)
+val audit :
+  ?rf_size:int ->
+  ?summaries:(int, Summary.t) Hashtbl.t ->
+  Sdiq_isa.Prog.t ->
+  report list * Finding.t list

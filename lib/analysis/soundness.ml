@@ -1,0 +1,199 @@
+(* Annotation-soundness audit.
+
+   The audit re-derives the region anchors the analysis must annotate —
+   mirroring [Procedure.analyze_proc]'s placement rules — and, for each,
+   an independent lower bound on the IQ entries required:
+
+   - DAG blocks: the pseudo-issue-queue schedule of the block itself
+     (Section 4.2); the annotation may be widened by slack or the
+     interprocedural refinement but never below this.
+   - Loop headers and re-entry blocks: the maximum CDS-derived need over
+     every enumerated acyclic header-to-header path (Section 4.3). The
+     flattened whole-body need the analysis also considers is an
+     over-approximation, not a requirement, so it is not part of the
+     bound.
+   - Library-call sites: the full queue (Section 4.4) — the callee is
+     opaque, nothing smaller is sound.
+
+   Bounds are computed with slack = 0 and the interprocedural refinement
+   off: both knobs only ever widen annotations. *)
+
+open Sdiq_isa
+module Cfg = Sdiq_cfg.Cfg
+module Loops = Sdiq_cfg.Loops
+module Regions = Sdiq_cfg.Regions
+module Options = Sdiq_core.Options
+module Procedure = Sdiq_core.Procedure
+
+type bound = {
+  anchor : int;
+  kind : string;
+  blocks : int list;
+  need : int;
+  required : int;
+  paths_examined : int;
+}
+
+(* The floor every annotation is clamped to (Procedure.clamp with
+   slack 0): two slots so dispatch never serialises behind every issue
+   (the paper's Figure 1(d) argument). *)
+let clamp opts v = max 2 (min opts.Options.iq_size v)
+
+let bounds_of_proc ?(opts = Options.default) (prog : Prog.t)
+    (proc : Prog.proc) : bound list =
+  let opts = { opts with Options.slack = 0; interprocedural = false } in
+  let cfg = Cfg.build prog proc in
+  let regions = Regions.decompose cfg in
+  let bounds = ref [] in
+  let add ?(paths = 0) ~kind ~blocks anchor need =
+    bounds :=
+      {
+        anchor;
+        kind;
+        blocks;
+        need;
+        required = clamp opts need;
+        paths_examined = paths;
+      }
+      :: !bounds
+  in
+  let callee_of_block (blk : Cfg.block) =
+    let term = Prog.instr prog blk.Cfg.last in
+    if term.Instr.op = Opcode.Call then Prog.proc_of_addr prog term.Instr.target
+    else None
+  in
+  let library_call_bound (blk : Cfg.block) =
+    match callee_of_block blk with
+    | Some callee when callee.Prog.is_library ->
+      add ~kind:"library-call" ~blocks:[ blk.Cfg.id ] blk.Cfg.last
+        opts.Options.iq_size
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun region ->
+      match region with
+      | Regions.Dag block_ids ->
+        List.iter
+          (fun id ->
+            let blk = cfg.Cfg.blocks.(id) in
+            let instrs = Array.of_list (Cfg.instrs cfg blk) in
+            let r = Sdiq_core.Pseudo_iq.analyze ~opts instrs in
+            add ~kind:"dag-block" ~blocks:[ id ] blk.Cfg.first
+              r.Sdiq_core.Pseudo_iq.need;
+            library_call_bound blk)
+          block_ids
+      | Regions.Loop loop ->
+        (* The binding requirement over every enumerated acyclic path;
+           ties broken towards the first enumeration, like the analysis. *)
+        let paths = Sdiq_core.Loop_need.loop_paths cfg loop in
+        let worst =
+          List.fold_left
+            (fun acc path ->
+              let body =
+                Array.of_list
+                  (List.concat_map
+                     (fun id -> Cfg.instrs cfg cfg.Cfg.blocks.(id))
+                     path)
+              in
+              let r = Sdiq_core.Loop_need.analyze_body ~opts body in
+              match acc with
+              | Some (n, _) when n >= r.Sdiq_core.Loop_need.need -> acc
+              | _ -> Some (r.Sdiq_core.Loop_need.need, path))
+            None paths
+        in
+        let need, path =
+          match worst with
+          | Some (n, p) -> (n, p)
+          | None -> (1, [ loop.Loops.header ])
+        in
+        let header = cfg.Cfg.blocks.(loop.Loops.header) in
+        add
+          ~paths:(List.length paths)
+          ~kind:"loop-header" ~blocks:path header.Cfg.first need;
+        (* Re-entry blocks: control left the loop's own region (an inner
+           loop ran, or a call returned) and the window must be
+           re-established at no less than the loop's requirement. *)
+        let own = loop.Loops.own in
+        let in_inner id =
+          Loops.Iset.mem id loop.Loops.body && not (Loops.Iset.mem id own)
+        in
+        List.iter
+          (fun id ->
+            let blk = cfg.Cfg.blocks.(id) in
+            let follows_call =
+              blk.Cfg.first > proc.Prog.entry
+              && (Prog.instr prog (blk.Cfg.first - 1)).Instr.op = Opcode.Call
+            in
+            let after_inner_loop =
+              List.exists in_inner (Cfg.preds cfg id)
+            in
+            if id <> loop.Loops.header && (follows_call || after_inner_loop)
+            then
+              add
+                ~paths:(List.length paths)
+                ~kind:"loop-reentry" ~blocks:path blk.Cfg.first need;
+            library_call_bound blk)
+          (Regions.blocks regions region))
+    regions.Regions.regions;
+  (* Collapse to one obligation per anchor: the largest requirement
+     wins, exactly as the analysis merges colliding annotations. *)
+  let by_anchor = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt by_anchor b.anchor with
+      | Some prev when prev.required >= b.required -> ()
+      | _ -> Hashtbl.replace by_anchor b.anchor b)
+    !bounds;
+  Hashtbl.fold (fun _ b acc -> b :: acc) by_anchor []
+  |> List.sort (fun a b -> compare a.anchor b.anchor)
+
+let audit ?(opts = Options.default) (prog : Prog.t)
+    (annotations : Procedure.annotation list) : Finding.t list =
+  let ann = Sdiq_core.Annotate.annotation_map annotations in
+  let findings = ref [] in
+  let anchors = ref 0 in
+  let min_slack = ref max_int in
+  List.iter
+    (fun (p : Prog.proc) ->
+      if (not p.Prog.is_library) && p.Prog.len > 0 then
+        List.iter
+          (fun b ->
+            incr anchors;
+            match ann b.anchor with
+            | None ->
+              findings :=
+                Finding.make ~proc:p.Prog.name ~addr:b.anchor
+                  ~blocks:b.blocks Finding.Error ~pass:"soundness"
+                  (Fmt.str
+                     "%s anchor has no annotation: the region needs %d IQ \
+                      entries but inherits whatever window precedes it"
+                     b.kind b.required)
+                :: !findings
+            | Some v ->
+              min_slack := min !min_slack (v - b.required);
+              if v < b.required then
+                findings :=
+                  Finding.make ~proc:p.Prog.name ~addr:b.anchor
+                    ~blocks:b.blocks Finding.Error ~pass:"soundness"
+                    (Fmt.str
+                       "%s annotated %d < required %d (raw need %d, slack \
+                        %d)%s: a window this small can delay the critical \
+                        path"
+                       b.kind v b.required b.need (v - b.required)
+                       (if b.paths_examined > 0 then
+                          Fmt.str " on the shown path (of %d examined)"
+                            b.paths_examined
+                        else ""))
+                  :: !findings)
+          (bounds_of_proc ~opts prog p))
+    prog.Prog.procs;
+  let summary =
+    Finding.make Finding.Info ~pass:"soundness"
+      (Fmt.str
+         "audited %d region anchors; every annotation >= its static bound%s"
+         !anchors
+         (if !min_slack = max_int then ""
+          else Fmt.str " (min slack %d)" !min_slack))
+  in
+  if Finding.is_clean !findings then summary :: List.rev !findings
+  else List.rev !findings

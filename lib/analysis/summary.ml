@@ -1,0 +1,111 @@
+(* Interprocedural register-effect summaries: a forward must-defined
+   sweep per procedure that records which registers escape as reads
+   (uses) and which are certainly written on every returning path
+   (defs), iterated round-robin over the program until the call graph —
+   cycles included — reaches its fixpoint. *)
+
+open Sdiq_isa
+module Cfg = Sdiq_cfg.Cfg
+
+type t = {
+  uses : Regset.t;
+  defs : Regset.t;
+}
+
+let opaque = { uses = Regset.full; defs = Regset.empty }
+
+let at table addr =
+  match Hashtbl.find_opt table addr with Some s -> s | None -> opaque
+
+(* One pass over one procedure under the current summary table. *)
+let summarize_proc (prog : Prog.t) (table : (int, t) Hashtbl.t)
+    (proc : Prog.proc) : t =
+  let cfg = Cfg.build prog proc in
+  let callee (i : Instr.t) =
+    if i.Instr.op = Opcode.Call then at table i.Instr.target else opaque
+  in
+  let uses = ref Regset.empty in
+  let step defined (i : Instr.t) =
+    List.iter
+      (fun r ->
+        if not (Regset.mem r defined) then uses := Regset.add r !uses)
+      (Instr.sources i);
+    if i.Instr.op = Opcode.Call then begin
+      let c = callee i in
+      uses := Regset.union !uses (Regset.diff c.uses defined);
+      Regset.union defined c.defs
+    end
+    else
+      match Instr.dest i with
+      | Some r -> Regset.add r defined
+      | None -> defined
+  in
+  let transfer b defined =
+    List.fold_left step defined (Cfg.instrs cfg cfg.Cfg.blocks.(b))
+  in
+  let sol =
+    Dataflow.run cfg
+      {
+        Dataflow.name = "summary/must-defined";
+        direction = Dataflow.Forward;
+        boundary = Regset.empty;
+        init = Regset.full;
+        join = Regset.inter;
+        equal = Regset.equal;
+        transfer;
+      }
+  in
+  (* [transfer] mutates [uses]; make one more deterministic sweep from
+     the fixpoint facts so every block contributes its reads. *)
+  uses := Regset.empty;
+  Array.iteri
+    (fun b _ -> ignore (transfer b sol.Dataflow.entry.(b)))
+    cfg.Cfg.blocks;
+  (* Must-defs at return: intersection over Ret-terminated blocks. A
+     procedure that never returns constrains its caller not at all. *)
+  let defs = ref Regset.full in
+  let returns = ref false in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+      if (Prog.instr prog blk.Cfg.last).Instr.op = Opcode.Ret then begin
+        returns := true;
+        defs := Regset.inter !defs sol.Dataflow.exit.(blk.Cfg.id)
+      end)
+    cfg.Cfg.blocks;
+  { uses = !uses; defs = (if !returns then !defs else Regset.full) }
+
+let of_program (prog : Prog.t) : (int, t) Hashtbl.t =
+  let table = Hashtbl.create 16 in
+  let procs =
+    List.filter (fun (p : Prog.proc) -> p.Prog.len > 0) prog.Prog.procs
+  in
+  (* Optimistic start; uses grows and defs shrinks monotonically. *)
+  List.iter
+    (fun (p : Prog.proc) ->
+      Hashtbl.replace table p.Prog.entry
+        { uses = Regset.empty; defs = Regset.full })
+    procs;
+  (* Safety net only: each productive round moves at least one bit and
+     there are 2 * Reg.count bits per procedure, so the fixpoint always
+     lands first. *)
+  let max_rounds = (2 * Reg.count * List.length procs) + 2 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < max_rounds do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (p : Prog.proc) ->
+        let fresh = summarize_proc prog table p in
+        let cur = at table p.Prog.entry in
+        if
+          not
+            (Regset.equal fresh.uses cur.uses
+            && Regset.equal fresh.defs cur.defs)
+        then begin
+          Hashtbl.replace table p.Prog.entry fresh;
+          changed := true
+        end)
+      procs
+  done;
+  table

@@ -1,0 +1,32 @@
+(** Interprocedural register-effect summaries.
+
+    For each procedure: [uses] — registers that may be read before any
+    definition along some path through it (its own code and, transitively,
+    its callees); [defs] — registers defined on {e every} path to a [Ret]
+    (must-defs, transitively through calls).
+
+    Call sites consume summaries in the conservative direction for each
+    client: liveness replaces "a call reads everything" with
+    [uses(callee) ∪ (live_after \ defs(callee))]; the use-before-def lint
+    replaces "a call defines everything" with [defs(callee)] and can also
+    check the callee's [uses] against what the caller has defined.
+
+    Cycles in the call graph are handled by a round-robin fixpoint:
+    [uses] only grows and [defs] only shrinks, so it terminates. An
+    unresolvable or empty callee degrades to the opaque assumption
+    ([uses] = everything, [defs] = nothing). *)
+
+type t = {
+  uses : Regset.t;
+  defs : Regset.t;
+}
+
+(** The opaque assumption for unknown callees. *)
+val opaque : t
+
+(** Summaries for every procedure with code, keyed by entry address. *)
+val of_program : Sdiq_isa.Prog.t -> (int, t) Hashtbl.t
+
+(** Lookup adapter for call sites: the summary of the procedure entered
+    at the given address, or {!opaque}. *)
+val at : (int, t) Hashtbl.t -> int -> t

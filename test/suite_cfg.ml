@@ -193,6 +193,105 @@ let test_switch_cfg () =
   in
   Alcotest.(check int) "regions cover blocks" (Cfg.num_blocks cfg) total
 
+(* An irreducible cycle: entry can reach both A and B directly, A and B
+   reach each other, so the cycle has two entry points and neither node
+   dominates the other — no natural loop exists despite the cycle. *)
+let irreducible b =
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 1;
+  Asm.beq p (r 1) Reg.zero "bee";
+  Asm.label p "aye";
+  Asm.addi p (r 2) (r 2) 1;
+  Asm.beq p (r 2) Reg.zero "exit_";
+  Asm.jmp p "bee";
+  Asm.label p "bee";
+  Asm.addi p (r 3) (r 3) 1;
+  Asm.jmp p "aye";
+  Asm.label p "exit_";
+  Asm.halt p
+
+let test_irreducible_no_natural_loops () =
+  let _, cfg = build_cfg irreducible in
+  let dom = Dom.compute cfg in
+  let a = (Cfg.block_at cfg 2).Cfg.id in
+  let bb = (Cfg.block_at cfg 5).Cfg.id in
+  Alcotest.(check bool) "A does not dominate B" false
+    (Dom.dominates dom a bb);
+  Alcotest.(check bool) "B does not dominate A" false
+    (Dom.dominates dom bb a);
+  Alcotest.(check int) "cycle but no natural loop" 0
+    (List.length (Loops.find cfg))
+
+let test_irreducible_regions_cover () =
+  let _, cfg = build_cfg irreducible in
+  let t = Regions.decompose cfg in
+  let total =
+    List.fold_left
+      (fun acc reg -> acc + List.length (Regions.blocks t reg))
+      0 t.Regions.regions
+  in
+  Alcotest.(check int) "regions still cover every block"
+    (Cfg.num_blocks cfg) total
+
+(* The whole loop is one block branching to itself. *)
+let self_loop b =
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 8;
+  Asm.label p "spin";
+  Asm.addi p (r 1) (r 1) (-1);
+  Asm.bne p (r 1) Reg.zero "spin";
+  Asm.halt p
+
+let test_self_loop () =
+  let _, cfg = build_cfg self_loop in
+  match Loops.find cfg with
+  | [ l ] ->
+    Alcotest.(check int) "header is the body" 1 l.Loops.header;
+    Alcotest.(check bool) "body is exactly the header" true
+      (Loops.Iset.equal l.Loops.body (Loops.Iset.singleton 1));
+    Alcotest.(check bool) "own equals body" true
+      (Loops.Iset.equal l.Loops.own l.Loops.body);
+    Alcotest.(check int) "depth 1" 1 l.Loops.depth
+  | ls -> Alcotest.failf "expected exactly one loop, found %d" (List.length ls)
+
+let skipped_block b =
+  let p = Asm.proc b "main" in
+  Asm.jmp p "end_";
+  Asm.addi p (r 1) (r 1) 1;
+  Asm.label p "end_";
+  Asm.halt p
+
+let test_unreachable_block_shape () =
+  let _, cfg = build_cfg skipped_block in
+  let rpo = Cfg.reverse_postorder cfg in
+  Alcotest.(check int) "rpo still covers unreachable blocks"
+    (Cfg.num_blocks cfg)
+    (List.length (List.sort_uniq compare rpo));
+  let dead = (Cfg.block_at cfg 1).Cfg.id in
+  Alcotest.(check (list int)) "no predecessors" [] (Cfg.preds cfg dead);
+  let dom = Dom.compute cfg in
+  Alcotest.(check bool) "dominates itself" true (Dom.dominates dom dead dead);
+  Alcotest.(check bool) "entry does not dominate it" false
+    (Dom.dominates dom 0 dead)
+
+let single_block b =
+  let p = Asm.proc b "main" in
+  Asm.li p (r 1) 1;
+  Asm.halt p
+
+let test_single_block_procedure () =
+  let _, cfg = build_cfg single_block in
+  Alcotest.(check int) "one block" 1 (Cfg.num_blocks cfg);
+  Alcotest.(check (list int)) "rpo is the entry" [ 0 ]
+    (Cfg.reverse_postorder cfg);
+  Alcotest.(check int) "no loops" 0 (List.length (Loops.find cfg));
+  let t = Regions.decompose cfg in
+  Alcotest.(check (list int)) "one dag region holding the block" [ 0 ]
+    (List.concat_map (Regions.blocks t) t.Regions.regions);
+  let dom = Dom.compute cfg in
+  Alcotest.(check bool) "entry dominates itself" true
+    (Dom.dominates dom 0 0)
+
 let suite =
   [
     Alcotest.test_case "diamond blocks" `Quick test_diamond_blocks;
@@ -208,4 +307,13 @@ let suite =
       test_reverse_postorder_starts_at_entry;
     Alcotest.test_case "rpo covers all" `Quick test_rpo_covers_all;
     Alcotest.test_case "switch-like cfg" `Quick test_switch_cfg;
+    Alcotest.test_case "irreducible: no natural loops" `Quick
+      test_irreducible_no_natural_loops;
+    Alcotest.test_case "irreducible: regions cover" `Quick
+      test_irreducible_regions_cover;
+    Alcotest.test_case "self-loop" `Quick test_self_loop;
+    Alcotest.test_case "unreachable block shape" `Quick
+      test_unreachable_block_shape;
+    Alcotest.test_case "single-block procedure" `Quick
+      test_single_block_procedure;
   ]

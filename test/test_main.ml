@@ -6,6 +6,7 @@ let () =
       ("exec", Suite_exec.suite);
       ("exec-edge", Suite_exec_edge.suite);
       ("cfg", Suite_cfg.suite);
+      ("analysis", Suite_analysis.suite);
       ("ddg", Suite_ddg.suite);
       ("core", Suite_core.suite);
       ("core-more", Suite_core_more.suite);
