@@ -4,7 +4,7 @@ DOMAINS ?= 4
 BENCH   := _build/default/bench/main.exe
 FUZZ_N  ?= 500
 
-.PHONY: all build test lint campaign fuzz check-campaign
+.PHONY: all build test lint campaign fuzz check-campaign trace
 
 all: build lint
 
@@ -20,6 +20,21 @@ test:
 lint:
 	dune build bin/lint.exe
 	dune exec bin/lint.exe --
+
+# Produce a JSONL event trace of one run and audit it with the lint
+# CLI's delivery-integrity pass: every traced annotation delivery must
+# name a real annotation site in the statically prepared binary with
+# the value the compiler placed there, commits must retire in program
+# order, and the cycle structure must be well-formed.
+TRACE_BENCH ?= gzip
+TRACE_MODE  ?= noop
+trace:
+	dune build bin/simulate.exe bin/lint.exe
+	dune exec bin/simulate.exe -- --bench $(TRACE_BENCH) \
+	  --technique $(TRACE_MODE) --budget 20000 \
+	  --trace _build/$(TRACE_BENCH)-$(TRACE_MODE).jsonl | tail -1
+	dune exec bin/lint.exe -- --bench $(TRACE_BENCH) -m $(TRACE_MODE) \
+	  --trace _build/$(TRACE_BENCH)-$(TRACE_MODE).jsonl
 
 # Smoke-check the parallel campaign: every figure bench/main.exe derives
 # from the simulation table must be byte-identical on 1 domain and on

@@ -49,16 +49,23 @@ let tiny_runner () =
     ~benches:[ Sdiq_workloads.W_gzip.build ~outer:2_000 () ]
     ()
 
-(* The invariant checker's per-cycle audit is O(machine size); these two
-   benches time the same small simulation bare and audited, so the
-   checker's slowdown factor is their ratio. *)
-let bench_simulation ~checked () =
+(* The same small simulation under three bus configurations:
+   [simulate-nosink] runs with an empty bus (the fast path the refactor
+   must keep free), [simulate-sinks] folds the full event stream into a
+   per-kind counting sink, and [simulate-checked] audits every cycle
+   with the invariant checker. nosink/sinks is the bus delivery cost;
+   nosink/checked is the checker's slowdown factor. *)
+let bench_simulation ~variant () =
   let bench = Sdiq_workloads.W_gzip.build ~outer:2_000 () in
-  let checker =
-    if checked then Some (Sdiq_check.Checker.fresh_hook ()) else None
-  in
-  Sdiq_cpu.Pipeline.simulate ?checker ~init:bench.Sdiq_workloads.Bench.init
-    ~max_insns:2_000 bench.Sdiq_workloads.Bench.prog
+  let p = Sdiq_cpu.Pipeline.create bench.Sdiq_workloads.Bench.prog in
+  (match variant with
+  | `Nosink -> ()
+  | `Sinks ->
+    let c = Sdiq_events.Counts.create () in
+    Sdiq_cpu.Pipeline.subscribe ~name:"counts" p (Sdiq_events.Counts.sink c)
+  | `Checked -> ignore (Sdiq_check.Checker.attach p : Sdiq_check.Checker.t));
+  bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
+  Sdiq_cpu.Pipeline.run ~max_insns:2_000 p
 
 let bench_experiment name f =
   Test.make ~name (Staged.stage (fun () -> Sys.opaque_identity (f ())))
@@ -106,11 +113,13 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let g = Sdiq_ddg.Ddg.of_loop_body loop_body in
            Sys.opaque_identity (Sdiq_ddg.Cds.schedule g)));
-    (* checker overhead: same simulation, bare vs audited every cycle *)
-    bench_experiment "simulate-bare" (fun () ->
-        bench_simulation ~checked:false ());
+    (* bus + checker overhead: empty bus vs counting sink vs audited *)
+    bench_experiment "simulate-nosink" (fun () ->
+        bench_simulation ~variant:`Nosink ());
+    bench_experiment "simulate-sinks" (fun () ->
+        bench_simulation ~variant:`Sinks ());
     bench_experiment "simulate-checked" (fun () ->
-        bench_simulation ~checked:true ());
+        bench_simulation ~variant:`Checked ());
     (* one bench per table/figure: the full computation at a tiny scale *)
     bench_experiment "table2" (fun () -> H.Experiments.table2 (tiny_runner ()));
     bench_experiment "fig6" (fun () -> H.Experiments.fig6 (tiny_runner ()));

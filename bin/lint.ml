@@ -50,6 +50,17 @@ let quiet_arg =
   let doc = "Print only per-benchmark summaries and waived findings." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Audit a JSONL event trace (written by `simulate.exe --trace`) for \
+     delivery integrity against the statically prepared binary: every \
+     traced annotation delivery must name a real annotation site with \
+     the emitted value, commits must retire in program order, and the \
+     cycle structure must be well-formed. Requires --bench and a single \
+     --mode."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let infos_arg =
   let doc = "Also print info-severity findings (proved facts, statistics)." in
   Arg.(value & flag & info [ "infos" ] ~doc)
@@ -87,7 +98,178 @@ let dump_dot dir (bench : Sdiq_workloads.Bench.t) =
       end)
     prog.Sdiq_isa.Prog.procs
 
-let run bench_name mode dot quiet infos =
+(* --- runtime-trace delivery integrity ----------------------------------- *)
+
+(* Minimal field extraction for the flat one-object-per-line JSON the
+   trace sink writes (lib/events/trace.ml); no JSON dependency needed. *)
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let int_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+    let n = String.length line in
+    let j = ref i in
+    if !j < n && line.[!j] = '-' then incr j;
+    let start = !j in
+    while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do
+      incr j
+    done;
+    if !j = start then None
+    else int_of_string_opt (String.sub line i (!j - i))
+
+let str_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":\"" key) with
+  | None -> None
+  | Some i -> (
+    match String.index_from_opt line i '"' with
+    | None -> None
+    | Some j -> Some (String.sub line i (j - i)))
+
+(* Audit [path] against the binary prepared exactly as the simulator
+   harness prepares it for [mode]. Returns the number of errors. *)
+let audit_trace ~(bench : Sdiq_workloads.Bench.t) ~(mode : Driver.mode) path =
+  let prepared, _anns =
+    Sdiq_core.Annotate.apply ~opts:mode.Driver.opts mode.Driver.delivery
+      bench.Sdiq_workloads.Bench.prog
+  in
+  let errors = ref 0 in
+  let error fmt =
+    Fmt.kstr
+      (fun msg ->
+        incr errors;
+        if !errors <= 20 then Fmt.pr "  error: %s@." msg)
+      fmt
+  in
+  let lines = ref 0 in
+  let prev_cycle = ref 0 in
+  let prev_commit_sn = ref (-1) in
+  let commits = ref 0 in
+  let annotations = ref 0 in
+  let cycle_ends = ref 0 in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       match (str_field line "ev", int_field line "cycle") with
+       | None, _ | _, None ->
+         error "line %d: malformed event (no ev/cycle field): %s" !lines line
+       | Some ev, Some cycle ->
+         if cycle < !prev_cycle then
+           error "line %d: cycle went backwards (%d after %d)" !lines cycle
+             !prev_cycle;
+         prev_cycle := cycle;
+         (match ev with
+         | "annotation" -> (
+           incr annotations;
+           match
+             ( int_field line "pc",
+               int_field line "value",
+               str_field line "delivery" )
+           with
+           | Some pc, Some value, Some delivery ->
+             if pc < 0 || pc >= Sdiq_isa.Prog.length prepared then
+               error "line %d: annotation pc %d outside the binary" !lines pc
+             else begin
+               let i = Sdiq_isa.Prog.instr prepared pc in
+               match delivery with
+               | "noop" ->
+                 if i.Sdiq_isa.Instr.op <> Sdiq_isa.Opcode.Iqset then
+                   error
+                     "line %d: NOOP delivery at pc %d but the binary has %s \
+                      there"
+                     !lines pc
+                     (Sdiq_isa.Instr.to_string i)
+                 else if i.Sdiq_isa.Instr.imm <> value then
+                   error
+                     "line %d: NOOP delivery at pc %d carries %d, binary \
+                      says %d"
+                     !lines pc value i.Sdiq_isa.Instr.imm
+               | "tag" ->
+                 if i.Sdiq_isa.Instr.tag <> Some value then
+                   error
+                     "line %d: tag delivery at pc %d carries %d, binary \
+                      says %s"
+                     !lines pc value
+                     (match i.Sdiq_isa.Instr.tag with
+                     | Some v -> string_of_int v
+                     | None -> "no tag")
+               | d -> error "line %d: unknown delivery kind %S" !lines d
+             end
+           | _ -> error "line %d: annotation event missing fields" !lines)
+         | "commit" -> (
+           incr commits;
+           match int_field line "sn" with
+           | Some sn ->
+             if sn <= !prev_commit_sn then
+               error "line %d: commit sn %d not after %d (program order)"
+                 !lines sn !prev_commit_sn;
+             prev_commit_sn := sn
+           | None -> error "line %d: commit event missing sn" !lines)
+         | "cycle_end" ->
+           if cycle <> !cycle_ends then
+             error "line %d: cycle_end for cycle %d, expected %d" !lines cycle
+               !cycle_ends;
+           incr cycle_ends
+         | _ -> ())
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !commits = 0 then error "trace retired no instructions";
+  let binary_annotated =
+    Sdiq_isa.Prog.count_matching prepared (fun i ->
+        i.Sdiq_isa.Instr.op = Sdiq_isa.Opcode.Iqset
+        || i.Sdiq_isa.Instr.tag <> None)
+    > 0
+  in
+  if binary_annotated && !annotations = 0 then
+    error
+      "binary carries annotations under mode %s but the trace delivered none"
+      mode.Driver.name;
+  Fmt.pr
+    "== %s/%s trace: %d events over %d cycles — %d commits in order, %d \
+     annotation deliveries verified: %s@."
+    bench.Sdiq_workloads.Bench.name mode.Driver.name !lines !cycle_ends
+    !commits !annotations
+    (if !errors = 0 then "clean" else Fmt.str "%d error(s)" !errors);
+  !errors
+
+let run bench_name mode dot quiet infos trace =
+  (match trace with
+  | None -> ()
+  | Some path ->
+    (* Trace audits pin down one (bench, mode): anything else would
+       compare the trace against the wrong binary. *)
+    let bench =
+      match bench_name with
+      | Some n -> (
+        match Sdiq_workloads.Suite.find n with
+        | Some b -> b
+        | None ->
+          Fmt.epr "unknown benchmark %S; available: %s@." n
+            (String.concat ", " (Sdiq_workloads.Suite.names ()));
+          exit 64)
+      | None ->
+        Fmt.epr "--trace needs --bench NAME (the trace's benchmark)@.";
+        exit 64
+    in
+    let m =
+      match Driver.mode_named mode with
+      | Some m -> m
+      | None ->
+        Fmt.epr
+          "--trace needs a single --mode (noop, extension or improved)@.";
+        exit 64
+    in
+    exit (if audit_trace ~bench ~mode:m path > 0 then 1 else 0));
   let benches =
     match bench_name with
     | None -> Sdiq_workloads.Suite.all ()
@@ -159,6 +341,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "sdiq-lint" ~doc)
-    Term.(const run $ bench_arg $ mode_arg $ dot_arg $ quiet_arg $ infos_arg)
+    Term.(
+      const run $ bench_arg $ mode_arg $ dot_arg $ quiet_arg $ infos_arg
+      $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

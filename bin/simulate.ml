@@ -46,6 +46,15 @@ let timeline_arg =
   let doc = "Emit a per-interval CSV timeline of the run to stdout." in
   Arg.(value & flag & info [ "timeline" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a JSONL event trace of the run to $(docv): one JSON object per \
+     pipeline event (fetch, dispatch, wakeup, issue, commit, cycle_end, \
+     ...), one per line, each tagged with its cycle. Audit it with \
+     `lint.exe --trace`; query it with jq (see README)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let domains_arg =
   let doc =
     "Domains for the runner's campaign pool (default: the hardware's \
@@ -62,7 +71,24 @@ let check_arg =
   in
   Arg.(value & flag & info [ "check" ] ~doc)
 
-let run bench_name technique budget verbose timeline domains check =
+(* A dedicated traced run: same benchmark preparation as the runner's,
+   with the JSONL trace sink on the bus. *)
+let write_trace bench technique ~budget file =
+  let prog =
+    Sdiq_harness.Technique.prepare technique bench.Sdiq_workloads.Bench.prog
+  in
+  let policy = Sdiq_harness.Technique.policy technique in
+  let p = Sdiq_cpu.Pipeline.create ~policy prog in
+  let oc = open_out file in
+  Sdiq_cpu.Pipeline.subscribe ~name:"jsonl-trace" p
+    (Sdiq_events.Trace.sink oc);
+  bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
+  let stats = Sdiq_cpu.Pipeline.run ~max_insns:budget p in
+  close_out oc;
+  Fmt.pr "trace: %s (%d cycles, %d committed)@." file
+    stats.Sdiq_cpu.Stats.cycles stats.Sdiq_cpu.Stats.committed
+
+let run bench_name technique budget verbose timeline trace domains check =
   match Sdiq_workloads.Suite.find bench_name with
   | None ->
     Fmt.epr "unknown benchmark %S; available: %s@." bench_name
@@ -115,7 +141,8 @@ let run bench_name technique budget verbose timeline domains check =
         Sdiq_harness.Timeline.record ~max_insns:budget bench technique
       in
       print_string (Sdiq_harness.Timeline.to_csv t)
-    end
+    end;
+    Option.iter (write_trace bench technique ~budget) trace
 
 let cmd =
   let doc = "simulate one benchmark under one IQ-resizing technique" in
@@ -123,6 +150,6 @@ let cmd =
     (Cmd.info "sdiq-simulate" ~doc)
     Term.(
       const run $ bench_arg $ technique_arg $ budget_arg $ verbose_arg
-      $ timeline_arg $ domains_arg $ check_arg)
+      $ timeline_arg $ trace_arg $ domains_arg $ check_arg)
 
 let () = exit (Cmd.eval cmd)

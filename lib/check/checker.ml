@@ -355,10 +355,17 @@ let check c p =
 
 let hook c = check c
 
-(* Fresh checker installed on an existing pipeline. *)
+(* As an event sink: the audit runs on [Cycle_end] — the last event of
+   each cycle, delivered after the cycle's statistics are folded in, so
+   the per-cycle power-integral recount sees exactly the machine state
+   the old post-accounting hook did. *)
+let sink c p (ev : Sdiq_events.Event.t) =
+  match ev with Sdiq_events.Event.Cycle_end _ -> check c p | _ -> ()
+
+(* Fresh checker subscribed to an existing pipeline's event bus. *)
 let attach p =
   let c = create () in
-  Pipeline.set_checker p (hook c);
+  Pipeline.subscribe ~name:"invariant-checker" p (sink c p);
   c
 
 (* Factory for Runner/simulate: a fresh checker per run. *)

@@ -35,7 +35,11 @@ val check : t -> Sdiq_cpu.Pipeline.t -> unit
 
 val hook : t -> Sdiq_cpu.Pipeline.t -> unit
 
-(** Create a fresh checker and install it on the pipeline. *)
+(** The audit as an event sink: runs {!check} on every [Cycle_end].
+    Register [sink c p] with {!Sdiq_cpu.Pipeline.subscribe}. *)
+val sink : t -> Sdiq_cpu.Pipeline.t -> Sdiq_events.Event.t -> unit
+
+(** Create a fresh checker and subscribe it to the pipeline's bus. *)
 val attach : Sdiq_cpu.Pipeline.t -> t
 
 (** A self-contained hook with its own fresh state — the shape

@@ -185,12 +185,13 @@ let run_one ?config ?init ~check ~max_cycles ~max_steps technique prog :
   else begin
     let committed = ref [] in
     let policy = Technique.policy technique in
-    let checker = if check then Some (Checker.fresh_hook ()) else None in
-    let p =
-      Sdiq_cpu.Pipeline.create ?config ~policy ?checker
-        ~on_commit:(fun dyn -> committed := dyn :: !committed)
-        prepared
-    in
+    let p = Sdiq_cpu.Pipeline.create ?config ~policy prepared in
+    (* Both observers ride the event bus: the commit capture collects
+       the trace to diff against the oracle, and the invariant checker
+       audits every [Cycle_end]. *)
+    Sdiq_cpu.Pipeline.on_commit_sink ~name:"oracle-trace-capture" p (fun dyn ->
+        committed := dyn :: !committed);
+    if check then ignore (Checker.attach p : Checker.t);
     (match init with
     | Some f -> f p.Sdiq_cpu.Pipeline.exec
     | None -> ());

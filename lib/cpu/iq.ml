@@ -296,9 +296,9 @@ let entry_ready (e : entry) =
    arrays powered. *)
 let banks t = (t.size + t.bank_size - 1) / t.bank_size
 
-let banks_on t =
+let banks_on_mask t =
   let nb = banks t in
-  let on = ref 0 in
+  let mask = ref 0 in
   for b = 0 to nb - 1 do
     let lo = b * t.bank_size in
     let hi = min t.size (lo + t.bank_size) - 1 in
@@ -306,6 +306,16 @@ let banks_on t =
     for i = lo to hi do
       if t.slots.(i).valid then any := true
     done;
-    if !any then incr on
+    if !any then mask := !mask lor (1 lsl b)
+  done;
+  !mask
+
+(* Defined as the popcount of the mask so the two views cannot drift. *)
+let banks_on t =
+  let m = ref (banks_on_mask t) in
+  let on = ref 0 in
+  while !m <> 0 do
+    on := !on + (!m land 1);
+    m := !m lsr 1
   done;
   !on

@@ -87,6 +87,11 @@ val banks : t -> int
 (** Banks holding at least one valid entry (the powered ones). *)
 val banks_on : t -> int
 
+(** Bitmask of the powered banks (bit [b] set iff bank [b] holds a
+    valid entry); [banks_on] is its popcount. Lets observers detect
+    per-bank gate/ungate transitions, not just the count. *)
+val banks_on_mask : t -> int
+
 (** Adaptive resizing toward [target] slots (whole banks): shrinking
     applies only once the dropped banks are empty and all pointers are
     inside the surviving region; growing is always order-preserving.

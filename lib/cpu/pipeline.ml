@@ -13,9 +13,23 @@
    so a result wakes its consumers in the cycle it completes and the
    consumers can issue that same cycle; instructions issued this cycle
    free IQ slots that dispatch can refill this cycle; newly fetched
-   instructions dispatch only after [decode_depth] cycles. *)
+   instructions dispatch only after [decode_depth] cycles.
+
+   Telemetry: the stages mutate no consumer directly. Each stage emits
+   typed events ([Sdiq_events.Event]); the pipeline's own statistics are
+   a fold of that stream ([Stats.absorb]), and external observers —
+   invariant checkers, commit capture, power meters, timelines, JSONL
+   traces — subscribe to the same bus. With no sink registered the bus
+   costs one load and one branch per event ([Bus.active]), and
+   trace-only events (squash, resize, bank transitions, tag deliveries)
+   are not even constructed. [Cycle_end] is always the last event of its
+   cycle, emitted after the policy's end-of-cycle action, so a sink
+   observing it sees exactly the machine state a per-cycle checker
+   needs (DESIGN.md §11 specifies the ordering contract). *)
 
 open Sdiq_isa
+module Ev = Sdiq_events.Event
+module Bus = Sdiq_events.Bus
 
 type fq_entry = {
   dyn : Exec.dyn;
@@ -45,14 +59,34 @@ type t = {
   mutable fetch_resume_at : int;
   mutable blocked_sn : int option; (* fetch stalled on this dynamic instr *)
   stats : Stats.t;
-  mutable checker : (t -> unit) option;
-      (* called after every completed cycle with the machine state; an
-         invariant checker (Sdiq_check.Checker) raises from here *)
-  mutable on_commit : (Exec.dyn -> unit) option;
-      (* called once per committed instruction, in commit order *)
+  bus : Sdiq_events.Bus.t;
+  (* previous end-of-cycle powered-bank masks, for gate/ungate events *)
+  mutable prev_iq_bank_mask : int;
+  mutable prev_int_rf_bank_mask : int;
+  mutable prev_fp_rf_bank_mask : int;
 }
 
 exception Simulation_limit of string
+
+(* Deliver one event: fold it into the pipeline's own statistics, then
+   to external sinks (if any). The absorb-first order is part of the
+   sink contract — a [Cycle_end] sink reads fully-updated stats. *)
+let emit t ev =
+  Stats.absorb t.stats ev;
+  if Bus.active t.bus then Bus.emit t.bus ev
+
+(* --- sink registration --------------------------------------------------- *)
+
+let subscribe ?name t fn = Bus.subscribe ?name t.bus fn
+
+(* Per-cycle observer: runs on every [Cycle_end], after all statistics
+   for the cycle are folded in. The shape the invariant checker wants. *)
+let on_cycle_end ?(name = "cycle-observer") t f =
+  subscribe ~name t (function Ev.Cycle_end _ -> f t | _ -> ())
+
+(* Commit observer: one call per committed instruction, in commit order. *)
+let on_commit_sink ?(name = "commit-observer") t f =
+  subscribe ~name t (function Ev.Commit { dyn } -> f dyn | _ -> ())
 
 let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
     ?on_commit prog =
@@ -76,42 +110,50 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
     Regfile.alloc_exact fp_rf i;
     fp_rf.Regfile.ready.(i) <- true
   done;
-  {
-    cfg = config;
-    prog;
-    exec;
-    policy;
-    il1 =
-      Cache.create ~sets:config.Config.il1_sets ~ways:config.Config.il1_ways
-        ~line:config.Config.il1_line;
-    dl1 =
-      Cache.create ~sets:config.Config.dl1_sets ~ways:config.Config.dl1_ways
-        ~line:config.Config.dl1_line;
-    l2 =
-      Cache.create ~sets:config.Config.l2_sets ~ways:config.Config.l2_ways
-        ~line:config.Config.l2_line;
-    bpred = Branch_pred.create config;
-    int_rf;
-    fp_rf;
-    int_map;
-    fp_map;
-    rob = Rob.create ~size:config.Config.rob_size;
-    iq = Iq.create ~size:config.Config.iq_size
-        ~bank_size:config.Config.iq_bank_size;
-    fq = Queue.create ();
-    completions = Hashtbl.create 64;
-    unpipe_busy = [];
-    cycle = 0;
-    halted = false;
-    fetch_resume_at = 0;
-    blocked_sn = None;
-    stats = Stats.create ();
-    checker;
-    on_commit;
-  }
-
-let set_checker t f = t.checker <- Some f
-let set_on_commit t f = t.on_commit <- Some f
+  let t =
+    {
+      cfg = config;
+      prog;
+      exec;
+      policy;
+      il1 =
+        Cache.create ~sets:config.Config.il1_sets ~ways:config.Config.il1_ways
+          ~line:config.Config.il1_line;
+      dl1 =
+        Cache.create ~sets:config.Config.dl1_sets ~ways:config.Config.dl1_ways
+          ~line:config.Config.dl1_line;
+      l2 =
+        Cache.create ~sets:config.Config.l2_sets ~ways:config.Config.l2_ways
+          ~line:config.Config.l2_line;
+      bpred = Branch_pred.create config;
+      int_rf;
+      fp_rf;
+      int_map;
+      fp_map;
+      rob = Rob.create ~size:config.Config.rob_size;
+      iq = Iq.create ~size:config.Config.iq_size
+          ~bank_size:config.Config.iq_bank_size;
+      fq = Queue.create ();
+      completions = Hashtbl.create 64;
+      unpipe_busy = [];
+      cycle = 0;
+      halted = false;
+      fetch_resume_at = 0;
+      blocked_sn = None;
+      stats = Stats.create ();
+      bus = Bus.create ();
+      prev_iq_bank_mask = 0;
+      prev_int_rf_bank_mask = Regfile.banks_on_mask int_rf;
+      prev_fp_rf_bank_mask = Regfile.banks_on_mask fp_rf;
+    }
+  in
+  (* Compat shims: the old [?checker]/[?on_commit] hooks are ordinary
+     sinks now. *)
+  (match checker with Some f -> on_cycle_end ~name:"checker" t f | None -> ());
+  (match on_commit with
+  | Some f -> on_commit_sink ~name:"on-commit" t f
+  | None -> ());
+  t
 
 (* Physical-register tag space: int regs as-is, fp regs offset. *)
 let int_tag p = p
@@ -127,8 +169,7 @@ let release_dest t = function
 let commit_one t (e : Rob.entry) =
   let dyn = Option.get e.Rob.dyn in
   let i = dyn.Exec.instr in
-  t.stats.Stats.committed <- t.stats.Stats.committed + 1;
-  (match t.on_commit with Some f -> f dyn | None -> ());
+  emit t (Ev.Commit { dyn });
   release_dest t e.Rob.old_phys;
   (* The predictor trains at fetch (see [fetch_stage]): with no wrong-path
      instructions, fetch order equals commit order, so updating there is
@@ -140,13 +181,13 @@ let commit_one t (e : Rob.entry) =
     match Cache.probe t.dl1 ~now dyn.Exec.addr with
     | Cache.Hit | Cache.Inflight _ -> ()
     | Cache.Miss ->
-      t.stats.Stats.dl1_misses <- t.stats.Stats.dl1_misses + 1;
+      emit t (Ev.Cache_miss { level = Ev.Dl1; addr = dyn.Exec.addr });
       let lat =
         match Cache.probe t.l2 ~now dyn.Exec.addr with
         | Cache.Hit -> t.cfg.Config.l2_hit
         | Cache.Inflight r -> r + 1
         | Cache.Miss ->
-          t.stats.Stats.l2_misses <- t.stats.Stats.l2_misses + 1;
+          emit t (Ev.Cache_miss { level = Ev.L2; addr = dyn.Exec.addr });
           Cache.set_fill t.l2 dyn.Exec.addr (now + t.cfg.Config.mem_latency);
           t.cfg.Config.mem_latency
       in
@@ -177,13 +218,16 @@ let writeback_stage t =
       (fun idx ->
         let e = Rob.entry t.rob idx in
         e.Rob.state <- Rob.Completed;
+        emit t (Ev.Writeback { dyn = Option.get e.Rob.dyn; rob_idx = idx });
         (match e.Rob.dest with
         | Rob.No_dest -> ()
         | Rob.Int_dest p ->
           Regfile.mark_ready t.int_rf p;
+          emit t (Ev.Rf_write { file = Ev.Int_rf; phys = p });
           tags := int_tag p :: !tags
         | Rob.Fp_dest p ->
           Regfile.mark_ready t.fp_rf p;
+          emit t (Ev.Rf_write { file = Ev.Fp_rf; phys = p });
           tags := fp_tag t p :: !tags);
         (* A control instruction that blocked fetch now redirects it. *)
         if e.Rob.blocked_fetch then begin
@@ -198,7 +242,22 @@ let writeback_stage t =
           e.Rob.blocked_fetch <- false
         end)
       idxs;
-    ignore (Iq.broadcast_many t.iq !tags)
+    (* One wakeup event per broadcast group, carrying the comparison
+       deltas under all three Figure 8 accounting schemes. *)
+    let naive0 = t.iq.Iq.wakeups_naive in
+    let nonempty0 = t.iq.Iq.wakeups_nonempty in
+    let gated0 = t.iq.Iq.wakeups_gated in
+    let woken = Iq.broadcast_many t.iq !tags in
+    if !tags <> [] then
+      emit t
+        (Ev.Wakeup
+           {
+             tags = List.length !tags;
+             woken;
+             naive = t.iq.Iq.wakeups_naive - naive0;
+             nonempty = t.iq.Iq.wakeups_nonempty - nonempty0;
+             gated = t.iq.Iq.wakeups_gated - gated0;
+           })
 
 (* --- issue ------------------------------------------------------------- *)
 
@@ -231,31 +290,36 @@ let load_cache_latency t addr =
   | Cache.Hit -> t.cfg.Config.dl1_hit
   | Cache.Inflight r -> r + 1
   | Cache.Miss ->
-    t.stats.Stats.dl1_misses <- t.stats.Stats.dl1_misses + 1;
+    emit t (Ev.Cache_miss { level = Ev.Dl1; addr });
     let lat =
       match Cache.probe t.l2 ~now addr with
       | Cache.Hit -> t.cfg.Config.l2_hit
       | Cache.Inflight r -> r + 1
       | Cache.Miss ->
-        t.stats.Stats.l2_misses <- t.stats.Stats.l2_misses + 1;
+        emit t (Ev.Cache_miss { level = Ev.L2; addr });
         Cache.set_fill t.l2 addr (now + t.cfg.Config.mem_latency);
         t.cfg.Config.mem_latency
     in
     Cache.set_fill t.dl1 addr (now + lat);
     lat
 
+(* One register-file read event per issuing instruction, counting its
+   int and fp source reads (the per-file counters live in [Regfile] for
+   the invariant checker's recount). *)
 let count_rf_reads t (i : Instr.t) =
+  let ints = ref 0 and fps = ref 0 in
   List.iter
     (fun r ->
       if Reg.is_int r then begin
         Regfile.note_read t.int_rf;
-        t.stats.Stats.int_rf_reads <- t.stats.Stats.int_rf_reads + 1
+        incr ints
       end
       else begin
         Regfile.note_read t.fp_rf;
-        t.stats.Stats.fp_rf_reads <- t.stats.Stats.fp_rf_reads + 1
+        incr fps
       end)
-    (Instr.sources i)
+    (Instr.sources i);
+  if !ints > 0 || !fps > 0 then emit t (Ev.Rf_read { ints = !ints; fps = !fps })
 
 let issue_stage t =
   (* Release unpipelined units whose operation has finished. *)
@@ -291,25 +355,23 @@ let issue_stage t =
               match conflicting_store t rob_idx dyn.Exec.addr with
               | Some se when se.Rob.state <> Rob.Completed ->
                 None (* store data not ready: cannot issue yet *)
-              | Some _ ->
-                t.stats.Stats.store_forwards <-
-                  t.stats.Stats.store_forwards + 1;
-                Some 1 (* forwarded from the store queue *)
-              | None -> Some (load_cache_latency t dyn.Exec.addr)
+              | Some _ -> Some (1, true) (* forwarded from the store queue *)
+              | None -> Some (load_cache_latency t dyn.Exec.addr, false)
             end
-            else Some 0
+            else Some (0, false)
           in
           match mem_latency_extra with
           | None -> ()
-          | Some extra ->
+          | Some (extra, store_forward) ->
             avail.(k) <- avail.(k) - 1;
             decr width;
             Iq.issue t.iq slot;
             e.Rob.state <- Rob.Issued;
             e.Rob.iq_slot <- -1;
-            t.stats.Stats.iq_selects <- t.stats.Stats.iq_selects + 1;
-            count_rf_reads t i;
+            emit t (Ev.Select { rob_idx; iq_slot = slot });
             let lat = Instr.latency i + extra in
+            emit t (Ev.Issue { dyn; latency = lat; store_forward });
+            count_rf_reads t i;
             if Opcode.unpipelined i.Instr.op then
               t.unpipe_busy <- (cls, t.cycle + lat) :: t.unpipe_busy;
             schedule_completion t rob_idx lat
@@ -360,9 +422,15 @@ let rename_dest t (i : Instr.t) =
 let dispatch_one t (fe : fq_entry) : dispatch_stop =
   let i = fe.dyn.Exec.instr in
   (* A tag (the "Extension" encoding) opens a new region for this very
-     instruction, costing nothing. *)
+     instruction, costing nothing. Trace-only event: a stalled dispatch
+     retries and re-announces the same delivery next cycle (the policy
+     dedupes by region pc). *)
   (match i.Instr.tag with
-  | Some v -> Policy.on_annotation t.policy t.iq ~pc:fe.dyn.Exec.pc ~value:v
+  | Some v ->
+    if Bus.active t.bus then
+      Bus.emit t.bus
+        (Ev.Annotation { pc = fe.dyn.Exec.pc; value = v; delivery = Ev.Tag });
+    Policy.on_annotation t.policy t.iq ~pc:fe.dyn.Exec.pc ~value:v
   | None -> ());
   if Rob.is_full t.rob then Stop_rob_full
   else if not (Policy.allows t.policy t.iq) then
@@ -385,11 +453,20 @@ let dispatch_one t (fe : fq_entry) : dispatch_stop =
       | Some sn when sn = fe.dyn.Exec.sn ->
         (Rob.entry t.rob rob_idx).Rob.blocked_fetch <- true
       | Some _ | None -> ());
-      t.stats.Stats.dispatched <- t.stats.Stats.dispatched + 1;
-      (if Instr.is_load i then
-         t.stats.Stats.loads <- t.stats.Stats.loads + 1
-       else if Instr.is_store i then
-         t.stats.Stats.stores <- t.stats.Stats.stores + 1);
+      let kind =
+        if Instr.is_load i then Ev.Load
+        else if Instr.is_store i then Ev.Store
+        else Ev.Plain
+      in
+      emit t
+        (Ev.Dispatch
+           {
+             dyn = fe.dyn;
+             kind;
+             iq_slot = slot;
+             rob_idx;
+             cam_writes = min 2 (List.length ops);
+           });
       Keep_going
   end
 
@@ -409,8 +486,13 @@ let dispatch_stage t =
       ignore (Queue.pop t.fq);
       Policy.on_annotation t.policy t.iq ~pc:fe.dyn.Exec.pc
         ~value:fe.dyn.Exec.instr.Instr.imm;
-      t.stats.Stats.iqset_dispatch_slots <-
-        t.stats.Stats.iqset_dispatch_slots + 1;
+      emit t
+        (Ev.Annotation
+           {
+             pc = fe.dyn.Exec.pc;
+             value = fe.dyn.Exec.instr.Instr.imm;
+             delivery = Ev.Noop_slot;
+           });
       decr slots
     end
     else begin
@@ -423,18 +505,10 @@ let dispatch_stage t =
   done;
   (match !stop with
   | Keep_going -> ()
-  | Stop_policy ->
-    t.stats.Stats.dispatch_stall_policy <-
-      t.stats.Stats.dispatch_stall_policy + 1
-  | Stop_iq_full ->
-    t.stats.Stats.dispatch_stall_iq_full <-
-      t.stats.Stats.dispatch_stall_iq_full + 1
-  | Stop_rob_full ->
-    t.stats.Stats.dispatch_stall_rob_full <-
-      t.stats.Stats.dispatch_stall_rob_full + 1
-  | Stop_no_reg ->
-    t.stats.Stats.dispatch_stall_no_reg <-
-      t.stats.Stats.dispatch_stall_no_reg + 1);
+  | Stop_policy -> emit t (Ev.Dispatch_stall Ev.Policy_limit)
+  | Stop_iq_full -> emit t (Ev.Dispatch_stall Ev.Iq_full)
+  | Stop_rob_full -> emit t (Ev.Dispatch_stall Ev.Rob_full)
+  | Stop_no_reg -> emit t (Ev.Dispatch_stall Ev.No_reg));
   (* "Throttled" feeds the adaptive policy's pressure signal: a stall on a
      physically shrunken ring counts as pressure just like an explicit
      policy refusal. *)
@@ -457,13 +531,13 @@ let fetch_stage t =
         | Cache.Hit -> None
         | Cache.Inflight r -> Some (r + 1)
         | Cache.Miss ->
-          t.stats.Stats.il1_misses <- t.stats.Stats.il1_misses + 1;
+          emit t (Ev.Cache_miss { level = Ev.Il1; addr = start_pc * 4 });
           let lat =
             match Cache.probe t.l2 ~now:t.cycle (start_pc * 4) with
             | Cache.Hit -> t.cfg.Config.l2_hit
             | Cache.Inflight r -> r + 1
             | Cache.Miss ->
-              t.stats.Stats.l2_misses <- t.stats.Stats.l2_misses + 1;
+              emit t (Ev.Cache_miss { level = Ev.L2; addr = start_pc * 4 });
               Cache.set_fill t.l2 (start_pc * 4)
                 (t.cycle + t.cfg.Config.mem_latency);
               t.cfg.Config.mem_latency
@@ -502,11 +576,10 @@ let fetch_stage t =
                 { dyn; ready_at = t.cycle + t.cfg.Config.decode_depth }
                 t.fq;
               incr fetched;
-              t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
-              (* Control flow: consult the predictor against the oracle. *)
+              (* Control flow: consult the predictor against the oracle,
+                 then emit one [Fetch] event capturing the outcome. *)
               (match i.Instr.op with
               | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Bge ->
-                t.stats.Stats.branches <- t.stats.Stats.branches + 1;
                 let predicted_taken =
                   Branch_pred.predict_direction t.bpred dyn.Exec.pc
                 in
@@ -518,82 +591,171 @@ let fetch_stage t =
                   Branch_pred.btb_update t.bpred dyn.Exec.pc
                     ~target:dyn.Exec.next_pc;
                 if predicted_taken <> dyn.Exec.taken then begin
-                  t.stats.Stats.mispredicts <- t.stats.Stats.mispredicts + 1;
                   t.blocked_sn <- Some dyn.Exec.sn;
-                  continue := false
+                  continue := false;
+                  emit t
+                    (Ev.Fetch
+                       {
+                         dyn;
+                         outcome =
+                           Ev.Cond_branch
+                             {
+                               taken = dyn.Exec.taken;
+                               mispredicted = true;
+                               btb_bubble = false;
+                             };
+                       });
+                  if Bus.active t.bus then Bus.emit t.bus (Ev.Squash { dyn })
                 end
                 else if dyn.Exec.taken then begin
-                  (match btb with
-                  | Some target when target = dyn.Exec.next_pc -> ()
-                  | Some _ | None ->
-                    t.stats.Stats.btb_bubbles <-
-                      t.stats.Stats.btb_bubbles + 1;
-                    t.fetch_resume_at <-
-                      t.cycle + t.cfg.Config.btb_miss_penalty);
-                  continue := false
+                  let btb_bubble =
+                    match btb with
+                    | Some target when target = dyn.Exec.next_pc -> false
+                    | Some _ | None ->
+                      t.fetch_resume_at <-
+                        t.cycle + t.cfg.Config.btb_miss_penalty;
+                      true
+                  in
+                  continue := false;
+                  emit t
+                    (Ev.Fetch
+                       {
+                         dyn;
+                         outcome =
+                           Ev.Cond_branch
+                             { taken = true; mispredicted = false; btb_bubble };
+                       })
                 end
+                else
+                  emit t
+                    (Ev.Fetch
+                       {
+                         dyn;
+                         outcome =
+                           Ev.Cond_branch
+                             {
+                               taken = false;
+                               mispredicted = false;
+                               btb_bubble = false;
+                             };
+                       })
               | Opcode.Jmp ->
-                (match Branch_pred.btb_lookup t.bpred dyn.Exec.pc with
-                | Some target when target = dyn.Exec.next_pc -> ()
-                | Some _ | None ->
-                  t.stats.Stats.btb_bubbles <- t.stats.Stats.btb_bubbles + 1;
-                  t.fetch_resume_at <-
-                    t.cycle + t.cfg.Config.btb_miss_penalty);
+                let btb_bubble =
+                  match Branch_pred.btb_lookup t.bpred dyn.Exec.pc with
+                  | Some target when target = dyn.Exec.next_pc -> false
+                  | Some _ | None ->
+                    t.fetch_resume_at <-
+                      t.cycle + t.cfg.Config.btb_miss_penalty;
+                    true
+                in
                 Branch_pred.btb_update t.bpred dyn.Exec.pc
                   ~target:dyn.Exec.next_pc;
-                continue := false
+                continue := false;
+                emit t (Ev.Fetch { dyn; outcome = Ev.Jump { btb_bubble } })
               | Opcode.Call ->
                 Branch_pred.ras_push t.bpred (dyn.Exec.pc + 1);
-                (match Branch_pred.btb_lookup t.bpred dyn.Exec.pc with
-                | Some target when target = dyn.Exec.next_pc -> ()
-                | Some _ | None ->
-                  t.stats.Stats.btb_bubbles <- t.stats.Stats.btb_bubbles + 1;
-                  t.fetch_resume_at <-
-                    t.cycle + t.cfg.Config.btb_miss_penalty);
+                let btb_bubble =
+                  match Branch_pred.btb_lookup t.bpred dyn.Exec.pc with
+                  | Some target when target = dyn.Exec.next_pc -> false
+                  | Some _ | None ->
+                    t.fetch_resume_at <-
+                      t.cycle + t.cfg.Config.btb_miss_penalty;
+                    true
+                in
                 Branch_pred.btb_update t.bpred dyn.Exec.pc
                   ~target:dyn.Exec.next_pc;
-                continue := false
+                continue := false;
+                emit t (Ev.Fetch { dyn; outcome = Ev.Call { btb_bubble } })
               | Opcode.Ret ->
-                t.stats.Stats.branches <- t.stats.Stats.branches + 1;
-                (match Branch_pred.ras_pop t.bpred with
-                | Some a when a = dyn.Exec.next_pc -> ()
-                | Some _ | None ->
-                  (* Return mispredicted: wait for it to resolve. *)
-                  t.stats.Stats.mispredicts <-
-                    t.stats.Stats.mispredicts + 1;
-                  t.blocked_sn <- Some dyn.Exec.sn);
-                continue := false
-              | _ -> ())
+                let mispredicted =
+                  match Branch_pred.ras_pop t.bpred with
+                  | Some a when a = dyn.Exec.next_pc -> false
+                  | Some _ | None ->
+                    (* Return mispredicted: wait for it to resolve. *)
+                    t.blocked_sn <- Some dyn.Exec.sn;
+                    true
+                in
+                continue := false;
+                emit t (Ev.Fetch { dyn; outcome = Ev.Return { mispredicted } });
+                if mispredicted && Bus.active t.bus then
+                  Bus.emit t.bus (Ev.Squash { dyn })
+              | _ -> emit t (Ev.Fetch { dyn; outcome = Ev.Sequential }))
             end
       done
     end
   end
 
-(* --- per-cycle accounting ---------------------------------------------- *)
+(* --- end of cycle ------------------------------------------------------- *)
 
-let account_stage t ~throttled =
-  let s = t.stats in
-  s.Stats.iq_occupancy_sum <- s.Stats.iq_occupancy_sum + Iq.occupancy t.iq;
-  s.Stats.iq_banks_on_sum <- s.Stats.iq_banks_on_sum + Iq.banks_on t.iq;
-  s.Stats.int_rf_banks_on_sum <-
-    s.Stats.int_rf_banks_on_sum + Regfile.banks_on t.int_rf;
-  s.Stats.int_rf_live_sum <-
-    s.Stats.int_rf_live_sum + Regfile.live_count t.int_rf;
-  s.Stats.fp_rf_banks_on_sum <-
-    s.Stats.fp_rf_banks_on_sum + Regfile.banks_on t.fp_rf;
-  Policy.end_cycle t.policy t.iq ~throttled
+let popcount m =
+  let m = ref m in
+  let n = ref 0 in
+  while !m <> 0 do
+    n := !n + (!m land 1);
+    m := !m lsr 1
+  done;
+  !n
 
-let finalize_stats t =
-  let s = t.stats in
-  s.Stats.iq_wakeups_gated <- t.iq.Iq.wakeups_gated;
-  s.Stats.iq_wakeups_nonempty <- t.iq.Iq.wakeups_nonempty;
-  s.Stats.iq_wakeups_naive <- t.iq.Iq.wakeups_naive;
-  s.Stats.iq_dispatch_ram_writes <- t.iq.Iq.dispatch_ram_writes;
-  s.Stats.iq_dispatch_cam_writes <- t.iq.Iq.dispatch_cam_writes;
-  s.Stats.iq_issue_reads <- t.iq.Iq.issue_reads;
-  s.Stats.iq_broadcasts <- t.iq.Iq.broadcasts;
-  s.Stats.int_rf_writes <- t.int_rf.Regfile.writes;
-  s.Stats.fp_rf_writes <- t.fp_rf.Regfile.writes
+(* Per-bank gate/ungate transition events (trace-only), derived by
+   diffing the powered-bank mask against the previous cycle's. *)
+let emit_bank_transitions t ~unit_ ~prev ~cur =
+  if prev <> cur then begin
+    let changed = prev lxor cur in
+    let b = ref 0 in
+    let m = ref changed in
+    while !m <> 0 do
+      if !m land 1 = 1 then
+        Bus.emit t.bus
+          (if cur land (1 lsl !b) <> 0 then Ev.Bank_ungated { unit_; bank = !b }
+           else Ev.Bank_gated { unit_; bank = !b });
+      incr b;
+      m := !m lsr 1
+    done
+  end
+
+let cycle_end_stage t ~throttled =
+  let iq_mask = Iq.banks_on_mask t.iq in
+  let int_mask = Regfile.banks_on_mask t.int_rf in
+  let fp_mask = Regfile.banks_on_mask t.fp_rf in
+  let cycle_end =
+    Ev.Cycle_end
+      {
+        cycle = t.cycle;
+        throttled;
+        iq_occupancy = Iq.occupancy t.iq;
+        iq_banks_on = popcount iq_mask;
+        int_rf_banks_on = popcount int_mask;
+        int_rf_live = Regfile.live_count t.int_rf;
+        fp_rf_banks_on = popcount fp_mask;
+      }
+  in
+  (* Fold the integrand into the pipeline's own stats first: a
+     [Cycle_end] sink must read fully-updated per-cycle sums. *)
+  Stats.absorb t.stats cycle_end;
+  (* The policy's end-of-cycle action (the adaptive scheme senses
+     pressure and resizes here). A resize only drops/adds empty banks,
+     so the masks captured above are unaffected. *)
+  let size_before = Iq.active_size t.iq in
+  Policy.end_cycle t.policy t.iq ~throttled;
+  t.cycle <- t.cycle + 1;
+  if Bus.active t.bus then begin
+    emit_bank_transitions t ~unit_:Ev.Iq_bank ~prev:t.prev_iq_bank_mask
+      ~cur:iq_mask;
+    emit_bank_transitions t ~unit_:Ev.Int_rf_bank ~prev:t.prev_int_rf_bank_mask
+      ~cur:int_mask;
+    emit_bank_transitions t ~unit_:Ev.Fp_rf_bank ~prev:t.prev_fp_rf_bank_mask
+      ~cur:fp_mask;
+    let size_after = Iq.active_size t.iq in
+    if size_after <> size_before then
+      Bus.emit t.bus (Ev.Resize { before = size_before; after = size_after });
+    (* Last event of the cycle, always: per-cycle observers (the
+       invariant checker) run here with the post-increment cycle count
+       and every counter for the cycle already folded in. *)
+    Bus.emit t.bus cycle_end
+  end;
+  t.prev_iq_bank_mask <- iq_mask;
+  t.prev_int_rf_bank_mask <- int_mask;
+  t.prev_fp_rf_bank_mask <- fp_mask
 
 (* --- main loop ---------------------------------------------------------- *)
 
@@ -606,10 +768,7 @@ let step_cycle t =
   issue_stage t;
   let throttled = dispatch_stage t in
   fetch_stage t;
-  account_stage t ~throttled;
-  t.cycle <- t.cycle + 1;
-  t.stats.Stats.cycles <- t.cycle;
-  match t.checker with Some f -> f t | None -> ()
+  cycle_end_stage t ~throttled
 
 (* Run until the program drains or [max_insns] instructions have
    committed. Raises [Simulation_limit] after [max_cycles] as a deadlock
@@ -626,7 +785,6 @@ let run ?(max_insns = max_int) ?(max_cycles = 200_000_000) t =
               t.cycle t.stats.Stats.committed (Policy.name t.policy)));
     step_cycle t
   done;
-  finalize_stats t;
   t.stats
 
 (* Convenience: build, initialise memory, run. *)
@@ -655,6 +813,7 @@ module Debug = struct
   let exec t = t.exec
   let stats t = t.stats
   let fetch_queue_length t = Queue.length t.fq
+  let bus t = t.bus
 
   (* One-line machine-state excerpt for diagnostics. *)
   let excerpt t =

@@ -10,7 +10,14 @@
     Cycle phase order matches the paper's Figure 1 timing: results wake
     consumers in their completion cycle and the consumers may issue that
     same cycle; slots freed by issue can be refilled by dispatch in the
-    same cycle. *)
+    same cycle.
+
+    Telemetry: stages emit typed events ({!Sdiq_events.Event}) instead of
+    mutating consumers. The pipeline's statistics are a fold of its own
+    event stream ({!Stats.absorb}); every external observer is a sink
+    registered with {!subscribe} / {!on_cycle_end} / {!on_commit_sink}.
+    [Cycle_end] is always the last event of its cycle; DESIGN.md §11
+    specifies the full ordering contract. *)
 
 type fq_entry = {
   dyn : Sdiq_isa.Exec.dyn;
@@ -40,17 +47,18 @@ type t = {
   mutable fetch_resume_at : int;
   mutable blocked_sn : int option;
   stats : Stats.t;
-  mutable checker : (t -> unit) option;
-      (** called after every completed cycle with the machine state; an
-          invariant checker raises {e its own} structured exception from
-          here (the pipeline itself attaches no meaning to it) *)
-  mutable on_commit : (Sdiq_isa.Exec.dyn -> unit) option;
-      (** called once per committed instruction, in commit order *)
+  bus : Sdiq_events.Bus.t;
+      (** the sink registry; prefer {!subscribe} over touching it *)
+  mutable prev_iq_bank_mask : int;
+  mutable prev_int_rf_bank_mask : int;
+  mutable prev_fp_rf_bank_mask : int;
 }
 
 (** Raised by {!run} after [max_cycles] — a deadlock guard. *)
 exception Simulation_limit of string
 
+(** [?checker] and [?on_commit] are compatibility shims: they register
+    the function as an {!on_cycle_end} / {!on_commit_sink} sink. *)
 val create :
   ?config:Config.t ->
   ?policy:Policy.t ->
@@ -59,14 +67,22 @@ val create :
   Sdiq_isa.Prog.t ->
   t
 
-(** Install a per-cycle observer after the fact (see [?checker]). *)
-val set_checker : t -> (t -> unit) -> unit
+(** Register an event sink; delivery is synchronous, in registration
+    order, and a sink's exception propagates out of {!step_cycle} (the
+    invariant checker's abort channel). Sinks must not mutate the
+    machine. *)
+val subscribe : ?name:string -> t -> (Sdiq_events.Event.t -> unit) -> unit
 
-(** Install a commit observer after the fact (see [?on_commit]). *)
-val set_on_commit : t -> (Sdiq_isa.Exec.dyn -> unit) -> unit
+(** Per-cycle observer: runs on every [Cycle_end] — the last event of
+    each cycle, after all statistics for the cycle are folded in — with
+    the pipeline itself (use {!Debug} accessors to inspect it). *)
+val on_cycle_end : ?name:string -> t -> (t -> unit) -> unit
 
-(** Advance one cycle (commit, writeback, issue, dispatch, fetch,
-    accounting). *)
+(** Commit observer: one call per committed instruction, commit order. *)
+val on_commit_sink : ?name:string -> t -> (Sdiq_isa.Exec.dyn -> unit) -> unit
+
+(** Advance one cycle (commit, writeback, issue, dispatch, fetch, then
+    the end-of-cycle accounting fold and [Cycle_end] delivery). *)
 val step_cycle : t -> unit
 
 (** True once the program has halted and every buffer has drained. *)
@@ -107,6 +123,7 @@ module Debug : sig
   val exec : t -> Sdiq_isa.Exec.state
   val stats : t -> Stats.t
   val fetch_queue_length : t -> int
+  val bus : t -> Sdiq_events.Bus.t
 
   (** One-line machine-state summary for diagnostics. *)
   val excerpt : t -> string

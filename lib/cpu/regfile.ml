@@ -92,11 +92,11 @@ let mark_ready t i =
 
 let note_read t = t.reads <- t.reads + 1
 
-(* Number of banks holding at least one live (allocated) register; only
+(* Bitmask of banks holding at least one live (allocated) register; only
    these need to be powered. *)
-let banks_on t =
+let banks_on_mask t =
   let nb = banks t in
-  let on = ref 0 in
+  let mask = ref 0 in
   for b = 0 to nb - 1 do
     let lo = b * t.bank_size in
     let hi = min t.size (lo + t.bank_size) - 1 in
@@ -104,6 +104,16 @@ let banks_on t =
     for i = lo to hi do
       if not t.free.(i) then live := true
     done;
-    if !live then incr on
+    if !live then mask := !mask lor (1 lsl b)
+  done;
+  !mask
+
+(* Defined as the popcount of the mask so the two views cannot drift. *)
+let banks_on t =
+  let m = ref (banks_on_mask t) in
+  let on = ref 0 in
+  while !m <> 0 do
+    on := !on + (!m land 1);
+    m := !m lsr 1
   done;
   !on

@@ -38,3 +38,7 @@ val note_read : t -> unit
 
 (** Banks holding at least one live register. *)
 val banks_on : t -> int
+
+(** Bitmask of the powered banks (bit [b] set iff bank [b] holds a live
+    register); [banks_on] is its popcount. *)
+val banks_on_mask : t -> int

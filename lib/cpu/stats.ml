@@ -82,6 +82,131 @@ let create () =
     dispatch_stall_no_reg = 0;
   }
 
+(* The fold: how one pipeline event updates the counters. This is the
+   *only* place stats are accumulated — the pipeline emits events and
+   absorbs them here (and so can any external sink, e.g. the power
+   meter, to reconstruct identical statistics from the stream alone).
+
+   Counter-bearing events carry deltas, so absorbing a stream prefix
+   yields correct partial sums; [Cycle_end] carries the per-cycle
+   integrand snapshot, making the `*_sum` fields true per-cycle
+   integrals. Events with no counter meaning (writeback, squash,
+   resize, bank transitions) absorb to nothing. *)
+let absorb t (ev : Sdiq_events.Event.t) =
+  let open Sdiq_events.Event in
+  match ev with
+  | Fetch { outcome; _ } -> (
+    t.fetched <- t.fetched + 1;
+    match outcome with
+    | Sequential -> ()
+    | Cond_branch { mispredicted; btb_bubble; _ } ->
+      t.branches <- t.branches + 1;
+      if mispredicted then t.mispredicts <- t.mispredicts + 1;
+      if btb_bubble then t.btb_bubbles <- t.btb_bubbles + 1
+    | Jump { btb_bubble } | Call { btb_bubble } ->
+      if btb_bubble then t.btb_bubbles <- t.btb_bubbles + 1
+    | Return { mispredicted } ->
+      t.branches <- t.branches + 1;
+      if mispredicted then t.mispredicts <- t.mispredicts + 1)
+  | Annotation { delivery = Noop_slot; _ } ->
+    t.iqset_dispatch_slots <- t.iqset_dispatch_slots + 1
+  | Annotation { delivery = Tag; _ } -> ()
+  | Dispatch { kind; cam_writes; _ } ->
+    t.dispatched <- t.dispatched + 1;
+    t.iq_dispatch_ram_writes <- t.iq_dispatch_ram_writes + 1;
+    t.iq_dispatch_cam_writes <- t.iq_dispatch_cam_writes + cam_writes;
+    (match kind with
+    | Plain -> ()
+    | Load -> t.loads <- t.loads + 1
+    | Store -> t.stores <- t.stores + 1)
+  | Dispatch_stall Policy_limit ->
+    t.dispatch_stall_policy <- t.dispatch_stall_policy + 1
+  | Dispatch_stall Iq_full ->
+    t.dispatch_stall_iq_full <- t.dispatch_stall_iq_full + 1
+  | Dispatch_stall Rob_full ->
+    t.dispatch_stall_rob_full <- t.dispatch_stall_rob_full + 1
+  | Dispatch_stall No_reg ->
+    t.dispatch_stall_no_reg <- t.dispatch_stall_no_reg + 1
+  | Wakeup { tags; naive; nonempty; gated; woken = _ } ->
+    t.iq_broadcasts <- t.iq_broadcasts + tags;
+    t.iq_wakeups_naive <- t.iq_wakeups_naive + naive;
+    t.iq_wakeups_nonempty <- t.iq_wakeups_nonempty + nonempty;
+    t.iq_wakeups_gated <- t.iq_wakeups_gated + gated
+  | Select _ -> t.iq_selects <- t.iq_selects + 1
+  | Issue { store_forward; _ } ->
+    t.iq_issue_reads <- t.iq_issue_reads + 1;
+    if store_forward then t.store_forwards <- t.store_forwards + 1
+  | Writeback _ -> ()
+  | Rf_read { ints; fps } ->
+    t.int_rf_reads <- t.int_rf_reads + ints;
+    t.fp_rf_reads <- t.fp_rf_reads + fps
+  | Rf_write { file = Int_rf; _ } -> t.int_rf_writes <- t.int_rf_writes + 1
+  | Rf_write { file = Fp_rf; _ } -> t.fp_rf_writes <- t.fp_rf_writes + 1
+  | Commit _ -> t.committed <- t.committed + 1
+  | Squash _ -> ()
+  | Cache_miss { level = Il1; _ } -> t.il1_misses <- t.il1_misses + 1
+  | Cache_miss { level = Dl1; _ } -> t.dl1_misses <- t.dl1_misses + 1
+  | Cache_miss { level = L2; _ } -> t.l2_misses <- t.l2_misses + 1
+  | Resize _ | Bank_gated _ | Bank_ungated _ -> ()
+  | Cycle_end
+      {
+        cycle;
+        throttled = _;
+        iq_occupancy;
+        iq_banks_on;
+        int_rf_banks_on;
+        int_rf_live;
+        fp_rf_banks_on;
+      } ->
+    t.cycles <- cycle + 1;
+    t.iq_occupancy_sum <- t.iq_occupancy_sum + iq_occupancy;
+    t.iq_banks_on_sum <- t.iq_banks_on_sum + iq_banks_on;
+    t.int_rf_banks_on_sum <- t.int_rf_banks_on_sum + int_rf_banks_on;
+    t.int_rf_live_sum <- t.int_rf_live_sum + int_rf_live;
+    t.fp_rf_banks_on_sum <- t.fp_rf_banks_on_sum + fp_rf_banks_on
+
+(* Every field with its name, for field-by-field divergence reports. *)
+let to_fields t =
+  [
+    ("cycles", t.cycles);
+    ("committed", t.committed);
+    ("dispatched", t.dispatched);
+    ("iqset_dispatch_slots", t.iqset_dispatch_slots);
+    ("iq_occupancy_sum", t.iq_occupancy_sum);
+    ("iq_banks_on_sum", t.iq_banks_on_sum);
+    ("iq_wakeups_gated", t.iq_wakeups_gated);
+    ("iq_wakeups_nonempty", t.iq_wakeups_nonempty);
+    ("iq_wakeups_naive", t.iq_wakeups_naive);
+    ("iq_dispatch_ram_writes", t.iq_dispatch_ram_writes);
+    ("iq_dispatch_cam_writes", t.iq_dispatch_cam_writes);
+    ("iq_issue_reads", t.iq_issue_reads);
+    ("iq_broadcasts", t.iq_broadcasts);
+    ("iq_selects", t.iq_selects);
+    ("int_rf_reads", t.int_rf_reads);
+    ("int_rf_writes", t.int_rf_writes);
+    ("int_rf_banks_on_sum", t.int_rf_banks_on_sum);
+    ("int_rf_live_sum", t.int_rf_live_sum);
+    ("fp_rf_reads", t.fp_rf_reads);
+    ("fp_rf_writes", t.fp_rf_writes);
+    ("fp_rf_banks_on_sum", t.fp_rf_banks_on_sum);
+    ("fetched", t.fetched);
+    ("branches", t.branches);
+    ("mispredicts", t.mispredicts);
+    ("btb_bubbles", t.btb_bubbles);
+    ("il1_misses", t.il1_misses);
+    ("dl1_misses", t.dl1_misses);
+    ("l2_misses", t.l2_misses);
+    ("loads", t.loads);
+    ("stores", t.stores);
+    ("store_forwards", t.store_forwards);
+    ("dispatch_stall_policy", t.dispatch_stall_policy);
+    ("dispatch_stall_iq_full", t.dispatch_stall_iq_full);
+    ("dispatch_stall_rob_full", t.dispatch_stall_rob_full);
+    ("dispatch_stall_no_reg", t.dispatch_stall_no_reg);
+  ]
+
+let equal a b = to_fields a = to_fields b
+
 let ipc t =
   if t.cycles = 0 then 0. else float_of_int t.committed /. float_of_int t.cycles
 

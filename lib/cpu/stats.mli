@@ -40,6 +40,17 @@ type t = {
 }
 
 val create : unit -> t
+
+(** The fold: apply one pipeline event's counter deltas. The pipeline
+    accumulates its own statistics exclusively through this function, and
+    any sink can reconstruct identical statistics from the event stream
+    alone (see DESIGN.md §11). *)
+val absorb : t -> Sdiq_events.Event.t -> unit
+
+(** Every field with its name, for field-by-field divergence reports. *)
+val to_fields : t -> (string * int) list
+
+val equal : t -> t -> bool
 val ipc : t -> float
 val avg_iq_occupancy : t -> float
 val avg_iq_banks_on : t -> float

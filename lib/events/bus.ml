@@ -1,0 +1,26 @@
+(* The sink registry. A bus is owned by one pipeline and is not
+   thread-safe — like the pipeline itself, it lives on one domain.
+
+   The no-sink fast path must cost one load and one comparison: the hot
+   loop calls [active] before building any trace-only event, so a bare
+   simulation allocates nothing for the bus. Sinks are stored in a flat
+   array (registration order = delivery order); [emit] is a plain
+   counted loop over it. Exceptions raised by a sink propagate to the
+   emitting stage — that is the invariant checker's abort channel. *)
+
+type sink = { name : string; fn : Event.t -> unit }
+type t = { mutable sinks : sink array }
+
+let create () = { sinks = [||] }
+let active t = Array.length t.sinks > 0
+let count t = Array.length t.sinks
+let names t = Array.to_list (Array.map (fun s -> s.name) t.sinks)
+
+let subscribe ?(name = "sink") t fn =
+  t.sinks <- Array.append t.sinks [| { name; fn } |]
+
+let emit t ev =
+  let s = t.sinks in
+  for i = 0 to Array.length s - 1 do
+    (Array.unsafe_get s i).fn ev
+  done

@@ -1,0 +1,24 @@
+(** The sink registry: one per pipeline, single-domain like its owner.
+
+    Registration order is delivery order; a sink's exception propagates
+    to the emitting stage (the invariant checker's abort channel). The
+    no-sink fast path is O(1): [active] is one load and one comparison,
+    and the pipeline consults it before building trace-only events. *)
+
+type t
+
+val create : unit -> t
+
+(** At least one sink is registered. *)
+val active : t -> bool
+
+val count : t -> int
+
+(** Sink names in delivery order. *)
+val names : t -> string list
+
+(** Append a sink; [name] labels it in {!names} for diagnostics. *)
+val subscribe : ?name:string -> t -> (Event.t -> unit) -> unit
+
+(** Deliver one event to every sink, in registration order. *)
+val emit : t -> Event.t -> unit

@@ -1,0 +1,19 @@
+(* A per-kind event counter: the canonical ~50-line sink. Used by the
+   determinism tests (two runs are event-equivalent iff their count
+   tables match) and by the bench pair as a cheap-but-real subscriber. *)
+
+type t = int array (* one cell per Event kind, indexed by Event.index *)
+
+let create () = Array.make Event.num_kinds 0
+let sink (c : t) ev = c.(Event.index ev) <- c.(Event.index ev) + 1
+let get (c : t) i = c.(i)
+let total (c : t) = Array.fold_left ( + ) 0 c
+let equal (a : t) (b : t) = a = b
+
+(* One line, every kind in index order — byte-comparable across runs. *)
+let to_string (c : t) =
+  String.concat " "
+    (List.init Event.num_kinds (fun i ->
+         Printf.sprintf "%s=%d" (Event.kind_name_of_index i) c.(i)))
+
+let pp ppf c = Fmt.string ppf (to_string c)

@@ -1,0 +1,170 @@
+(* The typed per-cycle event vocabulary of the pipeline.
+
+   Every quantity the paper reports is an integral over these events
+   (wakeups, bank-on cycles, occupancy, commits — PAPER.md §5–6), so they
+   are the single telemetry surface: the pipeline emits them, and every
+   consumer — statistics, power integrals, the invariant checker, the
+   differential oracle's commit capture, timelines, JSONL traces — is a
+   sink folding over the same stream.
+
+   Design rules:
+   - Events carry *facts*, not machine references: an event is still
+     meaningful after the cycle that produced it (traces, replays).
+   - Counter-bearing events ([Wakeup], [Rf_read]) carry the per-event
+     delta, never a running total, so any subset of a stream folds to
+     the correct partial sums.
+   - [Cycle_end] is emitted last in its cycle and carries the per-cycle
+     integrand snapshot (occupancy, powered banks, live registers); the
+     per-cycle sums of [Stats] are folds of exactly this event. *)
+
+open Sdiq_isa
+
+type fetch_outcome =
+  | Sequential
+  | Cond_branch of { taken : bool; mispredicted : bool; btb_bubble : bool }
+  | Jump of { btb_bubble : bool }
+  | Call of { btb_bubble : bool }
+  | Return of { mispredicted : bool }
+
+type dispatch_kind = Plain | Load | Store
+
+type stall_reason = Policy_limit | Iq_full | Rob_full | No_reg
+
+type rf_file = Int_rf | Fp_rf
+
+type cache_level = Il1 | Dl1 | L2
+
+(* How an annotation reached the policy: a special NOOP consuming a
+   dispatch slot (Section 5.2.1) or a zero-cost instruction tag (the
+   "Extension" encoding). *)
+type delivery = Noop_slot | Tag
+
+type bank_unit = Iq_bank | Int_rf_bank | Fp_rf_bank
+
+type t =
+  | Fetch of { dyn : Exec.dyn; outcome : fetch_outcome }
+  | Annotation of { pc : int; value : int; delivery : delivery }
+  | Dispatch of {
+      dyn : Exec.dyn;
+      kind : dispatch_kind;
+      iq_slot : int;
+      rob_idx : int;
+      cam_writes : int; (* operand CAM entries written, 0..2 *)
+    }
+  | Dispatch_stall of stall_reason
+  | Wakeup of {
+      tags : int; (* result tags broadcast together this cycle *)
+      woken : int; (* operands that actually woke *)
+      naive : int; (* comparison deltas under the three Figure 8 schemes *)
+      nonempty : int;
+      gated : int;
+    }
+  | Select of { rob_idx : int; iq_slot : int }
+  | Issue of { dyn : Exec.dyn; latency : int; store_forward : bool }
+  | Writeback of { dyn : Exec.dyn; rob_idx : int }
+  | Rf_read of { ints : int; fps : int } (* one event per issued instr *)
+  | Rf_write of { file : rf_file; phys : int }
+  | Commit of { dyn : Exec.dyn }
+  | Squash of { dyn : Exec.dyn } (* mispredicted control: fetch blocks on it *)
+  | Cache_miss of { level : cache_level; addr : int }
+  | Resize of { before : int; after : int } (* IQ active-size change *)
+  | Bank_gated of { unit_ : bank_unit; bank : int }
+  | Bank_ungated of { unit_ : bank_unit; bank : int }
+  | Cycle_end of {
+      cycle : int; (* 0-based index of the cycle just completed *)
+      throttled : bool; (* dispatch was limited by the (possibly shrunken)
+                           queue — the adaptive policy's pressure signal *)
+      iq_occupancy : int;
+      iq_banks_on : int;
+      int_rf_banks_on : int;
+      int_rf_live : int;
+      fp_rf_banks_on : int;
+    }
+
+let num_kinds = 17
+
+let index = function
+  | Fetch _ -> 0
+  | Annotation _ -> 1
+  | Dispatch _ -> 2
+  | Dispatch_stall _ -> 3
+  | Wakeup _ -> 4
+  | Select _ -> 5
+  | Issue _ -> 6
+  | Writeback _ -> 7
+  | Rf_read _ -> 8
+  | Rf_write _ -> 9
+  | Commit _ -> 10
+  | Squash _ -> 11
+  | Cache_miss _ -> 12
+  | Resize _ -> 13
+  | Bank_gated _ -> 14
+  | Bank_ungated _ -> 15
+  | Cycle_end _ -> 16
+
+let kind_name_of_index = function
+  | 0 -> "fetch"
+  | 1 -> "annotation"
+  | 2 -> "dispatch"
+  | 3 -> "dispatch_stall"
+  | 4 -> "wakeup"
+  | 5 -> "select"
+  | 6 -> "issue"
+  | 7 -> "writeback"
+  | 8 -> "rf_read"
+  | 9 -> "rf_write"
+  | 10 -> "commit"
+  | 11 -> "squash"
+  | 12 -> "cache_miss"
+  | 13 -> "resize"
+  | 14 -> "bank_gated"
+  | 15 -> "bank_ungated"
+  | 16 -> "cycle_end"
+  | _ -> "unknown"
+
+let kind_name ev = kind_name_of_index (index ev)
+
+let pp ppf ev =
+  match ev with
+  | Fetch { dyn; _ } ->
+    Fmt.pf ppf "fetch sn=%d pc=%d" dyn.Exec.sn dyn.Exec.pc
+  | Annotation { pc; value; delivery } ->
+    Fmt.pf ppf "annotation pc=%d value=%d via=%s" pc value
+      (match delivery with Noop_slot -> "noop" | Tag -> "tag")
+  | Dispatch { dyn; iq_slot; rob_idx; _ } ->
+    Fmt.pf ppf "dispatch sn=%d slot=%d rob=%d" dyn.Exec.sn iq_slot rob_idx
+  | Dispatch_stall r ->
+    Fmt.pf ppf "dispatch_stall %s"
+      (match r with
+      | Policy_limit -> "policy"
+      | Iq_full -> "iq-full"
+      | Rob_full -> "rob-full"
+      | No_reg -> "no-reg")
+  | Wakeup { tags; woken; _ } -> Fmt.pf ppf "wakeup tags=%d woken=%d" tags woken
+  | Select { rob_idx; iq_slot } ->
+    Fmt.pf ppf "select rob=%d slot=%d" rob_idx iq_slot
+  | Issue { dyn; latency; _ } ->
+    Fmt.pf ppf "issue sn=%d lat=%d" dyn.Exec.sn latency
+  | Writeback { dyn; rob_idx } ->
+    Fmt.pf ppf "writeback sn=%d rob=%d" dyn.Exec.sn rob_idx
+  | Rf_read { ints; fps } -> Fmt.pf ppf "rf_read int=%d fp=%d" ints fps
+  | Rf_write { file; phys } ->
+    Fmt.pf ppf "rf_write %s p%d"
+      (match file with Int_rf -> "int" | Fp_rf -> "fp")
+      phys
+  | Commit { dyn } -> Fmt.pf ppf "commit sn=%d pc=%d" dyn.Exec.sn dyn.Exec.pc
+  | Squash { dyn } -> Fmt.pf ppf "squash sn=%d" dyn.Exec.sn
+  | Cache_miss { level; addr } ->
+    Fmt.pf ppf "cache_miss %s addr=%d"
+      (match level with Il1 -> "il1" | Dl1 -> "dl1" | L2 -> "l2")
+      addr
+  | Resize { before; after } -> Fmt.pf ppf "resize %d->%d" before after
+  | Bank_gated { unit_; bank } | Bank_ungated { unit_; bank } ->
+    Fmt.pf ppf "%s %s bank=%d" (kind_name ev)
+      (match unit_ with
+      | Iq_bank -> "iq"
+      | Int_rf_bank -> "int-rf"
+      | Fp_rf_bank -> "fp-rf")
+      bank
+  | Cycle_end { cycle; iq_occupancy; _ } ->
+    Fmt.pf ppf "cycle_end cycle=%d occ=%d" cycle iq_occupancy

@@ -60,14 +60,18 @@ let find_bench t name =
          (String.concat ", " (bench_names t)))
 
 (* One cold (benchmark, technique) simulation — pure given [t.config],
-   so safe to run on any domain. *)
+   so safe to run on any domain. The checker factory's product is
+   registered as a per-cycle sink on the run's private event bus. *)
 let simulate_pair t name technique : Sdiq_cpu.Stats.t =
   let bench = find_bench t name in
   let prog = Technique.prepare technique bench.Bench.prog in
   let policy = Technique.policy technique in
-  let checker = Option.map (fun mk -> mk ()) t.checker in
-  Sdiq_cpu.Pipeline.simulate ~config:t.config ~policy ?checker
-    ~init:bench.Bench.init ~max_insns:t.budget prog
+  let p = Sdiq_cpu.Pipeline.create ~config:t.config ~policy prog in
+  (match t.checker with
+  | Some mk -> Sdiq_cpu.Pipeline.on_cycle_end ~name:"campaign-checker" p (mk ())
+  | None -> ());
+  bench.Bench.init p.Sdiq_cpu.Pipeline.exec;
+  Sdiq_cpu.Pipeline.run ~max_insns:t.budget p
 
 (* Run one (benchmark, technique) pair, memoised. *)
 let run t name technique : Sdiq_cpu.Stats.t =

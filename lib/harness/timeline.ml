@@ -31,7 +31,10 @@ let sample_of (p : Sdiq_cpu.Pipeline.t) : sample =
     rf_live = Sdiq_cpu.Regfile.live_count p.Sdiq_cpu.Pipeline.int_rf;
   }
 
-(* Run [bench] under [technique], sampling every [interval] cycles. *)
+(* Run [bench] under [technique], sampling every [interval] cycles. The
+   sampler is an ordinary per-cycle sink on the pipeline's event bus —
+   it rides alongside any other observer rather than owning the step
+   loop. *)
 let record ?(config = Sdiq_cpu.Config.default) ?(interval = 200)
     ?(max_insns = 50_000) (bench : Sdiq_workloads.Bench.t)
     (technique : Technique.t) : t =
@@ -41,16 +44,12 @@ let record ?(config = Sdiq_cpu.Config.default) ?(interval = 200)
   bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
   let samples = ref [] in
   let next = ref 0 in
-  while
-    (not (Sdiq_cpu.Pipeline.drained p))
-    && p.Sdiq_cpu.Pipeline.stats.Sdiq_cpu.Stats.committed < max_insns
-  do
-    Sdiq_cpu.Pipeline.step_cycle p;
-    if p.Sdiq_cpu.Pipeline.cycle >= !next then begin
-      next := p.Sdiq_cpu.Pipeline.cycle + interval;
-      samples := sample_of p :: !samples
-    end
-  done;
+  Sdiq_cpu.Pipeline.on_cycle_end ~name:"timeline-sampler" p (fun p ->
+      if p.Sdiq_cpu.Pipeline.cycle >= !next then begin
+        next := p.Sdiq_cpu.Pipeline.cycle + interval;
+        samples := sample_of p :: !samples
+      end);
+  ignore (Sdiq_cpu.Pipeline.run ~max_insns p : Sdiq_cpu.Stats.t);
   { samples = List.rev !samples; stats = p.Sdiq_cpu.Pipeline.stats }
 
 (* CSV with a header row, one line per sample. *)

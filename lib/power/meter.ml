@@ -1,0 +1,40 @@
+(* A power meter as an event sink.
+
+   Subscribes to a pipeline's event bus and folds the stream into its
+   own [Stats.t] accumulator ([Stats.absorb] — the same fold the
+   pipeline itself uses), then prices it with the existing energy
+   models. Because fold and models are shared code, a drained meter's
+   numbers are *exactly* (float-identically) the post-hoc numbers
+   computed from the run's final statistics — and unlike the post-hoc
+   path, the meter can be read mid-run for time-resolved energy. *)
+
+open Sdiq_cpu
+
+type t = {
+  params : Params.t;
+  cfg : Config.t;
+  stats : Stats.t; (* the meter's own fold of the event stream *)
+}
+
+let create ?(params = Params.default) ?(cfg = Config.default) () =
+  { params; cfg; stats = Stats.create () }
+
+let sink m ev = Stats.absorb m.stats ev
+
+let attach ?params p =
+  let m = create ?params ~cfg:(Pipeline.Debug.cfg p) () in
+  Pipeline.subscribe ~name:"power-meter" p (sink m);
+  m
+
+let stats m = m.stats
+let cycles m = m.stats.Stats.cycles
+
+(* Current energy integrals under the three Figure 8 IQ views and the
+   two Section 5.2.3 register-file views. *)
+let iq_naive m = Iq_power.naive m.params m.cfg m.stats
+let iq_gated m = Iq_power.gated m.params m.cfg m.stats
+let iq_technique m = Iq_power.technique m.params m.stats
+let int_rf_baseline m = Rf_power.int_baseline m.params m.cfg m.stats
+let int_rf_gated m = Rf_power.int_gated m.params m.stats
+let iq_breakdown m = Breakdown.iq ~params:m.params m.stats
+let int_rf_breakdown m = Breakdown.int_rf ~params:m.params m.stats

@@ -1,0 +1,28 @@
+(** A power meter as an event sink: folds the pipeline's event stream
+    into its own statistics ({!Sdiq_cpu.Stats.absorb}) and prices them
+    with the existing energy models. A drained meter agrees
+    float-exactly with the post-hoc computation on the run's final
+    statistics, and can additionally be read mid-run for time-resolved
+    energy. *)
+
+type t
+
+val create : ?params:Params.t -> ?cfg:Sdiq_cpu.Config.t -> unit -> t
+
+(** The sink itself: pass [sink m] to {!Sdiq_cpu.Pipeline.subscribe}. *)
+val sink : t -> Sdiq_events.Event.t -> unit
+
+(** Create a meter (inheriting the pipeline's config) and subscribe it. *)
+val attach : ?params:Params.t -> Sdiq_cpu.Pipeline.t -> t
+
+(** The meter's fold of the stream so far. *)
+val stats : t -> Sdiq_cpu.Stats.t
+
+val cycles : t -> int
+val iq_naive : t -> Iq_power.energy
+val iq_gated : t -> Iq_power.energy
+val iq_technique : t -> Iq_power.energy
+val int_rf_baseline : t -> Rf_power.energy
+val int_rf_gated : t -> Rf_power.energy
+val iq_breakdown : t -> Breakdown.t
+val int_rf_breakdown : t -> Breakdown.t

@@ -115,10 +115,8 @@ let test_differential_catches_broken_dispatch_limit () =
     (Array.length expected > 0);
   let policy = Policy.Software { Policy.max_new_range = 0; region_pc = -1 } in
   let committed = ref [] in
-  let p =
-    Pipeline.create ~policy ~on_commit:(fun d -> committed := d :: !committed)
-      prog
-  in
+  let p = Pipeline.create ~policy prog in
+  Pipeline.on_commit_sink p (fun d -> committed := d :: !committed);
   let stuck =
     match Pipeline.run ~max_cycles:20_000 p with
     | _ -> false

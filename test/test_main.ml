@@ -20,5 +20,6 @@ let () =
       ("tools", Suite_tools.suite);
       ("properties", Suite_properties.suite);
       ("check", Suite_check.suite);
+      ("events", Suite_events.suite);
       ("golden", Suite_golden.suite);
     ]
