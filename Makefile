@@ -4,7 +4,7 @@ DOMAINS ?= 4
 BENCH   := _build/default/bench/main.exe
 FUZZ_N  ?= 500
 
-.PHONY: all build test lint campaign fuzz check-campaign trace
+.PHONY: all build test lint campaign fuzz check-campaign trace profile
 
 all: build lint
 
@@ -35,6 +35,20 @@ trace:
 	  --trace _build/$(TRACE_BENCH)-$(TRACE_MODE).jsonl | tail -1
 	dune exec bin/lint.exe -- --bench $(TRACE_BENCH) -m $(TRACE_MODE) \
 	  --trace _build/$(TRACE_BENCH)-$(TRACE_MODE).jsonl
+
+# Region-attribution profile of two benchmarks as one JSON document,
+# then validate its shape: the document must carry the per-pair region
+# tables, the streaming-metrics registries and the campaign-wide merge.
+profile:
+	dune build bin/profile.exe
+	dune exec bin/profile.exe -- --bench gzip,mcf --technique noop \
+	  --budget 20000 --json > _build/profile-metrics.json
+	@for key in '"pairs"' '"regions"' '"profile"' '"slack"' '"metrics"' \
+	  '"campaign_metrics"'; do \
+	  grep -q $$key _build/profile-metrics.json \
+	    || { echo "profile: missing $$key in metrics JSON" >&2; exit 1; }; \
+	done
+	@echo "profile: _build/profile-metrics.json validated"
 
 # Smoke-check the parallel campaign: every figure bench/main.exe derives
 # from the simulation table must be byte-identical on 1 domain and on

@@ -49,12 +49,14 @@ let tiny_runner () =
     ~benches:[ Sdiq_workloads.W_gzip.build ~outer:2_000 () ]
     ()
 
-(* The same small simulation under three bus configurations:
+(* The same small simulation under four bus configurations:
    [simulate-nosink] runs with an empty bus (the fast path the refactor
    must keep free), [simulate-sinks] folds the full event stream into a
-   per-kind counting sink, and [simulate-checked] audits every cycle
-   with the invariant checker. nosink/sinks is the bus delivery cost;
-   nosink/checked is the checker's slowdown factor. *)
+   per-kind counting sink, [simulate-profiled] attributes it to regions
+   through the lib/obs profiler, and [simulate-checked] audits every
+   cycle with the invariant checker. nosink/sinks is the bus delivery
+   cost; nosink/profiled is the attribution overhead; nosink/checked is
+   the checker's slowdown factor. *)
 let bench_simulation ~variant () =
   let bench = Sdiq_workloads.W_gzip.build ~outer:2_000 () in
   let p = Sdiq_cpu.Pipeline.create bench.Sdiq_workloads.Bench.prog in
@@ -63,6 +65,11 @@ let bench_simulation ~variant () =
   | `Sinks ->
     let c = Sdiq_events.Counts.create () in
     Sdiq_cpu.Pipeline.subscribe ~name:"counts" p (Sdiq_events.Counts.sink c)
+  | `Profiled ->
+    let map = Sdiq_obs.Region.build Sdiq_obs.Region.Plain
+        bench.Sdiq_workloads.Bench.prog
+    in
+    ignore (Sdiq_obs.Profiler.attach map p : Sdiq_obs.Profiler.t)
   | `Checked -> ignore (Sdiq_check.Checker.attach p : Sdiq_check.Checker.t));
   bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
   Sdiq_cpu.Pipeline.run ~max_insns:2_000 p
@@ -118,6 +125,8 @@ let micro_tests () =
         bench_simulation ~variant:`Nosink ());
     bench_experiment "simulate-sinks" (fun () ->
         bench_simulation ~variant:`Sinks ());
+    bench_experiment "simulate-profiled" (fun () ->
+        bench_simulation ~variant:`Profiled ());
     bench_experiment "simulate-checked" (fun () ->
         bench_simulation ~variant:`Checked ());
     (* one bench per table/figure: the full computation at a tiny scale *)

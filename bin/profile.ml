@@ -1,0 +1,179 @@
+(* sdiq-profile: region-level attribution tables over a (benchmark x
+   technique) grid, from dedicated profiled simulations.
+
+     dune exec bin/profile.exe -- --bench gzip --technique noop
+     dune exec bin/profile.exe -- --bench gzip,mcf --technique noop,improved \
+       --top 8 --slack
+     dune exec bin/profile.exe -- --json > metrics.json *)
+
+open Cmdliner
+module H = Sdiq_harness
+module Obs = Sdiq_obs
+
+let technique_of_string = function
+  | "baseline" -> Ok H.Technique.Baseline
+  | "noop" -> Ok H.Technique.Noop
+  | "extension" -> Ok H.Technique.Extension
+  | "improved" -> Ok H.Technique.Improved
+  | "abella" -> Ok H.Technique.Abella
+  | s -> Error ("unknown technique: " ^ s)
+
+let benches_arg =
+  let doc =
+    "Comma-separated benchmarks (default: every built-in benchmark). \
+     Available: " ^ String.concat ", " (Sdiq_workloads.Suite.names ()) ^ "."
+  in
+  Arg.(value & opt string "all" & info [ "b"; "bench" ] ~docv:"NAMES" ~doc)
+
+let techniques_arg =
+  let doc =
+    "Comma-separated techniques (baseline, noop, extension, improved, \
+     abella)."
+  in
+  Arg.(value & opt string "noop" & info [ "t"; "technique" ] ~docv:"TECHS" ~doc)
+
+let budget_arg =
+  let doc = "Committed-instruction budget per run." in
+  Arg.(value & opt int 100_000 & info [ "n"; "budget" ] ~docv:"N" ~doc)
+
+let domains_arg =
+  let doc = "Domains for the profiling pool (default: recommended count)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let top_arg =
+  let doc = "Show only the $(docv) highest-energy regions per pair." in
+  Arg.(value & opt (some int) None & info [ "top" ] ~docv:"N" ~doc)
+
+let slack_arg =
+  let doc =
+    "Also print the annotation-slack report: granted Iqset window vs the \
+     peak occupancy observed while the region was current; positive slack \
+     marks an over-provisioned annotation."
+  in
+  Arg.(value & flag & info [ "slack" ] ~doc)
+
+let json_arg =
+  let doc = "Emit one JSON document (pairs + campaign metrics) to stdout." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let csv_arg =
+  let doc = "Emit one CSV table (all pairs' regions) to stdout." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_benches s =
+  if s = "all" then Ok (Sdiq_workloads.Suite.all ())
+  else
+    let names = split_commas s in
+    let missing =
+      List.filter
+        (fun n -> Option.is_none (Sdiq_workloads.Suite.find n))
+        names
+    in
+    if missing <> [] then
+      Error
+        (Printf.sprintf "unknown benchmark%s: %s (available: %s)"
+           (if List.length missing = 1 then "" else "s")
+           (String.concat ", " missing)
+           (String.concat ", " (Sdiq_workloads.Suite.names ())))
+    else
+      Ok (List.filter_map Sdiq_workloads.Suite.find names)
+
+let parse_techniques s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+      match technique_of_string x with
+      | Ok t -> go (t :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] (split_commas s)
+
+let print_json budget pairs campaign =
+  let pair_docs =
+    List.map
+      (fun (bench, tech, prof) ->
+        Printf.sprintf
+          {|{"bench":"%s","technique":"%s","regions":%d,"profile":%s}|}
+          bench (H.Technique.name tech)
+          (Obs.Region.count (Obs.Profiler.map prof))
+          (Obs.Profiler.to_json prof))
+      pairs
+  in
+  print_string
+    (Printf.sprintf
+       {|{"budget":%d,"pairs":[%s],"campaign_metrics":%s}|}
+       budget
+       (String.concat "," pair_docs)
+       (Obs.Metrics.to_json campaign));
+  print_newline ()
+
+let print_csv pairs =
+  Fmt.pr "bench,technique,%s@." Obs.Profiler.csv_header;
+  List.iter
+    (fun (bench, tech, prof) ->
+      List.iter
+        (fun row -> Fmt.pr "%s,%s,%s@." bench (H.Technique.name tech) row)
+        (Obs.Profiler.csv_rows prof))
+    pairs
+
+let print_slack prof =
+  match Obs.Profiler.slack prof with
+  | [] -> Fmt.pr "  (no granted Iqset windows under this delivery)@."
+  | entries ->
+    Fmt.pr "  %-4s %-14s %-9s %7s %7s %5s %5s@." "id" "proc" "kind" "start"
+      "granted" "peak" "slack";
+    List.iter
+      (fun (e : Obs.Profiler.slack_entry) ->
+        let info = e.Obs.Profiler.entry_info in
+        Fmt.pr "  R%-3d %-14s %-9s %7d %7s %5d %5d%s@." info.Obs.Region.id
+          (if info.Obs.Region.proc = "" then "-" else info.Obs.Region.proc)
+          (Obs.Region.kind_name info.Obs.Region.kind)
+          info.Obs.Region.start
+          (match info.Obs.Region.granted with
+          | Some g -> string_of_int g
+          | None -> "-")
+          e.Obs.Profiler.peak e.Obs.Profiler.slack
+          (if e.Obs.Profiler.slack > 0 then "  over-provisioned" else ""))
+      entries
+
+let print_tables top slack pairs =
+  List.iter
+    (fun (bench, tech, prof) ->
+      Fmt.pr "@.%s / %s (%d regions):@." bench (H.Technique.name tech)
+        (Obs.Region.count (Obs.Profiler.map prof));
+      Fmt.pr "%a@." (Obs.Profiler.pp_table ?top) prof;
+      if slack then begin
+        Fmt.pr "annotation slack:@.";
+        print_slack prof
+      end)
+    pairs
+
+let run benches techniques budget domains top slack json csv =
+  match (parse_benches benches, parse_techniques techniques) with
+  | Error e, _ | _, Error e ->
+    Fmt.epr "%s@." e;
+    exit 1
+  | Ok benches, Ok techniques ->
+    if techniques = [] then begin
+      Fmt.epr "no techniques given@.";
+      exit 1
+    end;
+    let runner = H.Runner.create ~budget ~benches ?domains () in
+    let pairs, campaign = H.Runner.profile_all ~techniques runner in
+    if json then print_json budget pairs campaign
+    else if csv then print_csv pairs
+    else print_tables top slack pairs
+
+let cmd =
+  let doc = "region-level attribution profiles of simulated benchmarks" in
+  Cmd.v
+    (Cmd.info "sdiq-profile" ~doc)
+    Term.(
+      const run $ benches_arg $ techniques_arg $ budget_arg $ domains_arg
+      $ top_arg $ slack_arg $ json_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -111,6 +111,16 @@ let run budget only markdown =
     | None -> all_ids
     | Some s -> String.split_on_char ',' s |> List.map String.trim
   in
+  (* Validate before simulating anything: a typo'd id must fail loudly,
+     not silently produce a report missing the experiment asked for. *)
+  (match List.filter (fun id -> not (List.mem id all_ids)) ids with
+  | [] -> ()
+  | unknown ->
+    Fmt.epr "unknown experiment id%s: %s@.valid ids: %s@."
+      (if List.length unknown = 1 then "" else "s")
+      (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+      (String.concat ", " all_ids);
+    exit 1);
   let r = H.Runner.create ~budget () in
   List.iter
     (fun id ->
@@ -123,7 +133,12 @@ let run budget only markdown =
         | Some e ->
           if markdown then Fmt.pr "%a" pp_exp_markdown e
           else Fmt.pr "%a@." H.Experiments.pp_exp e
-        | None -> Fmt.epr "unknown experiment id %S (skipped)@." id)
+        | None ->
+          (* Unreachable after validation; keep a hard failure rather
+             than a silent skip should the id list and the dispatch
+             ever drift apart again. *)
+          Fmt.epr "experiment %S is listed but not implemented@." id;
+          exit 1)
     ids
 
 let cmd =

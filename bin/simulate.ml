@@ -55,6 +55,15 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Write a JSON metrics dump of a dedicated profiled run to $(docv): the \
+     region-attribution profile (per-region statistics, energies, \
+     annotation slack), the streaming metrics registry, and a host \
+     self-profile (per-stage wall clock and Gc deltas)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let domains_arg =
   let doc =
     "Domains for the runner's campaign pool (default: the hardware's \
@@ -88,7 +97,49 @@ let write_trace bench technique ~budget file =
   Fmt.pr "trace: %s (%d cycles, %d committed)@." file
     stats.Sdiq_cpu.Stats.cycles stats.Sdiq_cpu.Stats.committed
 
-let run bench_name technique budget verbose timeline trace domains check =
+(* A dedicated profiled run: the region-attribution profiler and the
+   host self-profiler ride the bus of one fresh simulation. *)
+let write_metrics bench technique ~budget file =
+  let map =
+    Sdiq_obs.Region.build
+      (Sdiq_harness.Technique.delivery technique)
+      bench.Sdiq_workloads.Bench.prog
+  in
+  let policy = Sdiq_harness.Technique.policy technique in
+  let p = Sdiq_cpu.Pipeline.create ~policy (Sdiq_obs.Region.running_prog map) in
+  let prof = Sdiq_obs.Profiler.attach map p in
+  let host = Sdiq_obs.Hostprof.attach p in
+  bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
+  let stats = Sdiq_cpu.Pipeline.run ~max_insns:budget p in
+  let oc = open_out file in
+  Printf.fprintf oc
+    {|{"bench":"%s","technique":"%s","budget":%d,"profile":%s,"hostprof":%s}|}
+    bench.Sdiq_workloads.Bench.name
+    (Sdiq_harness.Technique.name technique)
+    budget
+    (Sdiq_obs.Profiler.to_json prof)
+    (Sdiq_obs.Hostprof.to_json host);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "metrics: %s (%d regions over %d cycles)@." file
+    (Sdiq_obs.Region.count map) stats.Sdiq_cpu.Stats.cycles
+
+(* A dedicated counting run for the verbose event-mix table. *)
+let event_mix bench technique ~budget =
+  let prog =
+    Sdiq_harness.Technique.prepare technique bench.Sdiq_workloads.Bench.prog
+  in
+  let policy = Sdiq_harness.Technique.policy technique in
+  let p = Sdiq_cpu.Pipeline.create ~policy prog in
+  let counts = Sdiq_events.Counts.create () in
+  Sdiq_cpu.Pipeline.subscribe ~name:"event-counts" p
+    (Sdiq_events.Counts.sink counts);
+  bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
+  let (_ : Sdiq_cpu.Stats.t) = Sdiq_cpu.Pipeline.run ~max_insns:budget p in
+  counts
+
+let run bench_name technique budget verbose timeline trace metrics domains
+    check =
   match Sdiq_workloads.Suite.find bench_name with
   | None ->
     Fmt.epr "unknown benchmark %S; available: %s@." bench_name
@@ -134,7 +185,9 @@ let run bench_name technique budget verbose timeline trace domains check =
       Fmt.pr "@.IQ energy breakdown (technique view):@.%a" Sdiq_power.Breakdown.pp
         (Sdiq_power.Breakdown.iq stats);
       Fmt.pr "@.int RF energy breakdown:@.%a" Sdiq_power.Breakdown.pp
-        (Sdiq_power.Breakdown.int_rf stats)
+        (Sdiq_power.Breakdown.int_rf stats);
+      Fmt.pr "@.@.event mix:@.%a@." Sdiq_events.Counts.pp
+        (event_mix bench technique ~budget)
     end;
     if timeline then begin
       let t =
@@ -142,7 +195,8 @@ let run bench_name technique budget verbose timeline trace domains check =
       in
       print_string (Sdiq_harness.Timeline.to_csv t)
     end;
-    Option.iter (write_trace bench technique ~budget) trace
+    Option.iter (write_trace bench technique ~budget) trace;
+    Option.iter (write_metrics bench technique ~budget) metrics
 
 let cmd =
   let doc = "simulate one benchmark under one IQ-resizing technique" in
@@ -150,6 +204,6 @@ let cmd =
     (Cmd.info "sdiq-simulate" ~doc)
     Term.(
       const run $ bench_arg $ technique_arg $ budget_arg $ verbose_arg
-      $ timeline_arg $ trace_arg $ domains_arg $ check_arg)
+      $ timeline_arg $ trace_arg $ metrics_arg $ domains_arg $ check_arg)
 
 let () = exit (Cmd.eval cmd)

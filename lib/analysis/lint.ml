@@ -195,6 +195,8 @@ let reconstruct_map (original : Prog.t) (annotated : Prog.t) =
     annotated.Prog.code;
   if !k <> n then None else Some (new_of_orig, iqset_before)
 
+let noop_address_map ~original ~annotated = reconstruct_map original annotated
+
 let delivery ~(mode : Annotate.mode) ~(original : Prog.t)
     ~(annotated : Prog.t) (annotations : Procedure.annotation list) :
     Finding.t list =

@@ -46,6 +46,21 @@ val dead_writes :
 val check_program :
   ?summaries:(int, Summary.t) Hashtbl.t -> Sdiq_isa.Prog.t -> Finding.t list
 
+(** The NOOP-insertion address map, reconstructed from the emitted
+    binary itself (never by re-running the rewriter): in
+    [Some (new_of_orig, iqset_before)], [new_of_orig.(k)] is the
+    emitted address of the original instruction [k], and
+    [iqset_before.(k)] is [Some (emitted_addr, value)] when an [Iqset]
+    carrying [value] immediately precedes it. [None] when the
+    annotated binary does not contain the original instruction
+    sequence. Shared by the delivery lints and the region-attribution
+    profiler ({!Sdiq_obs.Region}), so both audit and attribution work
+    in the address space the machine actually executes. *)
+val noop_address_map :
+  original:Sdiq_isa.Prog.t ->
+  annotated:Sdiq_isa.Prog.t ->
+  (int array * (int * int) option array) option
+
 (** Audit an annotated binary against the annotation list that produced
     it. [original] is the pre-delivery program. *)
 val delivery :

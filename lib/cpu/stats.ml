@@ -165,6 +165,52 @@ let absorb t (ev : Sdiq_events.Event.t) =
     t.int_rf_live_sum <- t.int_rf_live_sum + int_rf_live;
     t.fp_rf_banks_on_sum <- t.fp_rf_banks_on_sum + fp_rf_banks_on
 
+(* Field-wise accumulation: [add a b] folds [b]'s counters into [a].
+   Every field is a plain sum, including [cycles] — so summing disjoint
+   per-region statistics (where each region's [cycles] counts the
+   cycles attributed to it) reproduces a run's global statistics
+   exactly. *)
+let add a b =
+  a.cycles <- a.cycles + b.cycles;
+  a.committed <- a.committed + b.committed;
+  a.dispatched <- a.dispatched + b.dispatched;
+  a.iqset_dispatch_slots <- a.iqset_dispatch_slots + b.iqset_dispatch_slots;
+  a.iq_occupancy_sum <- a.iq_occupancy_sum + b.iq_occupancy_sum;
+  a.iq_banks_on_sum <- a.iq_banks_on_sum + b.iq_banks_on_sum;
+  a.iq_wakeups_gated <- a.iq_wakeups_gated + b.iq_wakeups_gated;
+  a.iq_wakeups_nonempty <- a.iq_wakeups_nonempty + b.iq_wakeups_nonempty;
+  a.iq_wakeups_naive <- a.iq_wakeups_naive + b.iq_wakeups_naive;
+  a.iq_dispatch_ram_writes <-
+    a.iq_dispatch_ram_writes + b.iq_dispatch_ram_writes;
+  a.iq_dispatch_cam_writes <-
+    a.iq_dispatch_cam_writes + b.iq_dispatch_cam_writes;
+  a.iq_issue_reads <- a.iq_issue_reads + b.iq_issue_reads;
+  a.iq_broadcasts <- a.iq_broadcasts + b.iq_broadcasts;
+  a.iq_selects <- a.iq_selects + b.iq_selects;
+  a.int_rf_reads <- a.int_rf_reads + b.int_rf_reads;
+  a.int_rf_writes <- a.int_rf_writes + b.int_rf_writes;
+  a.int_rf_banks_on_sum <- a.int_rf_banks_on_sum + b.int_rf_banks_on_sum;
+  a.int_rf_live_sum <- a.int_rf_live_sum + b.int_rf_live_sum;
+  a.fp_rf_reads <- a.fp_rf_reads + b.fp_rf_reads;
+  a.fp_rf_writes <- a.fp_rf_writes + b.fp_rf_writes;
+  a.fp_rf_banks_on_sum <- a.fp_rf_banks_on_sum + b.fp_rf_banks_on_sum;
+  a.fetched <- a.fetched + b.fetched;
+  a.branches <- a.branches + b.branches;
+  a.mispredicts <- a.mispredicts + b.mispredicts;
+  a.btb_bubbles <- a.btb_bubbles + b.btb_bubbles;
+  a.il1_misses <- a.il1_misses + b.il1_misses;
+  a.dl1_misses <- a.dl1_misses + b.dl1_misses;
+  a.l2_misses <- a.l2_misses + b.l2_misses;
+  a.loads <- a.loads + b.loads;
+  a.stores <- a.stores + b.stores;
+  a.store_forwards <- a.store_forwards + b.store_forwards;
+  a.dispatch_stall_policy <- a.dispatch_stall_policy + b.dispatch_stall_policy;
+  a.dispatch_stall_iq_full <-
+    a.dispatch_stall_iq_full + b.dispatch_stall_iq_full;
+  a.dispatch_stall_rob_full <-
+    a.dispatch_stall_rob_full + b.dispatch_stall_rob_full;
+  a.dispatch_stall_no_reg <- a.dispatch_stall_no_reg + b.dispatch_stall_no_reg
+
 (* Every field with its name, for field-by-field divergence reports. *)
 let to_fields t =
   [

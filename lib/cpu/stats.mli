@@ -47,6 +47,12 @@ val create : unit -> t
     alone (see DESIGN.md §11). *)
 val absorb : t -> Sdiq_events.Event.t -> unit
 
+(** [add a b] accumulates [b] into [a], field by field. Every field —
+    including [cycles] — is a plain sum, so summing disjoint partial
+    statistics (per-region attributions, per-shard folds) reproduces
+    the global statistics exactly. *)
+val add : t -> t -> unit
+
 (** Every field with its name, for field-by-field divergence reports. *)
 val to_fields : t -> (string * int) list
 

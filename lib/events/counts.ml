@@ -16,4 +16,27 @@ let to_string (c : t) =
     (List.init Event.num_kinds (fun i ->
          Printf.sprintf "%s=%d" (Event.kind_name_of_index i) c.(i)))
 
-let pp ppf c = Fmt.string ppf (to_string c)
+(* Every kind with its count and share of the total, in the stable
+   [Event.index] order (the same order [to_string] uses). *)
+let to_assoc (c : t) =
+  let tot = total c in
+  List.init Event.num_kinds (fun i ->
+      let pct =
+        if tot = 0 then 0. else 100. *. float_of_int c.(i) /. float_of_int tot
+      in
+      (Event.kind_name_of_index i, c.(i), pct))
+
+(* Human-readable event mix: one kind per line, zero-count kinds
+   elided, each with its percentage of the total event count. *)
+let pp ppf c =
+  let printed = ref false in
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (name, count, pct) ->
+      if count > 0 then begin
+        if !printed then Fmt.cut ppf ();
+        printed := true;
+        Fmt.pf ppf "%-16s %9d  %5.1f%%" name count pct
+      end)
+    (to_assoc c);
+  Fmt.pf ppf "@]"

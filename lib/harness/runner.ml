@@ -28,6 +28,9 @@ type t = {
   config : Sdiq_cpu.Config.t;
   budget : int; (* committed instructions per run *)
   table : (key, Sdiq_cpu.Stats.t) Hashtbl.t;
+  profiles : (key, Sdiq_obs.Profiler.t) Hashtbl.t;
+      (* separate memo: profiled runs are dedicated simulations, so the
+         conservation tests compare two independent executions *)
   benches : Bench.t list;
   pool : Sdiq_util.Pool.t;
   checker : (unit -> Sdiq_cpu.Pipeline.t -> unit) option;
@@ -42,6 +45,7 @@ let create ?(config = Sdiq_cpu.Config.default) ?(budget = 100_000)
     config;
     budget;
     table = Hashtbl.create 64;
+    profiles = Hashtbl.create 64;
     benches;
     pool = Sdiq_util.Pool.create ?domains ();
     checker;
@@ -122,6 +126,68 @@ let run_all t =
         wall_s;
         serial_estimate_s;
       }
+
+(* One cold profiled simulation: build the region map for the
+   technique's delivery, load the map's own running binary (identical
+   to [Technique.prepare]'s — both invoke the same deterministic
+   rewriter) and attribute the full event stream. Pure given
+   [t.config], like [simulate_pair]. *)
+let profile_pair t name technique : Sdiq_obs.Profiler.t =
+  let bench = find_bench t name in
+  let map =
+    Sdiq_obs.Region.build (Technique.delivery technique) bench.Bench.prog
+  in
+  let policy = Technique.policy technique in
+  let p =
+    Sdiq_cpu.Pipeline.create ~config:t.config ~policy
+      (Sdiq_obs.Region.running_prog map)
+  in
+  let prof = Sdiq_obs.Profiler.attach map p in
+  bench.Bench.init p.Sdiq_cpu.Pipeline.exec;
+  let (_ : Sdiq_cpu.Stats.t) = Sdiq_cpu.Pipeline.run ~max_insns:t.budget p in
+  prof
+
+let profile t name technique : Sdiq_obs.Profiler.t =
+  let key = (name, technique) in
+  match Hashtbl.find_opt t.profiles key with
+  | Some prof -> prof
+  | None ->
+    let prof = profile_pair t name technique in
+    Hashtbl.replace t.profiles key prof;
+    prof
+
+let profile_all ?(techniques = Technique.all) t =
+  let grid =
+    List.concat_map
+      (fun name -> List.map (fun tech -> (name, tech)) techniques)
+      (bench_names t)
+  in
+  let todo =
+    Array.of_list (List.filter (fun k -> not (Hashtbl.mem t.profiles k)) grid)
+  in
+  (* Same discipline as [run_all]: workers fill disjoint slots, the memo
+     is populated in key order after the join, and the campaign merge
+     walks the grid in its declared order — so the merged metrics are
+     byte-identical whatever the domain count. *)
+  let results =
+    Sdiq_util.Pool.map_array t.pool
+      ~f:(fun (name, tech) -> profile_pair t name tech)
+      todo
+  in
+  Array.iteri (fun i prof -> Hashtbl.replace t.profiles todo.(i) prof) results;
+  let pairs =
+    List.map
+      (fun (name, tech) -> (name, tech, Hashtbl.find t.profiles (name, tech)))
+      grid
+  in
+  let campaign =
+    List.fold_left
+      (fun acc (_, _, prof) ->
+        Sdiq_obs.Metrics.merge acc (Sdiq_obs.Profiler.metrics prof))
+      (Sdiq_obs.Metrics.create ())
+      pairs
+  in
+  (pairs, campaign)
 
 let campaign_stats t = t.last_campaign
 

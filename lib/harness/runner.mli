@@ -52,6 +52,21 @@ val run : t -> string -> Technique.t -> Sdiq_cpu.Stats.t
     the runner's domain pool. Already-memoised pairs are not re-run. *)
 val run_all : t -> unit
 
+(** Region-attribution profile of one pair, memoised separately from
+    {!run}'s table: a profiled pair is a {e dedicated} simulation with
+    a ["region-profiler"] sink attached, never a warm cache hit — so
+    conservation tests compare two independent executions. *)
+val profile : t -> string -> Technique.t -> Sdiq_obs.Profiler.t
+
+(** Profile the (benchmark x [techniques]) grid (default: all five) in
+    parallel across the runner's pool. Returns every pair in grid
+    order plus the campaign-wide merge of their metric registries;
+    both are byte-identical whatever the domain count. *)
+val profile_all :
+  ?techniques:Technique.t list ->
+  t ->
+  (string * Technique.t * Sdiq_obs.Profiler.t) list * Sdiq_obs.Metrics.t
+
 val campaign_stats : t -> campaign option
 (** Stats of the most recent {!run_all} ([None] before the first). *)
 

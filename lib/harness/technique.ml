@@ -38,3 +38,11 @@ let policy t : Sdiq_cpu.Policy.t =
   | Baseline -> Sdiq_cpu.Policy.unlimited
   | Noop | Extension | Improved -> Sdiq_cpu.Policy.software ()
   | Abella -> Sdiq_cpu.Policy.abella ()
+
+(* The region-map delivery whose running binary matches [prepare]. *)
+let delivery t : Sdiq_obs.Region.delivery =
+  match t with
+  | Baseline | Abella -> Sdiq_obs.Region.Plain
+  | Noop -> Sdiq_obs.Region.Noop
+  | Extension -> Sdiq_obs.Region.Tagged { improved = false }
+  | Improved -> Sdiq_obs.Region.Tagged { improved = true }

@@ -15,3 +15,9 @@ val prepare : t -> Sdiq_isa.Prog.t -> Sdiq_isa.Prog.t
 
 (** A fresh policy instance for one run. *)
 val policy : t -> Sdiq_cpu.Policy.t
+
+(** The region-map delivery mode whose running binary is exactly what
+    {!prepare} builds ([Baseline] and [Abella] map to [Plain]: the
+    binary is unmodified but the analysis regions still decompose it
+    for attribution). *)
+val delivery : t -> Sdiq_obs.Region.delivery

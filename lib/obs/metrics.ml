@@ -1,0 +1,184 @@
+(* Named counters, gauges, histograms and time series.
+
+   Hashtbl-backed for O(1) hot-path updates; every listing sorts by
+   name so rendering is canonical whatever the insertion or hashing
+   order. Merge rules (sum / max / cell-wise) are all associative and
+   commutative — the sharded-campaign determinism the test suite pins
+   depends on exactly that. *)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+  series : (string, Series.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+    series = Hashtbl.create 8;
+  }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let hist t name kind =
+  match Hashtbl.find_opt t.hists name with
+  | Some h ->
+    if Hist.kind h <> kind then
+      invalid_arg ("Metrics.hist: shape mismatch for " ^ name);
+    h
+  | None ->
+    let h = Hist.create kind in
+    Hashtbl.replace t.hists name h;
+    h
+
+let find_hist t name = Hashtbl.find_opt t.hists name
+
+let series t name ~window =
+  match Hashtbl.find_opt t.series name with
+  | Some s ->
+    if Series.window s <> window then
+      invalid_arg ("Metrics.series: window mismatch for " ^ name);
+    s
+  | None ->
+    let s = Series.create ~window in
+    Hashtbl.replace t.series name s;
+    s
+
+let find_series t name = Hashtbl.find_opt t.series name
+
+let sorted_assoc table value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_assoc t.counters ( ! )
+let gauges t = sorted_assoc t.gauges ( ! )
+let hists t = sorted_assoc t.hists Fun.id
+let all_series t = sorted_assoc t.series Fun.id
+
+let merge a b =
+  let m = create () in
+  List.iter (fun (k, v) -> incr ~by:v m k) (counters a);
+  List.iter (fun (k, v) -> incr ~by:v m k) (counters b);
+  List.iter (fun (k, v) -> set_gauge m k v) (gauges a);
+  List.iter
+    (fun (k, v) ->
+      match gauge m k with
+      | Some w -> set_gauge m k (Float.max v w)
+      | None -> set_gauge m k v)
+    (gauges b);
+  List.iter (fun (k, h) -> Hashtbl.replace m.hists k (Hist.merge h (Hist.create (Hist.kind h)))) (hists a);
+  List.iter
+    (fun (k, h) ->
+      match find_hist m k with
+      | Some g -> Hashtbl.replace m.hists k (Hist.merge g h)
+      | None -> Hashtbl.replace m.hists k (Hist.merge h (Hist.create (Hist.kind h))))
+    (hists b);
+  List.iter
+    (fun (k, s) -> Hashtbl.replace m.series k (Series.merge s (Series.create ~window:(Series.window s))))
+    (all_series a);
+  List.iter
+    (fun (k, s) ->
+      match find_series m k with
+      | Some r -> Hashtbl.replace m.series k (Series.merge r s)
+      | None ->
+        Hashtbl.replace m.series k
+          (Series.merge s (Series.create ~window:(Series.window s))))
+    (all_series b);
+  m
+
+let equal a b =
+  counters a = counters b
+  && gauges a = gauges b
+  && (let ha = hists a and hb = hists b in
+      List.length ha = List.length hb
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> ka = kb && Hist.equal va vb)
+           ha hb)
+  &&
+  let sa = all_series a and sb = all_series b in
+  List.length sa = List.length sb
+  && List.for_all2
+       (fun (ka, va) (kb, vb) -> ka = kb && Series.equal va vb)
+       sa sb
+
+(* %.17g round-trips every float exactly, keeping the rendering
+   injective (and hence byte-comparable) on gauge values. *)
+let float_str v = Printf.sprintf "%.17g" v
+
+let to_string t =
+  String.concat "\n"
+    (List.concat
+       [
+         List.map (fun (k, v) -> Printf.sprintf "counter %s %d" k v) (counters t);
+         List.map
+           (fun (k, v) -> Printf.sprintf "gauge %s %s" k (float_str v))
+           (gauges t);
+         List.map
+           (fun (k, h) -> Printf.sprintf "hist %s %s" k (Hist.to_string h))
+           (hists t);
+         List.map
+           (fun (k, s) -> Printf.sprintf "series %s %s" k (Series.to_string s))
+           (all_series t);
+       ])
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let obj fields =
+  "{" ^ String.concat "," fields ^ "}"
+
+let to_json t =
+  obj
+    [
+      Printf.sprintf {|"counters":%s|}
+        (obj
+           (List.map
+              (fun (k, v) -> Printf.sprintf {|"%s":%d|} (json_escape k) v)
+              (counters t)));
+      Printf.sprintf {|"gauges":%s|}
+        (obj
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf {|"%s":%s|} (json_escape k) (float_str v))
+              (gauges t)));
+      Printf.sprintf {|"hists":%s|}
+        (obj
+           (List.map
+              (fun (k, h) ->
+                Printf.sprintf {|"%s":%s|} (json_escape k) (Hist.to_json h))
+              (hists t)));
+      Printf.sprintf {|"series":%s|}
+        (obj
+           (List.map
+              (fun (k, s) ->
+                Printf.sprintf {|"%s":%s|} (json_escape k) (Series.to_json s))
+              (all_series t)));
+    ]
+
+let pp ppf t = Fmt.string ppf (to_string t)

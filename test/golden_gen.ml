@@ -20,9 +20,16 @@ let () =
       List.iter
         (fun tech ->
           let s = Sdiq_harness.Runner.run runner name tech in
+          let bench = Sdiq_harness.Runner.find_bench runner name in
+          let regions =
+            Sdiq_obs.Region.count
+              (Sdiq_obs.Region.build
+                 (Sdiq_harness.Technique.delivery tech)
+                 bench.Sdiq_workloads.Bench.prog)
+          in
           Printf.printf
             "    (%S, Technique.%s, { cycles = %d; committed = %d; \
-             iq_banks_on_sum = %d; iq_wakeups_gated = %d });\n"
+             iq_banks_on_sum = %d; iq_wakeups_gated = %d; regions = %d });\n"
             name
             (match tech with
             | Sdiq_harness.Technique.Baseline -> "Baseline"
@@ -31,7 +38,8 @@ let () =
             | Sdiq_harness.Technique.Improved -> "Improved"
             | Sdiq_harness.Technique.Abella -> "Abella")
             s.Sdiq_cpu.Stats.cycles s.Sdiq_cpu.Stats.committed
-            s.Sdiq_cpu.Stats.iq_banks_on_sum s.Sdiq_cpu.Stats.iq_wakeups_gated)
+            s.Sdiq_cpu.Stats.iq_banks_on_sum s.Sdiq_cpu.Stats.iq_wakeups_gated
+            regions)
         Sdiq_harness.Technique.all)
     (Sdiq_harness.Runner.bench_names runner);
   print_endline "  ]"

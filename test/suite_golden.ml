@@ -16,65 +16,68 @@ type expect = {
   committed : int;
   iq_banks_on_sum : int;
   iq_wakeups_gated : int;
+  regions : int;
+      (* static region-map size for the pair's delivery — pins the
+         attribution decomposition the profiler runs against *)
 }
 
 let golden =
   [
-    ("gzip", Technique.Baseline, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4500; iq_wakeups_gated = 23712 });
-    ("gzip", Technique.Noop, { cycles = 1903; committed = 2000; iq_banks_on_sum = 4596; iq_wakeups_gated = 22348 });
-    ("gzip", Technique.Extension, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4427; iq_wakeups_gated = 22772 });
-    ("gzip", Technique.Improved, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4427; iq_wakeups_gated = 22772 });
-    ("gzip", Technique.Abella, { cycles = 1839; committed = 2000; iq_banks_on_sum = 4569; iq_wakeups_gated = 23309 });
-    ("vpr", Technique.Baseline, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601 });
-    ("vpr", Technique.Noop, { cycles = 4041; committed = 2001; iq_banks_on_sum = 7216; iq_wakeups_gated = 26498 });
-    ("vpr", Technique.Extension, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601 });
-    ("vpr", Technique.Improved, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601 });
-    ("vpr", Technique.Abella, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7032; iq_wakeups_gated = 21601 });
-    ("gcc", Technique.Baseline, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704 });
-    ("gcc", Technique.Noop, { cycles = 2015; committed = 2003; iq_banks_on_sum = 2272; iq_wakeups_gated = 10166 });
-    ("gcc", Technique.Extension, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704 });
-    ("gcc", Technique.Improved, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704 });
-    ("gcc", Technique.Abella, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704 });
-    ("mcf", Technique.Baseline, { cycles = 11509; committed = 2000; iq_banks_on_sum = 114242; iq_wakeups_gated = 93947 });
-    ("mcf", Technique.Noop, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34007; iq_wakeups_gated = 16959 });
-    ("mcf", Technique.Extension, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34017; iq_wakeups_gated = 16975 });
-    ("mcf", Technique.Improved, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34017; iq_wakeups_gated = 16975 });
-    ("mcf", Technique.Abella, { cycles = 11509; committed = 2000; iq_banks_on_sum = 114151; iq_wakeups_gated = 91423 });
-    ("crafty", Technique.Baseline, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134 });
-    ("crafty", Technique.Noop, { cycles = 594; committed = 2002; iq_banks_on_sum = 2157; iq_wakeups_gated = 61806 });
-    ("crafty", Technique.Extension, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134 });
-    ("crafty", Technique.Improved, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134 });
-    ("crafty", Technique.Abella, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134 });
-    ("parser", Technique.Baseline, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443 });
-    ("parser", Technique.Noop, { cycles = 1368; committed = 2001; iq_banks_on_sum = 2455; iq_wakeups_gated = 15713 });
-    ("parser", Technique.Extension, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443 });
-    ("parser", Technique.Improved, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443 });
-    ("parser", Technique.Abella, { cycles = 1404; committed = 2001; iq_banks_on_sum = 2463; iq_wakeups_gated = 14447 });
-    ("perlbmk", Technique.Baseline, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197 });
-    ("perlbmk", Technique.Noop, { cycles = 2306; committed = 2004; iq_banks_on_sum = 2548; iq_wakeups_gated = 4514 });
-    ("perlbmk", Technique.Extension, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197 });
-    ("perlbmk", Technique.Improved, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197 });
-    ("perlbmk", Technique.Abella, { cycles = 2187; committed = 2005; iq_banks_on_sum = 2532; iq_wakeups_gated = 5278 });
-    ("gap", Technique.Baseline, { cycles = 1280; committed = 2006; iq_banks_on_sum = 8297; iq_wakeups_gated = 76137 });
-    ("gap", Technique.Noop, { cycles = 1337; committed = 2006; iq_banks_on_sum = 8136; iq_wakeups_gated = 73479 });
-    ("gap", Technique.Extension, { cycles = 1325; committed = 2006; iq_banks_on_sum = 8201; iq_wakeups_gated = 74403 });
-    ("gap", Technique.Improved, { cycles = 1325; committed = 2006; iq_banks_on_sum = 8201; iq_wakeups_gated = 74403 });
-    ("gap", Technique.Abella, { cycles = 1284; committed = 2006; iq_banks_on_sum = 8199; iq_wakeups_gated = 75986 });
-    ("vortex", Technique.Baseline, { cycles = 2469; committed = 2000; iq_banks_on_sum = 10755; iq_wakeups_gated = 49813 });
-    ("vortex", Technique.Noop, { cycles = 2550; committed = 2000; iq_banks_on_sum = 10260; iq_wakeups_gated = 44412 });
-    ("vortex", Technique.Extension, { cycles = 2479; committed = 2000; iq_banks_on_sum = 10389; iq_wakeups_gated = 45053 });
-    ("vortex", Technique.Improved, { cycles = 2479; committed = 2000; iq_banks_on_sum = 10389; iq_wakeups_gated = 45053 });
-    ("vortex", Technique.Abella, { cycles = 2474; committed = 2000; iq_banks_on_sum = 10461; iq_wakeups_gated = 47669 });
-    ("bzip2", Technique.Baseline, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355 });
-    ("bzip2", Technique.Noop, { cycles = 1546; committed = 2003; iq_banks_on_sum = 5298; iq_wakeups_gated = 20115 });
-    ("bzip2", Technique.Extension, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355 });
-    ("bzip2", Technique.Improved, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355 });
-    ("bzip2", Technique.Abella, { cycles = 1539; committed = 2002; iq_banks_on_sum = 5257; iq_wakeups_gated = 18400 });
-    ("twolf", Technique.Baseline, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7125; iq_wakeups_gated = 20999 });
-    ("twolf", Technique.Noop, { cycles = 3931; committed = 2000; iq_banks_on_sum = 7087; iq_wakeups_gated = 20731 });
-    ("twolf", Technique.Extension, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7124; iq_wakeups_gated = 20986 });
-    ("twolf", Technique.Improved, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7124; iq_wakeups_gated = 20986 });
-    ("twolf", Technique.Abella, { cycles = 3959; committed = 2000; iq_banks_on_sum = 7095; iq_wakeups_gated = 20995 });
+    ("gzip", Technique.Baseline, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4500; iq_wakeups_gated = 23712; regions = 6 });
+    ("gzip", Technique.Noop, { cycles = 1903; committed = 2000; iq_banks_on_sum = 4596; iq_wakeups_gated = 22348; regions = 6 });
+    ("gzip", Technique.Extension, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4427; iq_wakeups_gated = 22772; regions = 6 });
+    ("gzip", Technique.Improved, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4427; iq_wakeups_gated = 22772; regions = 6 });
+    ("gzip", Technique.Abella, { cycles = 1839; committed = 2000; iq_banks_on_sum = 4569; iq_wakeups_gated = 23309; regions = 6 });
+    ("vpr", Technique.Baseline, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601; regions = 4 });
+    ("vpr", Technique.Noop, { cycles = 4041; committed = 2001; iq_banks_on_sum = 7216; iq_wakeups_gated = 26498; regions = 4 });
+    ("vpr", Technique.Extension, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601; regions = 4 });
+    ("vpr", Technique.Improved, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601; regions = 4 });
+    ("vpr", Technique.Abella, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7032; iq_wakeups_gated = 21601; regions = 4 });
+    ("gcc", Technique.Baseline, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704; regions = 8 });
+    ("gcc", Technique.Noop, { cycles = 2015; committed = 2003; iq_banks_on_sum = 2272; iq_wakeups_gated = 10166; regions = 8 });
+    ("gcc", Technique.Extension, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704; regions = 8 });
+    ("gcc", Technique.Improved, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704; regions = 8 });
+    ("gcc", Technique.Abella, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704; regions = 8 });
+    ("mcf", Technique.Baseline, { cycles = 11509; committed = 2000; iq_banks_on_sum = 114242; iq_wakeups_gated = 93947; regions = 4 });
+    ("mcf", Technique.Noop, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34007; iq_wakeups_gated = 16959; regions = 4 });
+    ("mcf", Technique.Extension, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34017; iq_wakeups_gated = 16975; regions = 4 });
+    ("mcf", Technique.Improved, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34017; iq_wakeups_gated = 16975; regions = 4 });
+    ("mcf", Technique.Abella, { cycles = 11509; committed = 2000; iq_banks_on_sum = 114151; iq_wakeups_gated = 91423; regions = 4 });
+    ("crafty", Technique.Baseline, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134; regions = 4 });
+    ("crafty", Technique.Noop, { cycles = 594; committed = 2002; iq_banks_on_sum = 2157; iq_wakeups_gated = 61806; regions = 4 });
+    ("crafty", Technique.Extension, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134; regions = 4 });
+    ("crafty", Technique.Improved, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134; regions = 4 });
+    ("crafty", Technique.Abella, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134; regions = 4 });
+    ("parser", Technique.Baseline, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443; regions = 6 });
+    ("parser", Technique.Noop, { cycles = 1368; committed = 2001; iq_banks_on_sum = 2455; iq_wakeups_gated = 15713; regions = 6 });
+    ("parser", Technique.Extension, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443; regions = 6 });
+    ("parser", Technique.Improved, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443; regions = 6 });
+    ("parser", Technique.Abella, { cycles = 1404; committed = 2001; iq_banks_on_sum = 2463; iq_wakeups_gated = 14447; regions = 6 });
+    ("perlbmk", Technique.Baseline, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197; regions = 20 });
+    ("perlbmk", Technique.Noop, { cycles = 2306; committed = 2004; iq_banks_on_sum = 2548; iq_wakeups_gated = 4514; regions = 20 });
+    ("perlbmk", Technique.Extension, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197; regions = 20 });
+    ("perlbmk", Technique.Improved, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197; regions = 20 });
+    ("perlbmk", Technique.Abella, { cycles = 2187; committed = 2005; iq_banks_on_sum = 2532; iq_wakeups_gated = 5278; regions = 20 });
+    ("gap", Technique.Baseline, { cycles = 1280; committed = 2006; iq_banks_on_sum = 8297; iq_wakeups_gated = 76137; regions = 6 });
+    ("gap", Technique.Noop, { cycles = 1337; committed = 2006; iq_banks_on_sum = 8136; iq_wakeups_gated = 73479; regions = 6 });
+    ("gap", Technique.Extension, { cycles = 1325; committed = 2006; iq_banks_on_sum = 8201; iq_wakeups_gated = 74403; regions = 6 });
+    ("gap", Technique.Improved, { cycles = 1325; committed = 2006; iq_banks_on_sum = 8201; iq_wakeups_gated = 74403; regions = 6 });
+    ("gap", Technique.Abella, { cycles = 1284; committed = 2006; iq_banks_on_sum = 8199; iq_wakeups_gated = 75986; regions = 6 });
+    ("vortex", Technique.Baseline, { cycles = 2469; committed = 2000; iq_banks_on_sum = 10755; iq_wakeups_gated = 49813; regions = 15 });
+    ("vortex", Technique.Noop, { cycles = 2550; committed = 2000; iq_banks_on_sum = 10260; iq_wakeups_gated = 44412; regions = 15 });
+    ("vortex", Technique.Extension, { cycles = 2479; committed = 2000; iq_banks_on_sum = 10389; iq_wakeups_gated = 45053; regions = 15 });
+    ("vortex", Technique.Improved, { cycles = 2479; committed = 2000; iq_banks_on_sum = 10389; iq_wakeups_gated = 45053; regions = 15 });
+    ("vortex", Technique.Abella, { cycles = 2474; committed = 2000; iq_banks_on_sum = 10461; iq_wakeups_gated = 47669; regions = 15 });
+    ("bzip2", Technique.Baseline, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355; regions = 8 });
+    ("bzip2", Technique.Noop, { cycles = 1546; committed = 2003; iq_banks_on_sum = 5298; iq_wakeups_gated = 20115; regions = 8 });
+    ("bzip2", Technique.Extension, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355; regions = 8 });
+    ("bzip2", Technique.Improved, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355; regions = 8 });
+    ("bzip2", Technique.Abella, { cycles = 1539; committed = 2002; iq_banks_on_sum = 5257; iq_wakeups_gated = 18400; regions = 8 });
+    ("twolf", Technique.Baseline, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7125; iq_wakeups_gated = 20999; regions = 4 });
+    ("twolf", Technique.Noop, { cycles = 3931; committed = 2000; iq_banks_on_sum = 7087; iq_wakeups_gated = 20731; regions = 4 });
+    ("twolf", Technique.Extension, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7124; iq_wakeups_gated = 20986; regions = 4 });
+    ("twolf", Technique.Improved, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7124; iq_wakeups_gated = 20986; regions = 4 });
+    ("twolf", Technique.Abella, { cycles = 3959; committed = 2000; iq_banks_on_sum = 7095; iq_wakeups_gated = 20995; regions = 4 });
   ]
 
 let budget = 2_000
@@ -98,7 +101,12 @@ let test_golden () =
         e.iq_banks_on_sum s.Sdiq_cpu.Stats.iq_banks_on_sum;
       Alcotest.(check int)
         (where "iq_wakeups_gated")
-        e.iq_wakeups_gated s.Sdiq_cpu.Stats.iq_wakeups_gated)
+        e.iq_wakeups_gated s.Sdiq_cpu.Stats.iq_wakeups_gated;
+      let bench = Sdiq_harness.Runner.find_bench runner name in
+      Alcotest.(check int) (where "regions") e.regions
+        (Sdiq_obs.Region.count
+           (Sdiq_obs.Region.build (Technique.delivery tech)
+              bench.Sdiq_workloads.Bench.prog)))
     golden
 
 let test_covers_full_grid () =

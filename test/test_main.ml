@@ -21,5 +21,6 @@ let () =
       ("properties", Suite_properties.suite);
       ("check", Suite_check.suite);
       ("events", Suite_events.suite);
+      ("obs", Suite_obs.suite);
       ("golden", Suite_golden.suite);
     ]
