@@ -56,11 +56,16 @@ profile:
 # campaign timing line and table2's measured compile times legitimately
 # vary between any two runs, parallel or not.
 campaign:
-	dune build bench/main.exe
+	dune build bench/main.exe bin/report.exe
 	@$(BENCH) --quick --domains 1 | sed -n '/^== fig/,$$p' > _build/campaign-1.out
 	@$(BENCH) --quick --domains $(DOMAINS) | sed -n '/^== fig/,$$p' > _build/campaign-n.out
 	@diff _build/campaign-1.out _build/campaign-n.out \
 	  && echo "campaign: figures identical on 1 vs $(DOMAINS) domains"
+	@# Sampled campaign: the scaled suite under SMARTS sampling; report.exe
+	@# exits non-zero unless every (benchmark x technique) pair covers at
+	@# least ten million instructions over at least 30 measured windows.
+	@dune exec bin/report.exe -- --sample > _build/campaign-sampled.out
+	@tail -1 _build/campaign-sampled.out
 
 # Differential fuzzing: FUZZ_N random programs through the oracle and
 # the pipeline under every technique, invariant checker installed.

@@ -56,7 +56,11 @@ let tiny_runner () =
    through the lib/obs profiler, and [simulate-checked] audits every
    cycle with the invariant checker. nosink/sinks is the bus delivery
    cost; nosink/profiled is the attribution overhead; nosink/checked is
-   the checker's slowdown factor. *)
+   the checker's slowdown factor. [simulate-fast] is the same workload
+   whole-program under SMARTS sampling — note it covers the entire
+   program (~47 instructions per outer iteration) where the detailed
+   variants stop after 2000 committed instructions, so the sampled
+   speedup is (per-run time ratio) x (instruction-coverage ratio). *)
 let bench_simulation ~variant () =
   let bench = Sdiq_workloads.W_gzip.build ~outer:2_000 () in
   let p = Sdiq_cpu.Pipeline.create bench.Sdiq_workloads.Bench.prog in
@@ -73,6 +77,14 @@ let bench_simulation ~variant () =
   | `Checked -> ignore (Sdiq_check.Checker.attach p : Sdiq_check.Checker.t));
   bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
   Sdiq_cpu.Pipeline.run ~max_insns:2_000 p
+
+let bench_simulation_fast () =
+  let bench = Sdiq_workloads.W_gzip.build ~outer:2_000 () in
+  let p = Sdiq_cpu.Pipeline.create bench.Sdiq_workloads.Bench.prog in
+  bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
+  H.Sampling.sample
+    ~config:{ H.Sampling.ff_len = 2_000; warmup_len = 300; window_len = 300 }
+    p
 
 let bench_experiment name f =
   Test.make ~name (Staged.stage (fun () -> Sys.opaque_identity (f ())))
@@ -129,6 +141,7 @@ let micro_tests () =
         bench_simulation ~variant:`Profiled ());
     bench_experiment "simulate-checked" (fun () ->
         bench_simulation ~variant:`Checked ());
+    bench_experiment "simulate-fast" (fun () -> bench_simulation_fast ());
     (* one bench per table/figure: the full computation at a tiny scale *)
     bench_experiment "table2" (fun () -> H.Experiments.table2 (tiny_runner ()));
     bench_experiment "fig6" (fun () -> H.Experiments.fig6 (tiny_runner ()));
@@ -165,17 +178,63 @@ let run_ablations ~budget () =
     (fun s -> Fmt.pr "%a@." H.Ablations.pp_study s)
     (H.Ablations.all ~budget ())
 
+(* --- machine-readable MIPS probe ---------------------------------------- *)
+
+(* The regression guard's input: wall-clock MIPS of the detailed no-sink
+   hot path and of a whole-program sampled run on one mid-size workload,
+   as one JSON object. CI archives this file per commit so a throughput
+   regression is visible as a number diff, not an anecdote. Single-run
+   wall-clock numbers carry ~±5% machine noise — treat small deltas as
+   noise and trends as signal. *)
+let write_mips_json file =
+  let outer = 120_000 in
+  let mk () =
+    let bench = Sdiq_workloads.W_gzip.build ~outer () in
+    let p = Sdiq_cpu.Pipeline.create bench.Sdiq_workloads.Bench.prog in
+    bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
+    p
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let p = mk () in
+  let stats, detailed_s = time (fun () -> Sdiq_cpu.Pipeline.run p) in
+  let detailed_insns = stats.Sdiq_cpu.Stats.committed in
+  let p2 = mk () in
+  let sampled, sampled_s = time (fun () -> H.Sampling.sample p2) in
+  let mips insns s = if s > 0. then float_of_int insns /. s /. 1e6 else 0. in
+  let oc = open_out file in
+  Printf.fprintf oc
+    {|{"workload":"gzip","outer":%d,"detailed":{"instructions":%d,"seconds":%.4f,"mips":%.3f},"sampled":{"instructions":%d,"windows":%d,"seconds":%.4f,"mips":%.3f}}|}
+    outer detailed_insns detailed_s
+    (mips detailed_insns detailed_s)
+    sampled.H.Sampling.total_insns sampled.H.Sampling.windows sampled_s
+    (mips sampled.H.Sampling.total_insns sampled_s);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "mips: %s (detailed %.2f MIPS over %d instrs, sampled %.2f MIPS \
+          over %d instrs)@."
+    file
+    (mips detailed_insns detailed_s)
+    detailed_insns
+    (mips sampled.H.Sampling.total_insns sampled_s)
+    sampled.H.Sampling.total_insns
+
 (* [--domains N] caps the campaign pool; default is the hardware's
    recommended domain count. *)
-let parse_domains argv =
+let parse_opt_arg name argv =
   let n = Array.length argv in
   let rec find i =
     if i >= n then None
-    else if argv.(i) = "--domains" && i + 1 < n then
-      int_of_string_opt argv.(i + 1)
+    else if argv.(i) = name && i + 1 < n then Some argv.(i + 1)
     else find (i + 1)
   in
   find 1
+
+let parse_domains argv =
+  Option.bind (parse_opt_arg "--domains" argv) int_of_string_opt
 
 let () =
   let micro = Array.exists (fun a -> a = "--micro") Sys.argv in
@@ -183,6 +242,11 @@ let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let domains = parse_domains Sys.argv in
   let budget = if quick then 20_000 else 100_000 in
-  run_experiments ?domains ~budget ();
-  if ablations then run_ablations ~budget:(budget / 2) ();
-  if micro then run_micro ()
+  match parse_opt_arg "--mips-json" Sys.argv with
+  | Some file ->
+    (* probe-only mode: CI runs this as a dedicated step *)
+    write_mips_json file
+  | None ->
+    run_experiments ?domains ~budget ();
+    if ablations then run_ablations ~budget:(budget / 2) ();
+    if micro then run_micro ()

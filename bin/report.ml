@@ -21,6 +21,64 @@ let markdown_arg =
   let doc = "Emit Markdown tables (the body of EXPERIMENTS.md)." in
   Arg.(value & flag & info [ "markdown" ] ~doc)
 
+let sample_arg =
+  let doc =
+    "Instead of the detailed figures, run the sampled campaign: every \
+     (benchmark x technique) pair of the scaled suite under SMARTS \
+     sampling, reporting estimates with 95% confidence intervals. \
+     Fails if any pair falls below the coverage floor \
+     ($(b,--min-insns) instructions, $(b,--min-windows) measured \
+     windows)."
+  in
+  Arg.(value & flag & info [ "sample" ] ~doc)
+
+let min_insns_arg =
+  let doc = "Sampled-campaign coverage floor: instructions per pair." in
+  Arg.(value & opt int 10_000_000 & info [ "min-insns" ] ~docv:"N" ~doc)
+
+let min_windows_arg =
+  let doc = "Sampled-campaign coverage floor: measured windows per pair." in
+  Arg.(value & opt int 30 & info [ "min-windows" ] ~docv:"N" ~doc)
+
+(* The sampled campaign: the scaled suite (>= 10M oracle instructions
+   per program) under SMARTS sampling for every technique, with a hard
+   coverage guard — an estimate whose run was too short to support its
+   interval must fail the build, not print a plausible-looking table. *)
+let run_sampled_campaign ~min_insns ~min_windows =
+  let r = H.Runner.create ~benches:(Sdiq_workloads.Suite.scaled ()) () in
+  H.Runner.run_all_sampled r;
+  let shortfalls = ref [] in
+  Fmt.pr
+    "## sampled campaign (estimates ± 95%% CI; scaled suite)@.@.";
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun tech ->
+          let res = H.Runner.run_sampled r bench tech in
+          Fmt.pr "%-8s %-10s %a@." bench (H.Technique.name tech)
+            H.Sampling.pp res;
+          if
+            res.H.Sampling.total_insns < min_insns
+            || res.H.Sampling.windows < min_windows
+          then shortfalls := (bench, tech, res) :: !shortfalls)
+        H.Technique.all)
+    (H.Runner.bench_names r);
+  match List.rev !shortfalls with
+  | [] ->
+    Fmt.pr "@.sampled campaign: every pair >= %d instructions and %d \
+            windows@."
+      min_insns min_windows
+  | short ->
+    List.iter
+      (fun (bench, tech, (res : H.Sampling.result)) ->
+        Fmt.epr
+          "coverage shortfall: %s/%s ran %d instructions over %d windows \
+           (floor: %d instructions, %d windows)@."
+          bench (H.Technique.name tech) res.H.Sampling.total_insns
+          res.H.Sampling.windows min_insns min_windows)
+      short;
+    exit 1
+
 let exp_of_id r = function
   | "fig6" -> Some (H.Experiments.fig6 r)
   | "fig7" -> Some (H.Experiments.fig7 r)
@@ -105,7 +163,9 @@ let pp_table2_markdown ppf rows =
     rows;
   Fmt.pf ppf "@."
 
-let run budget only markdown =
+let run budget only markdown sample min_insns min_windows =
+  if sample then run_sampled_campaign ~min_insns ~min_windows
+  else begin
   let ids =
     match only with
     | None -> all_ids
@@ -140,11 +200,14 @@ let run budget only markdown =
           Fmt.epr "experiment %S is listed but not implemented@." id;
           exit 1)
     ids
+  end
 
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "sdiq-report" ~doc)
-    Term.(const run $ budget_arg $ only_arg $ markdown_arg)
+    Term.(
+      const run $ budget_arg $ only_arg $ markdown_arg $ sample_arg
+      $ min_insns_arg $ min_windows_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -80,6 +80,45 @@ let check_arg =
   in
   Arg.(value & flag & info [ "check" ] ~doc)
 
+let sample_arg =
+  let doc =
+    "Run the whole program under SMARTS sampling instead of a detailed \
+     budget: fast-forward between detailed windows, report estimates \
+     with 95% confidence intervals (see DESIGN.md §13). Ignores \
+     $(b,--budget); with $(b,--check) the invariant checker audits \
+     every detailed cycle of every window."
+  in
+  Arg.(value & flag & info [ "sample" ] ~doc)
+
+let scaled_arg =
+  let doc =
+    "Use the scaled benchmark instance (at least ten million oracle \
+     instructions) instead of the default size. Only meaningful with \
+     $(b,--sample)."
+  in
+  Arg.(value & flag & info [ "scaled" ] ~doc)
+
+let ff_arg =
+  let doc = "Sampling: fast-forwarded instructions per period." in
+  Arg.(
+    value
+    & opt int Sdiq_harness.Sampling.default.Sdiq_harness.Sampling.ff_len
+    & info [ "ff" ] ~docv:"N" ~doc)
+
+let warmup_arg =
+  let doc = "Sampling: detailed unmeasured warmup instructions per period." in
+  Arg.(
+    value
+    & opt int Sdiq_harness.Sampling.default.Sdiq_harness.Sampling.warmup_len
+    & info [ "warmup" ] ~docv:"N" ~doc)
+
+let window_arg =
+  let doc = "Sampling: detailed measured instructions per period." in
+  Arg.(
+    value
+    & opt int Sdiq_harness.Sampling.default.Sdiq_harness.Sampling.window_len
+    & info [ "window" ] ~docv:"N" ~doc)
+
 (* A dedicated traced run: same benchmark preparation as the runner's,
    with the JSONL trace sink on the bus. *)
 let write_trace bench technique ~budget file =
@@ -138,13 +177,51 @@ let event_mix bench technique ~budget =
   let (_ : Sdiq_cpu.Stats.t) = Sdiq_cpu.Pipeline.run ~max_insns:budget p in
   counts
 
+(* A sampled run of one pair: whole program, SMARTS regime, estimates
+   with confidence intervals. *)
+let run_sampled bench technique ~check ~config =
+  let checker = if check then Some Sdiq_check.Checker.fresh_hook else None in
+  let runner =
+    Sdiq_harness.Runner.create ~benches:[ bench ] ?checker
+      ~sample_config:config ()
+  in
+  let name = bench.Sdiq_workloads.Bench.name in
+  let r =
+    try Sdiq_harness.Runner.run_sampled runner name technique
+    with Sdiq_check.Checker.Invariant_violation v ->
+      Fmt.epr "%a@." Sdiq_check.Checker.pp_violation v;
+      exit 2
+  in
+  if check then
+    Fmt.pr "(invariant checker: every detailed cycle audited)@.";
+  Fmt.pr "%s / %s:@.%a@." name
+    (Sdiq_harness.Technique.name technique)
+    Sdiq_harness.Sampling.pp r
+
 let run bench_name technique budget verbose timeline trace metrics domains
-    check =
-  match Sdiq_workloads.Suite.find bench_name with
+    check sample scaled ff warmup window =
+  let suite =
+    if scaled then Sdiq_workloads.Suite.scaled ()
+    else Sdiq_workloads.Suite.all ()
+  in
+  match
+    List.find_opt
+      (fun (b : Sdiq_workloads.Bench.t) ->
+        b.Sdiq_workloads.Bench.name = bench_name)
+      suite
+  with
   | None ->
     Fmt.epr "unknown benchmark %S; available: %s@." bench_name
       (String.concat ", " (Sdiq_workloads.Suite.names ()));
     exit 1
+  | Some bench when sample ->
+    run_sampled bench technique ~check
+      ~config:
+        {
+          Sdiq_harness.Sampling.ff_len = ff;
+          warmup_len = warmup;
+          window_len = window;
+        }
   | Some bench ->
     let checker =
       if check then Some Sdiq_check.Checker.fresh_hook else None
@@ -204,6 +281,7 @@ let cmd =
     (Cmd.info "sdiq-simulate" ~doc)
     Term.(
       const run $ bench_arg $ technique_arg $ budget_arg $ verbose_arg
-      $ timeline_arg $ trace_arg $ metrics_arg $ domains_arg $ check_arg)
+      $ timeline_arg $ trace_arg $ metrics_arg $ domains_arg $ check_arg
+      $ sample_arg $ scaled_arg $ ff_arg $ warmup_arg $ window_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -100,7 +100,7 @@ let check_iq c p =
   (* Gated-off banks (beyond the adaptive scheme's active ring) must hold
      nothing — they are powered down. *)
   for s = active to iq.Iq.size - 1 do
-    if (Iq.entry iq s).Iq.valid then
+    if Iq.slot_valid iq s then
       fail p ~invariant:"iq-gated-bank-empty"
         "slot %d is valid but lies beyond active_size %d (its bank is off)"
         s active
@@ -108,7 +108,7 @@ let check_iq c p =
   (* The occupancy count must equal a recount of valid slots. *)
   let valid = ref 0 in
   for s = 0 to active - 1 do
-    if (Iq.entry iq s).Iq.valid then incr valid
+    if Iq.slot_valid iq s then incr valid
   done;
   if !valid <> iq.Iq.count then
     fail p ~invariant:"iq-count"
@@ -119,7 +119,7 @@ let check_iq c p =
       "pointer outside active ring: head=%d new_head=%d tail=%d active=%d"
       iq.Iq.head iq.Iq.new_head iq.Iq.tail active;
   (* When occupied, [head] must rest on a valid entry (it sweeps to one). *)
-  if iq.Iq.count > 0 && not (Iq.entry iq iq.Iq.head).Iq.valid then
+  if iq.Iq.count > 0 && not (Iq.slot_valid iq iq.Iq.head) then
     fail p ~invariant:"iq-head-valid"
       "head=%d points at an empty slot while count=%d" iq.Iq.head iq.Iq.count;
   (* The recorded region span must agree with the pointers: congruent to
@@ -175,8 +175,11 @@ let check_power_integrals c p =
   let fp_rf = Pipeline.Debug.fp_rf p in
   (* Each per-cycle sum must have grown by exactly the value a recount of
      the live state yields — the power model integrates these. *)
+  (* Recount from the raw valid bytes, not the incremental [bank_live]
+     counters the pipeline integrates — this is what keeps the audit
+     independent of the fast path it is auditing. *)
   let d_iq = stats.Stats.iq_banks_on_sum - c.prev_iq_banks_on_sum in
-  let iq_on = Iq.banks_on iq in
+  let iq_on = Iq.recount_banks_on iq in
   if d_iq <> iq_on then
     fail p ~invariant:"iq-banks-on-accounting"
       "iq_banks_on_sum grew by %d this cycle but %d banks hold entries" d_iq
@@ -213,18 +216,17 @@ let check_rob c p =
      happen at the head, in order, or not at all). *)
   let prev_sn = ref (-1) in
   let oldest = ref (-1) in
-  Rob.iter_in_flight rob (fun idx e ->
-      match e.Rob.dyn with
-      | None ->
+  Rob.iter_in_flight rob (fun idx ->
+      let d = Rob.dyn rob idx in
+      if d.Sdiq_isa.Exec.sn < 0 then
         fail p ~invariant:"rob-entry-live"
-          "in-flight ROB entry %d carries no instruction" idx
-      | Some d ->
-        if !oldest < 0 then oldest := d.Sdiq_isa.Exec.sn;
-        if d.Sdiq_isa.Exec.sn <= !prev_sn then
-          fail p ~invariant:"rob-program-order"
-            "ROB entry %d has sn %d after sn %d — commit order broken" idx
-            d.Sdiq_isa.Exec.sn !prev_sn;
-        prev_sn := d.Sdiq_isa.Exec.sn);
+          "in-flight ROB entry %d carries no instruction" idx;
+      if !oldest < 0 then oldest := d.Sdiq_isa.Exec.sn;
+      if d.Sdiq_isa.Exec.sn <= !prev_sn then
+        fail p ~invariant:"rob-program-order"
+          "ROB entry %d has sn %d after sn %d — commit order broken" idx
+          d.Sdiq_isa.Exec.sn !prev_sn;
+      prev_sn := d.Sdiq_isa.Exec.sn);
   if !oldest >= 0 then begin
     if !oldest < c.prev_oldest_sn then
       fail p ~invariant:"rob-head-monotonic"
@@ -264,8 +266,8 @@ let check_rf_conservation c p =
       owner.(p_reg) <- who
     in
     Array.iteri (fun arch p_reg -> claim p_reg arch) map;
-    Rob.iter_in_flight rob (fun idx e ->
-        match select e.Rob.old_phys with
+    Rob.iter_in_flight rob (fun idx ->
+        match select (Rob.old_phys_of rob idx) with
         | Some p_reg -> claim p_reg (-(3 + idx))
         | None -> ());
     let claimed =
@@ -295,15 +297,13 @@ let check_rf_conservation c p =
 let operand_exposure (iq : Iq.t) =
   let present = ref 0 and waiting = ref 0 in
   for s = 0 to iq.Iq.size - 1 do
-    let e = Iq.entry iq s in
-    if e.Iq.valid then
-      Array.iter
-        (fun (o : Iq.operand) ->
-          if o.Iq.present then begin
-            incr present;
-            if not o.Iq.ready then incr waiting
-          end)
-        e.Iq.ops
+    if Iq.slot_valid iq s then
+      for j = 0 to 1 do
+        if Iq.op_present iq s j then begin
+          incr present;
+          if not (Iq.op_ready iq s j) then incr waiting
+        end
+      done
   done;
   (!present, !waiting)
 

@@ -146,10 +146,15 @@ let arch_state (st : Exec.state) =
     Hashtbl.fold (fun k v acc -> if keep v then (k, v) :: acc else acc) tbl []
     |> List.sort compare
   in
+  let dump_imem m =
+    let acc = ref [] in
+    Intmap.iter (fun k v -> if v <> 0 then acc := (k, v) :: !acc) m;
+    List.sort compare !acc
+  in
   {
     iregs = Array.copy st.Exec.iregs;
     fregs = Array.copy st.Exec.fregs;
-    imem = dump st.Exec.imem (fun v -> v <> 0);
+    imem = dump_imem st.Exec.imem;
     fmem = dump st.Exec.fmem (fun v -> v <> 0.);
   }
 

@@ -11,6 +11,11 @@ type t = {
   selector : int array;
   gshare_hist_bits : int;
   mutable history : int;
+  (* index masks: [size - 1] when the table size is a power of two (the
+     Table 1 configuration), else [-1] and indexing falls back to [mod] *)
+  bimodal_mask : int;
+  gshare_mask : int;
+  selector_mask : int;
   (* BTB: sets x ways of (pc tag, target, lru) *)
   btb_sets : int;
   btb_ways : int;
@@ -27,6 +32,8 @@ type t = {
   mutable dir_wrong : int;
 }
 
+let pow2_mask n = if n > 0 && n land (n - 1) = 0 then n - 1 else -1
+
 let create (cfg : Config.t) =
   {
     bimodal = Array.make cfg.Config.bimodal_size 1; (* weakly not-taken *)
@@ -34,6 +41,9 @@ let create (cfg : Config.t) =
     selector = Array.make cfg.Config.selector_size 1;
     gshare_hist_bits = cfg.Config.gshare_hist;
     history = 0;
+    bimodal_mask = pow2_mask cfg.Config.bimodal_size;
+    gshare_mask = pow2_mask cfg.Config.gshare_size;
+    selector_mask = pow2_mask cfg.Config.selector_size;
     btb_sets = cfg.Config.btb_sets;
     btb_ways = cfg.Config.btb_ways;
     btb_tag = Array.make (cfg.Config.btb_sets * cfg.Config.btb_ways) (-1);
@@ -48,13 +58,20 @@ let create (cfg : Config.t) =
     dir_wrong = 0;
   }
 
-let bimodal_idx t pc = pc mod Array.length t.bimodal
+(* pcs are program indices (≥ 0), so masking is exactly [mod] for
+   power-of-two tables. *)
+let bimodal_idx t pc =
+  if t.bimodal_mask >= 0 then pc land t.bimodal_mask
+  else pc mod Array.length t.bimodal
 
 let gshare_idx t pc =
-  let mask = (1 lsl t.gshare_hist_bits) - 1 in
-  (pc lxor (t.history land mask)) mod Array.length t.gshare
+  let h = pc lxor (t.history land ((1 lsl t.gshare_hist_bits) - 1)) in
+  if t.gshare_mask >= 0 then h land t.gshare_mask
+  else h mod Array.length t.gshare
 
-let selector_idx t pc = pc mod Array.length t.selector
+let selector_idx t pc =
+  if t.selector_mask >= 0 then pc land t.selector_mask
+  else pc mod Array.length t.selector
 
 let counter_taken c = c >= 2
 
@@ -66,8 +83,9 @@ let predict_direction t pc =
   if counter_taken t.selector.(selector_idx t pc) then g else b
 
 let bump arr i taken =
-  if taken then arr.(i) <- min 3 (arr.(i) + 1)
-  else arr.(i) <- max 0 (arr.(i) - 1)
+  let c = arr.(i) in
+  if taken then (if c < 3 then arr.(i) <- c + 1)
+  else if c > 0 then arr.(i) <- c - 1
 
 (* Update direction predictors and global history with the outcome. *)
 let update_direction t pc ~taken =
@@ -85,20 +103,27 @@ let update_direction t pc ~taken =
   t.history <- ((t.history lsl 1) lor (if taken then 1 else 0))
                land ((1 lsl t.gshare_hist_bits) - 1)
 
-(* BTB lookup: the predicted target of the control instruction at [pc]. *)
-let btb_lookup t pc =
+(* BTB lookup: the predicted target of the control instruction at [pc],
+   or [-1] on a BTB miss (stored targets are program addresses, ≥ 0).
+   Allocation-free — the pipeline's fetch loop calls this per control
+   instruction. *)
+let btb_lookup_tgt t pc =
   let set = pc mod t.btb_sets in
   let base = set * t.btb_ways in
-  let rec find w =
-    if w >= t.btb_ways then None
-    else if t.btb_tag.(base + w) = pc then begin
-      t.btb_clock <- t.btb_clock + 1;
-      t.btb_lru.(base + w) <- t.btb_clock;
-      Some t.btb_target.(base + w)
-    end
-    else find (w + 1)
-  in
-  find 0
+  let w = ref 0 in
+  while !w < t.btb_ways && t.btb_tag.(base + !w) <> pc do
+    incr w
+  done;
+  if !w < t.btb_ways then begin
+    t.btb_clock <- t.btb_clock + 1;
+    t.btb_lru.(base + !w) <- t.btb_clock;
+    t.btb_target.(base + !w)
+  end
+  else -1
+
+let btb_lookup t pc =
+  let tgt = btb_lookup_tgt t pc in
+  if tgt < 0 then None else Some tgt
 
 let btb_update t pc ~target =
   let set = pc mod t.btb_sets in
@@ -135,12 +160,18 @@ let ras_push t addr =
     t.ras.(t.ras_size - 1) <- addr
   end
 
-let ras_pop t =
-  if t.ras_top = 0 then None
+(* Pop, or [-1] when empty (return addresses are ≥ 1: fallthrough of a
+   call). Allocation-free. *)
+let ras_pop_addr t =
+  if t.ras_top = 0 then -1
   else begin
     t.ras_top <- t.ras_top - 1;
-    Some t.ras.(t.ras_top)
+    t.ras.(t.ras_top)
   end
+
+let ras_pop t =
+  let a = ras_pop_addr t in
+  if a < 0 then None else Some a
 
 let mispredict_rate t =
   let total = t.dir_correct + t.dir_wrong in

@@ -12,12 +12,21 @@ val predict_direction : t -> int -> bool
 val update_direction : t -> int -> taken:bool -> unit
 
 val btb_lookup : t -> int -> int option
+
+(** [btb_lookup] without the option: the target, or [-1] on a miss
+    (the pipeline's allocation-free fetch path). *)
+val btb_lookup_tgt : t -> int -> int
+
 val btb_update : t -> int -> target:int -> unit
 
 (** Push a return address; overflow drops the oldest entry. *)
 val ras_push : t -> int -> unit
 
 val ras_pop : t -> int option
+
+(** [ras_pop] without the option: the return address, or [-1] when the
+    stack is empty (pushed addresses are ≥ 1). *)
+val ras_pop_addr : t -> int
 
 (** Fraction of trained conditional branches that were mispredicted. *)
 val mispredict_rate : t -> float

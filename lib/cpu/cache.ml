@@ -50,26 +50,32 @@ let line_key t addr = addr / t.line
    wrongly ride on their own line fills. *)
 let probe t ~now addr =
   let line_addr = line_key t addr in
-  let set = ((line_addr mod t.sets) + t.sets) mod t.sets in
+  let set =
+    let m = line_addr mod t.sets in
+    if m < 0 then m + t.sets else m
+  in
   let tag = line_addr in
   t.clock <- t.clock + 1;
   let base = set * t.ways in
-  let rec find w = if w >= t.ways then None
-    else if t.tags.(base + w) = tag then Some w
-    else find (w + 1)
-  in
-  match find 0 with
-  | Some w ->
-    t.last_use.(base + w) <- t.clock;
-    if t.fill_time.(base + w) > now then begin
+  (* Closure-free tag match: this runs for every fetch cycle, load issue
+     and store commit. *)
+  let w = ref 0 in
+  while !w < t.ways && t.tags.(base + !w) <> tag do
+    incr w
+  done;
+  if !w < t.ways then begin
+    let slot = base + !w in
+    t.last_use.(slot) <- t.clock;
+    if t.fill_time.(slot) > now then begin
       t.misses <- t.misses + 1;
-      Inflight (t.fill_time.(base + w) - now)
+      Inflight (t.fill_time.(slot) - now)
     end
     else begin
       t.hits <- t.hits + 1;
       Hit
     end
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     (* Evict LRU. *)
     let victim = ref 0 in
@@ -80,6 +86,7 @@ let probe t ~now addr =
     t.last_use.(base + !victim) <- t.clock;
     t.fill_time.(base + !victim) <- now;
     Miss
+  end
 
 (* Record when the just-missed line's data will arrive. *)
 let set_fill t addr time =

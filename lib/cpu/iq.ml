@@ -19,19 +19,14 @@
    [wakeups_naive] charges every operand CAM in the queue on every result
    broadcast; [wakeups_gated] charges only present-and-not-ready operands
    of valid entries (Folegnani & González gating, assumed by the paper's
-   example and by all techniques evaluated). *)
+   example and by all techniques evaluated).
 
-type operand = {
-  mutable present : bool;
-  mutable tag : int;    (* physical register tag; int and fp disjoint *)
-  mutable ready : bool;
-}
-
-type entry = {
-  mutable valid : bool;
-  mutable rob_idx : int;
-  ops : operand array; (* always length 2 *)
-}
+   Storage is flat (DESIGN.md §13): per-slot state lives in unboxed
+   byte/int arrays instead of an array of entry records, so the wakeup
+   scan and the select sweep walk contiguous memory with no pointer
+   chasing, and per-bank occupancy is maintained incrementally
+   ([bank_live]) so the powered-bank mask costs O(banks), not O(size),
+   per cycle. *)
 
 type t = {
   size : int;
@@ -41,7 +36,18 @@ type t = {
          scheme physically restricts the circular buffer to the first
          [active_size] slots (whole banks), so the remaining banks hold no
          entries and stay off; the software scheme leaves this at [size] *)
-  slots : entry array;
+  (* flat per-slot state: [valid] and the operand flags are bytes (0/1),
+     tags and ROB back-pointers are unboxed ints; operand [j] of slot [s]
+     lives at index [2*s + j] *)
+  valid : Bytes.t;
+  rob_idx : int array;
+  op_present : Bytes.t;
+  op_ready : Bytes.t;
+  op_tag : int array;
+  bank_live : int array; (* valid entries per bank, kept incrementally *)
+  bank_of : int array; (* slot -> bank, precomputed (no hot-path division) *)
+  mutable live_mask : int; (* bit b set iff bank_live.(b) > 0 *)
+  mutable live_banks : int; (* popcount of live_mask, kept incrementally *)
   mutable head : int;
   mutable new_head : int;
   mutable tail : int;
@@ -60,19 +66,19 @@ type t = {
 let create ~size ~bank_size =
   if size <= 0 || bank_size <= 0 || bank_size > size then
     invalid_arg "Iq.create";
-  let mk_entry _ =
-    {
-      valid = false;
-      rob_idx = -1;
-      ops =
-        Array.init 2 (fun _ -> { present = false; tag = -1; ready = false });
-    }
-  in
   {
     size;
     bank_size;
     active_size = size;
-    slots = Array.init size mk_entry;
+    valid = Bytes.make size '\000';
+    rob_idx = Array.make size (-1);
+    op_present = Bytes.make (2 * size) '\000';
+    op_ready = Bytes.make (2 * size) '\000';
+    op_tag = Array.make (2 * size) (-1);
+    bank_live = Array.make ((size + bank_size - 1) / bank_size) 0;
+    bank_of = Array.init size (fun s -> s / bank_size);
+    live_mask = 0;
+    live_banks = 0;
     head = 0;
     new_head = 0;
     tail = 0;
@@ -91,9 +97,23 @@ let size t = t.size
 let occupancy t = t.count
 let is_empty t = t.count = 0
 
+(* --- flat-slot accessors ------------------------------------------------- *)
+
+let slot_valid t s = Bytes.unsafe_get t.valid s <> '\000'
+let slot_rob_idx t s = Array.unsafe_get t.rob_idx s
+let op_present t s j = Bytes.unsafe_get t.op_present ((2 * s) + j) <> '\000'
+let op_ready t s j = Bytes.unsafe_get t.op_ready ((2 * s) + j) <> '\000'
+let op_tag t s j = Array.unsafe_get t.op_tag ((2 * s) + j)
+
+(* All present operands ready (and the slot live): issueable. *)
+let slot_ready t s =
+  slot_valid t s
+  && ((not (op_present t s 0)) || op_ready t s 0)
+  && ((not (op_present t s 1)) || op_ready t s 1)
+
 (* The tail slot is free unless the buffer has wrapped onto the head; a
    valid slot under the tail means the (non-collapsible) queue is full. *)
-let is_full t = t.slots.(t.tail).valid
+let is_full t = slot_valid t t.tail
 
 (* Slots the next program region currently occupies (holes included). *)
 let new_region_span t = t.new_span
@@ -105,34 +125,71 @@ let start_new_region t =
   t.new_head <- t.tail;
   t.new_span <- 0
 
-(* Dispatch an instruction into the tail slot. [ops] lists (tag, ready) for
-   the register sources. Returns the slot index. *)
-let dispatch t ~rob_idx ~ops =
+let set_slot_live t slot =
+  Bytes.unsafe_set t.valid slot '\001';
+  let b = Array.unsafe_get t.bank_of slot in
+  let c = t.bank_live.(b) + 1 in
+  t.bank_live.(b) <- c;
+  if c = 1 then begin
+    t.live_mask <- t.live_mask lor (1 lsl b);
+    t.live_banks <- t.live_banks + 1
+  end
+
+let set_slot_free t slot =
+  Bytes.unsafe_set t.valid slot '\000';
+  let b = Array.unsafe_get t.bank_of slot in
+  let c = t.bank_live.(b) - 1 in
+  t.bank_live.(b) <- c;
+  if c = 0 then begin
+    t.live_mask <- t.live_mask land lnot (1 lsl b);
+    t.live_banks <- t.live_banks - 1
+  end
+
+(* Dispatch into the tail slot with at most two renamed sources given
+   positionally — the zero-allocation path the pipeline uses. [nsrc] is
+   the instruction's true source count (capped at 2 for the CAM write
+   accounting, matching the two physical operand CAMs). *)
+let dispatch_flat t ~rob_idx ~nsrc ~tag0 ~ready0 ~tag1 ~ready1 =
   if is_full t then invalid_arg "Iq.dispatch: full";
   let slot = t.tail in
-  let e = t.slots.(slot) in
-  e.valid <- true;
-  e.rob_idx <- rob_idx;
-  Array.iter
-    (fun o ->
-      o.present <- false;
-      o.tag <- -1;
-      o.ready <- false)
-    e.ops;
-  List.iteri
-    (fun i (tag, ready) ->
-      if i < 2 then begin
-        e.ops.(i).present <- true;
-        e.ops.(i).tag <- tag;
-        e.ops.(i).ready <- ready;
-        t.dispatch_cam_writes <- t.dispatch_cam_writes + 1
-      end)
-    ops;
+  set_slot_live t slot;
+  Array.unsafe_set t.rob_idx slot rob_idx;
+  let o = 2 * slot in
+  Bytes.unsafe_set t.op_present o '\000';
+  Bytes.unsafe_set t.op_present (o + 1) '\000';
+  Bytes.unsafe_set t.op_ready o '\000';
+  Bytes.unsafe_set t.op_ready (o + 1) '\000';
+  Array.unsafe_set t.op_tag o (-1);
+  Array.unsafe_set t.op_tag (o + 1) (-1);
+  if nsrc >= 1 then begin
+    Bytes.unsafe_set t.op_present o '\001';
+    Array.unsafe_set t.op_tag o tag0;
+    if ready0 then Bytes.unsafe_set t.op_ready o '\001'
+  end;
+  if nsrc >= 2 then begin
+    Bytes.unsafe_set t.op_present (o + 1) '\001';
+    Array.unsafe_set t.op_tag (o + 1) tag1;
+    if ready1 then Bytes.unsafe_set t.op_ready (o + 1) '\001'
+  end;
+  t.dispatch_cam_writes <-
+    t.dispatch_cam_writes + (if nsrc < 2 then nsrc else 2);
   t.dispatch_ram_writes <- t.dispatch_ram_writes + 1;
-  t.tail <- (t.tail + 1) mod t.active_size;
+  t.tail <- (if t.tail + 1 = t.active_size then 0 else t.tail + 1);
   t.count <- t.count + 1;
   t.new_span <- t.new_span + 1;
   slot
+
+(* List-based dispatch, for tests and callers off the hot path. [ops]
+   lists (tag, ready) for the register sources; entries beyond the two
+   operand CAMs are dropped. Returns the slot index. *)
+let dispatch t ~rob_idx ~ops =
+  match ops with
+  | [] -> dispatch_flat t ~rob_idx ~nsrc:0 ~tag0:(-1) ~ready0:false
+            ~tag1:(-1) ~ready1:false
+  | [ (tag0, ready0) ] ->
+    dispatch_flat t ~rob_idx ~nsrc:1 ~tag0 ~ready0 ~tag1:(-1) ~ready1:false
+  | (tag0, ready0) :: (tag1, ready1) :: _ ->
+    dispatch_flat t ~rob_idx ~nsrc:2 ~tag0 ~ready0 ~tag1 ~ready1
 
 (* Remove an issued instruction from [slot], updating both head pointers
    exactly as the hardware does. Pointer sweeps are window-bounded rather
@@ -142,30 +199,36 @@ let dispatch t ~rob_idx ~ops =
    within the region's [new_span] slots; [head] sweeps to the first valid
    entry anywhere, which must exist while [count > 0]. *)
 let issue t slot =
-  let e = t.slots.(slot) in
-  if not e.valid then invalid_arg "Iq.issue: empty slot";
-  e.valid <- false;
-  e.rob_idx <- -1;
+  if not (slot_valid t slot) then invalid_arg "Iq.issue: empty slot";
+  set_slot_free t slot;
+  Array.unsafe_set t.rob_idx slot (-1);
   t.count <- t.count - 1;
   t.issue_reads <- t.issue_reads + 1;
   if slot = t.new_head then begin
     let span = t.new_span in
-    let rec find p steps =
-      if steps >= span then (t.tail, span)
-      else if t.slots.(p).valid then (p, steps)
-      else find ((p + 1) mod t.active_size) (steps + 1)
-    in
-    let pos, skipped = find t.new_head 0 in
-    t.new_head <- pos;
-    t.new_span <- t.new_span - skipped
+    let p = ref t.new_head in
+    let steps = ref 0 in
+    while !steps < span && not (slot_valid t !p) do
+      p := (if !p + 1 = t.active_size then 0 else !p + 1);
+      incr steps
+    done;
+    if !steps >= span then begin
+      t.new_head <- t.tail;
+      t.new_span <- t.new_span - span
+    end
+    else begin
+      t.new_head <- !p;
+      t.new_span <- t.new_span - !steps
+    end
   end;
   if slot = t.head then
     if t.count = 0 then t.head <- t.tail
     else begin
-      let rec find p =
-        if t.slots.(p).valid then p else find ((p + 1) mod t.active_size)
-      in
-      t.head <- find t.head
+      let p = ref t.head in
+      while not (slot_valid t !p) do
+        p := (if !p + 1 = t.active_size then 0 else !p + 1)
+      done;
+      t.head <- !p
     end
 
 (* Broadcast the destination tags of all results completing this cycle.
@@ -174,52 +237,78 @@ let issue t slot =
    each causes 6 wakeups even though they wake some of the same operands.
    Accounting: gated comparisons touch every present-and-not-ready operand
    of a valid entry, once per tag; the naive scheme compares both operand
-   CAMs of every slot per tag. Returns how many operands woke. *)
-let broadcast_many t tags =
-  let ntags = List.length tags in
+   CAMs of every slot per tag. Returns how many operands woke.
+
+   [broadcast_into] is the scratch-array core: the first [ntags] elements
+   of [tags] are the broadcast group (the pipeline reuses one array across
+   cycles, so the hot path allocates nothing). *)
+let broadcast_into t tags ntags =
   if ntags = 0 then 0
   else begin
     t.broadcasts <- t.broadcasts + ntags;
     t.wakeups_naive <- t.wakeups_naive + (2 * t.size * ntags);
     let matched = ref 0 in
-    Array.iter
-      (fun e ->
-        if e.valid then
-          Array.iter
-            (fun o ->
-              if o.present then begin
-                (* the "nonEmpty" scheme compares every operand of every
-                   allocated entry, ready or not *)
-                t.wakeups_nonempty <- t.wakeups_nonempty + ntags;
-                if not o.ready then begin
-                  t.wakeups_gated <- t.wakeups_gated + ntags;
-                  if List.mem o.tag tags then begin
-                    o.ready <- true;
-                    incr matched
-                  end
-                end
-              end)
-            e.ops)
-      t.slots;
+    let nonempty = ref 0 and gated = ref 0 in
+    (* Sweep the ring over the valid entries only (count-bounded, like
+       the select sweep) instead of scanning every slot: occupancy is
+       typically far below capacity. Counting is order-independent, so
+       this visits exactly the operands the full scan would. The
+       "nonEmpty" scheme compares every operand of every allocated
+       entry, ready or not; "gated" only the present-and-not-ready
+       ones. *)
+    let pos = ref t.head in
+    let remaining = ref t.count in
+    let steps = ref 0 in
+    while !remaining > 0 && !steps < t.active_size do
+      let s = !pos in
+      if Bytes.unsafe_get t.valid s <> '\000' then begin
+        decr remaining;
+        for o = 2 * s to (2 * s) + 1 do
+          if Bytes.unsafe_get t.op_present o <> '\000' then begin
+            incr nonempty;
+            if Bytes.unsafe_get t.op_ready o = '\000' then begin
+              incr gated;
+              let tag = Array.unsafe_get t.op_tag o in
+              let hit = ref false in
+              let k = ref 0 in
+              while (not !hit) && !k < ntags do
+                if Array.unsafe_get tags !k = tag then hit := true;
+                incr k
+              done;
+              if !hit then begin
+                Bytes.unsafe_set t.op_ready o '\001';
+                incr matched
+              end
+            end
+          end
+        done
+      end;
+      incr steps;
+      pos := (if s + 1 = t.active_size then 0 else s + 1)
+    done;
+    t.wakeups_nonempty <- t.wakeups_nonempty + (!nonempty * ntags);
+    t.wakeups_gated <- t.wakeups_gated + (!gated * ntags);
     !matched
   end
+
+let broadcast_many t tags = broadcast_into t (Array.of_list tags) (List.length tags)
 
 let broadcast t tag = broadcast_many t [ tag ]
 
 (* Fold over valid entries from oldest (head) to youngest (tail), the order
-   the select logic prefers. *)
+   the select logic prefers. The callback receives the slot index; use the
+   slot accessors for its state. *)
 let fold_oldest_first t f acc =
   let acc = ref acc in
   let pos = ref t.head in
   let remaining = ref t.count in
   let steps = ref 0 in
   while !remaining > 0 && !steps < t.active_size do
-    let e = t.slots.(!pos) in
-    if e.valid then begin
-      acc := f !acc !pos e;
+    if slot_valid t !pos then begin
+      acc := f !acc !pos;
       decr remaining
     end;
-    pos := (!pos + 1) mod t.active_size;
+    pos := (if !pos + 1 = t.active_size then 0 else !pos + 1);
     incr steps
   done;
   !acc
@@ -274,7 +363,7 @@ let resize t target =
         ref (t.head < target && t.new_head < target && t.tail < target)
       in
       for s = target to t.active_size - 1 do
-        if t.slots.(s).valid then clear := false
+        if slot_valid t s then clear := false
       done;
       if !clear then begin
         t.new_span <- respan target;
@@ -287,35 +376,33 @@ let resize t target =
 
 let active_size t = t.active_size
 
-let entry t slot = t.slots.(slot)
-
-let entry_ready (e : entry) =
-  e.valid && Array.for_all (fun o -> (not o.present) || o.ready) e.ops
-
 (* Banks holding at least one valid entry: only these have their CAM/RAM
    arrays powered. *)
 let banks t = (t.size + t.bank_size - 1) / t.bank_size
 
-let banks_on_mask t =
+let banks_on_mask t = t.live_mask
+let banks_on t = t.live_banks
+
+(* Recount of the powered banks from the raw valid bytes, bypassing the
+   incremental [bank_live] counters: the invariant checker audits the
+   fast counters against this. *)
+let recount_banks_on t =
   let nb = banks t in
-  let mask = ref 0 in
+  let on = ref 0 in
   for b = 0 to nb - 1 do
     let lo = b * t.bank_size in
     let hi = min t.size (lo + t.bank_size) - 1 in
     let any = ref false in
-    for i = lo to hi do
-      if t.slots.(i).valid then any := true
+    for s = lo to hi do
+      if slot_valid t s then any := true
     done;
-    if !any then mask := !mask lor (1 lsl b)
-  done;
-  !mask
-
-(* Defined as the popcount of the mask so the two views cannot drift. *)
-let banks_on t =
-  let m = ref (banks_on_mask t) in
-  let on = ref 0 in
-  while !m <> 0 do
-    on := !on + (!m land 1);
-    m := !m lsr 1
+    if !any then incr on
   done;
   !on
+
+(* Test-only state tampering: mutate raw slot bytes with *no* bookkeeping
+   (count, bank_live and pointers are left stale), simulating hardware
+   corruption the invariant checker must catch. *)
+module Raw = struct
+  let set_valid t s v = Bytes.set t.valid s (if v then '\001' else '\000')
+end

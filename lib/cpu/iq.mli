@@ -11,19 +11,12 @@
     Wakeup accounting covers the three schemes of Figure 8: naive (every
     operand CAM, every broadcast), nonEmpty (operands of allocated
     entries), and gated (present-and-not-ready operands only — Folegnani
-    & González). *)
+    & González).
 
-type operand = {
-  mutable present : bool;
-  mutable tag : int;
-  mutable ready : bool;
-}
-
-type entry = {
-  mutable valid : bool;
-  mutable rob_idx : int;
-  ops : operand array; (** always length 2 *)
-}
+    Slot state is stored flat (DESIGN.md §13): [valid]/operand flags as
+    bytes, tags and ROB indices as unboxed int arrays, operand [j] of
+    slot [s] at index [2*s + j]. Read per-slot state through the
+    [slot_*]/[op_*] accessors. *)
 
 type t = {
   size : int;
@@ -31,7 +24,17 @@ type t = {
   mutable active_size : int;
       (** the adaptive scheme physically restricts the ring to this many
           slots (whole banks); the software scheme leaves it at [size] *)
-  slots : entry array;
+  valid : Bytes.t;
+  rob_idx : int array;
+  op_present : Bytes.t;
+  op_ready : Bytes.t;
+  op_tag : int array;
+  bank_live : int array;
+      (** valid entries per bank, maintained incrementally so the
+          powered-bank mask is O(banks) per cycle *)
+  bank_of : int array;  (** slot → bank, precomputed *)
+  mutable live_mask : int;  (** bit [b] set iff [bank_live.(b) > 0] *)
+  mutable live_banks : int;  (** popcount of [live_mask], incremental *)
   mutable head : int;
   mutable new_head : int;
   mutable tail : int;
@@ -64,6 +67,18 @@ val start_new_region : t -> unit
     the slot index. Raises [Invalid_argument] when full. *)
 val dispatch : t -> rob_idx:int -> ops:(int * bool) list -> int
 
+(** Zero-allocation dispatch with the (at most two) renamed sources
+    passed positionally; [nsrc] is the true source count. *)
+val dispatch_flat :
+  t ->
+  rob_idx:int ->
+  nsrc:int ->
+  tag0:int ->
+  ready0:bool ->
+  tag1:int ->
+  ready1:bool ->
+  int
+
 (** Remove an issued instruction, sweeping [head]/[new_head] forward
     exactly as the hardware does. *)
 val issue : t -> int -> unit
@@ -72,15 +87,28 @@ val issue : t -> int -> unit
     (as parallel CAM ports do); returns how many operands woke. *)
 val broadcast_many : t -> int list -> int
 
+(** Scratch-array broadcast core: the first [ntags] elements are the
+    group. The caller may reuse the array across cycles — nothing is
+    retained. *)
+val broadcast_into : t -> int array -> int -> int
+
 val broadcast : t -> int -> int
 
-(** Fold over valid entries oldest-first (select order). *)
-val fold_oldest_first : t -> ('a -> int -> entry -> 'a) -> 'a -> 'a
+(** Fold over valid entries oldest-first (select order); the callback
+    receives the slot index. *)
+val fold_oldest_first : t -> ('a -> int -> 'a) -> 'a -> 'a
 
-val entry : t -> int -> entry
+(** {2 Flat-slot accessors} *)
 
-(** All present operands ready. *)
-val entry_ready : entry -> bool
+val slot_valid : t -> int -> bool
+val slot_rob_idx : t -> int -> int
+
+(** Slot live and all present operands ready. *)
+val slot_ready : t -> int -> bool
+
+val op_present : t -> int -> int -> bool
+val op_ready : t -> int -> int -> bool
+val op_tag : t -> int -> int -> int
 
 val banks : t -> int
 
@@ -92,6 +120,11 @@ val banks_on : t -> int
     per-bank gate/ungate transitions, not just the count. *)
 val banks_on_mask : t -> int
 
+(** Recount of the powered banks from the raw valid bytes, ignoring the
+    incremental [bank_live] counters — the invariant checker's
+    independent audit. *)
+val recount_banks_on : t -> int
+
 (** Adaptive resizing toward [target] slots (whole banks): shrinking
     applies only once the dropped banks are empty and all pointers are
     inside the surviving region; growing is always order-preserving.
@@ -99,3 +132,9 @@ val banks_on_mask : t -> int
 val resize : t -> int -> bool
 
 val active_size : t -> int
+
+(** Test-only tampering: raw slot mutation with no bookkeeping, for
+    exercising the invariant checker. *)
+module Raw : sig
+  val set_valid : t -> int -> bool -> unit
+end

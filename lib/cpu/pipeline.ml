@@ -19,22 +19,23 @@
    typed events ([Sdiq_events.Event]); the pipeline's own statistics are
    a fold of that stream ([Stats.absorb]), and external observers —
    invariant checkers, commit capture, power meters, timelines, JSONL
-   traces — subscribe to the same bus. With no sink registered the bus
-   costs one load and one branch per event ([Bus.active]), and
-   trace-only events (squash, resize, bank transitions, tag deliveries)
-   are not even constructed. [Cycle_end] is always the last event of its
-   cycle, emitted after the policy's end-of-cycle action, so a sink
-   observing it sees exactly the machine state a per-cycle checker
-   needs (DESIGN.md §11 specifies the ordering contract). *)
+   traces — subscribe to the same bus. With no sink registered the hot
+   loop does not even construct the events: each emission site goes
+   through a per-kind emitter that applies the matching [Stats.absorb]
+   clause inline (DESIGN.md §13), so a bare simulation allocates nothing
+   on the event path. [Cycle_end] is always the last event of its cycle,
+   emitted after the policy's end-of-cycle action, so a sink observing it
+   sees exactly the machine state a per-cycle checker needs (DESIGN.md
+   §11 specifies the ordering contract).
+
+   Hot-loop storage is flat (DESIGN.md §13): the fetch queue is a ring
+   over parallel arrays, completions sit in a cycle-indexed timing wheel,
+   unpipelined-FU occupancy is a per-class array of release cycles, and
+   writeback/issue reuse preallocated scratch arrays across cycles. *)
 
 open Sdiq_isa
 module Ev = Sdiq_events.Event
 module Bus = Sdiq_events.Bus
-
-type fq_entry = {
-  dyn : Exec.dyn;
-  ready_at : int; (* cycle at which decode finishes *)
-}
 
 type t = {
   cfg : Config.t;
@@ -51,15 +52,43 @@ type t = {
   fp_map : int array;
   rob : Rob.t;
   iq : Iq.t;
-  fq : fq_entry Queue.t;
-  completions : (int, int list) Hashtbl.t; (* cycle -> rob indices *)
-  mutable unpipe_busy : (Fu.t * int) list; (* unit class, release cycle *)
+  (* fetch queue: ring buffer over parallel arrays (capacity
+     [fetch_queue_size]); a free slot holds [Rob.dummy_dyn] *)
+  fq_dyns : Exec.dyn array;
+  fq_ready : int array; (* cycle at which decode finishes *)
+  mutable fq_head : int;
+  mutable fq_tail : int;
+  mutable fq_count : int;
+  (* completion timing wheel: cell [c land (len-1)] holds the ROB indices
+     completing at cycle [wheel_cycle], in scheduling order; doubles on
+     the (rare) collision of two in-flight completion cycles *)
+  mutable wheel : int array array;
+  mutable wheel_len : int array;
+  mutable wheel_cycle : int array;
+  (* functional units: count per class and, for unpipelined ops, the
+     release cycle of each unit instance *)
+  fu_counts : int array;
+  fu_release : int array array;
+  (* per-cycle scratch, reused so the hot loop allocates nothing *)
+  avail : int array; (* issue slots left per FU class *)
+  wb_tags : int array; (* result tags broadcast this cycle *)
+  cand_slot : int array; (* ready IQ slots, oldest first *)
+  cand_rob : int array;
   mutable cycle : int;
   mutable halted : bool;
+  mutable fetch_hold : bool;
+      (* sampled simulation: fetch is held while the machine drains
+         before a functional fast-forward; in-flight work keeps flowing *)
   mutable fetch_resume_at : int;
-  mutable blocked_sn : int option; (* fetch stalled on this dynamic instr *)
+  mutable blocked_sn : int; (* fetch stalled on this sn; -1 = not stalled *)
+  mutable stores_in_flight : int; (* stores currently in the ROB *)
+  mutable unpipe_busy_until : int; (* all unpipelined units free from here *)
   stats : Stats.t;
   bus : Sdiq_events.Bus.t;
+  mutable bus_on : bool;
+      (* whether any sink is subscribed, cached: one field read per
+         emission site instead of a cross-module call; [subscribe] keeps
+         it in sync (all pipeline sinks register through it) *)
   (* previous end-of-cycle powered-bank masks, for gate/ungate events *)
   mutable prev_iq_bank_mask : int;
   mutable prev_int_rf_bank_mask : int;
@@ -73,11 +102,164 @@ exception Simulation_limit of string
    sink contract — a [Cycle_end] sink reads fully-updated stats. *)
 let emit t ev =
   Stats.absorb t.stats ev;
-  if Bus.active t.bus then Bus.emit t.bus ev
+  if t.bus_on then Bus.emit t.bus ev
+
+(* --- per-kind emitters -------------------------------------------------- *)
+
+(* With no sink subscribed, each emitter applies the matching
+   [Stats.absorb] clause directly and never constructs the event, so the
+   no-sink path is allocation-free; with sinks it builds the event once
+   and takes the generic [emit] path. The inline updates must mirror
+   [Stats.absorb] clause for clause — the no-sink/sink stats-equality
+   test in the exactness battery pins this. *)
+
+let emit_commit t dyn =
+  if t.bus_on then emit t (Ev.Commit { dyn })
+  else t.stats.Stats.committed <- t.stats.Stats.committed + 1
+
+let emit_cache_miss t level addr =
+  if t.bus_on then emit t (Ev.Cache_miss { level; addr })
+  else begin
+    let st = t.stats in
+    match level with
+    | Ev.Il1 -> st.Stats.il1_misses <- st.Stats.il1_misses + 1
+    | Ev.Dl1 -> st.Stats.dl1_misses <- st.Stats.dl1_misses + 1
+    | Ev.L2 -> st.Stats.l2_misses <- st.Stats.l2_misses + 1
+  end
+
+(* [Writeback] absorbs to nothing; it exists only for sinks. *)
+let emit_writeback t idx =
+  if t.bus_on then
+    emit t (Ev.Writeback { dyn = Rob.dyn t.rob idx; rob_idx = idx })
+
+let emit_rf_write t file phys =
+  if t.bus_on then emit t (Ev.Rf_write { file; phys })
+  else begin
+    let st = t.stats in
+    match file with
+    | Ev.Int_rf -> st.Stats.int_rf_writes <- st.Stats.int_rf_writes + 1
+    | Ev.Fp_rf -> st.Stats.fp_rf_writes <- st.Stats.fp_rf_writes + 1
+  end
+
+let emit_wakeup t ~tags ~woken ~naive ~nonempty ~gated =
+  if t.bus_on then
+    emit t (Ev.Wakeup { tags; woken; naive; nonempty; gated })
+  else begin
+    let st = t.stats in
+    st.Stats.iq_broadcasts <- st.Stats.iq_broadcasts + tags;
+    st.Stats.iq_wakeups_naive <- st.Stats.iq_wakeups_naive + naive;
+    st.Stats.iq_wakeups_nonempty <- st.Stats.iq_wakeups_nonempty + nonempty;
+    st.Stats.iq_wakeups_gated <- st.Stats.iq_wakeups_gated + gated
+  end
+
+let emit_select t ~rob_idx ~iq_slot =
+  if t.bus_on then emit t (Ev.Select { rob_idx; iq_slot })
+  else t.stats.Stats.iq_selects <- t.stats.Stats.iq_selects + 1
+
+let emit_issue t dyn ~latency ~store_forward =
+  if t.bus_on then emit t (Ev.Issue { dyn; latency; store_forward })
+  else begin
+    let st = t.stats in
+    st.Stats.iq_issue_reads <- st.Stats.iq_issue_reads + 1;
+    if store_forward then
+      st.Stats.store_forwards <- st.Stats.store_forwards + 1
+  end
+
+let emit_rf_read t ~ints ~fps =
+  if t.bus_on then emit t (Ev.Rf_read { ints; fps })
+  else begin
+    let st = t.stats in
+    st.Stats.int_rf_reads <- st.Stats.int_rf_reads + ints;
+    st.Stats.fp_rf_reads <- st.Stats.fp_rf_reads + fps
+  end
+
+let emit_dispatch t dyn ~kind ~iq_slot ~rob_idx ~cam_writes =
+  if t.bus_on then
+    emit t (Ev.Dispatch { dyn; kind; iq_slot; rob_idx; cam_writes })
+  else begin
+    let st = t.stats in
+    st.Stats.dispatched <- st.Stats.dispatched + 1;
+    st.Stats.iq_dispatch_ram_writes <- st.Stats.iq_dispatch_ram_writes + 1;
+    st.Stats.iq_dispatch_cam_writes <-
+      st.Stats.iq_dispatch_cam_writes + cam_writes;
+    match kind with
+    | Ev.Plain -> ()
+    | Ev.Load -> st.Stats.loads <- st.Stats.loads + 1
+    | Ev.Store -> st.Stats.stores <- st.Stats.stores + 1
+  end
+
+let emit_dispatch_stall t reason =
+  if t.bus_on then emit t (Ev.Dispatch_stall reason)
+  else begin
+    let st = t.stats in
+    match reason with
+    | Ev.Policy_limit ->
+      st.Stats.dispatch_stall_policy <- st.Stats.dispatch_stall_policy + 1
+    | Ev.Iq_full ->
+      st.Stats.dispatch_stall_iq_full <- st.Stats.dispatch_stall_iq_full + 1
+    | Ev.Rob_full ->
+      st.Stats.dispatch_stall_rob_full <- st.Stats.dispatch_stall_rob_full + 1
+    | Ev.No_reg ->
+      st.Stats.dispatch_stall_no_reg <- st.Stats.dispatch_stall_no_reg + 1
+  end
+
+let emit_annotation_noop t ~pc ~value =
+  if t.bus_on then
+    emit t (Ev.Annotation { pc; value; delivery = Ev.Noop_slot })
+  else
+    t.stats.Stats.iqset_dispatch_slots <-
+      t.stats.Stats.iqset_dispatch_slots + 1
+
+let emit_fetch_seq t dyn =
+  if t.bus_on then emit t (Ev.Fetch { dyn; outcome = Ev.Sequential })
+  else t.stats.Stats.fetched <- t.stats.Stats.fetched + 1
+
+let emit_fetch_cond t dyn ~taken ~mispredicted ~btb_bubble =
+  if t.bus_on then
+    emit t
+      (Ev.Fetch
+         { dyn; outcome = Ev.Cond_branch { taken; mispredicted; btb_bubble } })
+  else begin
+    let st = t.stats in
+    st.Stats.fetched <- st.Stats.fetched + 1;
+    st.Stats.branches <- st.Stats.branches + 1;
+    if mispredicted then st.Stats.mispredicts <- st.Stats.mispredicts + 1;
+    if btb_bubble then st.Stats.btb_bubbles <- st.Stats.btb_bubbles + 1
+  end
+
+let emit_fetch_jump t dyn ~btb_bubble =
+  if t.bus_on then
+    emit t (Ev.Fetch { dyn; outcome = Ev.Jump { btb_bubble } })
+  else begin
+    let st = t.stats in
+    st.Stats.fetched <- st.Stats.fetched + 1;
+    if btb_bubble then st.Stats.btb_bubbles <- st.Stats.btb_bubbles + 1
+  end
+
+let emit_fetch_call t dyn ~btb_bubble =
+  if t.bus_on then
+    emit t (Ev.Fetch { dyn; outcome = Ev.Call { btb_bubble } })
+  else begin
+    let st = t.stats in
+    st.Stats.fetched <- st.Stats.fetched + 1;
+    if btb_bubble then st.Stats.btb_bubbles <- st.Stats.btb_bubbles + 1
+  end
+
+let emit_fetch_ret t dyn ~mispredicted =
+  if t.bus_on then
+    emit t (Ev.Fetch { dyn; outcome = Ev.Return { mispredicted } })
+  else begin
+    let st = t.stats in
+    st.Stats.fetched <- st.Stats.fetched + 1;
+    st.Stats.branches <- st.Stats.branches + 1;
+    if mispredicted then st.Stats.mispredicts <- st.Stats.mispredicts + 1
+  end
 
 (* --- sink registration --------------------------------------------------- *)
 
-let subscribe ?name t fn = Bus.subscribe ?name t.bus fn
+let subscribe ?name t fn =
+  Bus.subscribe ?name t.bus fn;
+  t.bus_on <- true
 
 (* Per-cycle observer: runs on every [Cycle_end], after all statistics
    for the cycle are folded in. The shape the invariant checker wants. *)
@@ -110,6 +292,24 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
     Regfile.alloc_exact fp_rf i;
     fp_rf.Regfile.ready.(i) <- true
   done;
+  let fu_counts = Array.make Fu.count_classes 0 in
+  List.iter
+    (fun cls -> fu_counts.(Fu.index cls) <- config.Config.fu_count cls)
+    Fu.all;
+  (* Wheel span must exceed the longest completion latency in flight;
+     [schedule_completion] doubles it if a workload ever proves it
+     short. *)
+  let wheel_size =
+    let bound =
+      config.Config.mem_latency + config.Config.l2_hit
+      + config.Config.dl1_hit + 64
+    in
+    let s = ref 64 in
+    while !s < bound do
+      s := !s * 2
+    done;
+    !s
+  in
   let t =
     {
       cfg = config;
@@ -133,15 +333,32 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
       rob = Rob.create ~size:config.Config.rob_size;
       iq = Iq.create ~size:config.Config.iq_size
           ~bank_size:config.Config.iq_bank_size;
-      fq = Queue.create ();
-      completions = Hashtbl.create 64;
-      unpipe_busy = [];
+      fq_dyns = Array.make config.Config.fetch_queue_size Rob.dummy_dyn;
+      fq_ready = Array.make config.Config.fetch_queue_size 0;
+      fq_head = 0;
+      fq_tail = 0;
+      fq_count = 0;
+      wheel = Array.make wheel_size [||];
+      wheel_len = Array.make wheel_size 0;
+      wheel_cycle = Array.make wheel_size (-1);
+      fu_counts;
+      fu_release =
+        Array.init Fu.count_classes (fun k ->
+            Array.make fu_counts.(k) min_int);
+      avail = Array.make Fu.count_classes 0;
+      wb_tags = Array.make config.Config.rob_size 0;
+      cand_slot = Array.make config.Config.iq_size 0;
+      cand_rob = Array.make config.Config.iq_size 0;
       cycle = 0;
       halted = false;
+      fetch_hold = false;
       fetch_resume_at = 0;
-      blocked_sn = None;
+      blocked_sn = -1;
+      stores_in_flight = 0;
+      unpipe_busy_until = 0;
       stats = Stats.create ();
       bus = Bus.create ();
+      bus_on = false;
       prev_iq_bank_mask = 0;
       prev_int_rf_bank_mask = Regfile.banks_on_mask int_rf;
       prev_fp_rf_bank_mask = Regfile.banks_on_mask fp_rf;
@@ -161,33 +378,35 @@ let fp_tag t p = t.cfg.Config.rf_size + p
 
 (* --- commit ------------------------------------------------------------ *)
 
-let release_dest t = function
-  | Rob.No_dest -> ()
-  | Rob.Int_dest p -> Regfile.release t.int_rf p
-  | Rob.Fp_dest p -> Regfile.release t.fp_rf p
+(* Destinations travel as Rob's packed int codes on the hot path. *)
+let release_dest_code t code =
+  if code <> 0 then
+    if code land 1 = 1 then Regfile.release t.int_rf (code asr 1)
+    else Regfile.release t.fp_rf ((code asr 1) - 1)
 
-let commit_one t (e : Rob.entry) =
-  let dyn = Option.get e.Rob.dyn in
+let commit_one t idx =
+  let dyn = Rob.dyn t.rob idx in
   let i = dyn.Exec.instr in
-  emit t (Ev.Commit { dyn });
-  release_dest t e.Rob.old_phys;
+  emit_commit t dyn;
+  release_dest_code t (Rob.old_code t.rob idx);
   (* The predictor trains at fetch (see [fetch_stage]): with no wrong-path
      instructions, fetch order equals commit order, so updating there is
      exact and avoids stale-history aliasing for in-flight branches. *)
   (* Stores write the data cache at commit; write misses allocate but do
      not stall the pipeline (a write buffer is assumed). *)
   if Instr.is_store i then begin
+    t.stores_in_flight <- t.stores_in_flight - 1;
     let now = t.cycle in
     match Cache.probe t.dl1 ~now dyn.Exec.addr with
     | Cache.Hit | Cache.Inflight _ -> ()
     | Cache.Miss ->
-      emit t (Ev.Cache_miss { level = Ev.Dl1; addr = dyn.Exec.addr });
+      emit_cache_miss t Ev.Dl1 dyn.Exec.addr;
       let lat =
         match Cache.probe t.l2 ~now dyn.Exec.addr with
         | Cache.Hit -> t.cfg.Config.l2_hit
         | Cache.Inflight r -> r + 1
         | Cache.Miss ->
-          emit t (Ev.Cache_miss { level = Ev.L2; addr = dyn.Exec.addr });
+          emit_cache_miss t Ev.L2 dyn.Exec.addr;
           Cache.set_fill t.l2 dyn.Exec.addr (now + t.cfg.Config.mem_latency);
           t.cfg.Config.mem_latency
       in
@@ -196,90 +415,129 @@ let commit_one t (e : Rob.entry) =
 
 let commit_stage t =
   let n = ref 0 in
-  while
-    !n < t.cfg.Config.commit_width && Rob.try_commit t.rob (commit_one t)
-  do
+  while !n < t.cfg.Config.commit_width && Rob.head_is_completed t.rob do
+    commit_one t (Rob.head_index t.rob);
+    Rob.pop_head t.rob;
     incr n
   done
 
 (* --- writeback --------------------------------------------------------- *)
 
 let writeback_stage t =
-  match Hashtbl.find_opt t.completions t.cycle with
-  | None -> ()
-  | Some idxs ->
-    Hashtbl.remove t.completions t.cycle;
-    (* Oldest first, deterministically. *)
-    let idxs = List.rev idxs in
-    (* All results completing this cycle broadcast together so wakeup
-       counting sees one snapshot, as the parallel CAM ports do. *)
-    let tags = ref [] in
-    List.iter
-      (fun idx ->
-        let e = Rob.entry t.rob idx in
-        e.Rob.state <- Rob.Completed;
-        emit t (Ev.Writeback { dyn = Option.get e.Rob.dyn; rob_idx = idx });
-        (match e.Rob.dest with
-        | Rob.No_dest -> ()
-        | Rob.Int_dest p ->
-          Regfile.mark_ready t.int_rf p;
-          emit t (Ev.Rf_write { file = Ev.Int_rf; phys = p });
-          tags := int_tag p :: !tags
-        | Rob.Fp_dest p ->
-          Regfile.mark_ready t.fp_rf p;
-          emit t (Ev.Rf_write { file = Ev.Fp_rf; phys = p });
-          tags := fp_tag t p :: !tags);
-        (* A control instruction that blocked fetch now redirects it. *)
-        if e.Rob.blocked_fetch then begin
-          let dyn = Option.get e.Rob.dyn in
-          (match t.blocked_sn with
-          | Some sn when sn = dyn.Exec.sn ->
-            t.blocked_sn <- None;
-            t.fetch_resume_at <-
-              max t.fetch_resume_at
-                (t.cycle + 1 + t.cfg.Config.mispredict_redirect)
-          | Some _ | None -> ());
-          e.Rob.blocked_fetch <- false
-        end)
-      idxs;
+  let mask = Array.length t.wheel - 1 in
+  let cell = t.cycle land mask in
+  if t.wheel_len.(cell) > 0 && t.wheel_cycle.(cell) = t.cycle then begin
+    let idxs = t.wheel.(cell) in
+    let n = t.wheel_len.(cell) in
+    t.wheel_len.(cell) <- 0;
+    (* Oldest first, deterministically: scheduling order. All results
+       completing this cycle broadcast together so wakeup counting sees
+       one snapshot, as the parallel CAM ports do. *)
+    let ntags = ref 0 in
+    for k = 0 to n - 1 do
+      let idx = Array.unsafe_get idxs k in
+      Rob.set_state t.rob idx Rob.Completed;
+      emit_writeback t idx;
+      (let code = Rob.dest_code t.rob idx in
+       if code <> 0 then
+         if code land 1 = 1 then begin
+           let p = code asr 1 in
+           Regfile.mark_ready t.int_rf p;
+           emit_rf_write t Ev.Int_rf p;
+           t.wb_tags.(!ntags) <- int_tag p;
+           incr ntags
+         end
+         else begin
+           let p = (code asr 1) - 1 in
+           Regfile.mark_ready t.fp_rf p;
+           emit_rf_write t Ev.Fp_rf p;
+           t.wb_tags.(!ntags) <- fp_tag t p;
+           incr ntags
+         end);
+      (* A control instruction that blocked fetch now redirects it. *)
+      if Rob.blocked_fetch t.rob idx then begin
+        let dyn = Rob.dyn t.rob idx in
+        if t.blocked_sn = dyn.Exec.sn then begin
+          t.blocked_sn <- -1;
+          t.fetch_resume_at <-
+            max t.fetch_resume_at
+              (t.cycle + 1 + t.cfg.Config.mispredict_redirect)
+        end;
+        Rob.set_blocked_fetch t.rob idx false
+      end
+    done;
     (* One wakeup event per broadcast group, carrying the comparison
        deltas under all three Figure 8 accounting schemes. *)
     let naive0 = t.iq.Iq.wakeups_naive in
     let nonempty0 = t.iq.Iq.wakeups_nonempty in
     let gated0 = t.iq.Iq.wakeups_gated in
-    let woken = Iq.broadcast_many t.iq !tags in
-    if !tags <> [] then
-      emit t
-        (Ev.Wakeup
-           {
-             tags = List.length !tags;
-             woken;
-             naive = t.iq.Iq.wakeups_naive - naive0;
-             nonempty = t.iq.Iq.wakeups_nonempty - nonempty0;
-             gated = t.iq.Iq.wakeups_gated - gated0;
-           })
+    let woken = Iq.broadcast_into t.iq t.wb_tags !ntags in
+    if !ntags > 0 then
+      emit_wakeup t ~tags:!ntags ~woken
+        ~naive:(t.iq.Iq.wakeups_naive - naive0)
+        ~nonempty:(t.iq.Iq.wakeups_nonempty - nonempty0)
+        ~gated:(t.iq.Iq.wakeups_gated - gated0)
+  end
 
 (* --- issue ------------------------------------------------------------- *)
 
-let schedule_completion t idx latency =
-  let c = t.cycle + max 1 latency in
-  let cur =
-    match Hashtbl.find_opt t.completions c with Some l -> l | None -> []
-  in
-  Hashtbl.replace t.completions c (idx :: cur)
+(* Grow the completion wheel until no two in-flight completion cycles
+   share a cell. Rare: only when a latency exceeds the initial span. *)
+let wheel_grow t =
+  let size = ref (2 * Array.length t.wheel) in
+  let done_ = ref false in
+  while not !done_ do
+    let wheel = Array.make !size [||] in
+    let len = Array.make !size 0 in
+    let cyc = Array.make !size (-1) in
+    (try
+       for c = 0 to Array.length t.wheel - 1 do
+         if t.wheel_len.(c) > 0 then begin
+           let nc = t.wheel_cycle.(c) land (!size - 1) in
+           if len.(nc) > 0 then raise Exit;
+           wheel.(nc) <- t.wheel.(c);
+           len.(nc) <- t.wheel_len.(c);
+           cyc.(nc) <- t.wheel_cycle.(c)
+         end
+       done;
+       t.wheel <- wheel;
+       t.wheel_len <- len;
+       t.wheel_cycle <- cyc;
+       done_ := true
+     with Exit -> size := !size * 2)
+  done
+
+let rec schedule_completion t idx latency =
+  let c = t.cycle + (if latency > 1 then latency else 1) in
+  let mask = Array.length t.wheel - 1 in
+  let cell = c land mask in
+  if t.wheel_len.(cell) > 0 && t.wheel_cycle.(cell) <> c then begin
+    wheel_grow t;
+    schedule_completion t idx latency
+  end
+  else begin
+    if t.wheel_len.(cell) = 0 then t.wheel_cycle.(cell) <- c;
+    let buf = t.wheel.(cell) in
+    let n = t.wheel_len.(cell) in
+    let buf =
+      if n < Array.length buf then buf
+      else begin
+        let nb = Array.make (max 8 (2 * Array.length buf)) 0 in
+        Array.blit buf 0 nb 0 n;
+        t.wheel.(cell) <- nb;
+        nb
+      end
+    in
+    buf.(n) <- idx;
+    t.wheel_len.(cell) <- n + 1
+  end
 
 (* For a load at ROB index [idx] with oracle address [addr]: the youngest
-   older in-flight store to the same address, if any. *)
+   older in-flight store to the same address, or -1. A running count of
+   in-flight stores skips the ROB walk entirely in the common case. *)
 let conflicting_store t idx addr =
-  let found = ref None in
-  Rob.iter_in_flight t.rob (fun sidx (se : Rob.entry) ->
-      if sidx <> idx && Rob.older t.rob sidx idx then
-        match se.Rob.dyn with
-        | Some d
-          when Instr.is_store d.Exec.instr && d.Exec.addr = addr ->
-          found := Some se
-        | Some _ | None -> ());
-  !found
+  if t.stores_in_flight = 0 then -1
+  else Rob.youngest_older_store t.rob idx addr
 
 (* Data-cache access latency for a load (address generation is the base
    instruction latency, the cache time is added on top). A line still in
@@ -290,13 +548,13 @@ let load_cache_latency t addr =
   | Cache.Hit -> t.cfg.Config.dl1_hit
   | Cache.Inflight r -> r + 1
   | Cache.Miss ->
-    emit t (Ev.Cache_miss { level = Ev.Dl1; addr });
+    emit_cache_miss t Ev.Dl1 addr;
     let lat =
       match Cache.probe t.l2 ~now addr with
       | Cache.Hit -> t.cfg.Config.l2_hit
       | Cache.Inflight r -> r + 1
       | Cache.Miss ->
-        emit t (Ev.Cache_miss { level = Ev.L2; addr });
+        emit_cache_miss t Ev.L2 addr;
         Cache.set_fill t.l2 addr (now + t.cfg.Config.mem_latency);
         t.cfg.Config.mem_latency
     in
@@ -305,79 +563,124 @@ let load_cache_latency t addr =
 
 (* One register-file read event per issuing instruction, counting its
    int and fp source reads (the per-file counters live in [Regfile] for
-   the invariant checker's recount). *)
+   the invariant checker's recount). Reads the source fields directly —
+   [Instr.sources] would build a list. *)
 let count_rf_reads t (i : Instr.t) =
   let ints = ref 0 and fps = ref 0 in
-  List.iter
-    (fun r ->
-      if Reg.is_int r then begin
-        Regfile.note_read t.int_rf;
-        incr ints
-      end
-      else begin
-        Regfile.note_read t.fp_rf;
-        incr fps
-      end)
-    (Instr.sources i);
-  if !ints > 0 || !fps > 0 then emit t (Ev.Rf_read { ints = !ints; fps = !fps })
+  (match i.Instr.src1 with
+  | Some (Reg.Int 0) | None -> ()
+  | Some (Reg.Int _) ->
+    Regfile.note_read t.int_rf;
+    incr ints
+  | Some (Reg.Fp _) ->
+    Regfile.note_read t.fp_rf;
+    incr fps);
+  (match i.Instr.src2 with
+  | Some (Reg.Int 0) | None -> ()
+  | Some (Reg.Int _) ->
+    Regfile.note_read t.int_rf;
+    incr ints
+  | Some (Reg.Fp _) ->
+    Regfile.note_read t.fp_rf;
+    incr fps);
+  if !ints > 0 || !fps > 0 then emit_rf_read t ~ints:!ints ~fps:!fps
 
 let issue_stage t =
-  (* Release unpipelined units whose operation has finished. *)
-  t.unpipe_busy <- List.filter (fun (_, r) -> r > t.cycle) t.unpipe_busy;
-  let avail = Array.make Fu.count_classes 0 in
-  List.iter
-    (fun cls ->
-      let busy =
-        List.length (List.filter (fun (c, _) -> c = cls) t.unpipe_busy)
-      in
-      avail.(Fu.index cls) <- max 0 (t.cfg.Config.fu_count cls - busy))
-    Fu.all;
-  (* Collect ready entries oldest-first, then try to issue each. *)
-  let candidates =
-    List.rev
-      (Iq.fold_oldest_first t.iq
-         (fun acc slot e -> if Iq.entry_ready e then (slot, e.Iq.rob_idx) :: acc else acc)
-         [])
-  in
+  (* Issue slots per class: unit count minus units still executing an
+     unpipelined operation. With no unpipelined op in flight (the common
+     case, tracked by [unpipe_busy_until]) this is a plain copy. *)
+  if t.cycle >= t.unpipe_busy_until then
+    Array.blit t.fu_counts 0 t.avail 0 Fu.count_classes
+  else
+    for k = 0 to Fu.count_classes - 1 do
+      let rel = t.fu_release.(k) in
+      let busy = ref 0 in
+      for j = 0 to Array.length rel - 1 do
+        if Array.unsafe_get rel j > t.cycle then incr busy
+      done;
+      t.avail.(k) <- max 0 (t.fu_counts.(k) - !busy)
+    done;
+  (* Collect ready entries oldest-first into scratch, then try each: an
+     inline ring walk over the valid entries (direct flat-field reads,
+     no closure — the [Iq.slot_ready] sweep is the hottest loop in the
+     machine). *)
+  let iq = t.iq in
+  let ncand = ref 0 in
+  let pos = ref iq.Iq.head in
+  let remaining = ref iq.Iq.count in
+  let steps = ref 0 in
+  let active = iq.Iq.active_size in
+  while !remaining > 0 && !steps < active do
+    let s = !pos in
+    if Bytes.unsafe_get iq.Iq.valid s <> '\000' then begin
+      decr remaining;
+      let o = 2 * s in
+      if
+        (Bytes.unsafe_get iq.Iq.op_present o = '\000'
+        || Bytes.unsafe_get iq.Iq.op_ready o <> '\000')
+        && (Bytes.unsafe_get iq.Iq.op_present (o + 1) = '\000'
+           || Bytes.unsafe_get iq.Iq.op_ready (o + 1) <> '\000')
+      then begin
+        t.cand_slot.(!ncand) <- s;
+        t.cand_rob.(!ncand) <- Array.unsafe_get iq.Iq.rob_idx s;
+        incr ncand
+      end
+    end;
+    incr steps;
+    pos := (if s + 1 = active then 0 else s + 1)
+  done;
+  let ncand = !ncand in
   let width = ref t.cfg.Config.issue_width in
-  List.iter
-    (fun (slot, rob_idx) ->
-      if !width > 0 then begin
-        let e = Rob.entry t.rob rob_idx in
-        let dyn = Option.get e.Rob.dyn in
-        let i = dyn.Exec.instr in
-        let cls = Instr.fu_class i in
-        let k = Fu.index cls in
-        if avail.(k) > 0 then begin
-          (* Loads must respect older same-address stores. *)
-          let mem_latency_extra =
-            if Instr.is_load i then begin
-              match conflicting_store t rob_idx dyn.Exec.addr with
-              | Some se when se.Rob.state <> Rob.Completed ->
-                None (* store data not ready: cannot issue yet *)
-              | Some _ -> Some (1, true) (* forwarded from the store queue *)
-              | None -> Some (load_cache_latency t dyn.Exec.addr, false)
+  for c = 0 to ncand - 1 do
+    if !width > 0 then begin
+      let slot = t.cand_slot.(c) in
+      let rob_idx = t.cand_rob.(c) in
+      let dyn = Rob.dyn t.rob rob_idx in
+      let i = dyn.Exec.instr in
+      let cls = Instr.fu_class i in
+      let k = Fu.index cls in
+      if t.avail.(k) > 0 then begin
+        (* Loads must respect older same-address stores. *)
+        let can = ref true in
+        let extra = ref 0 in
+        let store_forward = ref false in
+        if Instr.is_load i then begin
+          let sidx = conflicting_store t rob_idx dyn.Exec.addr in
+          if sidx >= 0 then
+            if Rob.is_completed t.rob sidx then begin
+              (* forwarded from the store queue *)
+              extra := 1;
+              store_forward := true
             end
-            else Some (0, false)
-          in
-          match mem_latency_extra with
-          | None -> ()
-          | Some (extra, store_forward) ->
-            avail.(k) <- avail.(k) - 1;
-            decr width;
-            Iq.issue t.iq slot;
-            e.Rob.state <- Rob.Issued;
-            e.Rob.iq_slot <- -1;
-            emit t (Ev.Select { rob_idx; iq_slot = slot });
-            let lat = Instr.latency i + extra in
-            emit t (Ev.Issue { dyn; latency = lat; store_forward });
-            count_rf_reads t i;
-            if Opcode.unpipelined i.Instr.op then
-              t.unpipe_busy <- (cls, t.cycle + lat) :: t.unpipe_busy;
-            schedule_completion t rob_idx lat
+            else can := false (* store data not ready: cannot issue yet *)
+          else extra := load_cache_latency t dyn.Exec.addr
+        end;
+        if !can then begin
+          t.avail.(k) <- t.avail.(k) - 1;
+          decr width;
+          Iq.issue t.iq slot;
+          Rob.set_state t.rob rob_idx Rob.Issued;
+          Rob.set_iq_slot t.rob rob_idx (-1);
+          emit_select t ~rob_idx ~iq_slot:slot;
+          let lat = Instr.latency i + !extra in
+          emit_issue t dyn ~latency:lat ~store_forward:!store_forward;
+          count_rf_reads t i;
+          if Opcode.unpipelined i.Instr.op then begin
+            (* Claim a unit instance that is currently free. One exists:
+               avail was positive, so busy units < unit count. *)
+            let rel = t.fu_release.(k) in
+            let j = ref 0 in
+            while rel.(!j) > t.cycle do
+              incr j
+            done;
+            rel.(!j) <- t.cycle + lat;
+            t.unpipe_busy_until <- max t.unpipe_busy_until (t.cycle + lat)
+          end;
+          schedule_completion t rob_idx lat
         end
-      end)
-    candidates
+      end
+    end
+  done
 
 (* --- dispatch ---------------------------------------------------------- *)
 
@@ -388,49 +691,53 @@ type dispatch_stop =
   | Stop_rob_full
   | Stop_no_reg
 
-let rename_sources t (i : Instr.t) =
-  List.map
-    (fun r ->
-      if Reg.is_int r then
-        let p = t.int_map.(Reg.index r) in
-        (int_tag p, Regfile.is_ready t.int_rf p)
-      else
-        let p = t.fp_map.(Reg.index r) in
-        (fp_tag t p, Regfile.is_ready t.fp_rf p))
-    (Instr.sources i)
+(* Rename one source: the physical tag and readiness packed into
+   [(tag lsl 1) lor ready]; -1 when the operand is absent (no register,
+   or the hardwired zero). *)
+let src_code t r =
+  match r with
+  | Some (Reg.Int 0) | None -> -1
+  | Some (Reg.Int a) ->
+    let p = t.int_map.(a) in
+    (int_tag p lsl 1) lor (if Regfile.is_ready t.int_rf p then 1 else 0)
+  | Some (Reg.Fp a) ->
+    let p = t.fp_map.(a) in
+    (fp_tag t p lsl 1) lor (if Regfile.is_ready t.fp_rf p then 1 else 0)
 
-(* Rename the destination; returns [None] when no register is free. *)
-let rename_dest t (i : Instr.t) =
-  match Instr.dest i with
-  | None -> Some (Rob.No_dest, Rob.No_dest)
-  | Some r ->
-    if Reg.is_int r then
-      match Regfile.alloc t.int_rf with
-      | None -> None
-      | Some p ->
-        let old = t.int_map.(Reg.index r) in
-        t.int_map.(Reg.index r) <- p;
-        Some (Rob.Int_dest p, Rob.Int_dest old)
-    else
-      match Regfile.alloc t.fp_rf with
-      | None -> None
-      | Some p ->
-        let old = t.fp_map.(Reg.index r) in
-        t.fp_map.(Reg.index r) <- p;
-        Some (Rob.Fp_dest p, Rob.Fp_dest old)
+(* Rename the destination; returns [(dest_code lsl 20) lor old_code] in
+   Rob's packed encoding, or -1 when no register is free. *)
+let rename_dest_codes t (i : Instr.t) =
+  match i.Instr.dst with
+  | Some (Reg.Int 0) | None -> 0 (* zero-register writes are discarded *)
+  | Some (Reg.Int a) ->
+    let p = Regfile.alloc_idx t.int_rf in
+    if p < 0 then -1
+    else begin
+      let old = t.int_map.(a) in
+      t.int_map.(a) <- p;
+      (((2 * p) + 1) lsl 20) lor ((2 * old) + 1)
+    end
+  | Some (Reg.Fp a) ->
+    let p = Regfile.alloc_idx t.fp_rf in
+    if p < 0 then -1
+    else begin
+      let old = t.fp_map.(a) in
+      t.fp_map.(a) <- p;
+      (((2 * p) + 2) lsl 20) lor ((2 * old) + 2)
+    end
 
-let dispatch_one t (fe : fq_entry) : dispatch_stop =
-  let i = fe.dyn.Exec.instr in
+let dispatch_one t (dyn : Exec.dyn) : dispatch_stop =
+  let i = dyn.Exec.instr in
   (* A tag (the "Extension" encoding) opens a new region for this very
      instruction, costing nothing. Trace-only event: a stalled dispatch
      retries and re-announces the same delivery next cycle (the policy
      dedupes by region pc). *)
   (match i.Instr.tag with
   | Some v ->
-    if Bus.active t.bus then
+    if t.bus_on then
       Bus.emit t.bus
-        (Ev.Annotation { pc = fe.dyn.Exec.pc; value = v; delivery = Ev.Tag });
-    Policy.on_annotation t.policy t.iq ~pc:fe.dyn.Exec.pc ~value:v
+        (Ev.Annotation { pc = dyn.Exec.pc; value = v; delivery = Ev.Tag });
+    Policy.on_annotation t.policy t.iq ~pc:dyn.Exec.pc ~value:v
   | None -> ());
   if Rob.is_full t.rob then Stop_rob_full
   else if not (Policy.allows t.policy t.iq) then
@@ -438,90 +745,107 @@ let dispatch_one t (fe : fq_entry) : dispatch_stop =
   else begin
     (* Sources must be renamed before the destination gets a fresh
        register, or an instruction like [addi r2, r2, 1] would wait on
-       its own result. *)
-    let ops = rename_sources t i in
-    match rename_dest t i with
-    | None -> Stop_no_reg
-    | Some (dest, old_phys) ->
+       its own result. The first present source is operand 0. *)
+    let c1 = src_code t i.Instr.src1 in
+    let c2 = src_code t i.Instr.src2 in
+    let a = if c1 >= 0 then c1 else c2 in
+    let b = if c1 >= 0 then c2 else -1 in
+    let nsrc = (if a >= 0 then 1 else 0) + (if b >= 0 then 1 else 0) in
+    let packed = rename_dest_codes t i in
+    if packed < 0 then Stop_no_reg
+    else begin
       let rob_idx =
-        Rob.push t.rob ~dyn:fe.dyn ~dest ~old_phys ~iq_slot:(-1)
+        Rob.push_codes t.rob ~dyn ~dest_code:(packed lsr 20)
+          ~old_code:(packed land 0xFFFFF) ~iq_slot:(-1)
       in
-      let slot = Iq.dispatch t.iq ~rob_idx ~ops in
-      (Rob.entry t.rob rob_idx).Rob.iq_slot <- slot;
+      let slot =
+        Iq.dispatch_flat t.iq ~rob_idx ~nsrc
+          ~tag0:((if a > 0 then a else 0) asr 1)
+          ~ready0:(a >= 0 && a land 1 = 1)
+          ~tag1:((if b > 0 then b else 0) asr 1)
+          ~ready1:(b >= 0 && b land 1 = 1)
+      in
+      Rob.set_iq_slot t.rob rob_idx slot;
       (* Remember whether fetch is waiting on this instruction. *)
-      (match t.blocked_sn with
-      | Some sn when sn = fe.dyn.Exec.sn ->
-        (Rob.entry t.rob rob_idx).Rob.blocked_fetch <- true
-      | Some _ | None -> ());
+      if t.blocked_sn = dyn.Exec.sn then
+        Rob.set_blocked_fetch t.rob rob_idx true;
       let kind =
         if Instr.is_load i then Ev.Load
-        else if Instr.is_store i then Ev.Store
+        else if Instr.is_store i then begin
+          t.stores_in_flight <- t.stores_in_flight + 1;
+          Ev.Store
+        end
         else Ev.Plain
       in
-      emit t
-        (Ev.Dispatch
-           {
-             dyn = fe.dyn;
-             kind;
-             iq_slot = slot;
-             rob_idx;
-             cam_writes = min 2 (List.length ops);
-           });
+      emit_dispatch t dyn ~kind ~iq_slot:slot ~rob_idx
+        ~cam_writes:(if nsrc < 2 then nsrc else 2);
       Keep_going
+    end
   end
+
+let fq_pop t =
+  t.fq_dyns.(t.fq_head) <- Rob.dummy_dyn;
+  let h = t.fq_head + 1 in
+  t.fq_head <- (if h = Array.length t.fq_dyns then 0 else h);
+  t.fq_count <- t.fq_count - 1
 
 let dispatch_stage t =
   let slots = ref t.cfg.Config.dispatch_width in
   let stop = ref Keep_going in
+  let go = ref true in
   while
-    !stop = Keep_going && !slots > 0
-    && (not (Queue.is_empty t.fq))
-    && (Queue.peek t.fq).ready_at <= t.cycle
+    !go && !slots > 0 && t.fq_count > 0 && t.fq_ready.(t.fq_head) <= t.cycle
   do
-    let fe = Queue.peek t.fq in
-    if fe.dyn.Exec.instr.Instr.op = Opcode.Iqset then begin
+    let dyn = t.fq_dyns.(t.fq_head) in
+    match dyn.Exec.instr.Instr.op with
+    | Opcode.Iqset ->
       (* The special NOOP is stripped at the last decode stage — but it has
          already consumed fetch bandwidth and now a dispatch slot
          (Section 5.2.1). *)
-      ignore (Queue.pop t.fq);
-      Policy.on_annotation t.policy t.iq ~pc:fe.dyn.Exec.pc
-        ~value:fe.dyn.Exec.instr.Instr.imm;
-      emit t
-        (Ev.Annotation
-           {
-             pc = fe.dyn.Exec.pc;
-             value = fe.dyn.Exec.instr.Instr.imm;
-             delivery = Ev.Noop_slot;
-           });
+      fq_pop t;
+      Policy.on_annotation t.policy t.iq ~pc:dyn.Exec.pc
+        ~value:dyn.Exec.instr.Instr.imm;
+      emit_annotation_noop t ~pc:dyn.Exec.pc ~value:dyn.Exec.instr.Instr.imm;
       decr slots
-    end
-    else begin
-      match dispatch_one t fe with
+    | _ -> (
+      match dispatch_one t dyn with
       | Keep_going ->
-        ignore (Queue.pop t.fq);
+        fq_pop t;
         decr slots
-      | s -> stop := s
-    end
+      | s ->
+        stop := s;
+        go := false)
   done;
   (match !stop with
   | Keep_going -> ()
-  | Stop_policy -> emit t (Ev.Dispatch_stall Ev.Policy_limit)
-  | Stop_iq_full -> emit t (Ev.Dispatch_stall Ev.Iq_full)
-  | Stop_rob_full -> emit t (Ev.Dispatch_stall Ev.Rob_full)
-  | Stop_no_reg -> emit t (Ev.Dispatch_stall Ev.No_reg));
+  | Stop_policy -> emit_dispatch_stall t Ev.Policy_limit
+  | Stop_iq_full -> emit_dispatch_stall t Ev.Iq_full
+  | Stop_rob_full -> emit_dispatch_stall t Ev.Rob_full
+  | Stop_no_reg -> emit_dispatch_stall t Ev.No_reg);
   (* "Throttled" feeds the adaptive policy's pressure signal: a stall on a
      physically shrunken ring counts as pressure just like an explicit
      policy refusal. *)
-  !stop = Stop_policy
-  || (!stop = Stop_iq_full && Iq.active_size t.iq < Iq.size t.iq)
+  match !stop with
+  | Stop_policy -> true
+  | Stop_iq_full -> Iq.active_size t.iq < Iq.size t.iq
+  | Keep_going | Stop_rob_full | Stop_no_reg -> false
 
 (* --- fetch ------------------------------------------------------------- *)
 
 (* Instructions are 4 bytes; a fetch group may not cross a cache line. *)
 let line_of t pc = pc * 4 / t.cfg.Config.il1_line
 
+let fq_push t dyn =
+  t.fq_dyns.(t.fq_tail) <- dyn;
+  t.fq_ready.(t.fq_tail) <- t.cycle + t.cfg.Config.decode_depth;
+  let tl = t.fq_tail + 1 in
+  t.fq_tail <- (if tl = Array.length t.fq_dyns then 0 else tl);
+  t.fq_count <- t.fq_count + 1
+
 let fetch_stage t =
-  if t.halted || t.cycle < t.fetch_resume_at || t.blocked_sn <> None then ()
+  if t.halted || t.fetch_hold || t.cycle < t.fetch_resume_at
+     || t.blocked_sn >= 0
+  then ()
   else begin
     let start_pc = t.exec.Exec.pc in
     if start_pc < 0 || start_pc >= Prog.length t.prog then t.halted <- true
@@ -531,13 +855,13 @@ let fetch_stage t =
         | Cache.Hit -> None
         | Cache.Inflight r -> Some (r + 1)
         | Cache.Miss ->
-          emit t (Ev.Cache_miss { level = Ev.Il1; addr = start_pc * 4 });
+          emit_cache_miss t Ev.Il1 (start_pc * 4);
           let lat =
             match Cache.probe t.l2 ~now:t.cycle (start_pc * 4) with
             | Cache.Hit -> t.cfg.Config.l2_hit
             | Cache.Inflight r -> r + 1
             | Cache.Miss ->
-              emit t (Ev.Cache_miss { level = Ev.L2; addr = start_pc * 4 });
+              emit_cache_miss t Ev.L2 (start_pc * 4);
               Cache.set_fill t.l2 (start_pc * 4)
                 (t.cycle + t.cfg.Config.mem_latency);
               t.cfg.Config.mem_latency
@@ -550,16 +874,21 @@ let fetch_stage t =
         (* Instruction-cache miss: stall fetch for the refill. *)
         t.fetch_resume_at <- t.cycle + lat
       | None ->
-      let group_line = line_of t start_pc in
+      (* First pc past the fetch group's cache line: inside the loop pc
+         only ever increments (every redirecting op clears [continue]),
+         so one bound check replaces a per-instruction division. *)
+      let group_hi =
+        (((line_of t start_pc + 1) * t.cfg.Config.il1_line) + 3) / 4
+      in
       let fetched = ref 0 in
       let continue = ref true in
       while
         !continue && !fetched < t.cfg.Config.fetch_width
-        && Queue.length t.fq < t.cfg.Config.fetch_queue_size
+        && t.fq_count < t.cfg.Config.fetch_queue_size
         && not t.halted
       do
         let pc = t.exec.Exec.pc in
-        if line_of t pc <> group_line then continue := false
+        if pc >= group_hi then continue := false
         else
           match Exec.step t.exec with
           | None ->
@@ -567,14 +896,13 @@ let fetch_stage t =
             continue := false
           | Some dyn ->
             let i = dyn.Exec.instr in
-            if i.Instr.op = Opcode.Halt then begin
+            (match i.Instr.op with
+            | Opcode.Halt ->
               t.halted <- true;
               continue := false
-            end
-            else begin
-              Queue.push
-                { dyn; ready_at = t.cycle + t.cfg.Config.decode_depth }
-                t.fq;
+            | _ ->
+              begin
+              fq_push t dyn;
               incr fetched;
               (* Control flow: consult the predictor against the oracle,
                  then emit one [Fetch] event capturing the outcome. *)
@@ -583,7 +911,7 @@ let fetch_stage t =
                 let predicted_taken =
                   Branch_pred.predict_direction t.bpred dyn.Exec.pc
                 in
-                let btb = Branch_pred.btb_lookup t.bpred dyn.Exec.pc in
+                let btb = Branch_pred.btb_lookup_tgt t.bpred dyn.Exec.pc in
                 (* Train immediately: fetch order = commit order here. *)
                 Branch_pred.update_direction t.bpred dyn.Exec.pc
                   ~taken:dyn.Exec.taken;
@@ -591,110 +919,80 @@ let fetch_stage t =
                   Branch_pred.btb_update t.bpred dyn.Exec.pc
                     ~target:dyn.Exec.next_pc;
                 if predicted_taken <> dyn.Exec.taken then begin
-                  t.blocked_sn <- Some dyn.Exec.sn;
+                  t.blocked_sn <- dyn.Exec.sn;
                   continue := false;
-                  emit t
-                    (Ev.Fetch
-                       {
-                         dyn;
-                         outcome =
-                           Ev.Cond_branch
-                             {
-                               taken = dyn.Exec.taken;
-                               mispredicted = true;
-                               btb_bubble = false;
-                             };
-                       });
-                  if Bus.active t.bus then Bus.emit t.bus (Ev.Squash { dyn })
+                  emit_fetch_cond t dyn ~taken:dyn.Exec.taken
+                    ~mispredicted:true ~btb_bubble:false;
+                  if t.bus_on then Bus.emit t.bus (Ev.Squash { dyn })
                 end
                 else if dyn.Exec.taken then begin
                   let btb_bubble =
-                    match btb with
-                    | Some target when target = dyn.Exec.next_pc -> false
-                    | Some _ | None ->
+                    if btb = dyn.Exec.next_pc then false
+                    else begin
                       t.fetch_resume_at <-
                         t.cycle + t.cfg.Config.btb_miss_penalty;
                       true
+                    end
                   in
                   continue := false;
-                  emit t
-                    (Ev.Fetch
-                       {
-                         dyn;
-                         outcome =
-                           Ev.Cond_branch
-                             { taken = true; mispredicted = false; btb_bubble };
-                       })
+                  emit_fetch_cond t dyn ~taken:true ~mispredicted:false
+                    ~btb_bubble
                 end
                 else
-                  emit t
-                    (Ev.Fetch
-                       {
-                         dyn;
-                         outcome =
-                           Ev.Cond_branch
-                             {
-                               taken = false;
-                               mispredicted = false;
-                               btb_bubble = false;
-                             };
-                       })
+                  emit_fetch_cond t dyn ~taken:false ~mispredicted:false
+                    ~btb_bubble:false
               | Opcode.Jmp ->
                 let btb_bubble =
-                  match Branch_pred.btb_lookup t.bpred dyn.Exec.pc with
-                  | Some target when target = dyn.Exec.next_pc -> false
-                  | Some _ | None ->
+                  if Branch_pred.btb_lookup_tgt t.bpred dyn.Exec.pc
+                     = dyn.Exec.next_pc
+                  then false
+                  else begin
                     t.fetch_resume_at <-
                       t.cycle + t.cfg.Config.btb_miss_penalty;
                     true
+                  end
                 in
                 Branch_pred.btb_update t.bpred dyn.Exec.pc
                   ~target:dyn.Exec.next_pc;
                 continue := false;
-                emit t (Ev.Fetch { dyn; outcome = Ev.Jump { btb_bubble } })
+                emit_fetch_jump t dyn ~btb_bubble
               | Opcode.Call ->
                 Branch_pred.ras_push t.bpred (dyn.Exec.pc + 1);
                 let btb_bubble =
-                  match Branch_pred.btb_lookup t.bpred dyn.Exec.pc with
-                  | Some target when target = dyn.Exec.next_pc -> false
-                  | Some _ | None ->
+                  if Branch_pred.btb_lookup_tgt t.bpred dyn.Exec.pc
+                     = dyn.Exec.next_pc
+                  then false
+                  else begin
                     t.fetch_resume_at <-
                       t.cycle + t.cfg.Config.btb_miss_penalty;
                     true
+                  end
                 in
                 Branch_pred.btb_update t.bpred dyn.Exec.pc
                   ~target:dyn.Exec.next_pc;
                 continue := false;
-                emit t (Ev.Fetch { dyn; outcome = Ev.Call { btb_bubble } })
+                emit_fetch_call t dyn ~btb_bubble
               | Opcode.Ret ->
                 let mispredicted =
-                  match Branch_pred.ras_pop t.bpred with
-                  | Some a when a = dyn.Exec.next_pc -> false
-                  | Some _ | None ->
+                  if Branch_pred.ras_pop_addr t.bpred = dyn.Exec.next_pc
+                  then false
+                  else begin
                     (* Return mispredicted: wait for it to resolve. *)
-                    t.blocked_sn <- Some dyn.Exec.sn;
+                    t.blocked_sn <- dyn.Exec.sn;
                     true
+                  end
                 in
                 continue := false;
-                emit t (Ev.Fetch { dyn; outcome = Ev.Return { mispredicted } });
-                if mispredicted && Bus.active t.bus then
+                emit_fetch_ret t dyn ~mispredicted;
+                if mispredicted && t.bus_on then
                   Bus.emit t.bus (Ev.Squash { dyn })
-              | _ -> emit t (Ev.Fetch { dyn; outcome = Ev.Sequential }))
-            end
+              | _ -> emit_fetch_seq t dyn)
+              end)
       done
     end
   end
 
 (* --- end of cycle ------------------------------------------------------- *)
-
-let popcount m =
-  let m = ref m in
-  let n = ref 0 in
-  while !m <> 0 do
-    n := !n + (!m land 1);
-    m := !m lsr 1
-  done;
-  !n
 
 (* Per-bank gate/ungate transition events (trace-only), derived by
    diffing the powered-bank mask against the previous cycle's. *)
@@ -717,28 +1015,29 @@ let cycle_end_stage t ~throttled =
   let iq_mask = Iq.banks_on_mask t.iq in
   let int_mask = Regfile.banks_on_mask t.int_rf in
   let fp_mask = Regfile.banks_on_mask t.fp_rf in
-  let cycle_end =
-    Ev.Cycle_end
-      {
-        cycle = t.cycle;
-        throttled;
-        iq_occupancy = Iq.occupancy t.iq;
-        iq_banks_on = popcount iq_mask;
-        int_rf_banks_on = popcount int_mask;
-        int_rf_live = Regfile.live_count t.int_rf;
-        fp_rf_banks_on = popcount fp_mask;
-      }
-  in
-  (* Fold the integrand into the pipeline's own stats first: a
-     [Cycle_end] sink must read fully-updated per-cycle sums. *)
-  Stats.absorb t.stats cycle_end;
+  let iq_occupancy = Iq.occupancy t.iq in
+  let iq_banks_on = Iq.banks_on t.iq in
+  let int_rf_banks_on = Regfile.banks_on t.int_rf in
+  let int_rf_live = Regfile.live_count t.int_rf in
+  let fp_rf_banks_on = Regfile.banks_on t.fp_rf in
+  (* Fold the integrand into the pipeline's own stats first (the inline
+     mirror of [Stats.absorb]'s [Cycle_end] clause): a [Cycle_end] sink
+     must read fully-updated per-cycle sums. *)
+  let st = t.stats in
+  st.Stats.cycles <- t.cycle + 1;
+  st.Stats.iq_occupancy_sum <- st.Stats.iq_occupancy_sum + iq_occupancy;
+  st.Stats.iq_banks_on_sum <- st.Stats.iq_banks_on_sum + iq_banks_on;
+  st.Stats.int_rf_banks_on_sum <-
+    st.Stats.int_rf_banks_on_sum + int_rf_banks_on;
+  st.Stats.int_rf_live_sum <- st.Stats.int_rf_live_sum + int_rf_live;
+  st.Stats.fp_rf_banks_on_sum <- st.Stats.fp_rf_banks_on_sum + fp_rf_banks_on;
   (* The policy's end-of-cycle action (the adaptive scheme senses
      pressure and resizes here). A resize only drops/adds empty banks,
      so the masks captured above are unaffected. *)
   let size_before = Iq.active_size t.iq in
   Policy.end_cycle t.policy t.iq ~throttled;
   t.cycle <- t.cycle + 1;
-  if Bus.active t.bus then begin
+  if t.bus_on then begin
     emit_bank_transitions t ~unit_:Ev.Iq_bank ~prev:t.prev_iq_bank_mask
       ~cur:iq_mask;
     emit_bank_transitions t ~unit_:Ev.Int_rf_bank ~prev:t.prev_int_rf_bank_mask
@@ -750,8 +1049,19 @@ let cycle_end_stage t ~throttled =
       Bus.emit t.bus (Ev.Resize { before = size_before; after = size_after });
     (* Last event of the cycle, always: per-cycle observers (the
        invariant checker) run here with the post-increment cycle count
-       and every counter for the cycle already folded in. *)
-    Bus.emit t.bus cycle_end
+       and every counter for the cycle already folded in. The stats were
+       updated inline above, so the event bypasses [Stats.absorb]. *)
+    Bus.emit t.bus
+      (Ev.Cycle_end
+         {
+           cycle = t.cycle - 1;
+           throttled;
+           iq_occupancy;
+           iq_banks_on;
+           int_rf_banks_on;
+           int_rf_live;
+           fp_rf_banks_on;
+         })
   end;
   t.prev_iq_bank_mask <- iq_mask;
   t.prev_int_rf_bank_mask <- int_mask;
@@ -759,8 +1069,7 @@ let cycle_end_stage t ~throttled =
 
 (* --- main loop ---------------------------------------------------------- *)
 
-let drained t =
-  t.halted && Rob.is_empty t.rob && Queue.is_empty t.fq
+let drained t = t.halted && Rob.is_empty t.rob && t.fq_count = 0
 
 let step_cycle t =
   commit_stage t;
@@ -787,6 +1096,117 @@ let run ?(max_insns = max_int) ?(max_cycles = 200_000_000) t =
   done;
   t.stats
 
+(* --- sampled simulation (SMARTS-style) ---------------------------------- *)
+
+(* Hold or release fetch; in-flight instructions keep flowing either way. *)
+let set_fetch_hold t on = t.fetch_hold <- on
+
+let in_flight_empty t = Rob.is_empty t.rob && t.fq_count = 0
+
+(* Hold fetch and run until every in-flight instruction has retired —
+   the machine is then ready for a functional fast-forward. Fetch stays
+   held; the caller releases it when detailed simulation resumes. *)
+let drain ?(max_cycles = 1_000_000) t =
+  t.fetch_hold <- true;
+  let deadline = t.cycle + max_cycles in
+  while (not (in_flight_empty t)) && t.cycle < deadline do
+    step_cycle t
+  done;
+  if not (in_flight_empty t) then
+    raise
+      (Simulation_limit
+         (Printf.sprintf "drain: in-flight instructions did not retire \
+                          within %d cycles" max_cycles))
+
+(* Event-free cache probes for fast-forward: same state transitions as
+   the detailed probes ([fetch_stage] / [load_cache_latency] /
+   [commit_one]'s store path), but no statistics and no sink traffic —
+   fast-forwarded work is outside every measured window. *)
+let ff_probe t cache addr =
+  match Cache.probe cache ~now:t.cycle addr with
+  | Cache.Hit | Cache.Inflight _ -> ()
+  | Cache.Miss ->
+    let lat =
+      match Cache.probe t.l2 ~now:t.cycle addr with
+      | Cache.Hit -> t.cfg.Config.l2_hit
+      | Cache.Inflight r -> r + 1
+      | Cache.Miss ->
+        Cache.set_fill t.l2 addr (t.cycle + t.cfg.Config.mem_latency);
+        t.cfg.Config.mem_latency
+    in
+    Cache.set_fill cache addr (t.cycle + lat)
+
+(* Functional fast-forward: execute up to [insns] oracle instructions
+   with no timing model, keeping the long-lived microarchitectural state
+   warm — branch-direction tables, BTB, RAS, all three caches and the
+   policy's region state receive exactly the updates detailed execution
+   would apply (predict + train per conditional, BTB touch/update per
+   control transfer, one icache probe per line transition, a data-cache
+   probe per load and store, annotations delivered in program order).
+   The cycle counter advances one cycle per instruction so cache fill
+   times stay monotone; no events are emitted and no statistics change.
+   Requires a drained machine (see [drain]). Returns the number of
+   instructions actually skipped (fewer than [insns] only at halt). *)
+let fast_forward t ~insns =
+  if not (in_flight_empty t) then
+    invalid_arg "Pipeline.fast_forward: pipeline not drained";
+  let n = ref 0 in
+  let last_line = ref min_int in
+  while !n < insns && not t.halted do
+    let pc = t.exec.Exec.pc in
+    if pc < 0 || pc >= Prog.length t.prog then t.halted <- true
+    else begin
+      let line = line_of t pc in
+      if line <> !last_line then begin
+        last_line := line;
+        ff_probe t t.il1 (pc * 4)
+      end;
+      match Exec.step t.exec with
+      | None -> t.halted <- true
+      | Some dyn ->
+        incr n;
+        t.cycle <- t.cycle + 1;
+        let i = dyn.Exec.instr in
+        (match i.Instr.op with
+        | Opcode.Halt -> t.halted <- true
+        | Opcode.Iqset ->
+          Policy.on_annotation t.policy t.iq ~pc:dyn.Exec.pc
+            ~value:i.Instr.imm
+        | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Bge ->
+          let (_ : bool) =
+            Branch_pred.predict_direction t.bpred dyn.Exec.pc
+          in
+          let (_ : int) = Branch_pred.btb_lookup_tgt t.bpred dyn.Exec.pc in
+          Branch_pred.update_direction t.bpred dyn.Exec.pc
+            ~taken:dyn.Exec.taken;
+          if dyn.Exec.taken then
+            Branch_pred.btb_update t.bpred dyn.Exec.pc
+              ~target:dyn.Exec.next_pc
+        | Opcode.Jmp ->
+          let (_ : int) = Branch_pred.btb_lookup_tgt t.bpred dyn.Exec.pc in
+          Branch_pred.btb_update t.bpred dyn.Exec.pc
+            ~target:dyn.Exec.next_pc
+        | Opcode.Call ->
+          Branch_pred.ras_push t.bpred (dyn.Exec.pc + 1);
+          let (_ : int) = Branch_pred.btb_lookup_tgt t.bpred dyn.Exec.pc in
+          Branch_pred.btb_update t.bpred dyn.Exec.pc
+            ~target:dyn.Exec.next_pc
+        | Opcode.Ret ->
+          let (_ : int) = Branch_pred.ras_pop_addr t.bpred in
+          ()
+        | Opcode.Load | Opcode.Fload | Opcode.Store | Opcode.Fstore ->
+          ff_probe t t.dl1 dyn.Exec.addr
+        | _ -> ());
+        (* A tagged instruction delivers its annotation regardless of
+           opcode, as at dispatch. *)
+        (match i.Instr.tag with
+        | Some v ->
+          Policy.on_annotation t.policy t.iq ~pc:dyn.Exec.pc ~value:v
+        | None -> ())
+    end
+  done;
+  !n
+
 (* Convenience: build, initialise memory, run. *)
 let simulate ?config ?policy ?checker ?on_commit ?init ?max_insns ?max_cycles
     prog =
@@ -812,17 +1232,15 @@ module Debug = struct
   let halted t = t.halted
   let exec t = t.exec
   let stats t = t.stats
-  let fetch_queue_length t = Queue.length t.fq
+  let fetch_queue_length t = t.fq_count
   let bus t = t.bus
 
   (* One-line machine-state excerpt for diagnostics. *)
   let excerpt t =
     let iq = t.iq in
     let oldest_sn = ref (-1) in
-    Rob.iter_in_flight t.rob (fun _ e ->
-        match e.Rob.dyn with
-        | Some d when !oldest_sn < 0 -> oldest_sn := d.Exec.sn
-        | Some _ | None -> ());
+    Rob.iter_in_flight t.rob (fun idx ->
+        if !oldest_sn < 0 then oldest_sn := (Rob.dyn t.rob idx).Exec.sn);
     Printf.sprintf
       "cycle=%d policy=%s iq[head=%d new_head=%d tail=%d count=%d span=%d \
        active=%d/%d] rob[count=%d oldest_sn=%d] rf[int live=%d free=%d; \
@@ -834,6 +1252,6 @@ module Debug = struct
       (Regfile.free_count t.int_rf)
       (Regfile.live_count t.fp_rf)
       (Regfile.free_count t.fp_rf)
-      (Queue.length t.fq) t.stats.Stats.committed
+      t.fq_count t.stats.Stats.committed
       (if t.halted then " halted" else "")
 end

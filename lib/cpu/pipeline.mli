@@ -19,11 +19,6 @@
     [Cycle_end] is always the last event of its cycle; DESIGN.md §11
     specifies the full ordering contract. *)
 
-type fq_entry = {
-  dyn : Sdiq_isa.Exec.dyn;
-  ready_at : int;
-}
-
 type t = {
   cfg : Config.t;
   prog : Sdiq_isa.Prog.t;
@@ -39,16 +34,37 @@ type t = {
   fp_map : int array;
   rob : Rob.t;
   iq : Iq.t;
-  fq : fq_entry Queue.t;
-  completions : (int, int list) Hashtbl.t;
-  mutable unpipe_busy : (Sdiq_isa.Fu.t * int) list;
+  fq_dyns : Sdiq_isa.Exec.dyn array;
+      (** fetch-queue ring (capacity [fetch_queue_size]) *)
+  fq_ready : int array;
+  mutable fq_head : int;
+  mutable fq_tail : int;
+  mutable fq_count : int;
+  mutable wheel : int array array;
+      (** completion timing wheel: ROB indices per completion cycle *)
+  mutable wheel_len : int array;
+  mutable wheel_cycle : int array;
+  fu_counts : int array;
+  fu_release : int array array;
+      (** per-class release cycles of unpipelined unit instances *)
+  avail : int array;
+  wb_tags : int array;
+  cand_slot : int array;
+  cand_rob : int array;
   mutable cycle : int;
   mutable halted : bool;
+  mutable fetch_hold : bool;
+      (** fetch suspended for sampled simulation; in-flight work flows *)
   mutable fetch_resume_at : int;
-  mutable blocked_sn : int option;
+  mutable blocked_sn : int;
+      (** sequence number fetch is stalled on; [-1] when not stalled *)
+  mutable stores_in_flight : int;
+  mutable unpipe_busy_until : int;
   stats : Stats.t;
   bus : Sdiq_events.Bus.t;
-      (** the sink registry; prefer {!subscribe} over touching it *)
+      (** the sink registry; register through {!subscribe}, never
+          [Bus.subscribe] directly (the pipeline caches [bus_on]) *)
+  mutable bus_on : bool;
   mutable prev_iq_bank_mask : int;
   mutable prev_int_rf_bank_mask : int;
   mutable prev_fp_rf_bank_mask : int;
@@ -90,6 +106,26 @@ val drained : t -> bool
 
 (** Run until the program drains or [max_insns] commit. *)
 val run : ?max_insns:int -> ?max_cycles:int -> t -> Stats.t
+
+(** Hold ([true]) or release ([false]) fetch; in-flight instructions
+    keep flowing either way. Sampled simulation holds fetch to drain the
+    machine before a fast-forward. *)
+val set_fetch_hold : t -> bool -> unit
+
+(** Hold fetch and run until every in-flight instruction has retired
+    (fetch stays held). Raises {!Simulation_limit} after [max_cycles]
+    (default 1,000,000). *)
+val drain : ?max_cycles:int -> t -> unit
+
+(** Functional fast-forward (SMARTS-style): execute up to [insns]
+    oracle instructions with no timing model, applying exactly the
+    branch-predictor, BTB, RAS, cache and policy-annotation updates
+    detailed execution would apply, advancing the cycle counter one
+    cycle per instruction. No events are emitted and no statistics
+    change. Requires a drained machine ({!drain});
+    raises [Invalid_argument] otherwise. Returns the instructions
+    actually skipped (fewer than [insns] only at program halt). *)
+val fast_forward : t -> insns:int -> int
 
 (** Build, initialise memory via [init], run. *)
 val simulate :

@@ -7,6 +7,13 @@ type t = {
   bank_size : int;
   free : bool array;
   ready : bool array;
+  bank_live : int array;
+      (** live registers per bank, maintained incrementally *)
+  bank_of : int array;  (** register → bank, precomputed *)
+  mutable live_mask : int;  (** bit [b] set iff [bank_live.(b) > 0] *)
+  mutable live_banks : int;  (** popcount of [live_mask], incremental *)
+  mutable free_head : int;
+      (** lowest-numbered free register; [size] when exhausted *)
   mutable free_count : int;
   mutable reads : int;
   mutable writes : int;
@@ -22,6 +29,10 @@ val live_count : t -> int
 (** Lowest-numbered free register, marked not-ready; [None] when the
     file is exhausted. *)
 val alloc : t -> int option
+
+(** [alloc] without the option wrapper: the register, or [-1] when none
+    is free (the pipeline's allocation-free rename path). *)
+val alloc_idx : t -> int
 
 (** Claim a specific register (initial architectural mapping). *)
 val alloc_exact : t -> int -> unit

@@ -1,7 +1,15 @@
 (* Reorder buffer: a circular buffer of in-flight instructions committed in
    program order. Because the frontend never injects wrong-path
    instructions (a mispredicted branch stalls fetch until it resolves),
-   the ROB never squashes; it only fills and drains. *)
+   the ROB never squashes; it only fills and drains.
+
+   Storage is flat (DESIGN.md §13): each per-entry attribute lives in its
+   own unboxed array — states and the blocked-fetch flag as bytes,
+   IQ back-pointers as ints, and the destination / previous-mapping
+   registers packed into single int codes — so push, wakeup and commit
+   touch no option or record allocations. The [dyns] array holds the
+   dynamic-instruction records themselves (produced once per instruction
+   by the functional frontend); a free slot holds [dummy_dyn]. *)
 
 open Sdiq_isa
 
@@ -15,89 +23,173 @@ type dest =
   | Int_dest of int (* physical register *)
   | Fp_dest of int
 
-type entry = {
-  mutable dyn : Exec.dyn option;
-  mutable state : state;
-  mutable dest : dest;
-  mutable old_phys : dest;  (* previous mapping, freed at commit *)
-  mutable iq_slot : int;    (* -1 once issued or never queued *)
-  mutable blocked_fetch : bool; (* fetch is stalled on this instruction *)
-}
+(* Destinations packed into one int: 0 = none, odd = int register
+   [code asr 1], even nonzero = fp register [(code asr 1) - 1]... kept
+   simpler: int as [2p + 1], fp as [2p + 2]. *)
+let encode_dest = function
+  | No_dest -> 0
+  | Int_dest p -> (2 * p) + 1
+  | Fp_dest p -> (2 * p) + 2
+
+let decode_dest = function
+  | 0 -> No_dest
+  | c when c land 1 = 1 -> Int_dest (c asr 1)
+  | c -> Fp_dest ((c asr 1) - 1)
+
+let dummy_dyn : Exec.dyn =
+  {
+    Exec.sn = -1;
+    pc = -1;
+    instr = Instr.make Opcode.Halt;
+    next_pc = -1;
+    taken = false;
+    addr = 0;
+  }
 
 type t = {
   size : int;
-  entries : entry array;
+  dyns : Exec.dyn array;
+  states : Bytes.t;       (* 0 Dispatched, 1 Issued, 2 Completed *)
+  dest_codes : int array;
+  old_codes : int array;  (* previous mapping, freed at commit *)
+  iq_slots : int array;   (* -1 once issued or never queued *)
+  blocked : Bytes.t;      (* fetch is stalled on this instruction *)
   mutable head : int;
   mutable tail : int;
   mutable count : int;
+  mutable stores : int;  (* in-flight store entries, for the forward scan *)
 }
 
 let create ~size =
   if size <= 0 then invalid_arg "Rob.create";
-  let mk _ =
-    {
-      dyn = None;
-      state = Dispatched;
-      dest = No_dest;
-      old_phys = No_dest;
-      iq_slot = -1;
-      blocked_fetch = false;
-    }
-  in
   {
     size;
-    entries = Array.init size mk;
+    dyns = Array.make size dummy_dyn;
+    states = Bytes.make size '\000';
+    dest_codes = Array.make size 0;
+    old_codes = Array.make size 0;
+    iq_slots = Array.make size (-1);
+    blocked = Bytes.make size '\000';
     head = 0;
     tail = 0;
     count = 0;
+    stores = 0;
   }
 
 let is_full t = t.count = t.size
 let is_empty t = t.count = 0
 let occupancy t = t.count
 
-let entry t idx = t.entries.(idx)
+(* --- flat accessors ----------------------------------------------------- *)
 
-(* Allocate the tail entry; returns its index. *)
-let push t ~dyn ~dest ~old_phys ~iq_slot =
+let dyn t idx = Array.unsafe_get t.dyns idx
+
+let state t idx : state =
+  match Bytes.unsafe_get t.states idx with
+  | '\000' -> Dispatched
+  | '\001' -> Issued
+  | _ -> Completed
+
+let set_state t idx (s : state) =
+  Bytes.unsafe_set t.states idx
+    (match s with Dispatched -> '\000' | Issued -> '\001' | Completed -> '\002')
+
+let is_completed t idx = Bytes.unsafe_get t.states idx = '\002'
+
+(* Raw destination codes for the hot path; [decode_dest] recovers the
+   typed view for observers. *)
+let dest_code t idx = Array.unsafe_get t.dest_codes idx
+let old_code t idx = Array.unsafe_get t.old_codes idx
+let dest_of t idx = decode_dest (dest_code t idx)
+let old_phys_of t idx = decode_dest (old_code t idx)
+
+let iq_slot t idx = Array.unsafe_get t.iq_slots idx
+let set_iq_slot t idx s = Array.unsafe_set t.iq_slots idx s
+
+let blocked_fetch t idx = Bytes.unsafe_get t.blocked idx <> '\000'
+
+let set_blocked_fetch t idx b =
+  Bytes.unsafe_set t.blocked idx (if b then '\001' else '\000')
+
+(* Allocate the tail entry; returns its index. [push_codes] is the
+   allocation-free form taking pre-encoded destination codes. *)
+let push_codes t ~dyn ~dest_code ~old_code ~iq_slot =
   if is_full t then invalid_arg "Rob.push: full";
   let idx = t.tail in
-  let e = t.entries.(idx) in
-  e.dyn <- Some dyn;
-  e.state <- Dispatched;
-  e.dest <- dest;
-  e.old_phys <- old_phys;
-  e.iq_slot <- iq_slot;
-  e.blocked_fetch <- false;
-  t.tail <- (t.tail + 1) mod t.size;
+  Array.unsafe_set t.dyns idx dyn;
+  Bytes.unsafe_set t.states idx '\000';
+  Array.unsafe_set t.dest_codes idx dest_code;
+  Array.unsafe_set t.old_codes idx old_code;
+  Array.unsafe_set t.iq_slots idx iq_slot;
+  Bytes.unsafe_set t.blocked idx '\000';
+  t.tail <- (if t.tail + 1 = t.size then 0 else t.tail + 1);
   t.count <- t.count + 1;
+  if Instr.is_store dyn.Exec.instr then t.stores <- t.stores + 1;
   idx
 
-(* Pop the head entry if it has completed; [f] consumes it. Returns true
-   when an instruction was committed. *)
-let try_commit t f =
-  if is_empty t then false
-  else begin
-    let e = t.entries.(t.head) in
-    match e.state with
-    | Completed ->
-      f e;
-      e.dyn <- None;
-      t.head <- (t.head + 1) mod t.size;
-      t.count <- t.count - 1;
-      true
-    | Dispatched | Issued -> false
-  end
+let push t ~dyn ~dest ~old_phys ~iq_slot =
+  push_codes t ~dyn ~dest_code:(encode_dest dest)
+    ~old_code:(encode_dest old_phys) ~iq_slot
 
-(* Iterate over in-flight entries from oldest to youngest. *)
+(* Commit primitives for the hot loop: test the head, read its index,
+   pop it — without a per-commit closure. *)
+let head_is_completed t = t.count > 0 && is_completed t t.head
+let head_index t = t.head
+
+let pop_head t =
+  let idx = t.head in
+  if Instr.is_store (Array.unsafe_get t.dyns idx).Exec.instr then
+    t.stores <- t.stores - 1;
+  Array.unsafe_set t.dyns idx dummy_dyn;
+  t.head <- (if t.head + 1 = t.size then 0 else t.head + 1);
+  t.count <- t.count - 1
+
+(* Pop the head entry if it has completed; [f] consumes its index (the
+   entry is still intact during the call). Returns true when an
+   instruction was committed. *)
+let try_commit t f =
+  if head_is_completed t then begin
+    f t.head;
+    pop_head t;
+    true
+  end
+  else false
+
+(* Iterate over in-flight entry indices from oldest to youngest. *)
 let iter_in_flight t f =
   let pos = ref t.head in
   for _ = 1 to t.count do
-    f !pos t.entries.(!pos);
-    pos := (!pos + 1) mod t.size
+    f !pos;
+    pos := (if !pos + 1 = t.size then 0 else !pos + 1)
   done
+
+(* Youngest in-flight entry older than [idx] that is a store to [addr];
+   -1 when none. Walks backwards from [idx] toward the head so the first
+   match is the youngest — equivalent to scanning every older entry and
+   keeping the last match, but with early exit. *)
+let youngest_older_store t idx addr =
+  if t.stores = 0 then -1
+  else begin
+  let res = ref (-1) in
+  let pos = ref idx in
+  let steps =
+    ref
+      (let d = idx - t.head in
+       if d < 0 then d + t.size else d)
+  in
+  while !res < 0 && !steps > 0 do
+    pos := (if !pos = 0 then t.size - 1 else !pos - 1);
+    decr steps;
+    let d = Array.unsafe_get t.dyns !pos in
+    if d.Exec.addr = addr && Instr.is_store d.Exec.instr then res := !pos
+  done;
+  !res
+  end
 
 (* Is [a] older than [b] in program order? Valid for in-flight indices. *)
 let older t a b =
-  let age idx = (idx - t.head + t.size) mod t.size in
+  let age idx =
+    let d = idx - t.head in
+    if d < 0 then d + t.size else d
+  in
   age a < age b

@@ -1,6 +1,10 @@
 (** Reorder buffer: in-flight instructions committed in program order.
     The frontend never injects wrong-path instructions, so the ROB never
-    squashes; it only fills and drains. *)
+    squashes; it only fills and drains.
+
+    Entries are stored flat (one unboxed array per attribute, DESIGN.md
+    §13) and read through per-index accessors; a free slot's [dyn] is
+    [dummy_dyn] (sequence number -1). *)
 
 type state =
   | Dispatched
@@ -12,14 +16,14 @@ type dest =
   | Int_dest of int
   | Fp_dest of int
 
-type entry = {
-  mutable dyn : Sdiq_isa.Exec.dyn option;
-  mutable state : state;
-  mutable dest : dest;
-  mutable old_phys : dest;  (** previous mapping, freed at commit *)
-  mutable iq_slot : int;
-  mutable blocked_fetch : bool;
-}
+(** Destinations packed into one int (0 none, [2p+1] int reg [p],
+    [2p+2] fp reg [p]) for the allocation-free hot path. *)
+val encode_dest : dest -> int
+
+val decode_dest : int -> dest
+
+(** Placeholder dynamic instruction held by free slots. *)
+val dummy_dyn : Sdiq_isa.Exec.dyn
 
 type t
 
@@ -27,7 +31,23 @@ val create : size:int -> t
 val is_full : t -> bool
 val is_empty : t -> bool
 val occupancy : t -> int
-val entry : t -> int -> entry
+
+(** {2 Per-entry accessors (valid for in-flight indices)} *)
+
+val dyn : t -> int -> Sdiq_isa.Exec.dyn
+val state : t -> int -> state
+val set_state : t -> int -> state -> unit
+val is_completed : t -> int -> bool
+
+val dest_code : t -> int -> int
+val old_code : t -> int -> int
+val dest_of : t -> int -> dest
+val old_phys_of : t -> int -> dest
+
+val iq_slot : t -> int -> int
+val set_iq_slot : t -> int -> int -> unit
+val blocked_fetch : t -> int -> bool
+val set_blocked_fetch : t -> int -> bool -> unit
 
 (** Allocate the tail entry; returns its index. Raises when full. *)
 val push :
@@ -38,11 +58,32 @@ val push :
   iq_slot:int ->
   int
 
-(** Pop the head if completed, passing it to [f]; true on commit. *)
-val try_commit : t -> (entry -> unit) -> bool
+(** [push] with pre-encoded destination codes (allocation-free). *)
+val push_codes :
+  t ->
+  dyn:Sdiq_isa.Exec.dyn ->
+  dest_code:int ->
+  old_code:int ->
+  iq_slot:int ->
+  int
 
-(** Oldest to youngest. *)
-val iter_in_flight : t -> (int -> entry -> unit) -> unit
+(** Commit primitives: is the oldest entry completed / its index / drop
+    it. [pop_head] assumes a non-empty buffer. *)
+val head_is_completed : t -> bool
+
+val head_index : t -> int
+val pop_head : t -> unit
+
+(** Pop the head if completed, passing its index to [f] (the entry is
+    intact during the call); true on commit. *)
+val try_commit : t -> (int -> unit) -> bool
+
+(** Oldest to youngest, by entry index. *)
+val iter_in_flight : t -> (int -> unit) -> unit
 
 (** Program-order comparison of two in-flight indices. *)
 val older : t -> int -> int -> bool
+
+(** [youngest_older_store t idx addr]: index of the youngest in-flight
+    store to [addr] older than entry [idx], or [-1]. *)
+val youngest_older_store : t -> int -> int -> int

@@ -211,6 +211,88 @@ let add a b =
     a.dispatch_stall_rob_full + b.dispatch_stall_rob_full;
   a.dispatch_stall_no_reg <- a.dispatch_stall_no_reg + b.dispatch_stall_no_reg
 
+(* A field-for-field snapshot; the sampling harness diffs snapshots
+   taken around each measured window. *)
+let copy t =
+  {
+    cycles = t.cycles;
+    committed = t.committed;
+    dispatched = t.dispatched;
+    iqset_dispatch_slots = t.iqset_dispatch_slots;
+    iq_occupancy_sum = t.iq_occupancy_sum;
+    iq_banks_on_sum = t.iq_banks_on_sum;
+    iq_wakeups_gated = t.iq_wakeups_gated;
+    iq_wakeups_nonempty = t.iq_wakeups_nonempty;
+    iq_wakeups_naive = t.iq_wakeups_naive;
+    iq_dispatch_ram_writes = t.iq_dispatch_ram_writes;
+    iq_dispatch_cam_writes = t.iq_dispatch_cam_writes;
+    iq_issue_reads = t.iq_issue_reads;
+    iq_broadcasts = t.iq_broadcasts;
+    iq_selects = t.iq_selects;
+    int_rf_reads = t.int_rf_reads;
+    int_rf_writes = t.int_rf_writes;
+    int_rf_banks_on_sum = t.int_rf_banks_on_sum;
+    int_rf_live_sum = t.int_rf_live_sum;
+    fp_rf_reads = t.fp_rf_reads;
+    fp_rf_writes = t.fp_rf_writes;
+    fp_rf_banks_on_sum = t.fp_rf_banks_on_sum;
+    fetched = t.fetched;
+    branches = t.branches;
+    mispredicts = t.mispredicts;
+    btb_bubbles = t.btb_bubbles;
+    il1_misses = t.il1_misses;
+    dl1_misses = t.dl1_misses;
+    l2_misses = t.l2_misses;
+    loads = t.loads;
+    stores = t.stores;
+    store_forwards = t.store_forwards;
+    dispatch_stall_policy = t.dispatch_stall_policy;
+    dispatch_stall_iq_full = t.dispatch_stall_iq_full;
+    dispatch_stall_rob_full = t.dispatch_stall_rob_full;
+    dispatch_stall_no_reg = t.dispatch_stall_no_reg;
+  }
+
+(* [diff a b]: the per-field difference [a - b] as a fresh value —
+   the counter deltas accumulated between two snapshots. *)
+let diff a b =
+  {
+    cycles = a.cycles - b.cycles;
+    committed = a.committed - b.committed;
+    dispatched = a.dispatched - b.dispatched;
+    iqset_dispatch_slots = a.iqset_dispatch_slots - b.iqset_dispatch_slots;
+    iq_occupancy_sum = a.iq_occupancy_sum - b.iq_occupancy_sum;
+    iq_banks_on_sum = a.iq_banks_on_sum - b.iq_banks_on_sum;
+    iq_wakeups_gated = a.iq_wakeups_gated - b.iq_wakeups_gated;
+    iq_wakeups_nonempty = a.iq_wakeups_nonempty - b.iq_wakeups_nonempty;
+    iq_wakeups_naive = a.iq_wakeups_naive - b.iq_wakeups_naive;
+    iq_dispatch_ram_writes = a.iq_dispatch_ram_writes - b.iq_dispatch_ram_writes;
+    iq_dispatch_cam_writes = a.iq_dispatch_cam_writes - b.iq_dispatch_cam_writes;
+    iq_issue_reads = a.iq_issue_reads - b.iq_issue_reads;
+    iq_broadcasts = a.iq_broadcasts - b.iq_broadcasts;
+    iq_selects = a.iq_selects - b.iq_selects;
+    int_rf_reads = a.int_rf_reads - b.int_rf_reads;
+    int_rf_writes = a.int_rf_writes - b.int_rf_writes;
+    int_rf_banks_on_sum = a.int_rf_banks_on_sum - b.int_rf_banks_on_sum;
+    int_rf_live_sum = a.int_rf_live_sum - b.int_rf_live_sum;
+    fp_rf_reads = a.fp_rf_reads - b.fp_rf_reads;
+    fp_rf_writes = a.fp_rf_writes - b.fp_rf_writes;
+    fp_rf_banks_on_sum = a.fp_rf_banks_on_sum - b.fp_rf_banks_on_sum;
+    fetched = a.fetched - b.fetched;
+    branches = a.branches - b.branches;
+    mispredicts = a.mispredicts - b.mispredicts;
+    btb_bubbles = a.btb_bubbles - b.btb_bubbles;
+    il1_misses = a.il1_misses - b.il1_misses;
+    dl1_misses = a.dl1_misses - b.dl1_misses;
+    l2_misses = a.l2_misses - b.l2_misses;
+    loads = a.loads - b.loads;
+    stores = a.stores - b.stores;
+    store_forwards = a.store_forwards - b.store_forwards;
+    dispatch_stall_policy = a.dispatch_stall_policy - b.dispatch_stall_policy;
+    dispatch_stall_iq_full = a.dispatch_stall_iq_full - b.dispatch_stall_iq_full;
+    dispatch_stall_rob_full = a.dispatch_stall_rob_full - b.dispatch_stall_rob_full;
+    dispatch_stall_no_reg = a.dispatch_stall_no_reg - b.dispatch_stall_no_reg;
+  }
+
 (* Every field with its name, for field-by-field divergence reports. *)
 let to_fields t =
   [

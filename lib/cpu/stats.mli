@@ -53,6 +53,13 @@ val absorb : t -> Sdiq_events.Event.t -> unit
     the global statistics exactly. *)
 val add : t -> t -> unit
 
+(** A field-for-field snapshot (fresh value, original untouched). *)
+val copy : t -> t
+
+(** [diff a b]: the field-wise difference [a - b] as a fresh value — the
+    counter deltas accumulated between two snapshots. *)
+val diff : t -> t -> t
+
 (** Every field with its name, for field-by-field divergence reports. *)
 val to_fields : t -> (string * int) list
 

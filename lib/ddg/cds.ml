@@ -36,27 +36,43 @@ type schedule = {
 
 (* Longest-path start times for a candidate II; [None] when the constraint
    system t(dst) >= t(src) + lat - dist*II has a positive cycle (II below
-   the recurrence bound). *)
+   the recurrence bound). Bellman–Ford over the edges flattened into
+   parallel int arrays: [component_mii] re-solves the same system for
+   successive II candidates, so the relaxation loop should not chase an
+   edge list. *)
 let solve_starts (g : Ddg.t) ~ii =
   let n = Ddg.num_nodes g in
   let s = Array.make n 0 in
   let edges = Ddg.edges g in
-  let bound = (n + 1) * (List.length edges + 1) in
+  let ne = List.length edges in
+  let esrc = Array.make ne 0
+  and edst = Array.make ne 0
+  and eadd = Array.make ne 0 in
+  List.iteri
+    (fun j (e : Ddg.edge) ->
+      esrc.(j) <- e.src;
+      edst.(j) <- e.dst;
+      (* constant part of the constraint: lat - dist*II *)
+      eadd.(j) <- e.latency - (e.distance * ii))
+    edges;
+  let bound = (n + 1) * (ne + 1) in
   let changed = ref true in
   let steps = ref 0 in
   let feasible = ref true in
   while !changed && !feasible do
     changed := false;
-    List.iter
-      (fun (e : Ddg.edge) ->
-        let lo = s.(e.src) + e.latency - (e.distance * ii) in
-        if s.(e.dst) < lo then begin
-          s.(e.dst) <- lo;
-          changed := true;
-          incr steps;
-          if !steps > bound then feasible := false
-        end)
-      edges
+    let j = ref 0 in
+    while !j < ne && !feasible do
+      let lo = s.(Array.unsafe_get esrc !j) + Array.unsafe_get eadd !j in
+      let d = Array.unsafe_get edst !j in
+      if s.(d) < lo then begin
+        s.(d) <- lo;
+        changed := true;
+        incr steps;
+        if !steps > bound then feasible := false
+      end;
+      incr j
+    done
   done;
   if not !feasible then None
   else begin
@@ -172,8 +188,11 @@ let schedule ?(width = 8) ?(fu_count = Fu.default_count) (g : Ddg.t) :
     { ii = 1; start = [||]; reference = 0; cds = []; equations = [] }
   else begin
     let components = cds_sets g in
+    (* Each component's forced II, computed once (the critical-CDS pick
+       below reuses them). *)
+    let weighted = List.map (fun c -> (c, component_mii g c)) components in
     let rec_mii =
-      List.fold_left (fun acc c -> max acc (component_mii g c)) 1 components
+      List.fold_left (fun acc (_, w) -> max acc w) 1 weighted
     in
     let ii = max rec_mii (resource_mii ~width ~fu_count g) in
     let start =
@@ -189,21 +208,15 @@ let schedule ?(width = 8) ?(fu_count = Fu.default_count) (g : Ddg.t) :
     (* The critical CDS: greatest forced II; ties broken by earliest
        position, matching "the CDS that has the greatest latency". *)
     let cds =
-      match components with
-      | [] -> []
-      | _ ->
-        let weight c = component_mii g c in
-        let best =
-          List.fold_left
-            (fun acc c ->
-              match acc with
-              | None -> Some (c, weight c)
-              | Some (_, w) ->
-                let wc = weight c in
-                if wc > w then Some (c, wc) else acc)
-            None components
-        in
-        (match best with Some (c, _) -> List.sort compare c | None -> [])
+      let best =
+        List.fold_left
+          (fun acc (c, wc) ->
+            match acc with
+            | None -> Some (c, wc)
+            | Some (_, w) -> if wc > w then Some (c, wc) else acc)
+          None weighted
+      in
+      match best with Some (c, _) -> List.sort compare c | None -> []
     in
     let reference = match cds with r :: _ -> r | [] -> 0 in
     let equations =
@@ -245,18 +258,58 @@ let iq_need ?(cap = 1024) (g : Ddg.t) (sch : schedule) : int =
         issue_time.((i * l) + p) <- sch.start.(p) + (i * sch.ii)
       done
     done;
+    (* The span bounds reduce to monotone threshold searches (no O(total)
+       scan per event): with P.(d) the prefix max and s.(d) the suffix min
+       of [issue_time] — both non-decreasing in d —
+
+         min_d(tau) = min {d : issue_time.(d) >= tau}
+                    = min {d : P.(d) >= tau}
+           (at the first d with P.(d) >= tau > P.(d-1), the prefix max is
+           attained at d itself, so issue_time.(d) = P.(d) >= tau);
+
+         max_d(tau) = max {d : issue_time.(d) <= tau}
+                    = max {d : s.(d) <= tau}
+           (at the last d with s.(d) <= tau < s.(d+1), the suffix min is
+           attained at d itself, so issue_time.(d) = s.(d) <= tau).
+
+       Both exist for every measured tau: it is itself an issue time. *)
+    let pmax = Array.make total 0 in
+    let smin = Array.make total 0 in
+    let acc = ref min_int in
+    for d = 0 to total - 1 do
+      if issue_time.(d) > !acc then acc := issue_time.(d);
+      pmax.(d) <- !acc
+    done;
+    acc := max_int;
+    for d = total - 1 downto 0 do
+      if issue_time.(d) < !acc then acc := issue_time.(d);
+      smin.(d) <- !acc
+    done;
+    (* First index with pmax >= tau (exists: pmax.(total-1) >= tau). *)
+    let first_ge tau =
+      let lo = ref 0 and hi = ref (total - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if pmax.(mid) >= tau then hi := mid else lo := mid + 1
+      done;
+      !lo
+    in
+    (* Last index with smin <= tau (exists: smin.(0) <= tau). *)
+    let last_le tau =
+      let lo = ref 0 and hi = ref (total - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if smin.(mid) <= tau then lo := mid else hi := mid - 1
+      done;
+      !lo
+    in
     let need = ref 1 in
     (* Only measure at issue events of steady-state iterations. *)
     for i = warm to iters - warm - 1 do
       for p = 0 to l - 1 do
         let tau = issue_time.((i * l) + p) in
-        let min_d = ref max_int and max_d = ref (-1) in
-        for d = 0 to total - 1 do
-          if issue_time.(d) >= tau && d < !min_d then min_d := d;
-          if issue_time.(d) <= tau && d > !max_d then max_d := d
-        done;
-        if !max_d >= 0 && !min_d < max_int && !max_d >= !min_d then
-          need := max !need (!max_d - !min_d + 1)
+        let span = last_le tau - first_ge tau + 1 in
+        if span > !need then need := span
       done
     done;
     min !need cap

@@ -31,6 +31,11 @@ type t = {
   profiles : (key, Sdiq_obs.Profiler.t) Hashtbl.t;
       (* separate memo: profiled runs are dedicated simulations, so the
          conservation tests compare two independent executions *)
+  sampled : (key, Sampling.result) Hashtbl.t;
+      (* separate memo again: a sampled run is a different execution
+         regime (fast-forward + windows, whole program) and must never
+         alias a detailed run *)
+  sample_config : Sampling.config;
   benches : Bench.t list;
   pool : Sdiq_util.Pool.t;
   checker : (unit -> Sdiq_cpu.Pipeline.t -> unit) option;
@@ -40,12 +45,15 @@ type t = {
 }
 
 let create ?(config = Sdiq_cpu.Config.default) ?(budget = 100_000)
-    ?(benches = Suite.all ()) ?domains ?checker () =
+    ?(benches = Suite.all ()) ?domains ?checker
+    ?(sample_config = Sampling.default) () =
   {
     config;
     budget;
     table = Hashtbl.create 64;
     profiles = Hashtbl.create 64;
+    sampled = Hashtbl.create 64;
+    sample_config;
     benches;
     pool = Sdiq_util.Pool.create ?domains ();
     checker;
@@ -126,6 +134,57 @@ let run_all t =
         wall_s;
         serial_estimate_s;
       }
+
+(* One cold sampled (benchmark, technique) simulation: same build as
+   [simulate_pair] — technique rewrite, policy, checker sink — but the
+   program runs to completion (or [Sampling]'s own limit) under the
+   SMARTS regime instead of a detailed instruction budget. The checker
+   hook fires on every detailed cycle, warmup and measured alike, so a
+   checkered sampled campaign audits every detailed window. Pure given
+   [t.config], so safe on any domain. *)
+let simulate_sampled_pair t name technique : Sampling.result =
+  let bench = find_bench t name in
+  let prog = Technique.prepare technique bench.Bench.prog in
+  let policy = Technique.policy technique in
+  let p = Sdiq_cpu.Pipeline.create ~config:t.config ~policy prog in
+  (match t.checker with
+  | Some mk -> Sdiq_cpu.Pipeline.on_cycle_end ~name:"campaign-checker" p (mk ())
+  | None -> ());
+  bench.Bench.init p.Sdiq_cpu.Pipeline.exec;
+  Sampling.sample ~config:t.sample_config p
+
+(* Run one sampled pair, memoised. *)
+let run_sampled t name technique : Sampling.result =
+  let key = (name, technique) in
+  match Hashtbl.find_opt t.sampled key with
+  | Some r -> r
+  | None ->
+    let r = simulate_sampled_pair t name technique in
+    Hashtbl.replace t.sampled key r;
+    r
+
+let run_all_sampled t =
+  let todo =
+    List.concat_map
+      (fun name ->
+        List.filter_map
+          (fun tech ->
+            if Hashtbl.mem t.sampled (name, tech) then None
+            else Some (name, tech))
+          Technique.all)
+      (bench_names t)
+    |> Array.of_list
+  in
+  (* Same discipline as [run_all]: workers fill disjoint slots of the
+     result buffer, and the memo table is populated in key order after
+     the join barrier — a 1-domain and an N-domain sampled campaign
+     produce identical tables. *)
+  let results =
+    Sdiq_util.Pool.map_array t.pool
+      ~f:(fun (name, tech) -> simulate_sampled_pair t name tech)
+      todo
+  in
+  Array.iteri (fun i r -> Hashtbl.replace t.sampled todo.(i) r) results
 
 (* One cold profiled simulation: build the region map for the
    technique's delivery, load the map's own running binary (identical

@@ -24,6 +24,7 @@ val create :
   ?benches:Sdiq_workloads.Bench.t list ->
   ?domains:int ->
   ?checker:(unit -> Sdiq_cpu.Pipeline.t -> unit) ->
+  ?sample_config:Sampling.config ->
   unit ->
   t
 (** [domains] sizes the campaign pool (default
@@ -51,6 +52,17 @@ val run : t -> string -> Technique.t -> Sdiq_cpu.Stats.t
 (** Populate the whole (benchmark x technique) table, in parallel across
     the runner's domain pool. Already-memoised pairs are not re-run. *)
 val run_all : t -> unit
+
+(** Run one pair under SMARTS sampling ({!Sampling.sample}): the whole
+    program, fast-forwarded between detailed windows — memoised
+    separately from {!run}'s detailed table. The runner's [checker]
+    hook, if any, audits every detailed cycle of every window. *)
+val run_sampled : t -> string -> Technique.t -> Sampling.result
+
+(** Populate the whole sampled (benchmark x technique) table in
+    parallel, with the same disjoint-slot discipline as {!run_all}:
+    the table is identical whatever the domain count. *)
+val run_all_sampled : t -> unit
 
 (** Region-attribution profile of one pair, memoised separately from
     {!run}'s table: a profiled pair is a {e dedicated} simulation with

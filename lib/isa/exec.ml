@@ -24,12 +24,17 @@ type state = {
   prog : Prog.t;
   iregs : int array;
   fregs : float array;
-  imem : (int, int) Hashtbl.t;
+  imem : Intmap.t; (* open addressing: allocation-free loads *)
   fmem : (int, float) Hashtbl.t;
   mutable stack : int list; (* return addresses *)
   mutable pc : int;
   mutable steps : int;
   mutable halted : bool;
+  (* [step] scratch: OCaml would box [ref] cells, so the per-instruction
+     outcome fields live on the state instead (DESIGN.md §13) *)
+  mutable d_next_pc : int;
+  mutable d_taken : bool;
+  mutable d_addr : int;
 }
 
 let create prog =
@@ -37,16 +42,19 @@ let create prog =
     prog;
     iregs = Array.make Reg.num_int 0;
     fregs = Array.make Reg.num_fp 0.;
-    imem = Hashtbl.create 4096;
+    imem = Intmap.create 4096;
     fmem = Hashtbl.create 256;
     stack = [];
     pc = prog.Prog.entry;
     steps = 0;
     halted = false;
+    d_next_pc = 0;
+    d_taken = false;
+    d_addr = -1;
   }
 
-let peek t addr = match Hashtbl.find_opt t.imem addr with Some v -> v | None -> 0
-let poke t addr v = Hashtbl.replace t.imem addr v
+let peek t addr = Intmap.find t.imem addr ~default:0
+let poke t addr v = Intmap.replace t.imem addr v
 let fpeek t addr = match Hashtbl.find_opt t.fmem addr with Some v -> v | None -> 0.
 let fpoke t addr v = Hashtbl.replace t.fmem addr v
 
@@ -80,7 +88,7 @@ let shift_ok n = n >= 0 && n < 63
 (* Execute the instruction at [t.pc]; returns [None] once halted. *)
 let step t : dyn option =
   if t.halted then None
-  else if t.pc < 0 || t.pc >= Prog.length t.prog then (
+  else if t.pc < 0 || t.pc >= Array.length t.prog.Prog.code then (
     t.halted <- true;
     None)
   else begin
@@ -89,9 +97,9 @@ let step t : dyn option =
     let sn = t.steps in
     t.steps <- sn + 1;
     let fallthrough = pc + 1 in
-    let next_pc = ref fallthrough in
-    let taken = ref false in
-    let addr = ref (-1) in
+    t.d_next_pc <- fallthrough;
+    t.d_taken <- false;
+    t.d_addr <- -1;
     (match i.op with
     | Opcode.Add -> write_int t i (src1_int t i + src2_int t i)
     | Opcode.Sub -> write_int t i (src1_int t i - src2_int t i)
@@ -135,46 +143,54 @@ let step t : dyn option =
     | Opcode.Ftoi -> write_int t i (int_of_float (src1_fp t i))
     | Opcode.Load ->
       let a = src1_int t i + i.imm in
-      addr := a;
+      t.d_addr <- a;
       write_int t i (peek t a)
     | Opcode.Store ->
       let a = src1_int t i + i.imm in
-      addr := a;
+      t.d_addr <- a;
       poke t a (src2_int t i)
     | Opcode.Fload ->
       let a = src1_int t i + i.imm in
-      addr := a;
+      t.d_addr <- a;
       write_fp t i (fpeek t a)
     | Opcode.Fstore ->
       let a = src1_int t i + i.imm in
-      addr := a;
+      t.d_addr <- a;
       fpoke t a (src2_fp t i)
     | Opcode.Beq ->
-      if src1_int t i = src2_int t i then (taken := true; next_pc := i.target)
+      if src1_int t i = src2_int t i then (t.d_taken <- true; t.d_next_pc <- i.target)
     | Opcode.Bne ->
-      if src1_int t i <> src2_int t i then (taken := true; next_pc := i.target)
+      if src1_int t i <> src2_int t i then (t.d_taken <- true; t.d_next_pc <- i.target)
     | Opcode.Blt ->
-      if src1_int t i < src2_int t i then (taken := true; next_pc := i.target)
+      if src1_int t i < src2_int t i then (t.d_taken <- true; t.d_next_pc <- i.target)
     | Opcode.Bge ->
-      if src1_int t i >= src2_int t i then (taken := true; next_pc := i.target)
+      if src1_int t i >= src2_int t i then (t.d_taken <- true; t.d_next_pc <- i.target)
     | Opcode.Jmp ->
-      taken := true;
-      next_pc := i.target
+      t.d_taken <- true;
+      t.d_next_pc <- i.target
     | Opcode.Call ->
-      taken := true;
+      t.d_taken <- true;
       t.stack <- fallthrough :: t.stack;
-      next_pc := i.target
+      t.d_next_pc <- i.target
     | Opcode.Ret -> (
-      taken := true;
+      t.d_taken <- true;
       match t.stack with
       | ra :: rest ->
         t.stack <- rest;
-        next_pc := ra
+        t.d_next_pc <- ra
       | [] -> t.halted <- true (* return from the entry procedure *))
     | Opcode.Nop | Opcode.Iqset -> ()
     | Opcode.Halt -> t.halted <- true);
-    t.pc <- !next_pc;
-    Some { sn; pc; instr = i; next_pc = !next_pc; taken = !taken; addr = !addr }
+    t.pc <- t.d_next_pc;
+    Some
+      {
+        sn;
+        pc;
+        instr = i;
+        next_pc = t.d_next_pc;
+        taken = t.d_taken;
+        addr = t.d_addr;
+      }
   end
 
 (* Run to completion (or [max_steps]); returns the number of executed

@@ -19,12 +19,17 @@ type state = {
   prog : Prog.t;
   iregs : int array;
   fregs : float array;
-  imem : (int, int) Hashtbl.t;
+  imem : Intmap.t;  (** integer memory (open addressing) *)
   fmem : (int, float) Hashtbl.t;
   mutable stack : int list;
   mutable pc : int;
   mutable steps : int;
   mutable halted : bool;
+  mutable d_next_pc : int;
+      (** [step] scratch (unboxed outcome fields); not meaningful between
+          calls *)
+  mutable d_taken : bool;
+  mutable d_addr : int;
 }
 
 val create : Prog.t -> state

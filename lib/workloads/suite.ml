@@ -22,6 +22,27 @@ let names () = List.map (fun (b : Bench.t) -> b.Bench.name) (all ())
 let find name =
   List.find_opt (fun (b : Bench.t) -> b.Bench.name = name) (all ())
 
+(* Larger instances for sampled campaigns: every program executes at
+   least ten million oracle instructions, so a SMARTS run has enough
+   stream for a statistically meaningful window count. Outer counts are
+   sized from measured instructions-per-iteration at the defaults
+   (gzip ~47/iter, ..., bzip2 ~800/iter, gap ~31k/iter) with ~15%
+   margin. *)
+let scaled () : Bench.t list =
+  [
+    W_gzip.build ~outer:250_000 ();
+    W_vpr.build ~outer:380_000 ();
+    W_gcc.build ~outer:540_000 ();
+    W_mcf.build ~outer:1_300_000 ();
+    W_crafty.build ~outer:380_000 ();
+    W_parser.build ~outer:260_000 ();
+    W_perlbmk.build ~outer:520_000 ();
+    W_gap.build ~outer:400 ();
+    W_vortex.build ~outer:175_000 ();
+    W_bzip2.build ~outer:15_000 ();
+    W_twolf.build ~outer:400_000 ();
+  ]
+
 (* Smaller instances for tests. *)
 let tiny () : Bench.t list =
   [

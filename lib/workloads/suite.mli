@@ -7,3 +7,7 @@ val find : string -> Bench.t option
 
 (** Much smaller instances, for tests. *)
 val tiny : unit -> Bench.t list
+
+(** Larger instances for sampled campaigns: every program executes at
+    least ten million oracle instructions. *)
+val scaled : unit -> Bench.t list

@@ -45,4 +45,59 @@ let () =
     Printf.printf "\nfuzz: %d/%d programs FAILED\n" !failures n;
     exit 1
   end;
-  Printf.printf "fuzz: all %d programs agree across techniques (checker on)\n" n
+  Printf.printf "fuzz: all %d programs agree across techniques (checker on)\n%!"
+    n;
+  (* Sampled lane: the same derived seeds through SMARTS sampling with
+     the invariant checker attached — the checker audits every detailed
+     cycle, warmup and measured window alike, so any state the
+     functional fast-forward could corrupt trips an invariant inside
+     the next window. A tiny geometry keeps several fast-forward /
+     detailed transitions even on short random programs. *)
+  let config =
+    {
+      Sdiq_harness.Sampling.ff_len = 2_000;
+      warmup_len = 300;
+      window_len = 300;
+    }
+  in
+  let sampled_failures = ref 0 in
+  for i = 0 to n - 1 do
+    let seed = base_seed + i in
+    let rng = Sdiq_util.Rng.create seed in
+    let desc = Sdiq_workloads.Gen.random_desc rng in
+    let prog = Sdiq_workloads.Gen.program_of_desc desc in
+    List.iter
+      (fun tech ->
+        let prepared = Sdiq_harness.Technique.prepare tech prog in
+        let p =
+          Sdiq_cpu.Pipeline.create
+            ~policy:(Sdiq_harness.Technique.policy tech)
+            prepared
+        in
+        ignore (Sdiq_check.Checker.attach p : Sdiq_check.Checker.t);
+        let fail fmt =
+          incr sampled_failures;
+          Printf.printf "\nSAMPLED FAILURE at program %d (seed %d, %s)\n" i
+            seed
+            (Sdiq_harness.Technique.name tech);
+          Printf.printf
+            "replay: FUZZ_SEED=%d FUZZ_N=1 dune exec test/fuzz_main.exe\n"
+            seed;
+          Fmt.pr fmt
+        in
+        match Sdiq_harness.Sampling.sample ~config p with
+        | (_ : Sdiq_harness.Sampling.result) -> ()
+        | exception Sdiq_check.Checker.Invariant_violation v ->
+          fail "%a@." Sdiq_check.Checker.pp_violation v
+        | exception Sdiq_cpu.Pipeline.Simulation_limit msg ->
+          fail "stuck: %s@." msg)
+      Sdiq_harness.Technique.all
+  done;
+  if !sampled_failures > 0 then begin
+    Printf.printf "\nfuzz: %d sampled runs FAILED\n" !sampled_failures;
+    exit 1
+  end;
+  Printf.printf
+    "fuzz: all %d programs clean under sampling (checker on in every \
+     detailed window)\n"
+    n

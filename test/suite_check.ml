@@ -146,9 +146,9 @@ let test_checker_catches_tampered_iq () =
   done;
   let iq = Pipeline.Debug.iq p in
   Alcotest.(check bool) "queue warmed up" true (Sdiq_cpu.Iq.occupancy iq > 0);
-  let e = Sdiq_cpu.Iq.entry iq iq.Sdiq_cpu.Iq.head in
-  Alcotest.(check bool) "head slot is live" true e.Sdiq_cpu.Iq.valid;
-  e.Sdiq_cpu.Iq.valid <- false;
+  Alcotest.(check bool) "head slot is live" true
+    (Sdiq_cpu.Iq.slot_valid iq iq.Sdiq_cpu.Iq.head);
+  Sdiq_cpu.Iq.Raw.set_valid iq iq.Sdiq_cpu.Iq.head false;
   match Pipeline.step_cycle p with
   | () -> Alcotest.fail "checker missed the tampered queue"
   | exception Checker.Invariant_violation v ->
@@ -158,11 +158,6 @@ let test_checker_catches_tampered_iq () =
       && String.sub v.Checker.invariant 0 3 = "iq-")
 
 (* --- violation formatting ------------------------------------------------ *)
-
-let contains ~needle hay =
-  let n = String.length needle and h = String.length hay in
-  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
-  n = 0 || go 0
 
 let test_violation_report_is_structured () =
   let prog = Technique.prepare Technique.Baseline (sample_prog ()) in
@@ -176,7 +171,7 @@ let test_violation_report_is_structured () =
     Pipeline.step_cycle p
   done;
   let iq = Pipeline.Debug.iq p in
-  (Sdiq_cpu.Iq.entry iq iq.Sdiq_cpu.Iq.head).Sdiq_cpu.Iq.valid <- false;
+  Sdiq_cpu.Iq.Raw.set_valid iq iq.Sdiq_cpu.Iq.head false;
   match Pipeline.step_cycle p with
   | () -> Alcotest.fail "expected a violation"
   | exception Checker.Invariant_violation v ->
@@ -186,7 +181,7 @@ let test_violation_report_is_structured () =
         Alcotest.(check bool)
           (Printf.sprintf "report mentions %S" needle)
           true
-          (contains ~needle rendered))
+          (Test_util.contains ~needle rendered))
       [ "cycle"; "state:"; v.Checker.invariant ]
 
 (* --- qcheck: random programs agree across all techniques ---------------- *)

@@ -133,9 +133,8 @@ let test_iq_dispatch_issue_basic () =
   let s0 = Iq.dispatch q ~rob_idx:0 ~ops:[ (1, true) ] in
   let s1 = Iq.dispatch q ~rob_idx:1 ~ops:[ (2, false) ] in
   Alcotest.(check int) "occupancy 2" 2 (Iq.occupancy q);
-  Alcotest.(check bool) "entry 0 ready" true (Iq.entry_ready (Iq.entry q s0));
-  Alcotest.(check bool) "entry 1 not ready" false
-    (Iq.entry_ready (Iq.entry q s1));
+  Alcotest.(check bool) "entry 0 ready" true (Iq.slot_ready q s0);
+  Alcotest.(check bool) "entry 1 not ready" false (Iq.slot_ready q s1);
   Iq.issue q s0;
   Alcotest.(check int) "occupancy 1" 1 (Iq.occupancy q)
 

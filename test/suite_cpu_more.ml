@@ -71,7 +71,7 @@ let test_grow_preserves_wrapped_order () =
   (* Oldest-first order must still be 2,3,...,7,8. *)
   let order =
     List.rev
-      (Iq.fold_oldest_first q (fun acc _ e -> e.Iq.rob_idx :: acc) [])
+      (Iq.fold_oldest_first q (fun acc s -> Iq.slot_rob_idx q s :: acc) [])
   in
   Alcotest.(check (list int)) "order preserved" [ 2; 3; 4; 5; 6; 7; 8 ] order
 
@@ -261,10 +261,9 @@ let test_iq_three_source_ops_truncated () =
      with an over-long ops list by keeping the first two. *)
   let q = Iq.create ~size:8 ~bank_size:2 in
   let s = Iq.dispatch q ~rob_idx:0 ~ops:[ (1, false); (2, false); (3, false) ] in
-  let e = Iq.entry q s in
   Alcotest.(check int) "two CAM writes" 2 q.Iq.dispatch_cam_writes;
   Alcotest.(check bool) "third operand dropped" true
-    (Array.for_all (fun o -> o.Iq.tag <> 3) e.Iq.ops)
+    (Iq.op_tag q s 0 <> 3 && Iq.op_tag q s 1 <> 3)
 
 let test_iq_broadcast_empty_tag_list () =
   let q = Iq.create ~size:8 ~bank_size:2 in

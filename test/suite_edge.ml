@@ -309,7 +309,7 @@ let test_dot_cfg_output () =
   (* The back edge must be marked red. *)
   Alcotest.(check bool) "back edge styled" true
     (String.length dot > 0
-    && Str_split.contains dot "color=red")
+    && Test_util.contains ~needle:"color=red" dot)
 
 let test_dot_ddg_output () =
   let g =
@@ -318,7 +318,7 @@ let test_dot_ddg_output () =
   in
   let dot = Sdiq_ddg.Dot.ddg_to_dot g in
   Alcotest.(check bool) "carried edge dashed" true
-    (Str_split.contains dot "style=dashed")
+    (Test_util.contains ~needle:"style=dashed" dot)
 
 let suite =
   suite

@@ -103,6 +103,30 @@ let test_sink_fold_matches_stats_all_techniques () =
         Technique.all)
     [ gzip (); mcf () ]
 
+(* The dual-path pin: with no sink the pipeline's per-kind emitters
+   update statistics directly (the fast path); with any sink attached
+   every event goes through the bus and [Stats.absorb]. The two paths
+   must produce identical statistics — integer for integer — on every
+   benchmark and technique, or the fast path has drifted from the
+   event vocabulary. *)
+let test_nosink_stats_equal_sink_stats () =
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun tech ->
+          let nosink = run_with bench tech ~attach:(fun _ -> ()) in
+          let sunk =
+            run_with bench tech ~attach:(fun p ->
+                Pipeline.subscribe ~name:"null" p (fun _ -> ()))
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s: no-sink stats == sink-attached stats"
+               bench.Sdiq_workloads.Bench.name (Technique.name tech))
+            true
+            (Stats.equal nosink sunk))
+        Technique.all)
+    [ gzip (); mcf () ]
+
 let prop_sink_fold_matches_stats =
   QCheck.Test.make ~count:12
     ~name:"event fold reproduces pipeline stats on random programs"
@@ -327,6 +351,8 @@ let suite =
       test_pipeline_bus_starts_empty;
     Alcotest.test_case "sink fold == stats (benchmarks x techniques)" `Quick
       test_sink_fold_matches_stats_all_techniques;
+    Alcotest.test_case "no-sink stats == sink-attached stats" `Quick
+      test_nosink_stats_equal_sink_stats;
     QCheck_alcotest.to_alcotest prop_sink_fold_matches_stats;
     Alcotest.test_case "golden event-count snapshot" `Quick test_golden_counts;
     Alcotest.test_case "event counts deterministic across domains" `Quick

@@ -54,23 +54,18 @@ let test_runner_unknown_bench () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
-let contains ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
-  at 0
-
 let test_find_bench_error_lists_names () =
   let r = small_runner () in
   match H.Runner.find_bench r "nonesuch" with
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument msg ->
     Alcotest.(check bool) "names the culprit" true
-      (contains ~needle:"nonesuch" msg);
+      (Test_util.contains ~needle:"nonesuch" msg);
     List.iter
       (fun known ->
         Alcotest.(check bool)
           (Printf.sprintf "lists %S" known)
-          true (contains ~needle:known msg))
+          true (Test_util.contains ~needle:known msg))
       (H.Runner.bench_names r)
 
 let test_savings_well_formed () =

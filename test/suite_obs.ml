@@ -363,17 +363,10 @@ let test_hostprof_smoke () =
     List.fold_left (fun acc (_, s) -> acc +. s) 0. (Hostprof.stage_seconds host)
   in
   Alcotest.(check bool) "accumulated wall clock" true (total_s > 0.);
-  let contains needle hay =
-    let nl = String.length needle and hl = String.length hay in
-    let rec go i =
-      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
-    in
-    go 0
-  in
   let json = Hostprof.to_json host in
   List.iter
     (fun needle ->
-      Alcotest.(check bool) ("json has " ^ needle) true (contains needle json))
+      Alcotest.(check bool) ("json has " ^ needle) true (Test_util.contains ~needle json))
     [ {|"stages"|}; {|"gc"|}; {|"events"|} ]
 
 let suite =

@@ -15,6 +15,7 @@ let () =
       ("power", Suite_power.suite);
       ("workloads", Suite_workloads.suite);
       ("harness", Suite_harness.suite);
+      ("sampling", Suite_sampling.suite);
       ("parallel", Suite_parallel.suite);
       ("edge", Suite_edge.suite);
       ("tools", Suite_tools.suite);

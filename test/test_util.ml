@@ -1,0 +1,7 @@
+(* Shared helpers for the test suite (Str is not linked). *)
+
+(* Does [hay] contain [needle] as a substring? *)
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
