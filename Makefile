@@ -67,8 +67,13 @@ campaign:
 	@dune exec bin/report.exe -- --sample > _build/campaign-sampled.out
 	@tail -1 _build/campaign-sampled.out
 
-# Differential fuzzing: FUZZ_N random programs through the oracle and
-# the pipeline under every technique, invariant checker installed.
+# Differential fuzzing, three lanes over the same FUZZ_N random
+# programs: (1) oracle vs pipeline under every technique with the
+# invariant checker installed (speculative fetch on — the default);
+# (2) the same seeds through SMARTS sampling, checker auditing every
+# detailed window; (3) each program run with speculation on and off,
+# asserting the committed trace and final architectural state are
+# identical — wrong-path execution must be architecturally invisible.
 # Reproducible: a failure prints its seed; replay one program with
 #   FUZZ_SEED=<seed> FUZZ_N=1 dune exec test/fuzz_main.exe
 fuzz:

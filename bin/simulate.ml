@@ -35,15 +35,25 @@ let technique_arg =
     & info [ "t"; "technique" ] ~docv:"TECH" ~doc)
 
 let budget_arg =
-  let doc = "Committed-instruction budget." in
-  Arg.(value & opt int 100_000 & info [ "n"; "budget" ] ~docv:"N" ~doc)
+  let doc =
+    "Committed-instruction budget (default 100000). Detailed runs only: \
+     rejected with $(b,--sample), which always runs the whole program."
+  in
+  Arg.(value & opt (some int) None & info [ "n"; "budget" ] ~docv:"N" ~doc)
 
 let verbose_arg =
-  let doc = "Also print the annotations and energy breakdowns." in
+  let doc =
+    "Also print the annotations and energy breakdowns. Detailed runs \
+     only: rejected with $(b,--sample) (sampled statistics are window \
+     estimates, not exact breakdowns)."
+  in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let timeline_arg =
-  let doc = "Emit a per-interval CSV timeline of the run to stdout." in
+  let doc =
+    "Emit a per-interval CSV timeline of the run to stdout. Detailed \
+     runs only: rejected with $(b,--sample)."
+  in
   Arg.(value & flag & info [ "timeline" ] ~doc)
 
 let trace_arg =
@@ -51,7 +61,8 @@ let trace_arg =
     "Write a JSONL event trace of the run to $(docv): one JSON object per \
      pipeline event (fetch, dispatch, wakeup, issue, commit, cycle_end, \
      ...), one per line, each tagged with its cycle. Audit it with \
-     `lint.exe --trace`; query it with jq (see README)."
+     `lint.exe --trace`; query it with jq (see README). Detailed runs \
+     only: rejected with $(b,--sample)."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
@@ -60,14 +71,16 @@ let metrics_arg =
     "Write a JSON metrics dump of a dedicated profiled run to $(docv): the \
      region-attribution profile (per-region statistics, energies, \
      annotation slack), the streaming metrics registry, and a host \
-     self-profile (per-stage wall clock and Gc deltas)."
+     self-profile (per-stage wall clock and Gc deltas). Detailed runs \
+     only: rejected with $(b,--sample)."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 let domains_arg =
   let doc =
     "Domains for the runner's campaign pool (default: the hardware's \
-     recommended domain count)."
+     recommended domain count). Detailed runs only: rejected with \
+     $(b,--sample) (a sampled pair runs on one domain)."
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
@@ -75,8 +88,11 @@ let check_arg =
   let doc =
     "Audit every cycle with the invariant checker (dispatch window, \
      gated banks, power integrals, ROB order, register conservation, \
-     wakeup counts); aborts with a structured report on the first \
-     violation."
+     wrong-path confinement, IQ/ROB/LSQ linkage, wakeup counts); aborts \
+     with a structured report on the first violation. With \
+     $(b,--sample) the checker audits every $(i,detailed) cycle — \
+     warmup and measured windows — but cannot see fast-forwarded \
+     stretches, which are functional-only."
   in
   Arg.(value & flag & info [ "check" ] ~doc)
 
@@ -84,40 +100,44 @@ let sample_arg =
   let doc =
     "Run the whole program under SMARTS sampling instead of a detailed \
      budget: fast-forward between detailed windows, report estimates \
-     with 95% confidence intervals (see DESIGN.md §13). Ignores \
-     $(b,--budget); with $(b,--check) the invariant checker audits \
-     every detailed cycle of every window."
+     with 95% confidence intervals (see DESIGN.md §13). Exact-run flags \
+     ($(b,--budget), $(b,--verbose), $(b,--timeline), $(b,--trace), \
+     $(b,--metrics), $(b,--domains)) are rejected, not ignored; with \
+     $(b,--check) the invariant checker audits every detailed cycle of \
+     every window."
   in
   Arg.(value & flag & info [ "sample" ] ~doc)
 
 let scaled_arg =
   let doc =
     "Use the scaled benchmark instance (at least ten million oracle \
-     instructions) instead of the default size. Only meaningful with \
-     $(b,--sample)."
+     instructions) instead of the default size. Requires $(b,--sample): \
+     a detailed run of a scaled instance is not a supported \
+     configuration."
   in
   Arg.(value & flag & info [ "scaled" ] ~doc)
 
 let ff_arg =
-  let doc = "Sampling: fast-forwarded instructions per period." in
-  Arg.(
-    value
-    & opt int Sdiq_harness.Sampling.default.Sdiq_harness.Sampling.ff_len
-    & info [ "ff" ] ~docv:"N" ~doc)
+  let doc =
+    "Sampling: fast-forwarded instructions per period (default 46000). \
+     Requires $(b,--sample)."
+  in
+  Arg.(value & opt (some int) None & info [ "ff" ] ~docv:"N" ~doc)
 
 let warmup_arg =
-  let doc = "Sampling: detailed unmeasured warmup instructions per period." in
-  Arg.(
-    value
-    & opt int Sdiq_harness.Sampling.default.Sdiq_harness.Sampling.warmup_len
-    & info [ "warmup" ] ~docv:"N" ~doc)
+  let doc =
+    "Sampling: detailed unmeasured warmup instructions per period \
+     (default 2000). Requires $(b,--sample); see DESIGN.md §13 for the \
+     floor below which warmup bias is measurable."
+  in
+  Arg.(value & opt (some int) None & info [ "warmup" ] ~docv:"N" ~doc)
 
 let window_arg =
-  let doc = "Sampling: detailed measured instructions per period." in
-  Arg.(
-    value
-    & opt int Sdiq_harness.Sampling.default.Sdiq_harness.Sampling.window_len
-    & info [ "window" ] ~docv:"N" ~doc)
+  let doc =
+    "Sampling: detailed measured instructions per period (default 2000, \
+     must be positive). Requires $(b,--sample)."
+  in
+  Arg.(value & opt (some int) None & info [ "window" ] ~docv:"N" ~doc)
 
 (* A dedicated traced run: same benchmark preparation as the runner's,
    with the JSONL trace sink on the bus. *)
@@ -198,8 +218,58 @@ let run_sampled bench technique ~check ~config =
     (Sdiq_harness.Technique.name technique)
     Sdiq_harness.Sampling.pp r
 
+(* Flag interactions are validated up front: a combination that would
+   silently drop one of the flags is an error, not a guess. *)
+let validate_flags ~budget ~verbose ~timeline ~trace ~metrics ~domains
+    ~sample ~scaled ~ff ~warmup ~window =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun m -> errors := m :: !errors) fmt in
+  if sample then begin
+    let reject name present =
+      if present then
+        err "--%s is a detailed-run option; a sampled run (--sample) \
+             would ignore it" name
+    in
+    reject "budget" (budget <> None);
+    reject "verbose" verbose;
+    reject "timeline" timeline;
+    reject "trace" (trace <> None);
+    reject "metrics" (metrics <> None);
+    reject "domains" (domains <> None);
+    Option.iter
+      (fun n -> if n < 0 then err "--ff must be non-negative (got %d)" n)
+      ff;
+    Option.iter
+      (fun n -> if n < 0 then err "--warmup must be non-negative (got %d)" n)
+      warmup;
+    Option.iter
+      (fun n -> if n <= 0 then err "--window must be positive (got %d)" n)
+      window
+  end
+  else begin
+    let require name present =
+      if present then
+        err "--%s only shapes a sampled run; pass --sample with it" name
+    in
+    require "scaled" scaled;
+    require "ff" (ff <> None);
+    require "warmup" (warmup <> None);
+    require "window" (window <> None);
+    Option.iter
+      (fun n -> if n <= 0 then err "--budget must be positive (got %d)" n)
+      budget
+  end;
+  match List.rev !errors with
+  | [] -> ()
+  | msgs ->
+    List.iter (fun m -> Fmt.epr "sdiq-simulate: %s@." m) msgs;
+    exit 1
+
 let run bench_name technique budget verbose timeline trace metrics domains
     check sample scaled ff warmup window =
+  validate_flags ~budget ~verbose ~timeline ~trace ~metrics ~domains ~sample
+    ~scaled ~ff ~warmup ~window;
+  let budget = Option.value budget ~default:100_000 in
   let suite =
     if scaled then Sdiq_workloads.Suite.scaled ()
     else Sdiq_workloads.Suite.all ()
@@ -215,12 +285,16 @@ let run bench_name technique budget verbose timeline trace metrics domains
       (String.concat ", " (Sdiq_workloads.Suite.names ()));
     exit 1
   | Some bench when sample ->
+    let dflt = Sdiq_harness.Sampling.default in
     run_sampled bench technique ~check
       ~config:
         {
-          Sdiq_harness.Sampling.ff_len = ff;
-          warmup_len = warmup;
-          window_len = window;
+          Sdiq_harness.Sampling.ff_len =
+            Option.value ff ~default:dflt.Sdiq_harness.Sampling.ff_len;
+          warmup_len =
+            Option.value warmup ~default:dflt.Sdiq_harness.Sampling.warmup_len;
+          window_len =
+            Option.value window ~default:dflt.Sdiq_harness.Sampling.window_len;
         }
   | Some bench ->
     let checker =

@@ -6,8 +6,10 @@
    software dispatch window is honoured, gated banks are genuinely empty,
    the per-cycle power integrals match a recount of the actual state, the
    ROB drains in program order, the physical register files conserve
-   registers across rename and commit, and the wakeup counters fed to
-   [Sdiq_power] equal the comparisons the queue really performed.
+   registers across rename, commit and squash, wrong-path work stays
+   confined to an open mispredict episode with live IQ/ROB/LSQ linkage
+   (DESIGN.md §14), and the wakeup counters fed to [Sdiq_power] equal
+   the comparisons the queue really performed.
 
    The wakeup check exploits the pipeline's phase order (commit →
    writeback → issue → dispatch): the issue queue is untouched between the
@@ -292,6 +294,125 @@ let check_rf_conservation c p =
     (function Rob.Fp_dest q -> Some q | Rob.No_dest | Rob.Int_dest _ -> None);
   c.checks_run <- c.checks_run + 4
 
+(* --- speculation: wrong-path confinement and squash completeness -------- *)
+
+(* DESIGN.md §14: wrong-path work is confined to an open episode. While
+   no mispredict is outstanding, every in-flight entry must be
+   correct-path — a squash that left a [wp] entry behind would commit
+   it. While an episode is open, the [wp] flag must be exactly the
+   predicate "younger than the blocked branch": the squash walk stops at
+   the first non-wp tail entry, so a mismarked entry either survives the
+   squash or takes a correct-path instruction with it. *)
+let check_speculation c p =
+  let rob = Pipeline.Debug.rob p in
+  let wp_mode = Pipeline.Debug.wp_mode p in
+  let blocked = Pipeline.Debug.blocked_sn p in
+  Rob.iter_in_flight rob (fun idx ->
+      let wp = Rob.is_wp rob idx in
+      if not wp_mode then begin
+        if wp then
+          fail p ~invariant:"wp-confined"
+            "ROB entry %d is wrong-path but no episode is open — the squash \
+             left it behind"
+            idx
+      end
+      else begin
+        let sn = (Rob.dyn rob idx).Sdiq_isa.Exec.sn in
+        if wp <> (sn > blocked) then
+          fail p ~invariant:"wp-marking"
+            "ROB entry %d has sn %d against blocked_sn %d but wp=%b" idx sn
+            blocked wp
+      end);
+  c.checks_run <- c.checks_run + 1
+
+(* --- IQ/ROB linkage ------------------------------------------------------ *)
+
+(* Entry conservation across squashes: every live IQ slot belongs to an
+   in-flight ROB entry whose back-pointer returns to it, and every
+   dispatched-not-yet-issued entry still owns its slot. A squash that
+   forgets to free an IQ slot (the entry's ROB line is popped, the CAM
+   entry stays live) shows up here as a slot pointing at a dead entry —
+   in hardware it would wake, issue, and write back a ghost. *)
+let check_iq_rob_linkage c p =
+  let iq = Pipeline.Debug.iq p in
+  let rob = Pipeline.Debug.rob p in
+  for s = 0 to iq.Iq.active_size - 1 do
+    if Iq.slot_valid iq s then begin
+      let idx = Iq.slot_rob_idx iq s in
+      if (Rob.dyn rob idx).Sdiq_isa.Exec.sn < 0 then
+        fail p ~invariant:"iq-rob-linkage"
+          "IQ slot %d points at ROB entry %d, which is not in flight — a \
+           squash or commit left a stale entry live"
+          s idx;
+      if Rob.iq_slot rob idx <> s then
+        fail p ~invariant:"iq-rob-linkage"
+          "IQ slot %d points at ROB entry %d, whose back-pointer is slot %d"
+          s idx (Rob.iq_slot rob idx)
+    end
+  done;
+  Rob.iter_in_flight rob (fun idx ->
+      if Rob.state rob idx = Rob.Dispatched then begin
+        let s = Rob.iq_slot rob idx in
+        if s < 0 || (not (Iq.slot_valid iq s)) || Iq.slot_rob_idx iq s <> idx
+        then
+          fail p ~invariant:"iq-rob-linkage"
+            "dispatched ROB entry %d does not own a live IQ slot (slot %d)"
+            idx s
+      end);
+  c.checks_run <- c.checks_run + 2
+
+(* --- load/store queue ---------------------------------------------------- *)
+
+(* The forwarding search depends on allocation (program) order and on
+   live back-pointers; speculative allocation plus tail squashes make
+   both easy to corrupt silently, so recount everything: ages strictly
+   increase oldest-to-youngest, every slot links to an in-flight memory
+   entry and back, the kind and wp flags agree with the ROB, and the
+   entry count matches both the queue's own field and the number of
+   in-flight ROB entries holding LSQ slots. *)
+let check_lsq c p =
+  let lsq = Pipeline.Debug.lsq p in
+  let rob = Pipeline.Debug.rob p in
+  let n = ref 0 in
+  let prev_sn = ref (-1) in
+  Lsq.iter_oldest_first lsq (fun slot rob_idx ->
+      incr n;
+      let d = Rob.dyn rob rob_idx in
+      if d.Sdiq_isa.Exec.sn < 0 then
+        fail p ~invariant:"lsq-rob-linkage"
+          "LSQ slot %d points at ROB entry %d, which is not in flight" slot
+          rob_idx;
+      if Rob.lsq_slot rob rob_idx <> slot then
+        fail p ~invariant:"lsq-rob-linkage"
+          "LSQ slot %d points at ROB entry %d, whose back-pointer is %d" slot
+          rob_idx
+          (Rob.lsq_slot rob rob_idx);
+      if d.Sdiq_isa.Exec.sn <= !prev_sn then
+        fail p ~invariant:"lsq-age-order"
+          "LSQ entry with sn %d follows sn %d — allocation order broken"
+          d.Sdiq_isa.Exec.sn !prev_sn;
+      prev_sn := d.Sdiq_isa.Exec.sn;
+      if
+        Lsq.is_store lsq slot
+        <> Sdiq_isa.Instr.is_store d.Sdiq_isa.Exec.instr
+      then
+        fail p ~invariant:"lsq-kind"
+          "LSQ slot %d store flag disagrees with ROB entry %d" slot rob_idx;
+      if Lsq.is_wp lsq slot <> Rob.is_wp rob rob_idx then
+        fail p ~invariant:"lsq-wp-marking"
+          "LSQ slot %d wp flag disagrees with ROB entry %d" slot rob_idx);
+  if !n <> Lsq.count lsq then
+    fail p ~invariant:"lsq-count" "count field says %d entries, recount finds %d"
+      (Lsq.count lsq) !n;
+  let mem = ref 0 in
+  Rob.iter_in_flight rob (fun idx ->
+      if Rob.lsq_slot rob idx >= 0 then incr mem);
+  if !mem <> Lsq.count lsq then
+    fail p ~invariant:"lsq-count"
+      "%d in-flight ROB entries hold LSQ slots but the queue counts %d" !mem
+      (Lsq.count lsq);
+  c.checks_run <- c.checks_run + 5
+
 (* --- wakeup accounting -------------------------------------------------- *)
 
 let operand_exposure (iq : Iq.t) =
@@ -345,11 +466,17 @@ let check_wakeups c p =
 (* --- entry point -------------------------------------------------------- *)
 
 let check c p =
+  (* Linkage first: a squash leak shows up as a stale slot pointing at a
+     dead ROB entry, which can also strand [head]; auditing linkage
+     before IQ structure makes the diagnosis name the root cause. *)
+  check_iq_rob_linkage c p;
   check_iq c p;
   check_dispatch_window c p;
   check_power_integrals c p;
   check_rob c p;
   check_rf_conservation c p;
+  check_speculation c p;
+  check_lsq c p;
   check_wakeups c p;
   c.cycles_checked <- c.cycles_checked + 1
 

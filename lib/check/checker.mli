@@ -6,9 +6,13 @@
     per-cycle power integrals ([iq_banks_on_sum], [rf_banks_on_sum],
     [int_rf_live_sum]) match a recount of the live state, the ROB stays
     in program order, the physical register files conserve registers
-    across rename/commit, and the wakeup counters equal the comparisons
-    the queue actually performed (replayed exactly from the previous
-    cycle's operand exposure).
+    across rename/commit/squash, wrong-path entries exist only inside an
+    open mispredict episode and are marked exactly (["wp-confined"] /
+    ["wp-marking"]), every live IQ and LSQ entry links to an in-flight
+    ROB entry and back (["iq-rob-linkage"], ["lsq-rob-linkage"] — the
+    squash-leak detectors), the LSQ stays age-ordered, and the wakeup
+    counters equal the comparisons the queue actually performed
+    (replayed exactly from the previous cycle's operand exposure).
 
     DESIGN.md §"Invariants the pipeline maintains" lists each invariant
     with the paper section it derives from. *)

@@ -173,6 +173,21 @@ let ras_pop t =
   let a = ras_pop_addr t in
   if a < 0 then None else Some a
 
+(* RAS snapshot/restore for the speculative fetch frontend: wrong-path
+   calls and returns push and pop the real stack (their predictions must
+   see the speculative top), and the squash rewinds it to the snapshot
+   taken when the mispredict was detected. The caller owns the buffer
+   ([ras_depth] entries) so episodes allocate nothing. *)
+let ras_depth t = t.ras_size
+
+let ras_save t buf =
+  Array.blit t.ras 0 buf 0 t.ras_size;
+  t.ras_top
+
+let ras_restore t buf top =
+  Array.blit buf 0 t.ras 0 t.ras_size;
+  t.ras_top <- top
+
 let mispredict_rate t =
   let total = t.dir_correct + t.dir_wrong in
   if total = 0 then 0. else float_of_int t.dir_wrong /. float_of_int total

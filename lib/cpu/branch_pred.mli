@@ -28,5 +28,19 @@ val ras_pop : t -> int option
     stack is empty (pushed addresses are ≥ 1). *)
 val ras_pop_addr : t -> int
 
+(** {2 RAS snapshot/restore (speculative fetch)}
+
+    The wrong-path frontend pushes and pops the real stack; a squash
+    rewinds it to the snapshot taken at the mispredict. The caller owns
+    the snapshot buffer, sized {!ras_depth}, so episodes are
+    allocation-free. *)
+
+val ras_depth : t -> int
+
+(** Blit the stack into [buf]; returns the top-of-stack index. *)
+val ras_save : t -> int array -> int
+
+val ras_restore : t -> int array -> int -> unit
+
 (** Fraction of trained conditional branches that were mispredicted. *)
 val mispredict_rate : t -> float

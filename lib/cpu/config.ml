@@ -55,6 +55,14 @@ type t = {
   ras_size : int;
   btb_miss_penalty : int;    (* taken branch with unknown target *)
   mispredict_redirect : int; (* extra cycles after resolution *)
+  (* speculation and memory system *)
+  speculative_fetch : bool;  (* fetch down the predicted path on a
+                                mispredict and squash at resolution *)
+  lsq_size : int;            (* load/store queue entries *)
+  itlb_entries : int;        (* fully associative, LRU *)
+  dtlb_entries : int;
+  page_size : int;           (* words per page *)
+  tlb_miss_penalty : int;    (* cycles to walk the page table *)
 }
 
 let default =
@@ -93,6 +101,12 @@ let default =
     ras_size = 16;
     btb_miss_penalty = 2;
     mispredict_redirect = 1;
+    speculative_fetch = true;
+    lsq_size = 64;
+    itlb_entries = 16;
+    dtlb_entries = 16;
+    page_size = 256;
+    tlb_miss_penalty = 20;
   }
 
 let iq_banks t = (t.iq_size + t.iq_bank_size - 1) / t.iq_bank_size

@@ -35,6 +35,14 @@ type t = {
   ras_size : int;
   btb_miss_penalty : int;
   mispredict_redirect : int;
+  speculative_fetch : bool;
+      (** fetch down the predicted path on a mispredict, squash at
+          resolution *)
+  lsq_size : int;            (** load/store queue entries *)
+  itlb_entries : int;        (** fully associative, LRU *)
+  dtlb_entries : int;
+  page_size : int;           (** words per page *)
+  tlb_miss_penalty : int;    (** cycles to walk the page table *)
 }
 
 (** The paper's Table 1 machine. *)

@@ -231,6 +231,17 @@ let issue t slot =
       t.head <- !p
     end
 
+(* Squash removal: free [slot] with no issue accounting and no pointer
+   sweeps. A squash discards a contiguous ring suffix (the wrong-path
+   dispatches behind the mispredicted branch), so the pipeline rewinds
+   [tail], [head] and [new_head] once for the whole suffix instead of
+   sweeping per slot; selection never reads a freed slot in between. *)
+let squash_slot t slot =
+  if not (slot_valid t slot) then invalid_arg "Iq.squash_slot: empty slot";
+  set_slot_free t slot;
+  Array.unsafe_set t.rob_idx slot (-1);
+  t.count <- t.count - 1
+
 (* Broadcast the destination tags of all results completing this cycle.
    All tags see the same pre-wakeup snapshot, as the parallel CAM ports do
    in hardware: in Figure 1(c) instructions a and b complete together and

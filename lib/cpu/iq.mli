@@ -83,6 +83,11 @@ val dispatch_flat :
     exactly as the hardware does. *)
 val issue : t -> int -> unit
 
+(** Squash removal: free a slot with no issue accounting and no pointer
+    sweeps — a squash discards a contiguous ring suffix, so the caller
+    rewinds [tail]/[head]/[new_head] once for the whole suffix. *)
+val squash_slot : t -> int -> unit
+
 (** Broadcast all result tags completing this cycle against one snapshot
     (as parallel CAM ports do); returns how many operands woke. *)
 val broadcast_many : t -> int list -> int

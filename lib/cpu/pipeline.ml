@@ -2,11 +2,19 @@
    → issue/execute → writeback → commit, over the Table 1 machine.
 
    Execution-driven in the SimpleScalar style: the functional executor
-   produces the dynamic stream at fetch. Wrong-path instructions are never
-   injected — a mispredicted control instruction stalls fetch until it
-   resolves, which models the misprediction penalty while keeping the
-   oracle and the pipeline in lockstep (documented simplification; applied
-   identically to every technique under comparison).
+   produces the dynamic stream at fetch. When a mispredicted control
+   instruction is detected at fetch time, the frontend does not stall
+   (unless [speculative_fetch] is off): it keeps fetching down the
+   *predicted* path, synthesising wrong-path instructions with a shadow
+   executor that reads the predictor for control flow and a copy of the
+   architectural state for values. Wrong-path work renames, dispatches,
+   issues and completes like any other — occupying the IQ, ROB, LSQ and
+   physical registers and heating the caches — but never commits: when
+   the branch resolves at writeback, everything younger is squashed with
+   an exact rollback of the rename map, the free lists and every queue
+   (DESIGN.md §14). The functional oracle only ever runs the correct
+   path, so the committed stream is identical with speculation on or
+   off; only timing, occupancy and activity differ.
 
    Cycle phase order (matters, and matches the paper's Figure 1 timing):
      commit → writeback (wakeup) → issue/select → dispatch → fetch
@@ -46,12 +54,15 @@ type t = {
   dl1 : Cache.t;
   l2 : Cache.t;
   bpred : Branch_pred.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
   int_rf : Regfile.t;
   fp_rf : Regfile.t;
   int_map : int array;
   fp_map : int array;
   rob : Rob.t;
   iq : Iq.t;
+  lsq : Lsq.t;
   (* fetch queue: ring buffer over parallel arrays (capacity
      [fetch_queue_size]); a free slot holds [Rob.dummy_dyn] *)
   fq_dyns : Exec.dyn array;
@@ -80,7 +91,31 @@ type t = {
       (* sampled simulation: fetch is held while the machine drains
          before a functional fast-forward; in-flight work keeps flowing *)
   mutable fetch_resume_at : int;
-  mutable blocked_sn : int; (* fetch stalled on this sn; -1 = not stalled *)
+  mutable blocked_sn : int; (* unresolved mispredict sn; -1 = none *)
+  (* wrong-path (speculative fetch) episode state. One episode at a time:
+     fetch follows the predicted path of the unresolved mispredict at
+     [blocked_sn]; a nested wrong-path mispredict just ends wrong-path
+     fetch (there is no second level to recover to). *)
+  mutable wp_mode : bool;
+  mutable wp_pc : int; (* next wrong-path pc; -1 = wp fetch idle *)
+  mutable wp_next_sn : int; (* synthetic sns, from [blocked_sn] + 1 *)
+  (* shadow architectural state seeding the wrong-path executor: register
+     copies taken at episode entry, plus store overlays over the oracle's
+     memory (the oracle itself is never touched off the correct path) *)
+  wp_iregs : int array;
+  wp_fregs : float array;
+  wp_imem : (int, int) Hashtbl.t;
+  wp_fmem : (int, float) Hashtbl.t;
+  wp_ras : int array; (* RAS snapshot, restored at squash *)
+  mutable wp_ras_top : int;
+  iq_wp : Bytes.t; (* per-IQ-slot wrong-path flag, for pointer rewind *)
+  mutable wp_iq_boundary : int;
+      (* IQ slot of the episode's first wrong-path dispatch — where
+         [tail] rewinds to at squash; -1 while none dispatched *)
+  squash_mark : Bytes.t; (* scratch: ROB indices squashed this episode *)
+  mutable sabotage_squash_leak : bool;
+      (* test hook (Debug): leave one squashed IQ entry live so the
+         invariant checker can prove it catches the corruption *)
   mutable stores_in_flight : int; (* stores currently in the ROB *)
   mutable unpipe_busy_until : int; (* all unpipelined units free from here *)
   stats : Stats.t;
@@ -156,13 +191,14 @@ let emit_select t ~rob_idx ~iq_slot =
   if t.bus_on then emit t (Ev.Select { rob_idx; iq_slot })
   else t.stats.Stats.iq_selects <- t.stats.Stats.iq_selects + 1
 
-let emit_issue t dyn ~latency ~store_forward =
-  if t.bus_on then emit t (Ev.Issue { dyn; latency; store_forward })
+let emit_issue t dyn ~latency ~store_forward ~wp =
+  if t.bus_on then emit t (Ev.Issue { dyn; latency; store_forward; wp })
   else begin
     let st = t.stats in
     st.Stats.iq_issue_reads <- st.Stats.iq_issue_reads + 1;
     if store_forward then
-      st.Stats.store_forwards <- st.Stats.store_forwards + 1
+      st.Stats.store_forwards <- st.Stats.store_forwards + 1;
+    if wp then st.Stats.wp_issued <- st.Stats.wp_issued + 1
   end
 
 let emit_rf_read t ~ints ~fps =
@@ -173,15 +209,16 @@ let emit_rf_read t ~ints ~fps =
     st.Stats.fp_rf_reads <- st.Stats.fp_rf_reads + fps
   end
 
-let emit_dispatch t dyn ~kind ~iq_slot ~rob_idx ~cam_writes =
+let emit_dispatch t dyn ~kind ~iq_slot ~rob_idx ~cam_writes ~wp =
   if t.bus_on then
-    emit t (Ev.Dispatch { dyn; kind; iq_slot; rob_idx; cam_writes })
+    emit t (Ev.Dispatch { dyn; kind; iq_slot; rob_idx; cam_writes; wp })
   else begin
     let st = t.stats in
     st.Stats.dispatched <- st.Stats.dispatched + 1;
     st.Stats.iq_dispatch_ram_writes <- st.Stats.iq_dispatch_ram_writes + 1;
     st.Stats.iq_dispatch_cam_writes <-
       st.Stats.iq_dispatch_cam_writes + cam_writes;
+    if wp then st.Stats.wp_dispatched <- st.Stats.wp_dispatched + 1;
     match kind with
     | Ev.Plain -> ()
     | Ev.Load -> st.Stats.loads <- st.Stats.loads + 1
@@ -201,6 +238,25 @@ let emit_dispatch_stall t reason =
       st.Stats.dispatch_stall_rob_full <- st.Stats.dispatch_stall_rob_full + 1
     | Ev.No_reg ->
       st.Stats.dispatch_stall_no_reg <- st.Stats.dispatch_stall_no_reg + 1
+    | Ev.Lsq_full ->
+      st.Stats.dispatch_stall_lsq_full <- st.Stats.dispatch_stall_lsq_full + 1
+  end
+
+let emit_squash t dyn ~squashed =
+  if t.bus_on then emit t (Ev.Squash { dyn; squashed })
+  else begin
+    let st = t.stats in
+    st.Stats.squashes <- st.Stats.squashes + 1;
+    st.Stats.squashed <- st.Stats.squashed + squashed
+  end
+
+let emit_tlb_miss t tlb addr =
+  if t.bus_on then emit t (Ev.Tlb_miss { tlb; addr })
+  else begin
+    let st = t.stats in
+    match tlb with
+    | Ev.Itlb -> st.Stats.itlb_misses <- st.Stats.itlb_misses + 1
+    | Ev.Dtlb -> st.Stats.dtlb_misses <- st.Stats.dtlb_misses + 1
   end
 
 let emit_annotation_noop t ~pc ~value =
@@ -211,14 +267,30 @@ let emit_annotation_noop t ~pc ~value =
       t.stats.Stats.iqset_dispatch_slots + 1
 
 let emit_fetch_seq t dyn =
-  if t.bus_on then emit t (Ev.Fetch { dyn; outcome = Ev.Sequential })
+  if t.bus_on then
+    emit t (Ev.Fetch { dyn; outcome = Ev.Sequential; wp = false })
   else t.stats.Stats.fetched <- t.stats.Stats.fetched + 1
+
+(* A wrong-path fetch counts as fetch activity but never as a branch,
+   mispredict or BTB bubble — the predictor is consulted, not trained,
+   off the correct path, so those rates stay correct-path-only. *)
+let emit_fetch_wp t dyn ~outcome =
+  if t.bus_on then emit t (Ev.Fetch { dyn; outcome; wp = true })
+  else begin
+    let st = t.stats in
+    st.Stats.fetched <- st.Stats.fetched + 1;
+    st.Stats.wp_fetched <- st.Stats.wp_fetched + 1
+  end
 
 let emit_fetch_cond t dyn ~taken ~mispredicted ~btb_bubble =
   if t.bus_on then
     emit t
       (Ev.Fetch
-         { dyn; outcome = Ev.Cond_branch { taken; mispredicted; btb_bubble } })
+         {
+           dyn;
+           outcome = Ev.Cond_branch { taken; mispredicted; btb_bubble };
+           wp = false;
+         })
   else begin
     let st = t.stats in
     st.Stats.fetched <- st.Stats.fetched + 1;
@@ -229,7 +301,7 @@ let emit_fetch_cond t dyn ~taken ~mispredicted ~btb_bubble =
 
 let emit_fetch_jump t dyn ~btb_bubble =
   if t.bus_on then
-    emit t (Ev.Fetch { dyn; outcome = Ev.Jump { btb_bubble } })
+    emit t (Ev.Fetch { dyn; outcome = Ev.Jump { btb_bubble }; wp = false })
   else begin
     let st = t.stats in
     st.Stats.fetched <- st.Stats.fetched + 1;
@@ -238,7 +310,7 @@ let emit_fetch_jump t dyn ~btb_bubble =
 
 let emit_fetch_call t dyn ~btb_bubble =
   if t.bus_on then
-    emit t (Ev.Fetch { dyn; outcome = Ev.Call { btb_bubble } })
+    emit t (Ev.Fetch { dyn; outcome = Ev.Call { btb_bubble }; wp = false })
   else begin
     let st = t.stats in
     st.Stats.fetched <- st.Stats.fetched + 1;
@@ -247,7 +319,8 @@ let emit_fetch_call t dyn ~btb_bubble =
 
 let emit_fetch_ret t dyn ~mispredicted =
   if t.bus_on then
-    emit t (Ev.Fetch { dyn; outcome = Ev.Return { mispredicted } })
+    emit t
+      (Ev.Fetch { dyn; outcome = Ev.Return { mispredicted }; wp = false })
   else begin
     let st = t.stats in
     st.Stats.fetched <- st.Stats.fetched + 1;
@@ -326,6 +399,12 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
         Cache.create ~sets:config.Config.l2_sets ~ways:config.Config.l2_ways
           ~line:config.Config.l2_line;
       bpred = Branch_pred.create config;
+      itlb =
+        Tlb.create ~entries:config.Config.itlb_entries
+          ~page_size:config.Config.page_size;
+      dtlb =
+        Tlb.create ~entries:config.Config.dtlb_entries
+          ~page_size:config.Config.page_size;
       int_rf;
       fp_rf;
       int_map;
@@ -333,6 +412,7 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
       rob = Rob.create ~size:config.Config.rob_size;
       iq = Iq.create ~size:config.Config.iq_size
           ~bank_size:config.Config.iq_bank_size;
+      lsq = Lsq.create ~size:config.Config.lsq_size;
       fq_dyns = Array.make config.Config.fetch_queue_size Rob.dummy_dyn;
       fq_ready = Array.make config.Config.fetch_queue_size 0;
       fq_head = 0;
@@ -354,6 +434,19 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
       fetch_hold = false;
       fetch_resume_at = 0;
       blocked_sn = -1;
+      wp_mode = false;
+      wp_pc = -1;
+      wp_next_sn = 0;
+      wp_iregs = Array.make Reg.num_int 0;
+      wp_fregs = Array.make Reg.num_fp 0.;
+      wp_imem = Hashtbl.create 64;
+      wp_fmem = Hashtbl.create 64;
+      wp_ras = Array.make config.Config.ras_size 0;
+      wp_ras_top = 0;
+      iq_wp = Bytes.make config.Config.iq_size '\000';
+      wp_iq_boundary = -1;
+      squash_mark = Bytes.make config.Config.rob_size '\000';
+      sabotage_squash_leak = false;
       stores_in_flight = 0;
       unpipe_busy_until = 0;
       stats = Stats.create ();
@@ -389,6 +482,8 @@ let commit_one t idx =
   let i = dyn.Exec.instr in
   emit_commit t dyn;
   release_dest_code t (Rob.old_code t.rob idx);
+  (* Memory instructions leave the LSQ in program order at commit. *)
+  if Rob.lsq_slot t.rob idx >= 0 then Lsq.pop_head t.lsq ~rob_idx:idx;
   (* The predictor trains at fetch (see [fetch_stage]): with no wrong-path
      instructions, fetch order equals commit order, so updating there is
      exact and avoids stale-history aliasing for in-flight branches. *)
@@ -421,6 +516,135 @@ let commit_stage t =
     incr n
   done
 
+(* --- wrong-path squash -------------------------------------------------- *)
+
+(* Undo one rename: restore the architectural mapping to the previous
+   physical register and free the newly allocated one. Executed
+   youngest-first over the squashed suffix, so the map and the free
+   lists rewind in exactly the reverse of dispatch order — [free_head]
+   and [free_count] end where the episode began them. *)
+let undo_rename t idx =
+  let code = Rob.dest_code t.rob idx in
+  if code <> 0 then begin
+    let old = Rob.old_code t.rob idx in
+    if code land 1 = 1 then begin
+      Regfile.release t.int_rf (code asr 1);
+      match (Rob.dyn t.rob idx).Exec.instr.Instr.dst with
+      | Some (Reg.Int a) -> t.int_map.(a) <- old asr 1
+      | Some (Reg.Fp _) | None -> assert false
+    end
+    else begin
+      Regfile.release t.fp_rf ((code asr 1) - 1);
+      match (Rob.dyn t.rob idx).Exec.instr.Instr.dst with
+      | Some (Reg.Fp a) -> t.fp_map.(a) <- (old asr 1) - 1
+      | Some (Reg.Int _) | None -> assert false
+    end
+  end
+
+(* The mispredicted branch at ROB index [bidx] has resolved: squash
+   everything younger. Called from writeback *after* the cycle's wakeup
+   broadcast (the invariant checker replays the pre-broadcast exposure,
+   so the IQ must not change between the two).
+
+   Rollback, piece by piece:
+   - fetch queue: flushed whole — the branch dispatched long before
+     completing, so everything still queued was fetched after it, i.e.
+     wrong-path;
+   - ROB: tail pops youngest-first until the branch is youngest again,
+     undoing each rename ([undo_rename]) and reclaiming the entry's IQ
+     slot and speculative LSQ tail entry as it goes;
+   - timing wheel: pending completions of squashed entries are filtered
+     out (an issued wrong-path op must not complete into a reused slot);
+   - IQ pointers: the squashed slots form the ring suffix dispatched
+     since episode entry, so [tail] rewinds to the first wrong-path slot
+     and [new_head]/[new_span] are restored from the per-slot wrong-path
+     flags (regions cannot begin during an episode — wrong-path dispatch
+     skips the policy — but [new_head] may have swept onto wrong-path
+     territory, which empties the region);
+   - RAS: restored from the episode-entry snapshot.
+   Functional-unit reservations are deliberately left standing: a
+   wrong-path divide keeps its unit busy, as in hardware.
+
+   The functional oracle never executed any of this, so nothing
+   architectural needs repair; fetch resumes on the correct path at the
+   redirect cycle set by the resolution code in [writeback_stage]. *)
+let squash_wrong_path t bidx =
+  let branch_dyn = Rob.dyn t.rob bidx in
+  let fq_squashed = t.fq_count in
+  Array.fill t.fq_dyns 0 (Array.length t.fq_dyns) Rob.dummy_dyn;
+  t.fq_head <- 0;
+  t.fq_tail <- 0;
+  t.fq_count <- 0;
+  (* Geometry facts captured before any slot is freed. [new_head] rests
+     on a valid slot whenever [new_span] > 0 (the issue sweep maintains
+     this), so the wrong-path flag under it is authoritative. *)
+  let iq = t.iq in
+  let s0 = t.wp_iq_boundary in
+  let new_head_on_wp = Bytes.unsafe_get t.iq_wp iq.Iq.new_head <> '\000' in
+  let nrob = ref 0 in
+  let leak_done = ref (not t.sabotage_squash_leak) in
+  while
+    Rob.occupancy t.rob > 0 && Rob.is_wp t.rob (Rob.tail_index t.rob)
+  do
+    let idx = Rob.tail_index t.rob in
+    incr nrob;
+    Bytes.unsafe_set t.squash_mark idx '\001';
+    undo_rename t idx;
+    let slot = Rob.iq_slot t.rob idx in
+    if slot >= 0 then begin
+      if !leak_done then Iq.squash_slot iq slot else leak_done := true;
+      Bytes.unsafe_set t.iq_wp slot '\000'
+    end;
+    if Rob.lsq_slot t.rob idx >= 0 then Lsq.pop_tail t.lsq ~rob_idx:idx;
+    if Instr.is_store (Rob.dyn t.rob idx).Exec.instr then
+      t.stores_in_flight <- t.stores_in_flight - 1;
+    Rob.pop_tail t.rob
+  done;
+  if !nrob > 0 then begin
+    (* Drop pending completions of the squashed entries. *)
+    for c = 0 to Array.length t.wheel - 1 do
+      let n = t.wheel_len.(c) in
+      if n > 0 then begin
+        let buf = t.wheel.(c) in
+        let k = ref 0 in
+        for j = 0 to n - 1 do
+          let idx = Array.unsafe_get buf j in
+          if Bytes.unsafe_get t.squash_mark idx = '\000' then begin
+            Array.unsafe_set buf !k idx;
+            incr k
+          end
+        done;
+        t.wheel_len.(c) <- !k
+      end
+    done;
+    Bytes.fill t.squash_mark 0 (Bytes.length t.squash_mark) '\000'
+  end;
+  if s0 >= 0 then begin
+    iq.Iq.tail <- s0;
+    if iq.Iq.count = 0 then begin
+      iq.Iq.head <- s0;
+      iq.Iq.new_head <- s0;
+      iq.Iq.new_span <- 0
+    end
+    else if iq.Iq.new_span = 0 then iq.Iq.new_head <- s0
+    else if new_head_on_wp then begin
+      (* Every older entry of the region issued and the sweep came to
+         rest on wrong-path territory: the region is now empty. *)
+      iq.Iq.new_head <- s0;
+      iq.Iq.new_span <- 0
+    end
+    else
+      iq.Iq.new_span <-
+        (s0 - iq.Iq.new_head + iq.Iq.active_size) mod iq.Iq.active_size
+  end;
+  Branch_pred.ras_restore t.bpred t.wp_ras t.wp_ras_top;
+  t.wp_mode <- false;
+  t.wp_pc <- -1;
+  t.wp_iq_boundary <- -1;
+  if Hashtbl.length t.wp_imem > 0 then Hashtbl.reset t.wp_imem;
+  if Hashtbl.length t.wp_fmem > 0 then Hashtbl.reset t.wp_fmem;
+  emit_squash t branch_dyn ~squashed:(fq_squashed + !nrob)
+
 (* --- writeback --------------------------------------------------------- *)
 
 let writeback_stage t =
@@ -430,6 +654,7 @@ let writeback_stage t =
     let idxs = t.wheel.(cell) in
     let n = t.wheel_len.(cell) in
     t.wheel_len.(cell) <- 0;
+    let resolved = ref (-1) in
     (* Oldest first, deterministically: scheduling order. All results
        completing this cycle broadcast together so wakeup counting sees
        one snapshot, as the parallel CAM ports do. *)
@@ -461,7 +686,9 @@ let writeback_stage t =
           t.blocked_sn <- -1;
           t.fetch_resume_at <-
             max t.fetch_resume_at
-              (t.cycle + 1 + t.cfg.Config.mispredict_redirect)
+              (t.cycle + 1 + t.cfg.Config.mispredict_redirect);
+          (* Speculative episode: squash after the wakeup broadcast. *)
+          if t.wp_mode then resolved := idx
         end;
         Rob.set_blocked_fetch t.rob idx false
       end
@@ -476,7 +703,8 @@ let writeback_stage t =
       emit_wakeup t ~tags:!ntags ~woken
         ~naive:(t.iq.Iq.wakeups_naive - naive0)
         ~nonempty:(t.iq.Iq.wakeups_nonempty - nonempty0)
-        ~gated:(t.iq.Iq.wakeups_gated - gated0)
+        ~gated:(t.iq.Iq.wakeups_gated - gated0);
+    if !resolved >= 0 then squash_wrong_path t !resolved
   end
 
 (* --- issue ------------------------------------------------------------- *)
@@ -532,12 +760,16 @@ let rec schedule_completion t idx latency =
     t.wheel_len.(cell) <- n + 1
   end
 
-(* For a load at ROB index [idx] with oracle address [addr]: the youngest
-   older in-flight store to the same address, or -1. A running count of
-   in-flight stores skips the ROB walk entirely in the common case. *)
+(* For a load at ROB index [idx] with address [addr]: the ROB index of
+   the youngest older in-flight store to the same address, or -1. The
+   LSQ's age-ordered backward walk starts at the load's own entry, so it
+   only visits memory instructions; a running count of in-flight stores
+   skips it entirely in the common case. Wrong-path loads may forward
+   from any older store; correct-path loads can never see a wrong-path
+   store, which is always younger. *)
 let conflicting_store t idx addr =
   if t.stores_in_flight = 0 then -1
-  else Rob.youngest_older_store t.rob idx addr
+  else Lsq.youngest_older_store t.lsq (Rob.lsq_slot t.rob idx) addr
 
 (* Data-cache access latency for a load (address generation is the base
    instruction latency, the cache time is added on top). A line still in
@@ -655,15 +887,24 @@ let issue_stage t =
             else can := false (* store data not ready: cannot issue yet *)
           else extra := load_cache_latency t dyn.Exec.addr
         end;
+        (* Address translation at issue: a DTLB miss delays the result,
+           it does not block the issue slot. *)
+        if !can && Instr.is_mem i && not (Tlb.access t.dtlb dyn.Exec.addr)
+        then begin
+          emit_tlb_miss t Ev.Dtlb dyn.Exec.addr;
+          extra := !extra + t.cfg.Config.tlb_miss_penalty
+        end;
         if !can then begin
           t.avail.(k) <- t.avail.(k) - 1;
           decr width;
           Iq.issue t.iq slot;
+          Bytes.unsafe_set t.iq_wp slot '\000';
           Rob.set_state t.rob rob_idx Rob.Issued;
           Rob.set_iq_slot t.rob rob_idx (-1);
           emit_select t ~rob_idx ~iq_slot:slot;
           let lat = Instr.latency i + !extra in
-          emit_issue t dyn ~latency:lat ~store_forward:!store_forward;
+          emit_issue t dyn ~latency:lat ~store_forward:!store_forward
+            ~wp:(Rob.is_wp t.rob rob_idx);
           count_rf_reads t i;
           if Opcode.unpipelined i.Instr.op then begin
             (* Claim a unit instance that is currently free. One exists:
@@ -690,6 +931,7 @@ type dispatch_stop =
   | Stop_iq_full
   | Stop_rob_full
   | Stop_no_reg
+  | Stop_lsq_full
 
 (* Rename one source: the physical tag and readiness packed into
    [(tag lsl 1) lor ready]; -1 when the operand is absent (no register,
@@ -726,22 +968,25 @@ let rename_dest_codes t (i : Instr.t) =
       (((2 * p) + 2) lsl 20) lor ((2 * old) + 2)
     end
 
-let dispatch_one t (dyn : Exec.dyn) : dispatch_stop =
+let dispatch_one t (dyn : Exec.dyn) ~wp : dispatch_stop =
   let i = dyn.Exec.instr in
   (* A tag (the "Extension" encoding) opens a new region for this very
      instruction, costing nothing. Trace-only event: a stalled dispatch
      retries and re-announces the same delivery next cycle (the policy
-     dedupes by region pc). *)
+     dedupes by region pc). Wrong-path tags are dropped: the policy's
+     region state is software-architectural and is not rolled back at a
+     squash, so it must only ever see the correct path. *)
   (match i.Instr.tag with
-  | Some v ->
+  | Some v when not wp ->
     if t.bus_on then
       Bus.emit t.bus
         (Ev.Annotation { pc = dyn.Exec.pc; value = v; delivery = Ev.Tag });
     Policy.on_annotation t.policy t.iq ~pc:dyn.Exec.pc ~value:v
-  | None -> ());
+  | Some _ | None -> ());
   if Rob.is_full t.rob then Stop_rob_full
   else if not (Policy.allows t.policy t.iq) then
     if Iq.is_full t.iq then Stop_iq_full else Stop_policy
+  else if Instr.is_mem i && Lsq.is_full t.lsq then Stop_lsq_full
   else begin
     (* Sources must be renamed before the destination gets a fresh
        register, or an instruction like [addi r2, r2, 1] would wait on
@@ -756,7 +1001,7 @@ let dispatch_one t (dyn : Exec.dyn) : dispatch_stop =
     else begin
       let rob_idx =
         Rob.push_codes t.rob ~dyn ~dest_code:(packed lsr 20)
-          ~old_code:(packed land 0xFFFFF) ~iq_slot:(-1)
+          ~old_code:(packed land 0xFFFFF) ~iq_slot:(-1) ~wp
       in
       let slot =
         Iq.dispatch_flat t.iq ~rob_idx ~nsrc
@@ -766,7 +1011,11 @@ let dispatch_one t (dyn : Exec.dyn) : dispatch_stop =
           ~ready1:(b >= 0 && b land 1 = 1)
       in
       Rob.set_iq_slot t.rob rob_idx slot;
-      (* Remember whether fetch is waiting on this instruction. *)
+      Bytes.unsafe_set t.iq_wp slot (if wp then '\001' else '\000');
+      if wp && t.wp_iq_boundary < 0 then t.wp_iq_boundary <- slot;
+      (* Remember whether fetch is waiting on this instruction
+         (wrong-path sns run strictly above [blocked_sn], so only the
+         mispredicted branch itself can match). *)
       if t.blocked_sn = dyn.Exec.sn then
         Rob.set_blocked_fetch t.rob rob_idx true;
       let kind =
@@ -777,8 +1026,19 @@ let dispatch_one t (dyn : Exec.dyn) : dispatch_stop =
         end
         else Ev.Plain
       in
+      (* Memory instructions claim their LSQ entry speculatively at
+         dispatch; addresses are exact (the frontend computes them), so
+         the forwarding search never needs late disambiguation. *)
+      if Instr.is_mem i then begin
+        let ls =
+          Lsq.push t.lsq ~rob_idx ~addr:dyn.Exec.addr
+            ~is_store:(Instr.is_store i) ~wp
+        in
+        Rob.set_lsq_slot t.rob rob_idx ls
+      end;
       emit_dispatch t dyn ~kind ~iq_slot:slot ~rob_idx
-        ~cam_writes:(if nsrc < 2 then nsrc else 2);
+        ~cam_writes:(if nsrc < 2 then nsrc else 2)
+        ~wp;
       Keep_going
     end
   end
@@ -797,18 +1057,27 @@ let dispatch_stage t =
     !go && !slots > 0 && t.fq_count > 0 && t.fq_ready.(t.fq_head) <= t.cycle
   do
     let dyn = t.fq_dyns.(t.fq_head) in
+    (* During an episode everything queued behind the mispredicted
+       branch is wrong-path; the synthetic sns run strictly above the
+       branch's, so the comparison also keeps the branch itself (and
+       anything older still queued) on the correct path. *)
+    let wp = t.wp_mode && dyn.Exec.sn > t.blocked_sn in
     match dyn.Exec.instr.Instr.op with
     | Opcode.Iqset ->
       (* The special NOOP is stripped at the last decode stage — but it has
          already consumed fetch bandwidth and now a dispatch slot
-         (Section 5.2.1). *)
+         (Section 5.2.1). A wrong-path one still burns the slot, but its
+         annotation never reaches the (squash-exempt) policy state. *)
       fq_pop t;
-      Policy.on_annotation t.policy t.iq ~pc:dyn.Exec.pc
-        ~value:dyn.Exec.instr.Instr.imm;
-      emit_annotation_noop t ~pc:dyn.Exec.pc ~value:dyn.Exec.instr.Instr.imm;
+      if not wp then begin
+        Policy.on_annotation t.policy t.iq ~pc:dyn.Exec.pc
+          ~value:dyn.Exec.instr.Instr.imm;
+        emit_annotation_noop t ~pc:dyn.Exec.pc
+          ~value:dyn.Exec.instr.Instr.imm
+      end;
       decr slots
     | _ -> (
-      match dispatch_one t dyn with
+      match dispatch_one t dyn ~wp with
       | Keep_going ->
         fq_pop t;
         decr slots
@@ -821,14 +1090,15 @@ let dispatch_stage t =
   | Stop_policy -> emit_dispatch_stall t Ev.Policy_limit
   | Stop_iq_full -> emit_dispatch_stall t Ev.Iq_full
   | Stop_rob_full -> emit_dispatch_stall t Ev.Rob_full
-  | Stop_no_reg -> emit_dispatch_stall t Ev.No_reg);
+  | Stop_no_reg -> emit_dispatch_stall t Ev.No_reg
+  | Stop_lsq_full -> emit_dispatch_stall t Ev.Lsq_full);
   (* "Throttled" feeds the adaptive policy's pressure signal: a stall on a
      physically shrunken ring counts as pressure just like an explicit
      policy refusal. *)
   match !stop with
   | Stop_policy -> true
   | Stop_iq_full -> Iq.active_size t.iq < Iq.size t.iq
-  | Keep_going | Stop_rob_full | Stop_no_reg -> false
+  | Keep_going | Stop_rob_full | Stop_no_reg | Stop_lsq_full -> false
 
 (* --- fetch ------------------------------------------------------------- *)
 
@@ -842,36 +1112,308 @@ let fq_push t dyn =
   t.fq_tail <- (if tl = Array.length t.fq_dyns then 0 else tl);
   t.fq_count <- t.fq_count + 1
 
+(* Probe the instruction-side memory hierarchy for the fetch group at
+   [start_pc]: ITLB first, then IL1 (with L2 refill). [Some delay]
+   stalls fetch; the TLB installs on its miss, so the penalty is paid
+   once per missing page. Shared by the correct- and wrong-path fetch
+   stages — wrong-path misses pollute and prefetch for real. *)
+let ifetch_stall t start_pc =
+  if not (Tlb.access t.itlb (start_pc * 4)) then begin
+    emit_tlb_miss t Ev.Itlb (start_pc * 4);
+    Some t.cfg.Config.tlb_miss_penalty
+  end
+  else
+    match Cache.probe t.il1 ~now:t.cycle (start_pc * 4) with
+    | Cache.Hit -> None
+    | Cache.Inflight r -> Some (r + 1)
+    | Cache.Miss ->
+      emit_cache_miss t Ev.Il1 (start_pc * 4);
+      let lat =
+        match Cache.probe t.l2 ~now:t.cycle (start_pc * 4) with
+        | Cache.Hit -> t.cfg.Config.l2_hit
+        | Cache.Inflight r -> r + 1
+        | Cache.Miss ->
+          emit_cache_miss t Ev.L2 (start_pc * 4);
+          Cache.set_fill t.l2 (start_pc * 4)
+            (t.cycle + t.cfg.Config.mem_latency);
+          t.cfg.Config.mem_latency
+      in
+      Cache.set_fill t.il1 (start_pc * 4) (t.cycle + lat);
+      Some lat
+
+(* --- wrong-path execution ------------------------------------------------ *)
+
+(* Shadow executor for the speculative frontend (DESIGN.md §14): runs
+   the *predicted* path after a detected mispredict, against register
+   copies taken at episode entry and a store overlay over the oracle's
+   memory — the oracle itself never leaves the correct path. Arithmetic
+   mirrors [Exec.step] exactly (total: division by zero and out-of-range
+   shifts yield 0, unwritten memory reads 0). Control flow follows the
+   predictor, because down the wrong path there is no oracle outcome to
+   follow: direction tables are read but never trained, the BTB's LRU is
+   touched as any lookup does, and the RAS is pushed and popped for real
+   (restored from the episode snapshot at squash). *)
+
+let wp_ireg t r = if r = 0 then 0 else t.wp_iregs.(r)
+
+let wp_src1_int t (i : Instr.t) =
+  match i.Instr.src1 with Some (Reg.Int r) -> wp_ireg t r | _ -> 0
+
+let wp_src2_int t (i : Instr.t) =
+  match i.Instr.src2 with Some (Reg.Int r) -> wp_ireg t r | _ -> 0
+
+let wp_src1_fp t (i : Instr.t) =
+  match i.Instr.src1 with Some (Reg.Fp r) -> t.wp_fregs.(r) | _ -> 0.
+
+let wp_src2_fp t (i : Instr.t) =
+  match i.Instr.src2 with Some (Reg.Fp r) -> t.wp_fregs.(r) | _ -> 0.
+
+let wp_write_int t (i : Instr.t) v =
+  match i.Instr.dst with
+  | Some (Reg.Int r) -> if r <> 0 then t.wp_iregs.(r) <- v
+  | Some (Reg.Fp _) | None -> ()
+
+let wp_write_fp t (i : Instr.t) v =
+  match i.Instr.dst with
+  | Some (Reg.Fp r) -> t.wp_fregs.(r) <- v
+  | Some (Reg.Int _) | None -> ()
+
+let wp_peek t a =
+  match Hashtbl.find_opt t.wp_imem a with
+  | Some v -> v
+  | None -> Exec.peek t.exec a
+
+let wp_fpeek t a =
+  match Hashtbl.find_opt t.wp_fmem a with
+  | Some v -> v
+  | None -> Exec.fpeek t.exec a
+
+(* Execute the wrong-path instruction at [t.wp_pc]. [None] when the
+   wrong path has nowhere to go — a predicted-taken transfer with no BTB
+   target, a return off an empty RAS, a Halt, or running off the program
+   — in which case nothing is mutated and wrong-path fetch idles until
+   the mispredicted branch resolves. *)
+let wp_step t : Exec.dyn option =
+  let pc = t.wp_pc in
+  if pc < 0 || pc >= Prog.length t.prog then None
+  else begin
+    let i = t.prog.Prog.code.(pc) in
+    match i.Instr.op with
+    | Opcode.Halt -> None
+    | _ ->
+      let fallthrough = pc + 1 in
+      let next_pc = ref fallthrough in
+      let taken = ref false in
+      let addr = ref (-1) in
+      let ok = ref true in
+      (* Control decision first: a stalling opcode must leave no trace
+         (the RAS pop for a feasible return is the one real mutation,
+         and [ras_pop_addr] leaves an empty stack untouched). *)
+      (match i.Instr.op with
+      | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Bge ->
+        if Branch_pred.predict_direction t.bpred pc then begin
+          let tgt = Branch_pred.btb_lookup_tgt t.bpred pc in
+          if tgt < 0 then ok := false
+          else begin
+            taken := true;
+            next_pc := tgt
+          end
+        end
+      | Opcode.Jmp ->
+        let tgt = Branch_pred.btb_lookup_tgt t.bpred pc in
+        if tgt < 0 then ok := false
+        else begin
+          taken := true;
+          next_pc := tgt
+        end
+      | Opcode.Call ->
+        let tgt = Branch_pred.btb_lookup_tgt t.bpred pc in
+        if tgt < 0 then ok := false
+        else begin
+          taken := true;
+          next_pc := tgt;
+          Branch_pred.ras_push t.bpred fallthrough
+        end
+      | Opcode.Ret ->
+        let ra = Branch_pred.ras_pop_addr t.bpred in
+        if ra < 0 then ok := false
+        else begin
+          taken := true;
+          next_pc := ra
+        end
+      | _ -> ());
+      if not !ok then None
+      else begin
+        (match i.Instr.op with
+        | Opcode.Add -> wp_write_int t i (wp_src1_int t i + wp_src2_int t i)
+        | Opcode.Sub -> wp_write_int t i (wp_src1_int t i - wp_src2_int t i)
+        | Opcode.And ->
+          wp_write_int t i (wp_src1_int t i land wp_src2_int t i)
+        | Opcode.Or -> wp_write_int t i (wp_src1_int t i lor wp_src2_int t i)
+        | Opcode.Xor ->
+          wp_write_int t i (wp_src1_int t i lxor wp_src2_int t i)
+        | Opcode.Shl ->
+          let n = wp_src2_int t i in
+          wp_write_int t i (if Exec.shift_ok n then wp_src1_int t i lsl n else 0)
+        | Opcode.Shr ->
+          let n = wp_src2_int t i in
+          wp_write_int t i (if Exec.shift_ok n then wp_src1_int t i lsr n else 0)
+        | Opcode.Slt ->
+          wp_write_int t i (if wp_src1_int t i < wp_src2_int t i then 1 else 0)
+        | Opcode.Sle ->
+          wp_write_int t i
+            (if wp_src1_int t i <= wp_src2_int t i then 1 else 0)
+        | Opcode.Seq ->
+          wp_write_int t i (if wp_src1_int t i = wp_src2_int t i then 1 else 0)
+        | Opcode.Sne ->
+          wp_write_int t i
+            (if wp_src1_int t i <> wp_src2_int t i then 1 else 0)
+        | Opcode.Addi -> wp_write_int t i (wp_src1_int t i + i.Instr.imm)
+        | Opcode.Andi -> wp_write_int t i (wp_src1_int t i land i.Instr.imm)
+        | Opcode.Ori -> wp_write_int t i (wp_src1_int t i lor i.Instr.imm)
+        | Opcode.Xori -> wp_write_int t i (wp_src1_int t i lxor i.Instr.imm)
+        | Opcode.Shli ->
+          wp_write_int t i
+            (if Exec.shift_ok i.Instr.imm then wp_src1_int t i lsl i.Instr.imm
+             else 0)
+        | Opcode.Shri ->
+          wp_write_int t i
+            (if Exec.shift_ok i.Instr.imm then wp_src1_int t i lsr i.Instr.imm
+             else 0)
+        | Opcode.Slti ->
+          wp_write_int t i (if wp_src1_int t i < i.Instr.imm then 1 else 0)
+        | Opcode.Li -> wp_write_int t i i.Instr.imm
+        | Opcode.Mov -> wp_write_int t i (wp_src1_int t i)
+        | Opcode.Mul -> wp_write_int t i (wp_src1_int t i * wp_src2_int t i)
+        | Opcode.Div ->
+          let d = wp_src2_int t i in
+          wp_write_int t i (if d = 0 then 0 else wp_src1_int t i / d)
+        | Opcode.Fadd -> wp_write_fp t i (wp_src1_fp t i +. wp_src2_fp t i)
+        | Opcode.Fsub -> wp_write_fp t i (wp_src1_fp t i -. wp_src2_fp t i)
+        | Opcode.Fmul -> wp_write_fp t i (wp_src1_fp t i *. wp_src2_fp t i)
+        | Opcode.Fdiv ->
+          let d = wp_src2_fp t i in
+          wp_write_fp t i (if d = 0. then 0. else wp_src1_fp t i /. d)
+        | Opcode.Fli -> wp_write_fp t i (float_of_int i.Instr.imm /. 1000.)
+        | Opcode.Fmov -> wp_write_fp t i (wp_src1_fp t i)
+        | Opcode.Itof -> wp_write_fp t i (float_of_int (wp_src1_int t i))
+        | Opcode.Ftoi -> wp_write_int t i (int_of_float (wp_src1_fp t i))
+        | Opcode.Load ->
+          let a = wp_src1_int t i + i.Instr.imm in
+          addr := a;
+          wp_write_int t i (wp_peek t a)
+        | Opcode.Store ->
+          let a = wp_src1_int t i + i.Instr.imm in
+          addr := a;
+          Hashtbl.replace t.wp_imem a (wp_src2_int t i)
+        | Opcode.Fload ->
+          let a = wp_src1_int t i + i.Instr.imm in
+          addr := a;
+          wp_write_fp t i (wp_fpeek t a)
+        | Opcode.Fstore ->
+          let a = wp_src1_int t i + i.Instr.imm in
+          addr := a;
+          Hashtbl.replace t.wp_fmem a (wp_src2_fp t i)
+        | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Bge | Opcode.Jmp
+        | Opcode.Call | Opcode.Ret | Opcode.Nop | Opcode.Iqset
+        | Opcode.Halt -> ());
+        let sn = t.wp_next_sn in
+        t.wp_next_sn <- sn + 1;
+        t.wp_pc <- !next_pc;
+        Some
+          {
+            Exec.sn;
+            pc;
+            instr = i;
+            next_pc = !next_pc;
+            taken = !taken;
+            addr = !addr;
+          }
+      end
+  end
+
+(* Begin an episode: fetch will proceed down the predicted path while
+   the mispredicted branch [dyn] executes. A [target] outside the
+   program (-1 from a BTB miss or an empty RAS: no predicted target
+   exists) leaves wrong-path fetch idle — timing then matches the
+   blocking frontend, but resolution still flows through the squash
+   path, keeping the accounting uniform. *)
+let enter_wp_mode t (dyn : Exec.dyn) ~target =
+  t.wp_mode <- true;
+  t.wp_pc <-
+    (if target >= 0 && target < Prog.length t.prog then target else -1);
+  t.wp_next_sn <- dyn.Exec.sn + 1;
+  t.wp_iq_boundary <- -1;
+  Array.blit t.exec.Exec.iregs 0 t.wp_iregs 0 (Array.length t.wp_iregs);
+  Array.blit t.exec.Exec.fregs 0 t.wp_fregs 0 (Array.length t.wp_fregs);
+  if Hashtbl.length t.wp_imem > 0 then Hashtbl.reset t.wp_imem;
+  if Hashtbl.length t.wp_fmem > 0 then Hashtbl.reset t.wp_fmem;
+  t.wp_ras_top <- Branch_pred.ras_save t.bpred t.wp_ras
+
+(* Wrong-path fetch: [fetch_stage]'s mirror, driven by [wp_step] instead
+   of the oracle. A wrong-path mispredict (per the shadow executor's own
+   predictions there are none to detect — it *defines* the path) cannot
+   occur; fetch simply ends where the predicted path runs out. *)
+let wp_fetch_stage t =
+  if (not t.wp_mode) || t.wp_pc < 0 then ()
+  else begin
+    let start_pc = t.wp_pc in
+    match ifetch_stall t start_pc with
+    | Some lat -> t.fetch_resume_at <- t.cycle + lat
+    | None ->
+      let group_hi =
+        (((line_of t start_pc + 1) * t.cfg.Config.il1_line) + 3) / 4
+      in
+      let fetched = ref 0 in
+      let continue = ref true in
+      while
+        !continue
+        && !fetched < t.cfg.Config.fetch_width
+        && t.fq_count < t.cfg.Config.fetch_queue_size
+      do
+        if t.wp_pc >= group_hi || t.wp_pc < 0 then continue := false
+        else
+          match wp_step t with
+          | None ->
+            t.wp_pc <- -1;
+            continue := false
+          | Some dyn ->
+            fq_push t dyn;
+            incr fetched;
+            (* Any taken transfer ends the fetch group, as on the
+               correct path. *)
+            if dyn.Exec.taken then continue := false;
+            let outcome =
+              match dyn.Exec.instr.Instr.op with
+              | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Bge ->
+                Ev.Cond_branch
+                  {
+                    taken = dyn.Exec.taken;
+                    mispredicted = false;
+                    btb_bubble = false;
+                  }
+              | Opcode.Jmp -> Ev.Jump { btb_bubble = false }
+              | Opcode.Call -> Ev.Call { btb_bubble = false }
+              | Opcode.Ret -> Ev.Return { mispredicted = false }
+              | _ -> Ev.Sequential
+            in
+            emit_fetch_wp t dyn ~outcome
+      done
+  end
+
 let fetch_stage t =
-  if t.halted || t.fetch_hold || t.cycle < t.fetch_resume_at
-     || t.blocked_sn >= 0
-  then ()
+  if t.halted || t.fetch_hold || t.cycle < t.fetch_resume_at then ()
+  else if t.blocked_sn >= 0 then
+    (* An unresolved mispredict: the correct-path frontend is parked,
+       but a speculative episode keeps fetching the predicted path. *)
+    wp_fetch_stage t
   else begin
     let start_pc = t.exec.Exec.pc in
     if start_pc < 0 || start_pc >= Prog.length t.prog then t.halted <- true
     else begin
-      let icache_stall =
-        match Cache.probe t.il1 ~now:t.cycle (start_pc * 4) with
-        | Cache.Hit -> None
-        | Cache.Inflight r -> Some (r + 1)
-        | Cache.Miss ->
-          emit_cache_miss t Ev.Il1 (start_pc * 4);
-          let lat =
-            match Cache.probe t.l2 ~now:t.cycle (start_pc * 4) with
-            | Cache.Hit -> t.cfg.Config.l2_hit
-            | Cache.Inflight r -> r + 1
-            | Cache.Miss ->
-              emit_cache_miss t Ev.L2 (start_pc * 4);
-              Cache.set_fill t.l2 (start_pc * 4)
-                (t.cycle + t.cfg.Config.mem_latency);
-              t.cfg.Config.mem_latency
-          in
-          Cache.set_fill t.il1 (start_pc * 4) (t.cycle + lat);
-          Some lat
-      in
-      match icache_stall with
+      match ifetch_stall t start_pc with
       | Some lat ->
-        (* Instruction-cache miss: stall fetch for the refill. *)
+        (* ITLB or instruction-cache miss: stall fetch for the refill. *)
         t.fetch_resume_at <- t.cycle + lat
       | None ->
       (* First pc past the fetch group's cache line: inside the loop pc
@@ -923,7 +1465,17 @@ let fetch_stage t =
                   continue := false;
                   emit_fetch_cond t dyn ~taken:dyn.Exec.taken
                     ~mispredicted:true ~btb_bubble:false;
-                  if t.bus_on then Bus.emit t.bus (Ev.Squash { dyn })
+                  if t.cfg.Config.speculative_fetch then
+                    (* Keep fetching down the predicted path: not-taken
+                       falls through; taken needs the BTB's pre-update
+                       idea of a target (looked up above). *)
+                    enter_wp_mode t dyn
+                      ~target:
+                        (if predicted_taken then btb else dyn.Exec.pc + 1)
+                  else
+                    (* Blocking frontend: nothing speculative was
+                       fetched; the event still marks the recovery. *)
+                    emit_squash t dyn ~squashed:0
                 end
                 else if dyn.Exec.taken then begin
                   let btb_bubble =
@@ -973,9 +1525,9 @@ let fetch_stage t =
                 continue := false;
                 emit_fetch_call t dyn ~btb_bubble
               | Opcode.Ret ->
+                let ra = Branch_pred.ras_pop_addr t.bpred in
                 let mispredicted =
-                  if Branch_pred.ras_pop_addr t.bpred = dyn.Exec.next_pc
-                  then false
+                  if ra = dyn.Exec.next_pc then false
                   else begin
                     (* Return mispredicted: wait for it to resolve. *)
                     t.blocked_sn <- dyn.Exec.sn;
@@ -984,8 +1536,16 @@ let fetch_stage t =
                 in
                 continue := false;
                 emit_fetch_ret t dyn ~mispredicted;
-                if mispredicted && t.bus_on then
-                  Bus.emit t.bus (Ev.Squash { dyn })
+                if mispredicted then begin
+                  if t.cfg.Config.speculative_fetch then
+                    (* The popped (wrong) address is the predicted path.
+                       The pop itself is architecturally right and is
+                       part of the pre-episode snapshot; an empty stack
+                       (ra = -1) predicts nothing, so wrong-path fetch
+                       idles. *)
+                    enter_wp_mode t dyn ~target:ra
+                  else emit_squash t dyn ~squashed:0
+                end
               | _ -> emit_fetch_seq t dyn)
               end)
       done
@@ -1035,7 +1595,7 @@ let cycle_end_stage t ~throttled =
      pressure and resizes here). A resize only drops/adds empty banks,
      so the masks captured above are unaffected. *)
   let size_before = Iq.active_size t.iq in
-  Policy.end_cycle t.policy t.iq ~throttled;
+  Policy.end_cycle t.policy t.iq ~resize_ok:(not t.wp_mode) ~throttled ();
   t.cycle <- t.cycle + 1;
   if t.bus_on then begin
     emit_bank_transitions t ~unit_:Ev.Iq_bank ~prev:t.prev_iq_bank_mask
@@ -1138,11 +1698,12 @@ let ff_probe t cache addr =
 
 (* Functional fast-forward: execute up to [insns] oracle instructions
    with no timing model, keeping the long-lived microarchitectural state
-   warm — branch-direction tables, BTB, RAS, all three caches and the
-   policy's region state receive exactly the updates detailed execution
-   would apply (predict + train per conditional, BTB touch/update per
-   control transfer, one icache probe per line transition, a data-cache
-   probe per load and store, annotations delivered in program order).
+   warm — branch-direction tables, BTB, RAS, all three caches, both
+   TLBs and the policy's region state receive exactly the updates
+   detailed execution would apply (predict + train per conditional, BTB
+   touch/update per control transfer, one icache probe and ITLB train
+   per line transition, a data-cache probe and DTLB train per load and
+   store, annotations delivered in program order).
    The cycle counter advances one cycle per instruction so cache fill
    times stay monotone; no events are emitted and no statistics change.
    Requires a drained machine (see [drain]). Returns the number of
@@ -1159,6 +1720,7 @@ let fast_forward t ~insns =
       let line = line_of t pc in
       if line <> !last_line then begin
         last_line := line;
+        Tlb.train t.itlb (pc * 4);
         ff_probe t t.il1 (pc * 4)
       end;
       match Exec.step t.exec with
@@ -1195,6 +1757,7 @@ let fast_forward t ~insns =
           let (_ : int) = Branch_pred.ras_pop_addr t.bpred in
           ()
         | Opcode.Load | Opcode.Fload | Opcode.Store | Opcode.Fstore ->
+          Tlb.train t.dtlb dyn.Exec.addr;
           ff_probe t t.dl1 dyn.Exec.addr
         | _ -> ());
         (* A tagged instruction delivers its annotation regardless of
@@ -1234,6 +1797,16 @@ module Debug = struct
   let stats t = t.stats
   let fetch_queue_length t = t.fq_count
   let bus t = t.bus
+  let lsq t = t.lsq
+  let itlb t = t.itlb
+  let dtlb t = t.dtlb
+  let wp_mode t = t.wp_mode
+  let blocked_sn t = t.blocked_sn
+
+  (* Test-only sabotage: the next squash leaves its first wrong-path IQ
+     entry live (rename and ROB still rolled back) — the stale-entry leak
+     the checker's IQ/ROB-linkage invariant must catch. *)
+  let set_sabotage_squash_leak t v = t.sabotage_squash_leak <- v
 
   (* One-line machine-state excerpt for diagnostics. *)
   let excerpt t =

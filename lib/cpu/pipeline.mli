@@ -2,10 +2,24 @@
     rename/dispatch → issue/execute → writeback → commit, execution-driven
     from the functional oracle.
 
-    Wrong-path instructions are never injected: a mispredicted control
-    instruction stalls fetch until it resolves, which models the penalty
-    while keeping oracle and pipeline in lockstep (a documented
-    simplification applied identically to every technique).
+    Speculative frontend (DESIGN.md §14): a mispredicted control
+    instruction opens a wrong-path episode — fetch continues down the
+    *predicted* path via a shadow executor (register copies plus a store
+    overlay; the oracle never leaves the correct path), and the
+    wrong-path instructions rename, dispatch, issue and generate real
+    cache/TLB traffic, marked [wp] end to end. When the branch resolves,
+    everything younger is squashed: rename map and free lists rolled
+    back exactly, IQ tail rewound, LSQ and ROB suffixes popped, the RAS
+    restored from its episode snapshot, and a bus-visible [Squash] event
+    emitted. Wrong-path work never commits and never trains the
+    direction predictor, so the committed stream is identical with
+    speculation on or off ([Config.speculative_fetch]).
+
+    The memory system backs this with split 16-entry ITLB/DTLB (probed
+    at fetch and at memory issue; a miss stalls for the walk) and an
+    age-ordered load/store queue that allocates speculatively at
+    dispatch and answers youngest-older-store forwarding queries at load
+    issue.
 
     Cycle phase order matches the paper's Figure 1 timing: results wake
     consumers in their completion cycle and the consumers may issue that
@@ -28,12 +42,15 @@ type t = {
   dl1 : Cache.t;
   l2 : Cache.t;
   bpred : Branch_pred.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
   int_rf : Regfile.t;
   fp_rf : Regfile.t;
   int_map : int array;
   fp_map : int array;
   rob : Rob.t;
   iq : Iq.t;
+  lsq : Lsq.t;
   fq_dyns : Sdiq_isa.Exec.dyn array;
       (** fetch-queue ring (capacity [fetch_queue_size]) *)
   fq_ready : int array;
@@ -58,6 +75,27 @@ type t = {
   mutable fetch_resume_at : int;
   mutable blocked_sn : int;
       (** sequence number fetch is stalled on; [-1] when not stalled *)
+  mutable wp_mode : bool;
+      (** a wrong-path episode is open (one at a time, anchored at
+          [blocked_sn]; a nested wrong-path mispredict only ends
+          wrong-path fetch) *)
+  mutable wp_pc : int;  (** next wrong-path pc; [-1] = wp fetch idle *)
+  mutable wp_next_sn : int;
+  wp_iregs : int array;
+      (** shadow registers seeding the wrong-path executor, copied at
+          episode entry (the oracle never leaves the correct path) *)
+  wp_fregs : float array;
+  wp_imem : (int, int) Hashtbl.t;
+      (** wrong-path store overlay over the oracle's memory *)
+  wp_fmem : (int, float) Hashtbl.t;
+  wp_ras : int array;  (** RAS snapshot, restored at squash *)
+  mutable wp_ras_top : int;
+  iq_wp : Bytes.t;
+  mutable wp_iq_boundary : int;
+      (** IQ slot of the episode's first wrong-path dispatch; [-1] while
+          none dispatched *)
+  squash_mark : Bytes.t;
+  mutable sabotage_squash_leak : bool;
   mutable stores_in_flight : int;
   mutable unpipe_busy_until : int;
   stats : Stats.t;
@@ -119,7 +157,7 @@ val drain : ?max_cycles:int -> t -> unit
 
 (** Functional fast-forward (SMARTS-style): execute up to [insns]
     oracle instructions with no timing model, applying exactly the
-    branch-predictor, BTB, RAS, cache and policy-annotation updates
+    branch-predictor, BTB, RAS, cache, TLB and policy-annotation updates
     detailed execution would apply, advancing the cycle counter one
     cycle per instruction. No events are emitted and no statistics
     change. Requires a drained machine ({!drain});
@@ -160,6 +198,16 @@ module Debug : sig
   val stats : t -> Stats.t
   val fetch_queue_length : t -> int
   val bus : t -> Sdiq_events.Bus.t
+  val lsq : t -> Lsq.t
+  val itlb : t -> Tlb.t
+  val dtlb : t -> Tlb.t
+  val wp_mode : t -> bool
+  val blocked_sn : t -> int
+
+  (** Test-only sabotage: make the next squash leave its first
+      wrong-path IQ entry live (ROB and rename still rolled back), the
+      stale-entry corruption the checker must catch. *)
+  val set_sabotage_squash_leak : t -> bool -> unit
 
   (** One-line machine-state summary for diagnostics. *)
   val excerpt : t -> string

@@ -99,8 +99,13 @@ let on_annotation t (iq : Iq.t) ~pc ~value =
   | Unlimited | Abella _ -> ()
 
 (* Per-cycle bookkeeping; [throttled] is true when dispatch stopped this
-   cycle because of the policy (not because the queue itself was full). *)
-let end_cycle t (iq : Iq.t) ~throttled =
+   cycle because of the policy (not because the queue itself was full).
+   [resize_ok] is false while a wrong-path episode is open: the squash
+   rewinds the ring pointers to the episode boundary, which is only
+   meaningful under the modulus they were recorded with, so the physical
+   resize is deferred (one more increment of the scheme's inherent
+   adjustment lag); sensing continues regardless. *)
+let end_cycle t (iq : Iq.t) ?(resize_ok = true) ~throttled () =
   match t with
   | Unlimited | Software _ -> ()
   | Abella a ->
@@ -126,7 +131,7 @@ let end_cycle t (iq : Iq.t) ~throttled =
     end;
     (* Apply the decided size to the hardware as soon as it is safe; the
        retry-until-safe delay is part of the scheme's adjustment lag. *)
-    ignore (Iq.resize iq a.limit)
+    if resize_ok then ignore (Iq.resize iq a.limit)
 
 let current_limit t (iq : Iq.t) =
   match t with

@@ -54,8 +54,12 @@ val allows : t -> Iq.t -> bool
     allowance, unless it is the annotation that opened the current one. *)
 val on_annotation : t -> Iq.t -> pc:int -> value:int -> unit
 
-(** Per-cycle bookkeeping; [throttled] marks dispatch stopped by the
-    policy (or by a shrunken ring) rather than by program structure. *)
-val end_cycle : t -> Iq.t -> throttled:bool -> unit
+(** Per-cycle bookkeeping and (for the adaptive scheme) the physical
+    resize; [throttled] marks dispatch stopped by the policy (or by a
+    shrunken ring) rather than by program structure. [resize_ok:false]
+    defers the resize while keeping the sensing — the pipeline passes it
+    during a wrong-path episode, whose squash rewinds IQ pointers
+    recorded under the current modulus. *)
+val end_cycle : t -> Iq.t -> ?resize_ok:bool -> throttled:bool -> unit -> unit
 
 val current_limit : t -> Iq.t -> int

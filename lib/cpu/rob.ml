@@ -1,15 +1,19 @@
-(* Reorder buffer: a circular buffer of in-flight instructions committed in
-   program order. Because the frontend never injects wrong-path
-   instructions (a mispredicted branch stalls fetch until it resolves),
-   the ROB never squashes; it only fills and drains.
+(* Reorder buffer: a circular buffer of in-flight instructions committed
+   in program order. The speculative frontend pushes wrong-path
+   instructions (flagged with a [wp] byte) behind a mispredicted branch;
+   at resolution the pipeline squashes them by popping the tail,
+   youngest first, so the buffer is always a contiguous program-order
+   window and only ever shrinks from its two ends: head at commit, tail
+   at squash.
 
    Storage is flat (DESIGN.md §13): each per-entry attribute lives in its
-   own unboxed array — states and the blocked-fetch flag as bytes,
-   IQ back-pointers as ints, and the destination / previous-mapping
-   registers packed into single int codes — so push, wakeup and commit
-   touch no option or record allocations. The [dyns] array holds the
-   dynamic-instruction records themselves (produced once per instruction
-   by the functional frontend); a free slot holds [dummy_dyn]. *)
+   own unboxed array — states, the blocked-fetch flag and the wrong-path
+   flag as bytes, IQ and LSQ back-pointers as ints, and the destination /
+   previous-mapping registers packed into single int codes — so push,
+   wakeup and commit touch no option or record allocations. The [dyns]
+   array holds the dynamic-instruction records themselves (produced once
+   per instruction by the functional frontend); a free slot holds
+   [dummy_dyn]. *)
 
 open Sdiq_isa
 
@@ -53,7 +57,9 @@ type t = {
   dest_codes : int array;
   old_codes : int array;  (* previous mapping, freed at commit *)
   iq_slots : int array;   (* -1 once issued or never queued *)
+  lsq_slots : int array;  (* -1 for non-memory instructions *)
   blocked : Bytes.t;      (* fetch is stalled on this instruction *)
+  wp : Bytes.t;           (* fetched down the wrong path *)
   mutable head : int;
   mutable tail : int;
   mutable count : int;
@@ -69,7 +75,9 @@ let create ~size =
     dest_codes = Array.make size 0;
     old_codes = Array.make size 0;
     iq_slots = Array.make size (-1);
+    lsq_slots = Array.make size (-1);
     blocked = Bytes.make size '\000';
+    wp = Bytes.make size '\000';
     head = 0;
     tail = 0;
     count = 0;
@@ -106,14 +114,19 @@ let old_phys_of t idx = decode_dest (old_code t idx)
 let iq_slot t idx = Array.unsafe_get t.iq_slots idx
 let set_iq_slot t idx s = Array.unsafe_set t.iq_slots idx s
 
+let lsq_slot t idx = Array.unsafe_get t.lsq_slots idx
+let set_lsq_slot t idx s = Array.unsafe_set t.lsq_slots idx s
+
 let blocked_fetch t idx = Bytes.unsafe_get t.blocked idx <> '\000'
 
 let set_blocked_fetch t idx b =
   Bytes.unsafe_set t.blocked idx (if b then '\001' else '\000')
 
+let is_wp t idx = Bytes.unsafe_get t.wp idx <> '\000'
+
 (* Allocate the tail entry; returns its index. [push_codes] is the
    allocation-free form taking pre-encoded destination codes. *)
-let push_codes t ~dyn ~dest_code ~old_code ~iq_slot =
+let push_codes t ~dyn ~dest_code ~old_code ~iq_slot ~wp =
   if is_full t then invalid_arg "Rob.push: full";
   let idx = t.tail in
   Array.unsafe_set t.dyns idx dyn;
@@ -121,7 +134,9 @@ let push_codes t ~dyn ~dest_code ~old_code ~iq_slot =
   Array.unsafe_set t.dest_codes idx dest_code;
   Array.unsafe_set t.old_codes idx old_code;
   Array.unsafe_set t.iq_slots idx iq_slot;
+  Array.unsafe_set t.lsq_slots idx (-1);
   Bytes.unsafe_set t.blocked idx '\000';
+  Bytes.unsafe_set t.wp idx (if wp then '\001' else '\000');
   t.tail <- (if t.tail + 1 = t.size then 0 else t.tail + 1);
   t.count <- t.count + 1;
   if Instr.is_store dyn.Exec.instr then t.stores <- t.stores + 1;
@@ -129,7 +144,7 @@ let push_codes t ~dyn ~dest_code ~old_code ~iq_slot =
 
 let push t ~dyn ~dest ~old_phys ~iq_slot =
   push_codes t ~dyn ~dest_code:(encode_dest dest)
-    ~old_code:(encode_dest old_phys) ~iq_slot
+    ~old_code:(encode_dest old_phys) ~iq_slot ~wp:false
 
 (* Commit primitives for the hot loop: test the head, read its index,
    pop it — without a per-commit closure. *)
@@ -154,6 +169,23 @@ let try_commit t f =
     true
   end
   else false
+
+(* Squash primitives: the youngest in-flight entry (the one just below
+   the tail pointer) and its removal. The pipeline pops wrong-path
+   entries youngest-first, undoing each rename as it goes, so the map
+   and free lists rewind in exactly the reverse of dispatch order. *)
+let tail_index t =
+  if t.count = 0 then invalid_arg "Rob.tail_index: empty";
+  if t.tail = 0 then t.size - 1 else t.tail - 1
+
+let pop_tail t =
+  let idx = tail_index t in
+  if Instr.is_store (Array.unsafe_get t.dyns idx).Exec.instr then
+    t.stores <- t.stores - 1;
+  Array.unsafe_set t.dyns idx dummy_dyn;
+  Bytes.unsafe_set t.wp idx '\000';
+  t.tail <- idx;
+  t.count <- t.count - 1
 
 (* Iterate over in-flight entry indices from oldest to youngest. *)
 let iter_in_flight t f =

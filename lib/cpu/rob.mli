@@ -1,6 +1,8 @@
 (** Reorder buffer: in-flight instructions committed in program order.
-    The frontend never injects wrong-path instructions, so the ROB never
-    squashes; it only fills and drains.
+    The speculative frontend pushes wrong-path instructions (flagged
+    [wp]) behind a mispredicted branch; resolution squashes them by
+    popping the tail youngest-first, so the buffer only ever shrinks
+    from its two ends: head at commit, tail at squash.
 
     Entries are stored flat (one unboxed array per attribute, DESIGN.md
     §13) and read through per-index accessors; a free slot's [dyn] is
@@ -46,8 +48,13 @@ val old_phys_of : t -> int -> dest
 
 val iq_slot : t -> int -> int
 val set_iq_slot : t -> int -> int -> unit
+val lsq_slot : t -> int -> int
+val set_lsq_slot : t -> int -> int -> unit
 val blocked_fetch : t -> int -> bool
 val set_blocked_fetch : t -> int -> bool -> unit
+
+(** Was this entry fetched down the wrong path? *)
+val is_wp : t -> int -> bool
 
 (** Allocate the tail entry; returns its index. Raises when full. *)
 val push :
@@ -65,6 +72,7 @@ val push_codes :
   dest_code:int ->
   old_code:int ->
   iq_slot:int ->
+  wp:bool ->
   int
 
 (** Commit primitives: is the oldest entry completed / its index / drop
@@ -77,6 +85,12 @@ val pop_head : t -> unit
 (** Pop the head if completed, passing its index to [f] (the entry is
     intact during the call); true on commit. *)
 val try_commit : t -> (int -> unit) -> bool
+
+(** Squash primitives: index of the youngest in-flight entry, and its
+    removal. Both assume a non-empty buffer. *)
+val tail_index : t -> int
+
+val pop_tail : t -> unit
 
 (** Oldest to youngest, by entry index. *)
 val iter_in_flight : t -> (int -> unit) -> unit

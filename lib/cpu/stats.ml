@@ -36,11 +36,21 @@ type t = {
   mutable loads : int;
   mutable stores : int;
   mutable store_forwards : int;
+  (* speculation: wrong-path activity and squash traffic *)
+  mutable wp_fetched : int;        (* wrong-path instructions fetched *)
+  mutable wp_dispatched : int;     (* ... renamed into IQ/ROB *)
+  mutable wp_issued : int;         (* ... issued to functional units *)
+  mutable squashes : int;          (* resolution episodes *)
+  mutable squashed : int;          (* wrong-path instructions discarded *)
+  (* TLBs *)
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
   (* stalls *)
   mutable dispatch_stall_policy : int;  (* cycles throttled by the policy *)
   mutable dispatch_stall_iq_full : int;
   mutable dispatch_stall_rob_full : int;
   mutable dispatch_stall_no_reg : int;
+  mutable dispatch_stall_lsq_full : int;
 }
 
 let create () =
@@ -76,10 +86,18 @@ let create () =
     loads = 0;
     stores = 0;
     store_forwards = 0;
+    wp_fetched = 0;
+    wp_dispatched = 0;
+    wp_issued = 0;
+    squashes = 0;
+    squashed = 0;
+    itlb_misses = 0;
+    dtlb_misses = 0;
     dispatch_stall_policy = 0;
     dispatch_stall_iq_full = 0;
     dispatch_stall_rob_full = 0;
     dispatch_stall_no_reg = 0;
+    dispatch_stall_lsq_full = 0;
   }
 
 (* The fold: how one pipeline event updates the counters. This is the
@@ -90,31 +108,37 @@ let create () =
    Counter-bearing events carry deltas, so absorbing a stream prefix
    yields correct partial sums; [Cycle_end] carries the per-cycle
    integrand snapshot, making the `*_sum` fields true per-cycle
-   integrals. Events with no counter meaning (writeback, squash,
-   resize, bank transitions) absorb to nothing. *)
+   integrals. Events with no counter meaning (writeback, resize, bank
+   transitions) absorb to nothing. *)
 let absorb t (ev : Sdiq_events.Event.t) =
   let open Sdiq_events.Event in
   match ev with
-  | Fetch { outcome; _ } -> (
+  | Fetch { outcome; wp; _ } -> (
     t.fetched <- t.fetched + 1;
-    match outcome with
-    | Sequential -> ()
-    | Cond_branch { mispredicted; btb_bubble; _ } ->
-      t.branches <- t.branches + 1;
-      if mispredicted then t.mispredicts <- t.mispredicts + 1;
-      if btb_bubble then t.btb_bubbles <- t.btb_bubbles + 1
-    | Jump { btb_bubble } | Call { btb_bubble } ->
-      if btb_bubble then t.btb_bubbles <- t.btb_bubbles + 1
-    | Return { mispredicted } ->
-      t.branches <- t.branches + 1;
-      if mispredicted then t.mispredicts <- t.mispredicts + 1)
+    (* Wrong-path fetches count as frontend activity but never as
+       branch-prediction outcomes: the predictor is neither consulted
+       for correctness nor trained down the wrong path. *)
+    if wp then t.wp_fetched <- t.wp_fetched + 1
+    else
+      match outcome with
+      | Sequential -> ()
+      | Cond_branch { mispredicted; btb_bubble; _ } ->
+        t.branches <- t.branches + 1;
+        if mispredicted then t.mispredicts <- t.mispredicts + 1;
+        if btb_bubble then t.btb_bubbles <- t.btb_bubbles + 1
+      | Jump { btb_bubble } | Call { btb_bubble } ->
+        if btb_bubble then t.btb_bubbles <- t.btb_bubbles + 1
+      | Return { mispredicted } ->
+        t.branches <- t.branches + 1;
+        if mispredicted then t.mispredicts <- t.mispredicts + 1)
   | Annotation { delivery = Noop_slot; _ } ->
     t.iqset_dispatch_slots <- t.iqset_dispatch_slots + 1
   | Annotation { delivery = Tag; _ } -> ()
-  | Dispatch { kind; cam_writes; _ } ->
+  | Dispatch { kind; cam_writes; wp; _ } ->
     t.dispatched <- t.dispatched + 1;
     t.iq_dispatch_ram_writes <- t.iq_dispatch_ram_writes + 1;
     t.iq_dispatch_cam_writes <- t.iq_dispatch_cam_writes + cam_writes;
+    if wp then t.wp_dispatched <- t.wp_dispatched + 1;
     (match kind with
     | Plain -> ()
     | Load -> t.loads <- t.loads + 1
@@ -127,15 +151,18 @@ let absorb t (ev : Sdiq_events.Event.t) =
     t.dispatch_stall_rob_full <- t.dispatch_stall_rob_full + 1
   | Dispatch_stall No_reg ->
     t.dispatch_stall_no_reg <- t.dispatch_stall_no_reg + 1
+  | Dispatch_stall Lsq_full ->
+    t.dispatch_stall_lsq_full <- t.dispatch_stall_lsq_full + 1
   | Wakeup { tags; naive; nonempty; gated; woken = _ } ->
     t.iq_broadcasts <- t.iq_broadcasts + tags;
     t.iq_wakeups_naive <- t.iq_wakeups_naive + naive;
     t.iq_wakeups_nonempty <- t.iq_wakeups_nonempty + nonempty;
     t.iq_wakeups_gated <- t.iq_wakeups_gated + gated
   | Select _ -> t.iq_selects <- t.iq_selects + 1
-  | Issue { store_forward; _ } ->
+  | Issue { store_forward; wp; _ } ->
     t.iq_issue_reads <- t.iq_issue_reads + 1;
-    if store_forward then t.store_forwards <- t.store_forwards + 1
+    if store_forward then t.store_forwards <- t.store_forwards + 1;
+    if wp then t.wp_issued <- t.wp_issued + 1
   | Writeback _ -> ()
   | Rf_read { ints; fps } ->
     t.int_rf_reads <- t.int_rf_reads + ints;
@@ -143,10 +170,14 @@ let absorb t (ev : Sdiq_events.Event.t) =
   | Rf_write { file = Int_rf; _ } -> t.int_rf_writes <- t.int_rf_writes + 1
   | Rf_write { file = Fp_rf; _ } -> t.fp_rf_writes <- t.fp_rf_writes + 1
   | Commit _ -> t.committed <- t.committed + 1
-  | Squash _ -> ()
+  | Squash { squashed; _ } ->
+    t.squashes <- t.squashes + 1;
+    t.squashed <- t.squashed + squashed
   | Cache_miss { level = Il1; _ } -> t.il1_misses <- t.il1_misses + 1
   | Cache_miss { level = Dl1; _ } -> t.dl1_misses <- t.dl1_misses + 1
   | Cache_miss { level = L2; _ } -> t.l2_misses <- t.l2_misses + 1
+  | Tlb_miss { tlb = Itlb; _ } -> t.itlb_misses <- t.itlb_misses + 1
+  | Tlb_miss { tlb = Dtlb; _ } -> t.dtlb_misses <- t.dtlb_misses + 1
   | Resize _ | Bank_gated _ | Bank_ungated _ -> ()
   | Cycle_end
       {
@@ -204,12 +235,21 @@ let add a b =
   a.loads <- a.loads + b.loads;
   a.stores <- a.stores + b.stores;
   a.store_forwards <- a.store_forwards + b.store_forwards;
+  a.wp_fetched <- a.wp_fetched + b.wp_fetched;
+  a.wp_dispatched <- a.wp_dispatched + b.wp_dispatched;
+  a.wp_issued <- a.wp_issued + b.wp_issued;
+  a.squashes <- a.squashes + b.squashes;
+  a.squashed <- a.squashed + b.squashed;
+  a.itlb_misses <- a.itlb_misses + b.itlb_misses;
+  a.dtlb_misses <- a.dtlb_misses + b.dtlb_misses;
   a.dispatch_stall_policy <- a.dispatch_stall_policy + b.dispatch_stall_policy;
   a.dispatch_stall_iq_full <-
     a.dispatch_stall_iq_full + b.dispatch_stall_iq_full;
   a.dispatch_stall_rob_full <-
     a.dispatch_stall_rob_full + b.dispatch_stall_rob_full;
-  a.dispatch_stall_no_reg <- a.dispatch_stall_no_reg + b.dispatch_stall_no_reg
+  a.dispatch_stall_no_reg <- a.dispatch_stall_no_reg + b.dispatch_stall_no_reg;
+  a.dispatch_stall_lsq_full <-
+    a.dispatch_stall_lsq_full + b.dispatch_stall_lsq_full
 
 (* A field-for-field snapshot; the sampling harness diffs snapshots
    taken around each measured window. *)
@@ -246,10 +286,18 @@ let copy t =
     loads = t.loads;
     stores = t.stores;
     store_forwards = t.store_forwards;
+    wp_fetched = t.wp_fetched;
+    wp_dispatched = t.wp_dispatched;
+    wp_issued = t.wp_issued;
+    squashes = t.squashes;
+    squashed = t.squashed;
+    itlb_misses = t.itlb_misses;
+    dtlb_misses = t.dtlb_misses;
     dispatch_stall_policy = t.dispatch_stall_policy;
     dispatch_stall_iq_full = t.dispatch_stall_iq_full;
     dispatch_stall_rob_full = t.dispatch_stall_rob_full;
     dispatch_stall_no_reg = t.dispatch_stall_no_reg;
+    dispatch_stall_lsq_full = t.dispatch_stall_lsq_full;
   }
 
 (* [diff a b]: the per-field difference [a - b] as a fresh value —
@@ -287,10 +335,19 @@ let diff a b =
     loads = a.loads - b.loads;
     stores = a.stores - b.stores;
     store_forwards = a.store_forwards - b.store_forwards;
+    wp_fetched = a.wp_fetched - b.wp_fetched;
+    wp_dispatched = a.wp_dispatched - b.wp_dispatched;
+    wp_issued = a.wp_issued - b.wp_issued;
+    squashes = a.squashes - b.squashes;
+    squashed = a.squashed - b.squashed;
+    itlb_misses = a.itlb_misses - b.itlb_misses;
+    dtlb_misses = a.dtlb_misses - b.dtlb_misses;
     dispatch_stall_policy = a.dispatch_stall_policy - b.dispatch_stall_policy;
     dispatch_stall_iq_full = a.dispatch_stall_iq_full - b.dispatch_stall_iq_full;
     dispatch_stall_rob_full = a.dispatch_stall_rob_full - b.dispatch_stall_rob_full;
     dispatch_stall_no_reg = a.dispatch_stall_no_reg - b.dispatch_stall_no_reg;
+    dispatch_stall_lsq_full =
+      a.dispatch_stall_lsq_full - b.dispatch_stall_lsq_full;
   }
 
 (* Every field with its name, for field-by-field divergence reports. *)
@@ -327,10 +384,18 @@ let to_fields t =
     ("loads", t.loads);
     ("stores", t.stores);
     ("store_forwards", t.store_forwards);
+    ("wp_fetched", t.wp_fetched);
+    ("wp_dispatched", t.wp_dispatched);
+    ("wp_issued", t.wp_issued);
+    ("squashes", t.squashes);
+    ("squashed", t.squashed);
+    ("itlb_misses", t.itlb_misses);
+    ("dtlb_misses", t.dtlb_misses);
     ("dispatch_stall_policy", t.dispatch_stall_policy);
     ("dispatch_stall_iq_full", t.dispatch_stall_iq_full);
     ("dispatch_stall_rob_full", t.dispatch_stall_rob_full);
     ("dispatch_stall_no_reg", t.dispatch_stall_no_reg);
+    ("dispatch_stall_lsq_full", t.dispatch_stall_lsq_full);
   ]
 
 let equal a b = to_fields a = to_fields b

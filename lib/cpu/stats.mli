@@ -33,10 +33,18 @@ type t = {
   mutable loads : int;
   mutable stores : int;
   mutable store_forwards : int;
+  mutable wp_fetched : int;
+  mutable wp_dispatched : int;
+  mutable wp_issued : int;
+  mutable squashes : int;
+  mutable squashed : int;
+  mutable itlb_misses : int;
+  mutable dtlb_misses : int;
   mutable dispatch_stall_policy : int;
   mutable dispatch_stall_iq_full : int;
   mutable dispatch_stall_rob_full : int;
   mutable dispatch_stall_no_reg : int;
+  mutable dispatch_stall_lsq_full : int;
 }
 
 val create : unit -> t

@@ -28,11 +28,13 @@ type fetch_outcome =
 
 type dispatch_kind = Plain | Load | Store
 
-type stall_reason = Policy_limit | Iq_full | Rob_full | No_reg
+type stall_reason = Policy_limit | Iq_full | Rob_full | No_reg | Lsq_full
 
 type rf_file = Int_rf | Fp_rf
 
 type cache_level = Il1 | Dl1 | L2
+
+type tlb_unit = Itlb | Dtlb
 
 (* How an annotation reached the policy: a special NOOP consuming a
    dispatch slot (Section 5.2.1) or a zero-cost instruction tag (the
@@ -42,7 +44,7 @@ type delivery = Noop_slot | Tag
 type bank_unit = Iq_bank | Int_rf_bank | Fp_rf_bank
 
 type t =
-  | Fetch of { dyn : Exec.dyn; outcome : fetch_outcome }
+  | Fetch of { dyn : Exec.dyn; outcome : fetch_outcome; wp : bool }
   | Annotation of { pc : int; value : int; delivery : delivery }
   | Dispatch of {
       dyn : Exec.dyn;
@@ -50,6 +52,7 @@ type t =
       iq_slot : int;
       rob_idx : int;
       cam_writes : int; (* operand CAM entries written, 0..2 *)
+      wp : bool; (* renamed down the wrong path *)
     }
   | Dispatch_stall of stall_reason
   | Wakeup of {
@@ -60,13 +63,17 @@ type t =
       gated : int;
     }
   | Select of { rob_idx : int; iq_slot : int }
-  | Issue of { dyn : Exec.dyn; latency : int; store_forward : bool }
+  | Issue of { dyn : Exec.dyn; latency : int; store_forward : bool; wp : bool }
   | Writeback of { dyn : Exec.dyn; rob_idx : int }
   | Rf_read of { ints : int; fps : int } (* one event per issued instr *)
   | Rf_write of { file : rf_file; phys : int }
   | Commit of { dyn : Exec.dyn }
-  | Squash of { dyn : Exec.dyn } (* mispredicted control: fetch blocks on it *)
+  | Squash of { dyn : Exec.dyn; squashed : int }
+    (* mispredicted control resolved: [squashed] wrong-path instructions
+       (fetched or renamed) were discarded. Zero when fetch blocked
+       instead of speculating. *)
   | Cache_miss of { level : cache_level; addr : int }
+  | Tlb_miss of { tlb : tlb_unit; addr : int }
   | Resize of { before : int; after : int } (* IQ active-size change *)
   | Bank_gated of { unit_ : bank_unit; bank : int }
   | Bank_ungated of { unit_ : bank_unit; bank : int }
@@ -81,7 +88,7 @@ type t =
       fp_rf_banks_on : int;
     }
 
-let num_kinds = 17
+let num_kinds = 18
 
 let index = function
   | Fetch _ -> 0
@@ -101,6 +108,7 @@ let index = function
   | Bank_gated _ -> 14
   | Bank_ungated _ -> 15
   | Cycle_end _ -> 16
+  | Tlb_miss _ -> 17
 
 let kind_name_of_index = function
   | 0 -> "fetch"
@@ -120,6 +128,7 @@ let kind_name_of_index = function
   | 14 -> "bank_gated"
   | 15 -> "bank_ungated"
   | 16 -> "cycle_end"
+  | 17 -> "tlb_miss"
   | _ -> "unknown"
 
 let kind_name ev = kind_name_of_index (index ev)
@@ -139,7 +148,8 @@ let pp ppf ev =
       | Policy_limit -> "policy"
       | Iq_full -> "iq-full"
       | Rob_full -> "rob-full"
-      | No_reg -> "no-reg")
+      | No_reg -> "no-reg"
+      | Lsq_full -> "lsq-full")
   | Wakeup { tags; woken; _ } -> Fmt.pf ppf "wakeup tags=%d woken=%d" tags woken
   | Select { rob_idx; iq_slot } ->
     Fmt.pf ppf "select rob=%d slot=%d" rob_idx iq_slot
@@ -153,10 +163,15 @@ let pp ppf ev =
       (match file with Int_rf -> "int" | Fp_rf -> "fp")
       phys
   | Commit { dyn } -> Fmt.pf ppf "commit sn=%d pc=%d" dyn.Exec.sn dyn.Exec.pc
-  | Squash { dyn } -> Fmt.pf ppf "squash sn=%d" dyn.Exec.sn
+  | Squash { dyn; squashed } ->
+    Fmt.pf ppf "squash sn=%d squashed=%d" dyn.Exec.sn squashed
   | Cache_miss { level; addr } ->
     Fmt.pf ppf "cache_miss %s addr=%d"
       (match level with Il1 -> "il1" | Dl1 -> "dl1" | L2 -> "l2")
+      addr
+  | Tlb_miss { tlb; addr } ->
+    Fmt.pf ppf "tlb_miss %s addr=%d"
+      (match tlb with Itlb -> "itlb" | Dtlb -> "dtlb")
       addr
   | Resize { before; after } -> Fmt.pf ppf "resize %d->%d" before after
   | Bank_gated { unit_; bank } | Bank_ungated { unit_; bank } ->

@@ -19,9 +19,10 @@ type fetch_outcome =
   | Return of { mispredicted : bool }
 
 type dispatch_kind = Plain | Load | Store
-type stall_reason = Policy_limit | Iq_full | Rob_full | No_reg
+type stall_reason = Policy_limit | Iq_full | Rob_full | No_reg | Lsq_full
 type rf_file = Int_rf | Fp_rf
 type cache_level = Il1 | Dl1 | L2
+type tlb_unit = Itlb | Dtlb
 
 (** How an annotation reached the policy: a special NOOP consuming a
     dispatch slot (Section 5.2.1) or a zero-cost instruction tag. *)
@@ -30,7 +31,7 @@ type delivery = Noop_slot | Tag
 type bank_unit = Iq_bank | Int_rf_bank | Fp_rf_bank
 
 type t =
-  | Fetch of { dyn : Sdiq_isa.Exec.dyn; outcome : fetch_outcome }
+  | Fetch of { dyn : Sdiq_isa.Exec.dyn; outcome : fetch_outcome; wp : bool }
   | Annotation of { pc : int; value : int; delivery : delivery }
   | Dispatch of {
       dyn : Sdiq_isa.Exec.dyn;
@@ -38,6 +39,7 @@ type t =
       iq_slot : int;
       rob_idx : int;
       cam_writes : int;  (** operand CAM entries written, 0..2 *)
+      wp : bool;  (** renamed down the wrong path *)
     }
   | Dispatch_stall of stall_reason
   | Wakeup of {
@@ -48,14 +50,22 @@ type t =
       gated : int;
     }
   | Select of { rob_idx : int; iq_slot : int }
-  | Issue of { dyn : Sdiq_isa.Exec.dyn; latency : int; store_forward : bool }
+  | Issue of {
+      dyn : Sdiq_isa.Exec.dyn;
+      latency : int;
+      store_forward : bool;
+      wp : bool;
+    }
   | Writeback of { dyn : Sdiq_isa.Exec.dyn; rob_idx : int }
   | Rf_read of { ints : int; fps : int }  (** one event per issued instr *)
   | Rf_write of { file : rf_file; phys : int }
   | Commit of { dyn : Sdiq_isa.Exec.dyn }
-  | Squash of { dyn : Sdiq_isa.Exec.dyn }
-      (** mispredicted control: fetch blocks on it *)
+  | Squash of { dyn : Sdiq_isa.Exec.dyn; squashed : int }
+      (** mispredicted control resolved: [squashed] wrong-path
+          instructions were discarded (zero when fetch blocked instead
+          of speculating) *)
   | Cache_miss of { level : cache_level; addr : int }
+  | Tlb_miss of { tlb : tlb_unit; addr : int }
   | Resize of { before : int; after : int }  (** IQ active-size change *)
   | Bank_gated of { unit_ : bank_unit; bank : int }
   | Bank_ungated of { unit_ : bank_unit; bank : int }

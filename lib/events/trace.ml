@@ -44,36 +44,41 @@ let dyn_fields (d : Exec.dyn) =
   Printf.sprintf {|,"sn":%d,"pc":%d,"op":"%s"|} d.Exec.sn d.Exec.pc
     (escape (Instr.to_string d.Exec.instr))
 
+let wp_field wp = if wp then {|,"wp":true|} else ""
+
 let body ev =
   match ev with
-  | Event.Fetch { dyn; outcome } -> dyn_fields dyn ^ fetch_outcome_fields outcome
+  | Event.Fetch { dyn; outcome; wp } ->
+    dyn_fields dyn ^ fetch_outcome_fields outcome ^ wp_field wp
   | Event.Annotation { pc; value; delivery } ->
     Printf.sprintf {|,"pc":%d,"value":%d,"delivery":"%s"|} pc value
       (match delivery with Event.Noop_slot -> "noop" | Event.Tag -> "tag")
-  | Event.Dispatch { dyn; kind; iq_slot; rob_idx; cam_writes } ->
-    Printf.sprintf {|%s,"kind":"%s","iq_slot":%d,"rob_idx":%d,"cam_writes":%d|}
+  | Event.Dispatch { dyn; kind; iq_slot; rob_idx; cam_writes; wp } ->
+    Printf.sprintf
+      {|%s,"kind":"%s","iq_slot":%d,"rob_idx":%d,"cam_writes":%d%s|}
       (dyn_fields dyn)
       (match kind with
       | Event.Plain -> "plain"
       | Event.Load -> "load"
       | Event.Store -> "store")
-      iq_slot rob_idx cam_writes
+      iq_slot rob_idx cam_writes (wp_field wp)
   | Event.Dispatch_stall reason ->
     Printf.sprintf {|,"reason":"%s"|}
       (match reason with
       | Event.Policy_limit -> "policy"
       | Event.Iq_full -> "iq_full"
       | Event.Rob_full -> "rob_full"
-      | Event.No_reg -> "no_reg")
+      | Event.No_reg -> "no_reg"
+      | Event.Lsq_full -> "lsq_full")
   | Event.Wakeup { tags; woken; naive; nonempty; gated } ->
     Printf.sprintf
       {|,"tags":%d,"woken":%d,"naive":%d,"nonempty":%d,"gated":%d|} tags woken
       naive nonempty gated
   | Event.Select { rob_idx; iq_slot } ->
     Printf.sprintf {|,"rob_idx":%d,"iq_slot":%d|} rob_idx iq_slot
-  | Event.Issue { dyn; latency; store_forward } ->
-    Printf.sprintf {|%s,"latency":%d,"store_forward":%s|} (dyn_fields dyn)
-      latency (bool store_forward)
+  | Event.Issue { dyn; latency; store_forward; wp } ->
+    Printf.sprintf {|%s,"latency":%d,"store_forward":%s%s|} (dyn_fields dyn)
+      latency (bool store_forward) (wp_field wp)
   | Event.Writeback { dyn; rob_idx } ->
     Printf.sprintf {|%s,"rob_idx":%d|} (dyn_fields dyn) rob_idx
   | Event.Rf_read { ints; fps } ->
@@ -83,13 +88,18 @@ let body ev =
       (match file with Event.Int_rf -> "int" | Event.Fp_rf -> "fp")
       phys
   | Event.Commit { dyn } -> dyn_fields dyn
-  | Event.Squash { dyn } -> dyn_fields dyn
+  | Event.Squash { dyn; squashed } ->
+    Printf.sprintf {|%s,"squashed":%d|} (dyn_fields dyn) squashed
   | Event.Cache_miss { level; addr } ->
     Printf.sprintf {|,"level":"%s","addr":%d|}
       (match level with
       | Event.Il1 -> "il1"
       | Event.Dl1 -> "dl1"
       | Event.L2 -> "l2")
+      addr
+  | Event.Tlb_miss { tlb; addr } ->
+    Printf.sprintf {|,"tlb":"%s","addr":%d|}
+      (match tlb with Event.Itlb -> "itlb" | Event.Dtlb -> "dtlb")
       addr
   | Event.Resize { before; after } ->
     Printf.sprintf {|,"before":%d,"after":%d|} before after

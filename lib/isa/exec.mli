@@ -34,6 +34,10 @@ type state = {
 
 val create : Prog.t -> state
 
+(** Shift amounts outside [0, 63) make the result 0 (total semantics);
+    exported so the pipeline's wrong-path executor matches exactly. *)
+val shift_ok : int -> bool
+
 (** Integer memory access (word granularity; unwritten reads 0). *)
 val peek : state -> int -> int
 

@@ -4,7 +4,7 @@ let stage_names =
   [| "fetch"; "dispatch"; "issue"; "writeback"; "commit"; "accounting" |]
 
 let stage_of_event = function
-  | Event.Fetch _ | Event.Cache_miss _ -> 0
+  | Event.Fetch _ | Event.Cache_miss _ | Event.Tlb_miss _ -> 0
   | Event.Annotation _ | Event.Dispatch _ | Event.Dispatch_stall _ -> 1
   | Event.Wakeup _ | Event.Select _ | Event.Issue _ | Event.Rf_read _ -> 2
   | Event.Writeback _ | Event.Rf_write _ -> 3

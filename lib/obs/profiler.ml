@@ -108,6 +108,7 @@ type row = {
   share_cycles : float;
   share_wakeups : float;
   share_energy : float;
+  wp_frac : float;
 }
 
 let energy_of t (s : Stats.t) =
@@ -138,6 +139,10 @@ let rows t =
            share_wakeups =
              share (float_of_int per.stats.Stats.iq_wakeups_gated) tot_wakeups;
            share_energy = share (iq_energy +. rf_energy) tot_e;
+           wp_frac =
+             share
+               (float_of_int per.stats.Stats.wp_dispatched)
+               (float_of_int per.stats.Stats.dispatched);
          })
        t.regions)
 
@@ -196,6 +201,9 @@ let json_of_row r =
       Printf.sprintf {|"cycles":%d|} r.stats.Stats.cycles;
       Printf.sprintf {|"committed":%d|} r.stats.Stats.committed;
       Printf.sprintf {|"wakeups_gated":%d|} r.stats.Stats.iq_wakeups_gated;
+      Printf.sprintf {|"wp_dispatched":%d|} r.stats.Stats.wp_dispatched;
+      Printf.sprintf {|"squashed":%d|} r.stats.Stats.squashed;
+      Printf.sprintf {|"wp_frac":%s|} (fnum r.wp_frac);
       Printf.sprintf {|"peak_occupancy":%d|} r.peak_occ;
       Printf.sprintf {|"iq_energy":%s|} (fnum r.iq_energy);
       Printf.sprintf {|"rf_energy":%s|} (fnum r.rf_energy);
@@ -243,12 +251,14 @@ let to_json t =
 
 let csv_header =
   "id,proc,kind,start,orig_start,granted,cycles,committed,wakeups_gated,\
-   peak_occupancy,iq_energy,rf_energy,share_cycles,share_wakeups,share_energy"
+   wp_dispatched,squashed,peak_occupancy,iq_energy,rf_energy,share_cycles,\
+   share_wakeups,share_energy,wp_frac"
 
 let csv_rows t =
   List.map
     (fun r ->
-      Printf.sprintf "%d,%s,%s,%d,%d,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f"
+      Printf.sprintf
+        "%d,%s,%s,%d,%d,%s,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f"
         r.info.Region.id r.info.Region.proc
         (Region.kind_name r.info.Region.kind)
         r.info.Region.start r.info.Region.orig_start
@@ -256,8 +266,9 @@ let csv_rows t =
         | Some g -> string_of_int g
         | None -> "")
         r.stats.Stats.cycles r.stats.Stats.committed
-        r.stats.Stats.iq_wakeups_gated r.peak_occ r.iq_energy r.rf_energy
-        r.share_cycles r.share_wakeups r.share_energy)
+        r.stats.Stats.iq_wakeups_gated r.stats.Stats.wp_dispatched
+        r.stats.Stats.squashed r.peak_occ r.iq_energy r.rf_energy
+        r.share_cycles r.share_wakeups r.share_energy r.wp_frac)
     (rows t)
 
 let pp_table ?top ppf t =
@@ -279,12 +290,12 @@ let pp_table ?top ppf t =
     | Some n when n >= 0 && n < List.length ranked -> List.filteri (fun i _ -> i < n) ranked
     | _ -> ranked
   in
-  Fmt.pf ppf "@[<v>%-4s %-14s %-9s %7s %9s %9s %5s %6s %6s %6s" "id" "proc"
-    "kind" "start" "cycles" "commits" "peak" "e%" "cyc%" "wake%";
+  Fmt.pf ppf "@[<v>%-4s %-14s %-9s %7s %9s %9s %5s %6s %6s %6s %6s" "id"
+    "proc" "kind" "start" "cycles" "commits" "peak" "e%" "cyc%" "wake%" "wp%";
   List.iter
     (fun r ->
       Fmt.cut ppf ();
-      Fmt.pf ppf "R%-3d %-14s %-9s %7d %9d %9d %5d %6.2f %6.2f %6.2f"
+      Fmt.pf ppf "R%-3d %-14s %-9s %7d %9d %9d %5d %6.2f %6.2f %6.2f %6.2f"
         r.info.Region.id
         (if r.info.Region.proc = "" then "-" else r.info.Region.proc)
         (Region.kind_name r.info.Region.kind)
@@ -292,7 +303,8 @@ let pp_table ?top ppf t =
         r.peak_occ
         (100. *. r.share_energy)
         (100. *. r.share_cycles)
-        (100. *. r.share_wakeups))
+        (100. *. r.share_wakeups)
+        (100. *. r.wp_frac))
     shown;
   (if List.length shown < List.length ranked then begin
      Fmt.cut ppf ();

@@ -68,6 +68,10 @@ type row = {
   share_cycles : float;  (** fraction of all cycles, 0..1 *)
   share_wakeups : float;  (** fraction of gated wakeups, 0..1 *)
   share_energy : float;  (** fraction of IQ+RF energy, 0..1 *)
+  wp_frac : float;
+      (** wrong-path fraction of this region's dispatches, 0..1 —
+          how much of the region's queue traffic was speculative work
+          later squashed *)
 }
 
 (** One row per region, id order (including inactive regions). *)

@@ -46,6 +46,8 @@ let iq ?(params = Params.default) (s : Stats.t) : t =
       ( "issue RAM reads",
         float_of_int s.Stats.iq_issue_reads *. params.Params.e_ram_read );
       ("selection", float_of_int s.Stats.iq_selects *. params.Params.e_select);
+      ( "squash recovery",
+        float_of_int s.Stats.squashed *. params.Params.e_squash_entry );
       ( "bank precharge",
         float_of_int s.Stats.iq_banks_on_sum *. params.Params.e_iq_bank_cycle
       );

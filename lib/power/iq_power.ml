@@ -25,12 +25,16 @@ type energy = {
 let banks (cfg : Config.t) = Config.iq_banks cfg
 
 (* Shared non-wakeup dynamic activity: dispatch writes, issue reads,
-   selection. *)
+   selection, and squash recovery. Wrong-path instructions are already
+   inside the dispatch/issue counters — a speculative machine pays for
+   the work it later throws away — and each discarded entry additionally
+   pays the per-entry invalidation cost of the squash walk. *)
 let base_activity (p : Params.t) (s : Stats.t) =
   (float_of_int s.Stats.iq_dispatch_cam_writes *. p.Params.e_cam_write)
   +. (float_of_int s.Stats.iq_dispatch_ram_writes *. p.Params.e_ram_write)
   +. (float_of_int s.Stats.iq_issue_reads *. p.Params.e_ram_read)
   +. (float_of_int s.Stats.iq_selects *. p.Params.e_select)
+  +. (float_of_int s.Stats.squashed *. p.Params.e_squash_entry)
 
 let all_banks_cycles (cfg : Config.t) (s : Stats.t) =
   float_of_int (banks cfg * s.Stats.cycles)

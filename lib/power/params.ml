@@ -10,7 +10,13 @@
 
    The register file is modelled as read/write port energy plus a per-bank
    per-cycle precharge/wordline cost that bank gating eliminates; its
-   leakage is per bank per cycle, like the queue's. *)
+   leakage is per bank per cycle, like the queue's.
+
+   Wrong-path work is priced at full rate: a wrong-path dispatch writes
+   the CAM/RAM like any other, a wrong-path issue reads like any other
+   (those counters are shared), and on top of that every entry discarded
+   by a squash pays [e_squash_entry] for the valid-bit clear and ROB
+   line reclaim — misprediction recovery is not free. *)
 
 type t = {
   (* issue queue, dynamic *)
@@ -19,6 +25,7 @@ type t = {
   e_ram_write : float;       (* one entry RAM write at dispatch *)
   e_ram_read : float;        (* one entry RAM read at issue *)
   e_select : float;          (* selection of one instruction *)
+  e_squash_entry : float;    (* invalidating one in-flight entry at squash *)
   e_iq_bank_cycle : float;   (* precharge of one powered bank, per cycle *)
   (* issue queue, static *)
   iq_leak_bank_cycle : float;
@@ -37,6 +44,7 @@ let default =
     e_ram_write = 3.0;
     e_ram_read = 3.0;
     e_select = 2.0;
+    e_squash_entry = 1.0;
     e_iq_bank_cycle = 5.0;
     iq_leak_bank_cycle = 1.0;
     e_rf_read = 3.0;

@@ -9,6 +9,11 @@ type t = {
   e_ram_write : float;       (** one entry RAM write at dispatch *)
   e_ram_read : float;        (** one entry RAM read at issue *)
   e_select : float;          (** selection of one instruction *)
+  e_squash_entry : float;
+      (** invalidating one in-flight entry during squash recovery —
+          wrong-path work is priced at full rate (its dispatch/issue
+          activity shares the ordinary counters) plus this per-entry
+          discard cost *)
   e_iq_bank_cycle : float;   (** precharge of a powered bank, per cycle *)
   iq_leak_bank_cycle : float;
   e_rf_read : float;

@@ -99,5 +99,110 @@ let () =
   end;
   Printf.printf
     "fuzz: all %d programs clean under sampling (checker on in every \
-     detailed window)\n"
-    n
+     detailed window)\n%!"
+    n;
+  (* Wrong-path lane: speculation must be invisible to architecture.
+     The same derived seeds run twice — speculative fetch on (the
+     default; wrong-path instructions enter rename, the IQ, the LSQ and
+     the register files, then squash at resolution) and off (fetch
+     stalls at a mispredict until it resolves) — and the committed
+     instruction stream and the final architectural state must be
+     identical word for word. Any wrong-path value that leaks into the
+     oracle's registers or memory, or any over/under-squash that drops
+     or duplicates a committed instruction, fails here. *)
+  let spec_off = { Sdiq_cpu.Config.default with speculative_fetch = false } in
+  let committed_trace config prog tech =
+    let prepared = Sdiq_harness.Technique.prepare tech prog in
+    let p =
+      Sdiq_cpu.Pipeline.create ~config
+        ~policy:(Sdiq_harness.Technique.policy tech)
+        prepared
+    in
+    ignore (Sdiq_check.Checker.attach p : Sdiq_check.Checker.t);
+    let commits = ref [] in
+    Sdiq_cpu.Pipeline.on_commit_sink p (fun d -> commits := d :: !commits);
+    ignore (Sdiq_cpu.Pipeline.run ~max_cycles:2_000_000 p : Sdiq_cpu.Stats.t);
+    (Array.of_list (List.rev !commits), p.Sdiq_cpu.Pipeline.exec)
+  in
+  let sorted_bindings iter tbl =
+    let acc = ref [] in
+    iter (fun k v -> acc := (k, v) :: !acc) tbl;
+    List.sort compare !acc
+  in
+  (* [compare], not [<>]: random fp programs do produce NaN (inf - inf
+     and friends), and structural float inequality would flag a pair of
+     identical NaNs as a divergence. [compare nan nan = 0]. *)
+  let differ x y = compare x y <> 0 in
+  let state_mismatch (a : Sdiq_isa.Exec.state) (b : Sdiq_isa.Exec.state) =
+    if differ a.Sdiq_isa.Exec.iregs b.Sdiq_isa.Exec.iregs then
+      Some "int registers"
+    else if differ a.Sdiq_isa.Exec.fregs b.Sdiq_isa.Exec.fregs then
+      Some "fp registers"
+    else if
+      differ
+        (sorted_bindings
+           (fun f t -> Sdiq_isa.Intmap.iter f t)
+           a.Sdiq_isa.Exec.imem)
+        (sorted_bindings
+           (fun f t -> Sdiq_isa.Intmap.iter f t)
+           b.Sdiq_isa.Exec.imem)
+    then Some "int memory"
+    else if
+      differ
+        (sorted_bindings (fun f t -> Hashtbl.iter f t) a.Sdiq_isa.Exec.fmem)
+        (sorted_bindings (fun f t -> Hashtbl.iter f t) b.Sdiq_isa.Exec.fmem)
+    then Some "fp memory"
+    else if a.Sdiq_isa.Exec.pc <> b.Sdiq_isa.Exec.pc then Some "final pc"
+    else if a.Sdiq_isa.Exec.steps <> b.Sdiq_isa.Exec.steps then
+      Some "instruction count"
+    else if a.Sdiq_isa.Exec.halted <> b.Sdiq_isa.Exec.halted then
+      Some "halt flag"
+    else None
+  in
+  let wp_failures = ref 0 in
+  for i = 0 to n - 1 do
+    let seed = base_seed + i in
+    let rng = Sdiq_util.Rng.create seed in
+    let desc = Sdiq_workloads.Gen.random_desc rng in
+    let prog = Sdiq_workloads.Gen.program_of_desc desc in
+    List.iter
+      (fun tech ->
+        let fail what =
+          incr wp_failures;
+          Printf.printf
+            "\nWRONG-PATH FAILURE at program %d (seed %d, %s): %s differs \
+             between speculative and non-speculative fetch\n"
+            i seed
+            (Sdiq_harness.Technique.name tech)
+            what;
+          Printf.printf
+            "replay: FUZZ_SEED=%d FUZZ_N=1 dune exec test/fuzz_main.exe\n"
+            seed
+        in
+        match
+          ( committed_trace Sdiq_cpu.Config.default prog tech,
+            committed_trace spec_off prog tech )
+        with
+        | (trace_on, exec_on), (trace_off, exec_off) -> (
+          if differ trace_on trace_off then fail "committed trace"
+          else
+            match state_mismatch exec_on exec_off with
+            | Some what -> fail what
+            | None -> ())
+        | exception Sdiq_check.Checker.Invariant_violation v ->
+          incr wp_failures;
+          Printf.printf "\nWRONG-PATH FAILURE at program %d (seed %d, %s)\n" i
+            seed
+            (Sdiq_harness.Technique.name tech);
+          Printf.printf
+            "replay: FUZZ_SEED=%d FUZZ_N=1 dune exec test/fuzz_main.exe\n"
+            seed;
+          Fmt.pr "%a@." Sdiq_check.Checker.pp_violation v)
+      [ Sdiq_harness.Technique.Baseline; Sdiq_harness.Technique.Abella ]
+  done;
+  if !wp_failures > 0 then begin
+    Printf.printf "\nfuzz: %d wrong-path pairs FAILED\n" !wp_failures;
+    exit 1
+  end;
+  Printf.printf
+    "fuzz: all %d programs commit identically with speculation on and off\n" n

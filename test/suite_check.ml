@@ -157,6 +157,23 @@ let test_checker_catches_tampered_iq () =
       (String.length v.Checker.invariant >= 3
       && String.sub v.Checker.invariant 0 3 = "iq-")
 
+(* Sabotaged squash: the recovery path "forgets" to free the episode's
+   first wrong-path IQ entry (ROB and rename are still rolled back
+   correctly — exactly the partial-recovery bug a hand-written squash
+   walk can have). The IQ/ROB-linkage invariant must catch the stale
+   live entry at the end of the squash cycle: it points at a ROB line
+   that was popped. *)
+let test_checker_catches_sabotaged_squash () =
+  let prog = Technique.prepare Technique.Baseline (sample_prog ()) in
+  let p = Pipeline.create prog in
+  ignore (Checker.attach p);
+  Pipeline.Debug.set_sabotage_squash_leak p true;
+  match Pipeline.run ~max_cycles:200_000 p with
+  | _ -> Alcotest.fail "checker missed the leaked wrong-path IQ entry"
+  | exception Checker.Invariant_violation v ->
+    Alcotest.(check string) "the linkage invariant names the leak"
+      "iq-rob-linkage" v.Checker.invariant
+
 (* --- violation formatting ------------------------------------------------ *)
 
 let test_violation_report_is_structured () =
@@ -258,6 +275,8 @@ let suite =
       test_differential_catches_broken_dispatch_limit;
     Alcotest.test_case "checker catches direct IQ tampering" `Quick
       test_checker_catches_tampered_iq;
+    Alcotest.test_case "checker catches a sabotaged squash" `Quick
+      test_checker_catches_sabotaged_squash;
     Alcotest.test_case "violation reports are structured" `Quick
       test_violation_report_is_structured;
     QCheck_alcotest.to_alcotest qcheck_differential;

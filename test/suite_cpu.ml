@@ -288,7 +288,7 @@ let test_policy_abella_shrinks_when_idle () =
   let p = Policy.abella ~window:10 () in
   (* Empty queue for many windows: the limit should shrink to its floor. *)
   for _ = 1 to 200 do
-    Policy.end_cycle p q ~throttled:false
+    Policy.end_cycle p q ~throttled:false ()
   done;
   Alcotest.(check int) "shrunk to min" 8 (Policy.current_limit p q);
   Alcotest.(check int) "ring physically shrunk" 8 (Iq.active_size q)
@@ -297,11 +297,11 @@ let test_policy_abella_grows_under_pressure () =
   let q = Iq.create ~size:80 ~bank_size:8 in
   let p = Policy.abella ~window:10 () in
   for _ = 1 to 200 do
-    Policy.end_cycle p q ~throttled:false
+    Policy.end_cycle p q ~throttled:false ()
   done;
   (* Now sustained throttling: it should grow back. *)
   for _ = 1 to 50 do
-    Policy.end_cycle p q ~throttled:true
+    Policy.end_cycle p q ~throttled:true ()
   done;
   Alcotest.(check bool) "grew" true (Policy.current_limit p q > 16)
 

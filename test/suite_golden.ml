@@ -23,61 +23,61 @@ type expect = {
 
 let golden =
   [
-    ("gzip", Technique.Baseline, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4500; iq_wakeups_gated = 23712; regions = 6 });
-    ("gzip", Technique.Noop, { cycles = 1903; committed = 2000; iq_banks_on_sum = 4596; iq_wakeups_gated = 22348; regions = 6 });
-    ("gzip", Technique.Extension, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4427; iq_wakeups_gated = 22772; regions = 6 });
-    ("gzip", Technique.Improved, { cycles = 1802; committed = 2000; iq_banks_on_sum = 4427; iq_wakeups_gated = 22772; regions = 6 });
-    ("gzip", Technique.Abella, { cycles = 1839; committed = 2000; iq_banks_on_sum = 4569; iq_wakeups_gated = 23309; regions = 6 });
-    ("vpr", Technique.Baseline, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601; regions = 4 });
-    ("vpr", Technique.Noop, { cycles = 4041; committed = 2001; iq_banks_on_sum = 7216; iq_wakeups_gated = 26498; regions = 4 });
-    ("vpr", Technique.Extension, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601; regions = 4 });
-    ("vpr", Technique.Improved, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7074; iq_wakeups_gated = 21601; regions = 4 });
-    ("vpr", Technique.Abella, { cycles = 4054; committed = 2001; iq_banks_on_sum = 7032; iq_wakeups_gated = 21601; regions = 4 });
-    ("gcc", Technique.Baseline, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704; regions = 8 });
-    ("gcc", Technique.Noop, { cycles = 2015; committed = 2003; iq_banks_on_sum = 2272; iq_wakeups_gated = 10166; regions = 8 });
-    ("gcc", Technique.Extension, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704; regions = 8 });
-    ("gcc", Technique.Improved, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704; regions = 8 });
-    ("gcc", Technique.Abella, { cycles = 2001; committed = 2003; iq_banks_on_sum = 2340; iq_wakeups_gated = 10704; regions = 8 });
-    ("mcf", Technique.Baseline, { cycles = 11509; committed = 2000; iq_banks_on_sum = 114242; iq_wakeups_gated = 93947; regions = 4 });
-    ("mcf", Technique.Noop, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34007; iq_wakeups_gated = 16959; regions = 4 });
-    ("mcf", Technique.Extension, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34017; iq_wakeups_gated = 16975; regions = 4 });
-    ("mcf", Technique.Improved, { cycles = 11509; committed = 2000; iq_banks_on_sum = 34017; iq_wakeups_gated = 16975; regions = 4 });
-    ("mcf", Technique.Abella, { cycles = 11509; committed = 2000; iq_banks_on_sum = 114151; iq_wakeups_gated = 91423; regions = 4 });
-    ("crafty", Technique.Baseline, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134; regions = 4 });
-    ("crafty", Technique.Noop, { cycles = 594; committed = 2002; iq_banks_on_sum = 2157; iq_wakeups_gated = 61806; regions = 4 });
-    ("crafty", Technique.Extension, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134; regions = 4 });
-    ("crafty", Technique.Improved, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134; regions = 4 });
-    ("crafty", Technique.Abella, { cycles = 584; committed = 2003; iq_banks_on_sum = 2236; iq_wakeups_gated = 64134; regions = 4 });
-    ("parser", Technique.Baseline, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443; regions = 6 });
-    ("parser", Technique.Noop, { cycles = 1368; committed = 2001; iq_banks_on_sum = 2455; iq_wakeups_gated = 15713; regions = 6 });
-    ("parser", Technique.Extension, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443; regions = 6 });
-    ("parser", Technique.Improved, { cycles = 1403; committed = 2001; iq_banks_on_sum = 2466; iq_wakeups_gated = 14443; regions = 6 });
-    ("parser", Technique.Abella, { cycles = 1404; committed = 2001; iq_banks_on_sum = 2463; iq_wakeups_gated = 14447; regions = 6 });
-    ("perlbmk", Technique.Baseline, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197; regions = 20 });
-    ("perlbmk", Technique.Noop, { cycles = 2306; committed = 2004; iq_banks_on_sum = 2548; iq_wakeups_gated = 4514; regions = 20 });
-    ("perlbmk", Technique.Extension, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197; regions = 20 });
-    ("perlbmk", Technique.Improved, { cycles = 2186; committed = 2005; iq_banks_on_sum = 2546; iq_wakeups_gated = 5197; regions = 20 });
-    ("perlbmk", Technique.Abella, { cycles = 2187; committed = 2005; iq_banks_on_sum = 2532; iq_wakeups_gated = 5278; regions = 20 });
-    ("gap", Technique.Baseline, { cycles = 1280; committed = 2006; iq_banks_on_sum = 8297; iq_wakeups_gated = 76137; regions = 6 });
-    ("gap", Technique.Noop, { cycles = 1337; committed = 2006; iq_banks_on_sum = 8136; iq_wakeups_gated = 73479; regions = 6 });
-    ("gap", Technique.Extension, { cycles = 1325; committed = 2006; iq_banks_on_sum = 8201; iq_wakeups_gated = 74403; regions = 6 });
-    ("gap", Technique.Improved, { cycles = 1325; committed = 2006; iq_banks_on_sum = 8201; iq_wakeups_gated = 74403; regions = 6 });
-    ("gap", Technique.Abella, { cycles = 1284; committed = 2006; iq_banks_on_sum = 8199; iq_wakeups_gated = 75986; regions = 6 });
-    ("vortex", Technique.Baseline, { cycles = 2469; committed = 2000; iq_banks_on_sum = 10755; iq_wakeups_gated = 49813; regions = 15 });
-    ("vortex", Technique.Noop, { cycles = 2550; committed = 2000; iq_banks_on_sum = 10260; iq_wakeups_gated = 44412; regions = 15 });
-    ("vortex", Technique.Extension, { cycles = 2479; committed = 2000; iq_banks_on_sum = 10389; iq_wakeups_gated = 45053; regions = 15 });
-    ("vortex", Technique.Improved, { cycles = 2479; committed = 2000; iq_banks_on_sum = 10389; iq_wakeups_gated = 45053; regions = 15 });
-    ("vortex", Technique.Abella, { cycles = 2474; committed = 2000; iq_banks_on_sum = 10461; iq_wakeups_gated = 47669; regions = 15 });
-    ("bzip2", Technique.Baseline, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355; regions = 8 });
-    ("bzip2", Technique.Noop, { cycles = 1546; committed = 2003; iq_banks_on_sum = 5298; iq_wakeups_gated = 20115; regions = 8 });
-    ("bzip2", Technique.Extension, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355; regions = 8 });
-    ("bzip2", Technique.Improved, { cycles = 1521; committed = 2002; iq_banks_on_sum = 5355; iq_wakeups_gated = 19355; regions = 8 });
-    ("bzip2", Technique.Abella, { cycles = 1539; committed = 2002; iq_banks_on_sum = 5257; iq_wakeups_gated = 18400; regions = 8 });
-    ("twolf", Technique.Baseline, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7125; iq_wakeups_gated = 20999; regions = 4 });
-    ("twolf", Technique.Noop, { cycles = 3931; committed = 2000; iq_banks_on_sum = 7087; iq_wakeups_gated = 20731; regions = 4 });
-    ("twolf", Technique.Extension, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7124; iq_wakeups_gated = 20986; regions = 4 });
-    ("twolf", Technique.Improved, { cycles = 3950; committed = 2000; iq_banks_on_sum = 7124; iq_wakeups_gated = 20986; regions = 4 });
-    ("twolf", Technique.Abella, { cycles = 3959; committed = 2000; iq_banks_on_sum = 7095; iq_wakeups_gated = 20995; regions = 4 });
+    ("gzip", Technique.Baseline, { cycles = 1946; committed = 2000; iq_banks_on_sum = 7844; iq_wakeups_gated = 34709; regions = 6 });
+    ("gzip", Technique.Noop, { cycles = 2025; committed = 2000; iq_banks_on_sum = 7859; iq_wakeups_gated = 32694; regions = 6 });
+    ("gzip", Technique.Extension, { cycles = 1946; committed = 2000; iq_banks_on_sum = 7729; iq_wakeups_gated = 33220; regions = 6 });
+    ("gzip", Technique.Improved, { cycles = 1946; committed = 2000; iq_banks_on_sum = 7729; iq_wakeups_gated = 33220; regions = 6 });
+    ("gzip", Technique.Abella, { cycles = 1991; committed = 2000; iq_banks_on_sum = 7754; iq_wakeups_gated = 33512; regions = 6 });
+    ("vpr", Technique.Baseline, { cycles = 3064; committed = 2001; iq_banks_on_sum = 13545; iq_wakeups_gated = 79305; regions = 4 });
+    ("vpr", Technique.Noop, { cycles = 2869; committed = 2001; iq_banks_on_sum = 13716; iq_wakeups_gated = 112092; regions = 4 });
+    ("vpr", Technique.Extension, { cycles = 3064; committed = 2001; iq_banks_on_sum = 13545; iq_wakeups_gated = 78280; regions = 4 });
+    ("vpr", Technique.Improved, { cycles = 3064; committed = 2001; iq_banks_on_sum = 13545; iq_wakeups_gated = 78280; regions = 4 });
+    ("vpr", Technique.Abella, { cycles = 3064; committed = 2001; iq_banks_on_sum = 13129; iq_wakeups_gated = 77165; regions = 4 });
+    ("gcc", Technique.Baseline, { cycles = 2074; committed = 2003; iq_banks_on_sum = 4618; iq_wakeups_gated = 18276; regions = 8 });
+    ("gcc", Technique.Noop, { cycles = 2089; committed = 2003; iq_banks_on_sum = 4389; iq_wakeups_gated = 17047; regions = 8 });
+    ("gcc", Technique.Extension, { cycles = 2074; committed = 2003; iq_banks_on_sum = 4464; iq_wakeups_gated = 17653; regions = 8 });
+    ("gcc", Technique.Improved, { cycles = 2074; committed = 2003; iq_banks_on_sum = 4464; iq_wakeups_gated = 17653; regions = 8 });
+    ("gcc", Technique.Abella, { cycles = 2074; committed = 2003; iq_banks_on_sum = 4524; iq_wakeups_gated = 17977; regions = 8 });
+    ("mcf", Technique.Baseline, { cycles = 11567; committed = 2007; iq_banks_on_sum = 113642; iq_wakeups_gated = 92376; regions = 4 });
+    ("mcf", Technique.Noop, { cycles = 11567; committed = 2007; iq_banks_on_sum = 33313; iq_wakeups_gated = 14944; regions = 4 });
+    ("mcf", Technique.Extension, { cycles = 11567; committed = 2007; iq_banks_on_sum = 33324; iq_wakeups_gated = 14968; regions = 4 });
+    ("mcf", Technique.Improved, { cycles = 11567; committed = 2007; iq_banks_on_sum = 33324; iq_wakeups_gated = 14968; regions = 4 });
+    ("mcf", Technique.Abella, { cycles = 11567; committed = 2007; iq_banks_on_sum = 113642; iq_wakeups_gated = 90462; regions = 4 });
+    ("crafty", Technique.Baseline, { cycles = 608; committed = 2003; iq_banks_on_sum = 2298; iq_wakeups_gated = 64373; regions = 4 });
+    ("crafty", Technique.Noop, { cycles = 606; committed = 2002; iq_banks_on_sum = 2215; iq_wakeups_gated = 62022; regions = 4 });
+    ("crafty", Technique.Extension, { cycles = 608; committed = 2003; iq_banks_on_sum = 2298; iq_wakeups_gated = 64373; regions = 4 });
+    ("crafty", Technique.Improved, { cycles = 608; committed = 2003; iq_banks_on_sum = 2298; iq_wakeups_gated = 64373; regions = 4 });
+    ("crafty", Technique.Abella, { cycles = 608; committed = 2003; iq_banks_on_sum = 2298; iq_wakeups_gated = 64373; regions = 4 });
+    ("parser", Technique.Baseline, { cycles = 1476; committed = 2001; iq_banks_on_sum = 2456; iq_wakeups_gated = 18291; regions = 6 });
+    ("parser", Technique.Noop, { cycles = 1379; committed = 2001; iq_banks_on_sum = 2506; iq_wakeups_gated = 21449; regions = 6 });
+    ("parser", Technique.Extension, { cycles = 1476; committed = 2001; iq_banks_on_sum = 2443; iq_wakeups_gated = 17984; regions = 6 });
+    ("parser", Technique.Improved, { cycles = 1476; committed = 2001; iq_banks_on_sum = 2443; iq_wakeups_gated = 17984; regions = 6 });
+    ("parser", Technique.Abella, { cycles = 1476; committed = 2001; iq_banks_on_sum = 2456; iq_wakeups_gated = 18291; regions = 6 });
+    ("perlbmk", Technique.Baseline, { cycles = 2275; committed = 2005; iq_banks_on_sum = 3612; iq_wakeups_gated = 8429; regions = 20 });
+    ("perlbmk", Technique.Noop, { cycles = 2343; committed = 2004; iq_banks_on_sum = 3282; iq_wakeups_gated = 6209; regions = 20 });
+    ("perlbmk", Technique.Extension, { cycles = 2275; committed = 2005; iq_banks_on_sum = 3368; iq_wakeups_gated = 7511; regions = 20 });
+    ("perlbmk", Technique.Improved, { cycles = 2275; committed = 2005; iq_banks_on_sum = 3368; iq_wakeups_gated = 7511; regions = 20 });
+    ("perlbmk", Technique.Abella, { cycles = 2277; committed = 2005; iq_banks_on_sum = 3555; iq_wakeups_gated = 8274; regions = 20 });
+    ("gap", Technique.Baseline, { cycles = 1380; committed = 2006; iq_banks_on_sum = 8836; iq_wakeups_gated = 76384; regions = 6 });
+    ("gap", Technique.Noop, { cycles = 1433; committed = 2006; iq_banks_on_sum = 8584; iq_wakeups_gated = 72602; regions = 6 });
+    ("gap", Technique.Extension, { cycles = 1425; committed = 2006; iq_banks_on_sum = 8658; iq_wakeups_gated = 74314; regions = 6 });
+    ("gap", Technique.Improved, { cycles = 1425; committed = 2006; iq_banks_on_sum = 8658; iq_wakeups_gated = 74314; regions = 6 });
+    ("gap", Technique.Abella, { cycles = 1386; committed = 2006; iq_banks_on_sum = 8689; iq_wakeups_gated = 76215; regions = 6 });
+    ("vortex", Technique.Baseline, { cycles = 2591; committed = 2000; iq_banks_on_sum = 13924; iq_wakeups_gated = 60367; regions = 15 });
+    ("vortex", Technique.Noop, { cycles = 3068; committed = 2000; iq_banks_on_sum = 11930; iq_wakeups_gated = 37981; regions = 15 });
+    ("vortex", Technique.Extension, { cycles = 2998; committed = 2000; iq_banks_on_sum = 12068; iq_wakeups_gated = 38409; regions = 15 });
+    ("vortex", Technique.Improved, { cycles = 2998; committed = 2000; iq_banks_on_sum = 12068; iq_wakeups_gated = 38409; regions = 15 });
+    ("vortex", Technique.Abella, { cycles = 2603; committed = 2000; iq_banks_on_sum = 13368; iq_wakeups_gated = 55867; regions = 15 });
+    ("bzip2", Technique.Baseline, { cycles = 1648; committed = 2002; iq_banks_on_sum = 6580; iq_wakeups_gated = 22837; regions = 8 });
+    ("bzip2", Technique.Noop, { cycles = 1671; committed = 2003; iq_banks_on_sum = 6171; iq_wakeups_gated = 22405; regions = 8 });
+    ("bzip2", Technique.Extension, { cycles = 1648; committed = 2002; iq_banks_on_sum = 6260; iq_wakeups_gated = 21604; regions = 8 });
+    ("bzip2", Technique.Improved, { cycles = 1648; committed = 2002; iq_banks_on_sum = 6260; iq_wakeups_gated = 21604; regions = 8 });
+    ("bzip2", Technique.Abella, { cycles = 1667; committed = 2002; iq_banks_on_sum = 6273; iq_wakeups_gated = 21886; regions = 8 });
+    ("twolf", Technique.Baseline, { cycles = 2808; committed = 2003; iq_banks_on_sum = 11077; iq_wakeups_gated = 80380; regions = 4 });
+    ("twolf", Technique.Noop, { cycles = 2817; committed = 2000; iq_banks_on_sum = 11478; iq_wakeups_gated = 83849; regions = 4 });
+    ("twolf", Technique.Extension, { cycles = 2845; committed = 2000; iq_banks_on_sum = 11296; iq_wakeups_gated = 78843; regions = 4 });
+    ("twolf", Technique.Improved, { cycles = 2845; committed = 2000; iq_banks_on_sum = 11296; iq_wakeups_gated = 78843; regions = 4 });
+    ("twolf", Technique.Abella, { cycles = 2800; committed = 2003; iq_banks_on_sum = 10805; iq_wakeups_gated = 76769; regions = 4 });
   ]
 
 let budget = 2_000

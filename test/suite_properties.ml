@@ -243,6 +243,180 @@ let prop_loop_schedule_sane =
       && need >= 1 && need <= 80
       && Array.for_all (fun s -> s >= 0) sch.Sdiq_ddg.Cds.start)
 
+(* --- statistics conservation --------------------------------------------- *)
+
+(* A dynamic-instruction record for synthetic events; the statistics
+   fold never looks inside it, so one canned instruction serves. *)
+let dummy_dyn =
+  let b = Asm.create () in
+  let p = Asm.proc b "d" in
+  Asm.addi p (Reg.int 1) (Reg.int 1) 1;
+  Asm.halt p;
+  let prog = Asm.assemble b ~entry:"d" in
+  {
+    Exec.sn = 0;
+    pc = 0;
+    instr = prog.Prog.code.(0);
+    next_pc = 1;
+    taken = false;
+    addr = -1;
+  }
+
+(* Arbitrary events spanning every constructor the statistics fold
+   consumes — including the wrong-path variants of fetch, dispatch and
+   issue, squashes and TLB misses. *)
+let gen_event =
+  let open QCheck.Gen in
+  let module Ev = Sdiq_events.Event in
+  let small = int_range 0 9 in
+  let outcome =
+    oneof
+      [
+        return Ev.Sequential;
+        (let* taken = bool and* mispredicted = bool and* btb_bubble = bool in
+         return (Ev.Cond_branch { taken; mispredicted; btb_bubble }));
+        map (fun btb_bubble -> Ev.Jump { btb_bubble }) bool;
+        map (fun btb_bubble -> Ev.Call { btb_bubble }) bool;
+        map (fun mispredicted -> Ev.Return { mispredicted }) bool;
+      ]
+  in
+  oneof
+    [
+      (let* outcome = outcome and* wp = bool in
+       return (Ev.Fetch { dyn = dummy_dyn; outcome; wp }));
+      (let* delivery = oneofl [ Ev.Noop_slot; Ev.Tag ] in
+       return (Ev.Annotation { pc = 0; value = 8; delivery }));
+      (let* kind = oneofl [ Ev.Plain; Ev.Load; Ev.Store ]
+       and* cam_writes = int_range 0 2
+       and* wp = bool in
+       return
+         (Ev.Dispatch
+            { dyn = dummy_dyn; kind; iq_slot = 0; rob_idx = 0; cam_writes; wp }));
+      map
+        (fun r -> Ev.Dispatch_stall r)
+        (oneofl
+           [ Ev.Policy_limit; Ev.Iq_full; Ev.Rob_full; Ev.No_reg; Ev.Lsq_full ]);
+      (let* tags = small and* woken = small and* naive = small in
+       let* nonempty = small and* gated = small in
+       return (Ev.Wakeup { tags; woken; naive; nonempty; gated }));
+      return (Ev.Select { rob_idx = 0; iq_slot = 0 });
+      (let* store_forward = bool and* wp = bool in
+       return (Ev.Issue { dyn = dummy_dyn; latency = 1; store_forward; wp }));
+      return (Ev.Writeback { dyn = dummy_dyn; rob_idx = 0 });
+      (let* ints = int_range 0 2 and* fps = int_range 0 2 in
+       return (Ev.Rf_read { ints; fps }));
+      (let* file = oneofl [ Ev.Int_rf; Ev.Fp_rf ] in
+       return (Ev.Rf_write { file; phys = 0 }));
+      return (Ev.Commit { dyn = dummy_dyn });
+      (let* squashed = small in
+       return (Ev.Squash { dyn = dummy_dyn; squashed }));
+      (let* level = oneofl [ Ev.Il1; Ev.Dl1; Ev.L2 ] in
+       return (Ev.Cache_miss { level; addr = 64 }));
+      (let* tlb = oneofl [ Ev.Itlb; Ev.Dtlb ] in
+       return (Ev.Tlb_miss { tlb; addr = 64 }));
+      return (Ev.Resize { before = 80; after = 72 });
+      return (Ev.Bank_gated { unit_ = Ev.Iq_bank; bank = 0 });
+      return (Ev.Bank_ungated { unit_ = Ev.Int_rf_bank; bank = 0 });
+      (let* cycle = small and* throttled = bool in
+       let* iq_occupancy = small and* iq_banks_on = small in
+       let* int_rf_banks_on = small
+       and* int_rf_live = small
+       and* fp_rf_banks_on = small in
+       return
+         (Ev.Cycle_end
+            {
+              cycle;
+              throttled;
+              iq_occupancy;
+              iq_banks_on;
+              int_rf_banks_on;
+              int_rf_live;
+              fp_rf_banks_on;
+            }));
+    ]
+
+let arbitrary_event_streams =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "streams of %d and %d events" (List.length a)
+        (List.length b))
+    QCheck.Gen.(pair (list_size (int_range 0 60) gen_event)
+                  (list_size (int_range 0 60) gen_event))
+
+(* [Stats.add] (and [diff]) must cover every field [to_fields] reports:
+   adding two absorbed buckets is the field-wise sum, and subtracting
+   one back recovers the other exactly. A field added to the record but
+   forgotten in [add]/[diff]/[to_fields] (the per-region attribution
+   and the sampling harness rely on all three) breaks this within a few
+   random streams. *)
+let prop_stats_add_conservation =
+  let module Stats = Sdiq_cpu.Stats in
+  QCheck.Test.make ~count:100
+    ~name:"Stats.add/diff conserve every field over random event streams"
+    arbitrary_event_streams
+    (fun (e1, e2) ->
+      let absorb_all es =
+        let s = Stats.create () in
+        List.iter (Stats.absorb s) es;
+        s
+      in
+      let a = absorb_all e1 and b = absorb_all e2 in
+      let sum = Stats.copy a in
+      Stats.add sum b;
+      List.for_all2
+        (fun (ka, va) ((kb, vb), (kc, vc)) ->
+          ka = kb && ka = kc && va = vb + vc)
+        (Stats.to_fields sum)
+        (List.combine (Stats.to_fields a) (Stats.to_fields b))
+      && Stats.equal (Stats.diff sum b) a)
+
+(* --- register-file free list under resize + squash interleavings --------- *)
+
+(* Random programs under the adaptive policy (physical IQ resizes) with
+   speculative fetch on (squash recovery rolls the rename map and free
+   lists back): after every cycle the free list's cached [free_count]
+   must equal a recount of the free bitmap and the per-bank live
+   counters must recount, for both register files; once the machine
+   drains, exactly the initial architectural mappings are live again —
+   squash rollback leaked or double-freed nothing. *)
+let prop_regfile_freelist_under_resize_squash =
+  let module Rf = Sdiq_cpu.Regfile in
+  let audit_file name (rf : Rf.t) =
+    let free = ref 0 in
+    Array.iter (fun f -> if f then incr free) rf.Rf.free;
+    if !free <> Rf.free_count rf then
+      QCheck.Test.fail_reportf "%s: free_count %d, recount %d" name
+        (Rf.free_count rf) !free;
+    let live = Array.make (Rf.banks rf) 0 in
+    Array.iteri
+      (fun r f -> if not f then live.(rf.Rf.bank_of.(r)) <- live.(rf.Rf.bank_of.(r)) + 1)
+      rf.Rf.free;
+    Array.iteri
+      (fun b n ->
+        if rf.Rf.bank_live.(b) <> n then
+          QCheck.Test.fail_reportf "%s: bank %d live %d, recount %d" name b
+            rf.Rf.bank_live.(b) n)
+      live
+  in
+  QCheck.Test.make ~count:20
+    ~name:"regfile free lists exact under resize + squash interleavings"
+    arbitrary_prog
+    (fun desc ->
+      let prog = build_program desc in
+      let policy = Sdiq_cpu.Policy.abella ~window:64 ~min_limit:8 () in
+      let p = Sdiq_cpu.Pipeline.create ~policy prog in
+      let int_rf = Sdiq_cpu.Pipeline.Debug.int_rf p in
+      let fp_rf = Sdiq_cpu.Pipeline.Debug.fp_rf p in
+      let live0_int = Rf.live_count int_rf in
+      let live0_fp = Rf.live_count fp_rf in
+      Sdiq_cpu.Pipeline.on_cycle_end p (fun _ ->
+          audit_file "int" int_rf;
+          audit_file "fp" fp_rf);
+      let stats = Sdiq_cpu.Pipeline.run ~max_cycles:3_000_000 p in
+      stats.Sdiq_cpu.Stats.committed > 0
+      && Rf.live_count int_rf = live0_int
+      && Rf.live_count fp_rf = live0_fp)
+
 let prop_runner_memo_stable_across_parallel =
   (* For random small budgets, memoisation must return physically-equal
      stats on repeat calls — and a parallel run_all in between must not
@@ -269,6 +443,8 @@ let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_runner_memo_stable_across_parallel;
+      prop_stats_add_conservation;
+      prop_regfile_freelist_under_resize_squash;
       prop_annotation_preserves_semantics;
       prop_tagging_preserves_semantics;
       prop_pipeline_matches_functional;

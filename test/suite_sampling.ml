@@ -85,13 +85,18 @@ let test_ci_contains_full_run () =
 
 (* Random sampling geometries stay within the regime the methodology
    documents as trustworthy (DESIGN.md §13): warmup no shorter than
-   2k instructions and enough periods for >= 10 windows on a ~1M
-   instruction program. *)
+   8k instructions and enough periods for >= 10 windows on a ~1M
+   instruction program. The floor rose from 2k when the speculative
+   frontend landed: functional fast-forward cannot reproduce wrong-path
+   cache and BTB pollution, so the detailed warmup must rebuild it, and
+   shorter warmups leave a measurable IPC-high / wakeups-low bias on
+   branch-heavy code (the pollution horizon is roughly 8k instructions
+   on the gzip kernel). *)
 let arbitrary_geometry =
   let open QCheck.Gen in
   let gen =
     let* ff_len = int_range 10_000 60_000 in
-    let* warmup_len = int_range 2_000 4_000 in
+    let* warmup_len = int_range 8_000 12_000 in
     let* window_len = int_range 1_000 4_000 in
     return { Sampling.ff_len; warmup_len; window_len }
   in
@@ -200,6 +205,36 @@ let test_zero_ff_matches_detailed_ratios () =
   Alcotest.(check bool) "mostly detailed" true
     (Sampling.detailed_fraction r > 0.5)
 
+(* The degenerate geometry — no fast-forward, no warmup, one window
+   wider than the program — is detailed simulation in a sampling coat:
+   the single measured window spans the whole run, so its statistics
+   delta must equal a plain detailed run field for field ([Stats.equal],
+   not ratios-within-CI). Speculation is on (the default config), so
+   this also pins that the sampling loop's drain / fast-forward(0) /
+   fetch-hold bracketing is neutral to wrong-path fetch, squash and TLB
+   counters. *)
+let test_zero_ff_single_window_equals_detailed () =
+  let bench = Sdiq_workloads.W_gzip.build ~outer:8_000 () in
+  List.iter
+    (fun tech ->
+      let full = Pipeline.run (build_pipeline bench tech) in
+      let r =
+        Sampling.sample
+          ~config:
+            { Sampling.ff_len = 0; warmup_len = 0; window_len = max_int / 2 }
+          (build_pipeline bench tech)
+      in
+      let name what =
+        Fmt.str "%s: %s" (Technique.name tech) what
+      in
+      Alcotest.(check int) (name "one window") 1 r.Sampling.windows;
+      Alcotest.(check bool)
+        (name "window stats equal the detailed run's") true
+        (Stats.equal r.Sampling.window_stats full);
+      Alcotest.(check bool) (name "speculation active") true
+        (full.Stats.wp_fetched > 0 && full.Stats.squashes > 0))
+    [ Technique.Baseline; Technique.Noop ]
+
 let suite =
   [
     Alcotest.test_case "estimator: constant ratio, floored CI" `Quick
@@ -215,4 +250,6 @@ let suite =
       test_sampled_campaign_domain_identity;
     Alcotest.test_case "zero fast-forward matches detailed ratios" `Quick
       test_zero_ff_matches_detailed_ratios;
+    Alcotest.test_case "single whole-run window equals detailed stats" `Quick
+      test_zero_ff_single_window_equals_detailed;
   ]
