@@ -4,7 +4,7 @@ DOMAINS ?= 4
 BENCH   := _build/default/bench/main.exe
 FUZZ_N  ?= 500
 
-.PHONY: all build test lint campaign fuzz check-campaign trace profile
+.PHONY: all build test lint tighten-audit campaign fuzz check-campaign trace profile
 
 all: build lint
 
@@ -16,10 +16,19 @@ test:
 
 # Static audit: the dataflow lints, the annotation-soundness pass and
 # the delivery-integrity check over every built-in benchmark under all
-# three annotation modes. Non-zero exit on any error-severity finding.
+# four annotation modes, with the findings archived as JSON. Exit 2 on
+# errors, 1 on warnings or stale waivers, 0 when clean.
 lint:
 	dune build bin/lint.exe
-	dune exec bin/lint.exe --
+	dune exec bin/lint.exe -- --json _build/lint-findings.json
+
+# Tightening gate: re-derive every region's minimal sound window,
+# deliver it, re-audit with the trip-count-refined soundness pass plus
+# the wrong-path lints, and build the occupancy/energy certificate.
+# Non-zero exit on any error finding. Also wired into `dune runtest`
+# via the tighten-audit alias.
+tighten-audit:
+	dune build @tighten-audit
 
 # Produce a JSONL event trace of one run and audit it with the lint
 # CLI's delivery-integrity pass: every traced annotation delivery must
@@ -67,13 +76,15 @@ campaign:
 	@dune exec bin/report.exe -- --sample > _build/campaign-sampled.out
 	@tail -1 _build/campaign-sampled.out
 
-# Differential fuzzing, three lanes over the same FUZZ_N random
+# Differential fuzzing, four lanes over the same FUZZ_N random
 # programs: (1) oracle vs pipeline under every technique with the
 # invariant checker installed (speculative fetch on — the default);
 # (2) the same seeds through SMARTS sampling, checker auditing every
 # detailed window; (3) each program run with speculation on and off,
 # asserting the committed trace and final architectural state are
-# identical — wrong-path execution must be architecturally invisible.
+# identical — wrong-path execution must be architecturally invisible;
+# (4) the tightened configuration on each program, asserting it
+# re-audits clean and commits identically to the baseline binary.
 # Reproducible: a failure prints its seed; replay one program with
 #   FUZZ_SEED=<seed> FUZZ_N=1 dune exec test/fuzz_main.exe
 fuzz:

@@ -1,32 +1,22 @@
 (* sdiq-lint: static analysis over the built-in benchmarks — annotation
    soundness audit, delivery integrity, workload lints and the
-   register-pressure check — with structured findings and a non-zero
-   exit when any error-severity finding survives.
+   register-pressure check — with structured findings, waiver files,
+   machine-readable JSON output and a graded exit status:
+
+     2  error-severity findings survive the waivers
+     1  only warnings survive (or stale waivers linger)
+     0  clean
+     64 usage errors
 
      dune exec bin/lint.exe --                       # all benches, all modes
      dune exec bin/lint.exe -- --bench gcc -m noop --dot _build/dot
-     dune exec bin/lint.exe -- --quiet               # summaries only *)
+     dune exec bin/lint.exe -- --quiet               # summaries only
+     dune exec bin/lint.exe -- --waivers waivers.txt --json findings.json *)
 
 open Cmdliner
 module Finding = Sdiq_analysis.Finding
 module Driver = Sdiq_analysis.Driver
-
-(* Findings on the built-in workloads that are understood and accepted;
-   each carries the recorded reason. Matched by (bench, pass suffix,
-   procedure). *)
-let waivers : (string * string * string * string) list = []
-
-let waiver_reason ~bench (f : Finding.t) =
-  List.find_map
-    (fun (b, pass, proc, reason) ->
-      let suffix_of p s =
-        let lp = String.length p and ls = String.length s in
-        ls >= lp && String.sub s (ls - lp) lp = p
-      in
-      if b = bench && suffix_of pass f.Finding.pass && proc = f.Finding.proc
-      then Some reason
-      else None)
-    waivers
+module Waiver = Sdiq_analysis.Waiver
 
 let bench_arg =
   let doc =
@@ -36,7 +26,9 @@ let bench_arg =
   Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
 
 let mode_arg =
-  let doc = "Annotation mode to audit: noop, extension, improved or all." in
+  let doc =
+    "Annotation mode to audit: noop, extension, improved, tightened or all."
+  in
   Arg.(value & opt string "all" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
 
 let dot_arg =
@@ -64,6 +56,24 @@ let trace_arg =
 let infos_arg =
   let doc = "Also print info-severity findings (proved facts, statistics)." in
   Arg.(value & flag & info [ "infos" ] ~doc)
+
+let waivers_arg =
+  let doc =
+    "Waiver file suppressing acknowledged error/warning findings. Each \
+     line is '<pass> <proc|*> <addr|*> <reason...>' ('#' starts a \
+     comment); [pass] is the finding's pass exactly as printed (e.g. \
+     improved/soundness). Waivers that match no finding are reported \
+     as stale and keep the exit status non-zero."
+  in
+  Arg.(value & opt (some string) None & info [ "waivers" ] ~docv:"FILE" ~doc)
+
+let json_arg =
+  let doc =
+    "Write the findings that survive the waivers (all severities) as a \
+     JSON array to $(docv); each object carries the benchmark it was \
+     found under, and the pass field carries the mode prefix."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let dump_dot dir (bench : Sdiq_workloads.Bench.t) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -137,8 +147,7 @@ let str_field line key =
    harness prepares it for [mode]. Returns the number of errors. *)
 let audit_trace ~(bench : Sdiq_workloads.Bench.t) ~(mode : Driver.mode) path =
   let prepared, _anns =
-    Sdiq_core.Annotate.apply ~opts:mode.Driver.opts mode.Driver.delivery
-      bench.Sdiq_workloads.Bench.prog
+    Driver.apply_mode mode bench.Sdiq_workloads.Bench.prog
   in
   let errors = ref 0 in
   let error fmt =
@@ -242,7 +251,7 @@ let audit_trace ~(bench : Sdiq_workloads.Bench.t) ~(mode : Driver.mode) path =
     (if !errors = 0 then "clean" else Fmt.str "%d error(s)" !errors);
   !errors
 
-let run bench_name mode dot quiet infos trace =
+let run bench_name mode dot quiet infos trace waivers_file json_file =
   (match trace with
   | None -> ()
   | Some path ->
@@ -266,10 +275,11 @@ let run bench_name mode dot quiet infos trace =
       | Some m -> m
       | None ->
         Fmt.epr
-          "--trace needs a single --mode (noop, extension or improved)@.";
+          "--trace needs a single --mode (noop, extension, improved or \
+           tightened)@.";
         exit 64
     in
-    exit (if audit_trace ~bench ~mode:m path > 0 then 1 else 0));
+    exit (if audit_trace ~bench ~mode:m path > 0 then 2 else 0));
   let benches =
     match bench_name with
     | None -> Sdiq_workloads.Suite.all ()
@@ -287,11 +297,35 @@ let run bench_name mode dot quiet infos trace =
       match Driver.mode_named mode with
       | Some m -> [ m ]
       | None ->
-        Fmt.epr "unknown mode %S; available: noop, extension, improved, all@."
+        Fmt.epr
+          "unknown mode %S; available: noop, extension, improved, tightened, \
+           all@."
           mode;
         exit 64
   in
+  let waivers =
+    match waivers_file with
+    | None -> []
+    | Some path -> (
+      match Waiver.load path with
+      | Ok ws -> ws
+      | Error e ->
+        Fmt.epr "cannot load waivers from %s: %s@." path e;
+        exit 64)
+  in
+  (* Waiver usage is tracked across every bench/mode so a waiver that
+     fires anywhere in the run is not reported stale. *)
+  let used = Array.make (List.length waivers) false in
+  let waiver_for f =
+    let rec go i = function
+      | [] -> None
+      | w :: ws -> if Waiver.matches w f then Some (i, w) else go (i + 1) ws
+    in
+    go 0 waivers
+  in
   let total_errors = ref 0 in
+  let total_warnings = ref 0 in
+  let json_entries = ref [] in
   List.iter
     (fun (bench : Sdiq_workloads.Bench.t) ->
       let name = bench.Sdiq_workloads.Bench.name in
@@ -303,13 +337,25 @@ let run bench_name mode dot quiet infos trace =
       in
       let waived, active =
         List.partition_map
-          (fun f ->
-            match waiver_reason ~bench:name f with
-            | Some reason -> Either.Left (f, reason)
-            | None -> Either.Right f)
+          (fun (f : Finding.t) ->
+            match f.Finding.severity with
+            | Finding.Info -> Either.Right f
+            | Finding.Error | Finding.Warning -> (
+              match waiver_for f with
+              | Some (i, w) ->
+                used.(i) <- true;
+                Either.Left (f, w.Waiver.reason)
+              | None -> Either.Right f))
           findings
       in
       total_errors := !total_errors + Finding.errors active;
+      total_warnings := !total_warnings + Finding.warnings active;
+      json_entries :=
+        List.rev_append
+          (List.rev_map
+             (fun f -> Finding.to_json ~extra:[ ("bench", name) ] f)
+             active)
+          !json_entries;
       Fmt.pr "== %s: %a (%d waived)@." name Finding.pp_summary active
         (List.length waived);
       List.iter
@@ -328,8 +374,37 @@ let run bench_name mode dot quiet infos trace =
         waived;
       Option.iter (fun dir -> dump_dot dir bench) dot)
     benches;
+  (match json_file with
+  | None -> ()
+  | Some path ->
+    let entries = List.rev !json_entries in
+    let oc = open_out path in
+    output_string oc "[";
+    List.iteri
+      (fun i s ->
+        if i > 0 then output_string oc ",";
+        output_string oc "\n";
+        output_string oc s)
+      entries;
+    output_string oc "\n]\n";
+    close_out oc;
+    Fmt.pr "lint: wrote %d finding(s) to %s@." (List.length entries) path);
+  let unused = List.filteri (fun i _ -> not used.(i)) waivers in
+  List.iter
+    (fun (w : Waiver.t) ->
+      Fmt.pr "lint: stale waiver (line %d: %s %s %s) matched nothing: %s@."
+        w.Waiver.line w.Waiver.pass
+        (match w.Waiver.proc with Some p -> p | None -> "*")
+        (match w.Waiver.addr with Some a -> string_of_int a | None -> "*")
+        w.Waiver.reason)
+    unused;
   if !total_errors > 0 then begin
     Fmt.pr "lint: %d error-severity finding(s)@." !total_errors;
+    exit 2
+  end
+  else if !total_warnings > 0 || unused <> [] then begin
+    Fmt.pr "lint: %d warning(s), %d stale waiver(s)@." !total_warnings
+      (List.length unused);
     exit 1
   end
   else Fmt.pr "lint: clean (no error-severity findings)@."
@@ -343,6 +418,6 @@ let cmd =
     (Cmd.info "sdiq-lint" ~doc)
     Term.(
       const run $ bench_arg $ mode_arg $ dot_arg $ quiet_arg $ infos_arg
-      $ trace_arg)
+      $ trace_arg $ waivers_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

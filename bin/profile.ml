@@ -16,6 +16,7 @@ let technique_of_string = function
   | "extension" -> Ok H.Technique.Extension
   | "improved" -> Ok H.Technique.Improved
   | "abella" -> Ok H.Technique.Abella
+  | "tightened" -> Ok H.Technique.Tightened
   | s -> Error ("unknown technique: " ^ s)
 
 let benches_arg =

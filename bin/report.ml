@@ -7,14 +7,16 @@
 open Cmdliner
 module H = Sdiq_harness
 
-let all_ids = [ "table2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ]
+let all_ids =
+  [ "table2"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
+    "tighten" ]
 
 let budget_arg =
   let doc = "Committed-instruction budget per run." in
   Arg.(value & opt int 100_000 & info [ "n"; "budget" ] ~docv:"N" ~doc)
 
 let only_arg =
-  let doc = "Comma-separated experiment ids (table2, fig6..fig12)." in
+  let doc = "Comma-separated experiment ids (table2, fig6..fig12, tighten)." in
   Arg.(value & opt (some string) None & info [ "only" ] ~docv:"IDS" ~doc)
 
 let markdown_arg =
@@ -77,6 +79,60 @@ let run_sampled_campaign ~min_insns ~min_windows =
           bench (H.Technique.name tech) res.H.Sampling.total_insns
           res.H.Sampling.windows min_insns min_windows)
       short;
+    exit 1
+
+(* The tightened-vs-improved grid: same analysis machinery, minimal
+   windows. The tightened binary's committed work must match the
+   baseline's (tag delivery leaves the stream untouched) and its IQ
+   energy must not exceed improved's — the optimizer claim, measured. *)
+let run_tighten ~markdown r =
+  let params = Sdiq_power.Params.default in
+  let energy stats =
+    let e = Sdiq_power.Iq_power.technique params stats in
+    e.Sdiq_power.Iq_power.dynamic +. e.Sdiq_power.Iq_power.static_
+  in
+  if markdown then begin
+    Fmt.pr "### tighten — IQ energy, improved vs tightened@.@.";
+    Fmt.pr
+      "| benchmark | improved | tightened | ratio | committed = baseline \
+       |@.|---|---|---|---|---|@."
+  end
+  else Fmt.pr "## tighten: IQ energy, improved vs tightened@.";
+  let worse = ref [] in
+  let tot_imp = ref 0. and tot_tight = ref 0. in
+  List.iter
+    (fun bench ->
+      let base = H.Runner.run r bench H.Technique.Baseline in
+      let imp = H.Runner.run r bench H.Technique.Improved in
+      let tight = H.Runner.run r bench H.Technique.Tightened in
+      let ei = energy imp and et = energy tight in
+      tot_imp := !tot_imp +. ei;
+      tot_tight := !tot_tight +. et;
+      let same =
+        tight.Sdiq_cpu.Stats.committed = base.Sdiq_cpu.Stats.committed
+      in
+      if not same then worse := (bench ^ " (commit drift)") :: !worse;
+      if et > ei then worse := bench :: !worse;
+      if markdown then
+        Fmt.pr "| %s | %.1f | %.1f | %.3f | %s |@." bench ei et (et /. ei)
+          (if same then "yes" else "NO")
+      else
+        Fmt.pr "%-8s improved %12.1f  tightened %12.1f  ratio %.3f%s@." bench
+          ei et (et /. ei)
+          (if same then "" else "  COMMIT DRIFT"))
+    (H.Runner.bench_names r);
+  if markdown then
+    Fmt.pr "| **total** | **%.1f** | **%.1f** | **%.3f** | |@.@." !tot_imp
+      !tot_tight
+      (!tot_tight /. !tot_imp)
+  else
+    Fmt.pr "total    improved %12.1f  tightened %12.1f  ratio %.3f@." !tot_imp
+      !tot_tight
+      (!tot_tight /. !tot_imp);
+  match !worse with
+  | [] -> ()
+  | w ->
+    Fmt.epr "tighten grid regressions: %s@." (String.concat ", " w);
     exit 1
 
 let exp_of_id r = function
@@ -188,6 +244,7 @@ let run budget only markdown sample min_insns min_windows =
         let rows = H.Experiments.table2 r in
         if markdown then Fmt.pr "%a" pp_table2_markdown rows
         else Fmt.pr "%a@." H.Experiments.pp_table2 rows
+      else if id = "tighten" then run_tighten ~markdown r
       else
         match exp_of_id r id with
         | Some e ->

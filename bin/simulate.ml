@@ -13,6 +13,7 @@ let technique_of_string = function
   | "extension" -> Ok Sdiq_harness.Technique.Extension
   | "improved" -> Ok Sdiq_harness.Technique.Improved
   | "abella" -> Ok Sdiq_harness.Technique.Abella
+  | "tightened" -> Ok Sdiq_harness.Technique.Tightened
   | s -> Error (`Msg ("unknown technique: " ^ s))
 
 let technique_conv =

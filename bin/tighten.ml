@@ -1,0 +1,64 @@
+(* Tightening audit over the benchmark suite.
+
+   For every benchmark: derive the tightened annotations, deliver them
+   (tag mode — the instruction stream is untouched), re-audit the
+   result with the trip-count-refined soundness pass plus the delivery
+   and wrong-path lints, and build the occupancy/energy certificate of
+   the delivered binary. Exits non-zero on any error finding, so CI can
+   gate on it. Dynamic validation (trace identity, grid energy,
+   certificate-vs-measured) lives in the test suite; this tool is the
+   fast static gate. *)
+
+module Driver = Sdiq_analysis.Driver
+module Finding = Sdiq_analysis.Finding
+module Tighten = Sdiq_analysis.Tighten
+module Certificate = Sdiq_analysis.Certificate
+
+let () =
+  let quiet = Array.exists (( = ) "--quiet") Sys.argv in
+  let mode =
+    match Driver.mode_named "tightened" with
+    | Some m -> m
+    | None -> failwith "tightened mode not registered"
+  in
+  let config = Sdiq_cpu.Config.default in
+  let total_errors = ref 0 in
+  List.iter
+    (fun (bench : Sdiq_workloads.Bench.t) ->
+      let prog = bench.Sdiq_workloads.Bench.prog in
+      let annotated, anns = Driver.apply_mode mode prog in
+      let findings =
+        Driver.audit_annotations mode prog anns
+        @ Sdiq_analysis.Lint.delivery ~mode:mode.Driver.delivery
+            ~original:prog ~annotated anns
+        @ Sdiq_analysis.Speclint.check annotated
+      in
+      let cert = Certificate.build config annotated in
+      let anchors, narrowed, reduction = Tighten.narrowing prog in
+      total_errors := !total_errors + Finding.errors findings;
+      if not quiet then begin
+        Fmt.pr "== %s: %d anchors, %d narrowed vs improved (-%d entries), \
+                certificate bound %d ==@."
+          bench.Sdiq_workloads.Bench.name anchors narrowed reduction
+          cert.Certificate.occ_bound;
+        List.iter
+          (fun f ->
+            if f.Finding.severity <> Finding.Info then
+              Fmt.pr "%a@." Finding.pp f)
+          findings;
+        Fmt.pr "   %a@." Finding.pp_summary findings
+      end
+      else if not (Finding.is_clean findings) then begin
+        Fmt.pr "== %s ==@." bench.Sdiq_workloads.Bench.name;
+        List.iter
+          (fun f ->
+            if f.Finding.severity = Finding.Error then
+              Fmt.pr "%a@." Finding.pp f)
+          findings
+      end)
+    (Sdiq_workloads.Suite.all ());
+  if !total_errors > 0 then begin
+    Fmt.pr "tighten-audit: %d errors@." !total_errors;
+    exit 1
+  end
+  else Fmt.pr "tighten-audit: clean@."

@@ -1,6 +1,7 @@
-(* Pass orchestration: mirror the harness's annotation pipeline
-   (Annotate.apply with the mode's options), then audit both the
-   annotation list and the emitted binary. *)
+(* Pass orchestration: mirror the harness's annotation pipeline for
+   each configuration (Annotate.apply, or Tighten.apply for the
+   tightened mode), then audit the annotation list, the emitted binary
+   and its wrong-path anchor hygiene. *)
 
 module Annotate = Sdiq_core.Annotate
 module Options = Sdiq_core.Options
@@ -9,16 +10,46 @@ type mode = {
   name : string;
   delivery : Annotate.mode;
   opts : Options.t;
+  tightened : bool;
 }
 
 let modes =
   [
-    { name = "noop"; delivery = Annotate.Noop; opts = Options.default };
-    { name = "extension"; delivery = Annotate.Tagged; opts = Options.default };
-    { name = "improved"; delivery = Annotate.Tagged; opts = Options.improved };
+    {
+      name = "noop";
+      delivery = Annotate.Noop;
+      opts = Options.default;
+      tightened = false;
+    };
+    {
+      name = "extension";
+      delivery = Annotate.Tagged;
+      opts = Options.default;
+      tightened = false;
+    };
+    {
+      name = "improved";
+      delivery = Annotate.Tagged;
+      opts = Options.improved;
+      tightened = false;
+    };
+    {
+      name = "tightened";
+      delivery = Annotate.Tagged;
+      opts = Options.default;
+      tightened = true;
+    };
   ]
 
 let mode_named name = List.find_opt (fun m -> m.name = name) modes
+
+let apply_mode mode prog =
+  if mode.tightened then Tighten.apply ~opts:mode.opts mode.delivery prog
+  else Annotate.apply ~opts:mode.opts mode.delivery prog
+
+let audit_annotations mode prog annotations =
+  if mode.tightened then Tighten.audit ~opts:mode.opts prog annotations
+  else Soundness.audit ~opts:mode.opts prog annotations
 
 let tag_pass mode fs =
   List.map
@@ -26,12 +57,11 @@ let tag_pass mode fs =
     fs
 
 let audit_mode mode (prog : Sdiq_isa.Prog.t) : Finding.t list =
-  let annotated, annotations =
-    Annotate.apply ~opts:mode.opts mode.delivery prog
-  in
+  let annotated, annotations = apply_mode mode prog in
   tag_pass mode
-    (Soundness.audit ~opts:mode.opts prog annotations
-    @ Lint.delivery ~mode:mode.delivery ~original:prog ~annotated annotations)
+    (audit_annotations mode prog annotations
+    @ Lint.delivery ~mode:mode.delivery ~original:prog ~annotated annotations
+    @ Speclint.check annotated)
 
 let lint_program ?rf_size (prog : Sdiq_isa.Prog.t) : Finding.t list =
   let summaries = Summary.of_program prog in

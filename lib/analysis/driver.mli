@@ -1,21 +1,40 @@
 (** Top-level orchestration of the static-analysis passes: one call
-    audits a program under one annotation mode (soundness + delivery)
-    and runs the mode-independent lints and the register-pressure
-    check. *)
+    audits a program under one annotation mode (soundness + delivery +
+    wrong-path anchor hygiene) and runs the mode-independent lints and
+    the register-pressure check. *)
 
-(** One of the paper's three annotation configurations. *)
+(** One of the paper's three annotation configurations, or the
+    [tightened] optimizer configuration. *)
 type mode = {
-  name : string;  (** ["noop"], ["extension"] or ["improved"] *)
+  name : string;
+      (** ["noop"], ["extension"], ["improved"] or ["tightened"] *)
   delivery : Sdiq_core.Annotate.mode;
   opts : Sdiq_core.Options.t;
+  tightened : bool;  (** annotations come from {!Tighten}, not the
+                         baseline analysis *)
 }
 
 val modes : mode list
 val mode_named : string -> mode option
 
-(** Soundness audit plus delivery-integrity lint for one mode: the
-    program is analysed and annotated exactly as the simulator harness
-    would, then both artefacts are audited. *)
+(** Analyse and deliver exactly as the simulator harness would for this
+    mode. *)
+val apply_mode :
+  mode ->
+  Sdiq_isa.Prog.t ->
+  Sdiq_isa.Prog.t * Sdiq_core.Procedure.annotation list
+
+(** The annotation-list audit matching the mode: {!Soundness.audit}, or
+    {!Tighten.audit} (trip-count refined) for the tightened mode. *)
+val audit_annotations :
+  mode ->
+  Sdiq_isa.Prog.t ->
+  Sdiq_core.Procedure.annotation list ->
+  Finding.t list
+
+(** Soundness audit plus delivery-integrity and wrong-path lints for
+    one mode: the program is analysed and annotated exactly as the
+    simulator harness would, then both artefacts are audited. *)
 val audit_mode : mode -> Sdiq_isa.Prog.t -> Finding.t list
 
 (** Mode-independent program lints and the register-pressure pass. *)

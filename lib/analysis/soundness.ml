@@ -32,6 +32,7 @@ type bound = {
   need : int;
   required : int;
   paths_examined : int;
+  trip_bound : int option;
 }
 
 (* The floor every annotation is clamped to (Procedure.clamp with
@@ -39,13 +40,13 @@ type bound = {
    (the paper's Figure 1(d) argument). *)
 let clamp opts v = max 2 (min opts.Options.iq_size v)
 
-let bounds_of_proc ?(opts = Options.default) (prog : Prog.t)
+let bounds_of_proc ?(opts = Options.default) ?tripcounts (prog : Prog.t)
     (proc : Prog.proc) : bound list =
   let opts = { opts with Options.slack = 0; interprocedural = false } in
   let cfg = Cfg.build prog proc in
   let regions = Regions.decompose cfg in
   let bounds = ref [] in
-  let add ?(paths = 0) ~kind ~blocks anchor need =
+  let add ?(paths = 0) ?trip ~kind ~blocks anchor need =
     bounds :=
       {
         anchor;
@@ -54,6 +55,7 @@ let bounds_of_proc ?(opts = Options.default) (prog : Prog.t)
         need;
         required = clamp opts need;
         paths_examined = paths;
+        trip_bound = trip;
       }
       :: !bounds
   in
@@ -106,10 +108,41 @@ let bounds_of_proc ?(opts = Options.default) (prog : Prog.t)
           | Some (n, p) -> (n, p)
           | None -> (1, [ loop.Loops.header ])
         in
+        (* Trip-count refinement: a loop provably bounded to [t] header
+           executions dispatches at most [t * max_path_len] of its own
+           instructions per entry, so a window that admits them all at
+           once can never throttle it — the CDS steady-state need
+           assumed unbounded iteration overlap. Only sound when the
+           path enumeration was complete, which {!Tripcount} already
+           requires before it grants a bound. *)
+        let trip =
+          match tripcounts with
+          | None -> None
+          | Some tc -> Hashtbl.find_opt tc loop.Loops.header
+        in
+        let need =
+          match trip with
+          | None -> need
+          | Some t ->
+            let max_path_len =
+              List.fold_left
+                (fun acc p ->
+                  max acc
+                    (List.fold_left
+                       (fun n id -> n + Cfg.block_len cfg.Cfg.blocks.(id))
+                       0 p))
+                1 paths
+            in
+            let cap =
+              if t >= 10_000 || max_path_len >= 10_000 then max_int
+              else t * max_path_len
+            in
+            min need cap
+        in
         let header = cfg.Cfg.blocks.(loop.Loops.header) in
         add
           ~paths:(List.length paths)
-          ~kind:"loop-header" ~blocks:path header.Cfg.first need;
+          ?trip ~kind:"loop-header" ~blocks:path header.Cfg.first need;
         (* Re-entry blocks: control left the loop's own region (an inner
            loop ran, or a call returned) and the window must be
            re-established at no less than the loop's requirement. *)
@@ -131,7 +164,7 @@ let bounds_of_proc ?(opts = Options.default) (prog : Prog.t)
             then
               add
                 ~paths:(List.length paths)
-                ~kind:"loop-reentry" ~blocks:path blk.Cfg.first need;
+                ?trip ~kind:"loop-reentry" ~blocks:path blk.Cfg.first need;
             library_call_bound blk)
           (Regions.blocks regions region))
     regions.Regions.regions;
@@ -147,7 +180,7 @@ let bounds_of_proc ?(opts = Options.default) (prog : Prog.t)
   Hashtbl.fold (fun _ b acc -> b :: acc) by_anchor []
   |> List.sort (fun a b -> compare a.anchor b.anchor)
 
-let audit ?(opts = Options.default) (prog : Prog.t)
+let audit ?(opts = Options.default) ?tripcounts_of (prog : Prog.t)
     (annotations : Procedure.annotation list) : Finding.t list =
   let ann = Sdiq_core.Annotate.annotation_map annotations in
   let findings = ref [] in
@@ -156,6 +189,9 @@ let audit ?(opts = Options.default) (prog : Prog.t)
   List.iter
     (fun (p : Prog.proc) ->
       if (not p.Prog.is_library) && p.Prog.len > 0 then
+        let tripcounts =
+          match tripcounts_of with None -> None | Some f -> Some (f p)
+        in
         List.iter
           (fun b ->
             incr anchors;
@@ -185,7 +221,7 @@ let audit ?(opts = Options.default) (prog : Prog.t)
                             b.paths_examined
                         else ""))
                   :: !findings)
-          (bounds_of_proc ~opts prog p))
+          (bounds_of_proc ~opts ?tripcounts prog p))
     prog.Prog.procs;
   let summary =
     Finding.make Finding.Info ~pass:"soundness"

@@ -29,11 +29,24 @@ type bound = {
   required : int;      (** clamped lower bound: [max 2 (min iq_size need)] *)
   paths_examined : int;
       (** loop anchors: how many acyclic paths were enumerated *)
+  trip_bound : int option;
+      (** loop anchors: the {!Tripcount} bound applied to this
+          obligation, when one was supplied and proved *)
 }
 
-(** All obligations of one procedure, in anchor order. *)
+(** All obligations of one procedure, in anchor order.
+
+    [tripcounts] (loop header block id → max header executions, as
+    produced by {!Tripcount.of_proc}) refines loop obligations to
+    [min need (trips * max_path_len)]: a loop bounded to [t] trips
+    dispatches at most [t * max_path_len] of its own instructions per
+    entry, so a window admitting them all simultaneously cannot delay
+    the critical path. {!Tighten} derives its annotations from these
+    same refined obligations, so a tightened binary re-audited with the
+    same trip counts is slack-free by construction. *)
 val bounds_of_proc :
   ?opts:Sdiq_core.Options.t ->
+  ?tripcounts:(int, int) Hashtbl.t ->
   Sdiq_isa.Prog.t ->
   Sdiq_isa.Prog.proc ->
   bound list
@@ -42,9 +55,14 @@ val bounds_of_proc :
     {!Sdiq_core.Procedure.analyze_program} /
     {!Sdiq_core.Annotate.apply}) against the recomputed bounds: an
     [Error] finding for every missing or under-sized annotation, plus
-    one [Info] finding summarising anchors audited and minimum slack. *)
+    one [Info] finding summarising anchors audited and minimum slack.
+
+    [tripcounts_of] supplies each procedure's trip-count table; the
+    audit then accepts annotations that meet the refined (smaller)
+    loop obligations — the audit side of the {!Tighten} contract. *)
 val audit :
   ?opts:Sdiq_core.Options.t ->
+  ?tripcounts_of:(Sdiq_isa.Prog.proc -> (int, int) Hashtbl.t) ->
   Sdiq_isa.Prog.t ->
   Sdiq_core.Procedure.annotation list ->
   Finding.t list

@@ -1,0 +1,124 @@
+(* Wrong-path-aware lints over the delivered binary.
+
+   All four checks work on the artifact alone — anchors are read from
+   the instruction stream, reachability is recomputed from the entry
+   point — so a delivery bug cannot hide behind the annotation list
+   that produced it. *)
+
+open Sdiq_isa
+
+let window_of (i : Instr.t) =
+  if i.Instr.op = Opcode.Iqset then Some i.Instr.imm else i.Instr.tag
+
+(* Architectural reachability over instruction addresses. [Ret] has no
+   static successor: returns land on call fall-throughs, which the
+   [Call] case already covers. *)
+let arch_reachable (prog : Prog.t) : bool array =
+  let len = Prog.length prog in
+  let seen = Array.make len false in
+  let rec go addr =
+    if addr >= 0 && addr < len && not seen.(addr) then begin
+      seen.(addr) <- true;
+      let i = Prog.instr prog addr in
+      match i.Instr.op with
+      | Opcode.Halt | Opcode.Ret -> ()
+      | Opcode.Jmp -> go i.Instr.target
+      | Opcode.Call ->
+        go i.Instr.target;
+        go (addr + 1)
+      | op when Opcode.is_cond_branch op ->
+        go i.Instr.target;
+        go (addr + 1)
+      | _ -> go (addr + 1)
+    end
+  in
+  go prog.Prog.entry;
+  seen
+
+let check (prog : Prog.t) : Finding.t list =
+  let len = Prog.length prog in
+  let findings = ref [] in
+  let add ?proc ?addr sev ~pass msg =
+    findings := Finding.make ?proc ?addr sev ~pass msg :: !findings
+  in
+  let proc_name addr =
+    Option.map (fun (p : Prog.proc) -> p.Prog.name) (Prog.proc_of_addr prog addr)
+  in
+  let reach = arch_reachable prog in
+  let anchor = Array.make len None in
+  for addr = 0 to len - 1 do
+    anchor.(addr) <- window_of (Prog.instr prog addr)
+  done;
+
+  (* Anchors the architecture never executes. *)
+  for addr = 0 to len - 1 do
+    match anchor.(addr) with
+    | Some w when not reach.(addr) ->
+      if addr > 0 && reach.(addr - 1) then
+        add ?proc:(proc_name addr) ~addr Finding.Warning ~pass:"wp-only-anchor"
+          (Fmt.str
+             "anchor (window %d) is unreachable architecturally but sits in \
+              the fetch shadow of live code: it executes only on wrong \
+              paths, resizing the queue for a region that does not exist"
+             w)
+      else
+        add ?proc:(proc_name addr) ~addr Finding.Info ~pass:"dead-anchor"
+          (Fmt.str "anchor (window %d) is unreachable and never fetched" w)
+    | _ -> ()
+  done;
+
+  (* Delivery-map entries that can never govern a dispatch. *)
+  for addr = 0 to len - 1 do
+    let i = Prog.instr prog addr in
+    if i.Instr.op = Opcode.Iqset then begin
+      if i.Instr.tag <> None then
+        add ?proc:(proc_name addr) ~addr Finding.Warning ~pass:"shadowed-entry"
+          "Iqset also carries a tag: one of the two windows is dead on \
+           arrival";
+      if addr + 1 < len && anchor.(addr + 1) <> None then
+        add ?proc:(proc_name addr) ~addr Finding.Warning ~pass:"shadowed-entry"
+          (Fmt.str
+             "Iqset #%d is immediately superseded by the anchor at %d: its \
+              window governs no dispatch, its fetch cost remains"
+             i.Instr.imm (addr + 1))
+    end
+  done;
+
+  (* Mispredict-resume points that inherit a narrower window than their
+     region's entry granted. The window carried across an edge is the
+     nearest preceding anchor's, within the same procedure — the
+     straight-line approximation of the dispatch-time policy state. *)
+  let nearest_anchor addr =
+    match Prog.proc_of_addr prog addr with
+    | None -> None
+    | Some p ->
+      let rec back a =
+        if a < p.Prog.entry then None
+        else
+          match anchor.(a) with
+          | Some w -> Some (a, w)
+          | None -> back (a - 1)
+      in
+      back addr
+  in
+  for src = 0 to len - 1 do
+    let i = Prog.instr prog src in
+    if Instr.is_cond_branch i && reach.(src) then
+      List.iter
+        (fun t ->
+          if t >= 0 && t < len && anchor.(t) = None then
+            match (nearest_anchor src, nearest_anchor t) with
+            | Some (sa, carried), Some (a, granted)
+              when sa <> a && carried < granted ->
+              add ?proc:(proc_name src) ~addr:src Finding.Info
+                ~pass:"squash-stale-window"
+                (Fmt.str
+                   "resume point %d lies in the region anchored at %d \
+                    (window %d) but inherits window %d across this edge: \
+                    after a mispredict here the squash restores the \
+                    narrower window"
+                   t a granted carried)
+            | _ -> ())
+        [ i.Instr.target; src + 1 ]
+  done;
+  List.sort Finding.compare !findings

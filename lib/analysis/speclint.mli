@@ -1,0 +1,29 @@
+(** Wrong-path-aware delivery lints over a delivered binary.
+
+    The frontend fetches past control transfers until redirected and
+    keeps executing down mispredicted paths until the squash, so
+    annotation anchors ([Iqset] instructions and instruction tags)
+    interact with machinery the architectural semantics never sees.
+    Four checks:
+
+    - [wp-only-anchor] (warning): an anchor no architectural path
+      reaches, sitting in the fetch shadow of reachable code — it
+      executes {e only} on wrong paths, perturbing the window (and
+      paying its fetch/dispatch cost) for a region that does not exist.
+    - [dead-anchor] (info): an anchor neither reachable nor
+      wp-fetchable — inert delivery metadata.
+    - [shadowed-entry] (warning): a delivery-map entry that can never
+      govern a dispatch: an [Iqset] immediately followed by another
+      anchor, or an [Iqset] that itself carries a tag. Its window is
+      superseded before any instruction dispatches under it, while its
+      fetch cost — right path or wrong — remains.
+    - [squash-stale-window] (info): a conditional edge landing on a
+      non-anchor address whose region's delivery entry grants more than
+      the window carried across the edge. After a mispredict on that
+      branch, the squash restores the branch-time window and resumes at
+      the target: code audited under the larger window then runs under
+      the stale narrower one until the next anchor. Informational —
+      loop-interior joins legitimately carry the loop window — but the
+      asymmetry is worth seeing. *)
+
+val check : Sdiq_isa.Prog.t -> Finding.t list

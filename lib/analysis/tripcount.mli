@@ -1,0 +1,30 @@
+(** Path-sensitive loop trip-count bounds.
+
+    For each natural loop, tries to prove a static upper bound on the
+    number of header executions per loop entry, from the classic
+    counted-loop shape: a single counter register stepped by a constant
+    exactly once per iteration (checked on {e every} enumerated
+    header-to-latch path, via {!Sdiq_core.Loop_need.loop_paths}) and
+    latch branches that test the counter against zero or against a
+    loop-invariant register whose range the {!Interval} analysis
+    bounds. Initial counter ranges come from the interval environment
+    at the loop preheader, interprocedurally refined when [summaries]
+    is supplied.
+
+    Bounds are deliberately conservative (ceilings plus a margin
+    iteration): they are consumed as [min need (trips * path_len)]
+    refinements by {!Soundness} and {!Tighten}, where a slight
+    overestimate costs a little precision and an underestimate would be
+    unsound. A loop with no provable bound is simply absent from the
+    table. *)
+
+(** Trip bounds of one procedure: loop header {e block id} to the
+    maximum header executions per loop entry. Truncated path
+    enumerations ([max_paths] reached) yield no bound — an incomplete
+    path universe cannot prove the counter steps every iteration. *)
+val of_proc :
+  ?summaries:(int, Interval.proc_summary) Hashtbl.t ->
+  ?max_paths:int ->
+  Sdiq_isa.Prog.t ->
+  Sdiq_isa.Prog.proc ->
+  (int, int) Hashtbl.t

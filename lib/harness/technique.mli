@@ -1,4 +1,5 @@
-(** The five configurations the paper evaluates. *)
+(** The five configurations the paper evaluates, plus the tightened
+    optimizer configuration. *)
 
 type t =
   | Baseline   (** unmodified binary, 80-entry queue, no resizing *)
@@ -6,8 +7,16 @@ type t =
   | Extension  (** analysis delivered via instruction tags (Section 5.3) *)
   | Improved   (** Extension + interprocedural FU contention analysis *)
   | Abella     (** the adaptive hardware comparison point *)
+  | Tightened
+      (** the {!Sdiq_analysis.Tighten} minimal sound windows, tag
+          delivered: same committed trace as [Baseline], audited
+          slack-free *)
 
+(** The paper's five configurations — the pinned golden grid. *)
 val all : t list
+
+(** [all] plus [Tightened]. *)
+val extended : t list
 val name : t -> string
 
 (** The binary actually loaded into the machine. *)

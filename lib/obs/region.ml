@@ -18,6 +18,7 @@ type delivery =
   | Plain
   | Noop
   | Tagged of { improved : bool }
+  | Tightened
 
 type kind =
   | Startup
@@ -54,6 +55,7 @@ let delivery_name = function
   | Noop -> "noop"
   | Tagged { improved = false } -> "tagged"
   | Tagged { improved = true } -> "tagged-improved"
+  | Tightened -> "tightened"
 
 let build delivery (original : Prog.t) : t =
   let running, annotations, start_of =
@@ -64,6 +66,11 @@ let build delivery (original : Prog.t) : t =
       let running, anns =
         if improved then Annotate.improved original
         else Annotate.extension original
+      in
+      (running, anns, fun (a : Procedure.annotation) -> a.Procedure.addr)
+    | Tightened ->
+      let running, anns =
+        Sdiq_analysis.Tighten.apply Annotate.Tagged original
       in
       (running, anns, fun (a : Procedure.annotation) -> a.Procedure.addr)
     | Noop -> (

@@ -22,6 +22,7 @@ type delivery =
   | Plain
   | Noop
   | Tagged of { improved : bool }
+  | Tightened  (** tag delivery of the {!Sdiq_analysis.Tighten} windows *)
 
 type kind =
   | Startup  (** synthetic: events before the first commit *)

@@ -10,6 +10,13 @@ type energy = {
   static_ : float;
 }
 
+(** The non-wakeup dynamic activity shared by all three views: dispatch
+    writes, issue reads, selection and squash recovery, each priced from
+    its measured counter. Exposed so {!Sdiq_analysis.Certificate} prices
+    the occupancy-independent terms of its energy bound with exactly the
+    model's coefficients. *)
+val base_activity : Params.t -> Sdiq_cpu.Stats.t -> float
+
 val naive : Params.t -> Sdiq_cpu.Config.t -> Sdiq_cpu.Stats.t -> energy
 val gated : Params.t -> Sdiq_cpu.Config.t -> Sdiq_cpu.Stats.t -> energy
 val technique : Params.t -> Sdiq_cpu.Stats.t -> energy

@@ -205,4 +205,80 @@ let () =
     exit 1
   end;
   Printf.printf
-    "fuzz: all %d programs commit identically with speculation on and off\n" n
+    "fuzz: all %d programs commit identically with speculation on and off\n%!"
+    n;
+  (* Tightening lane: the optimizer must be invisible to architecture
+     and sound by its own auditor. For every random program the
+     tightened configuration (tag delivery — instruction stream
+     untouched) must (a) re-audit with zero error findings under the
+     trip-count-refined soundness pass, and (b) commit the exact same
+     instruction stream and reach the exact same final architectural
+     state as the baseline binary under the baseline policy. Any
+     tightened window below the true need would stall or deadlock
+     dispatch (caught by the checker / simulation limit) or show up as
+     an audit error; any instruction-stream perturbation shows up as
+     trace divergence. Tag delivery reuses redundant ISA bits on
+     existing instructions ([Instr.tag]), which is metadata, not
+     architecture — the comparison normalises it away and everything
+     else must match bit for bit. *)
+  let untag d =
+    {
+      d with
+      Sdiq_isa.Exec.instr =
+        { d.Sdiq_isa.Exec.instr with Sdiq_isa.Instr.tag = None };
+    }
+  in
+  let tight_failures = ref 0 in
+  for i = 0 to n - 1 do
+    let seed = base_seed + i in
+    let rng = Sdiq_util.Rng.create seed in
+    let desc = Sdiq_workloads.Gen.random_desc rng in
+    let prog = Sdiq_workloads.Gen.program_of_desc desc in
+    let fail fmt =
+      incr tight_failures;
+      Printf.printf "\nTIGHTEN FAILURE at program %d (seed %d)\n" i seed;
+      Printf.printf
+        "replay: FUZZ_SEED=%d FUZZ_N=1 dune exec test/fuzz_main.exe\n" seed;
+      Fmt.pr fmt
+    in
+    match Sdiq_analysis.Tighten.apply Sdiq_core.Annotate.Tagged prog with
+    | exception e -> fail "tightening raised: %s@." (Printexc.to_string e)
+    | _tightened, anns -> (
+      let findings = Sdiq_analysis.Tighten.audit prog anns in
+      let errors = Sdiq_analysis.Finding.errors findings in
+      if errors > 0 then begin
+        fail "tightened annotations audit with %d error(s)@." errors;
+        List.iter
+          (fun (f : Sdiq_analysis.Finding.t) ->
+            if f.Sdiq_analysis.Finding.severity = Sdiq_analysis.Finding.Error
+            then Fmt.pr "  %a@." Sdiq_analysis.Finding.pp f)
+          findings
+      end;
+      match
+        ( committed_trace Sdiq_cpu.Config.default prog
+            Sdiq_harness.Technique.Baseline,
+          committed_trace Sdiq_cpu.Config.default prog
+            Sdiq_harness.Technique.Tightened )
+      with
+      | (trace_base, exec_base), (trace_tight, exec_tight) -> (
+        if differ (Array.map untag trace_base) (Array.map untag trace_tight)
+        then
+          fail "committed trace differs between baseline and tightened@."
+        else
+          match state_mismatch exec_base exec_tight with
+          | Some what ->
+            fail "%s differs between baseline and tightened@." what
+          | None -> ())
+      | exception Sdiq_check.Checker.Invariant_violation v ->
+        fail "%a@." Sdiq_check.Checker.pp_violation v
+      | exception Sdiq_cpu.Pipeline.Simulation_limit msg ->
+        fail "stuck: %s@." msg)
+  done;
+  if !tight_failures > 0 then begin
+    Printf.printf "\nfuzz: %d tightened programs FAILED\n" !tight_failures;
+    exit 1
+  end;
+  Printf.printf
+    "fuzz: all %d programs tighten audit-clean with baseline-identical \
+     commits\n"
+    n

@@ -36,7 +36,8 @@ let () =
             | Sdiq_harness.Technique.Noop -> "Noop"
             | Sdiq_harness.Technique.Extension -> "Extension"
             | Sdiq_harness.Technique.Improved -> "Improved"
-            | Sdiq_harness.Technique.Abella -> "Abella")
+            | Sdiq_harness.Technique.Abella -> "Abella"
+            | Sdiq_harness.Technique.Tightened -> "Tightened")
             s.Sdiq_cpu.Stats.cycles s.Sdiq_cpu.Stats.committed
             s.Sdiq_cpu.Stats.iq_banks_on_sum s.Sdiq_cpu.Stats.iq_wakeups_gated
             regions)

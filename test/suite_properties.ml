@@ -417,6 +417,110 @@ let prop_regfile_freelist_under_resize_squash =
       && Rf.live_count int_rf = live0_int
       && Rf.live_count fp_rf = live0_fp)
 
+(* --- interval domain: widening soundness, monotonicity, termination ------ *)
+
+module Interval = Sdiq_analysis.Interval
+
+let gen_interval =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Interval.bot);
+        (1, return Interval.top);
+        ( 5,
+          map2
+            (fun a b -> Interval.make (min a b) (max a b))
+            (int_range (-100) 100) (int_range (-100) 100) );
+        (2, map Interval.const (int_range (-100) 100));
+      ])
+
+let interval_print iv = Fmt.str "%a" Interval.pp iv
+
+(* A representative threshold set: the infinities plus a few immediates,
+   as [thresholds_of_proc] would produce. Sorted, as [widen] requires. *)
+let thresholds = [| min_int; -64; -1; 0; 1; 8; 42; 80; max_int |]
+
+let arbitrary_interval_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "(%s, %s)" (interval_print a) (interval_print b))
+    QCheck.Gen.(pair gen_interval gen_interval)
+
+let prop_interval_widen_sound =
+  QCheck.Test.make ~count:500
+    ~name:"interval widen covers the hull (and both operands)"
+    arbitrary_interval_pair (fun (a, b) ->
+      let w = Interval.widen ~thresholds a b in
+      Interval.leq (Interval.hull a b) w
+      && Interval.leq a w && Interval.leq b w)
+
+let prop_interval_hull_monotone =
+  QCheck.Test.make ~count:500
+    ~name:"interval hull monotone: a<=a', b<=b' => hull a b <= hull a' b'"
+    (QCheck.make
+       ~print:(fun (a, b, c, d) ->
+         Printf.sprintf "(%s, %s, %s, %s)" (interval_print a)
+           (interval_print b) (interval_print c) (interval_print d))
+       QCheck.Gen.(quad gen_interval gen_interval gen_interval gen_interval))
+    (fun (a, b, c, d) ->
+      let a' = Interval.hull a c and b' = Interval.hull b d in
+      Interval.leq (Interval.hull a b) (Interval.hull a' b'))
+
+(* The termination argument behind Diverged-freedom, pinned directly:
+   along any widening chain each endpoint only ever moves outward
+   through the finite threshold set, so the number of strict growth
+   steps is bounded by 2 x |thresholds| regardless of the inputs. *)
+let prop_interval_widen_chain_stabilizes =
+  QCheck.Test.make ~count:200
+    ~name:"interval widening chains stabilize within 2x|thresholds| steps"
+    (QCheck.make
+       ~print:(fun (a, bs) ->
+         Printf.sprintf "%s <- %d perturbations" (interval_print a)
+           (List.length bs))
+       QCheck.Gen.(pair gen_interval (list_size (int_range 1 50) gen_interval)))
+    (fun (a, bs) ->
+      let growths = ref 0 in
+      let x = ref a in
+      List.iter
+        (fun b ->
+          let x' = Interval.widen ~thresholds !x b in
+          if not (Interval.equal x' !x) then begin
+            (* Strict growth must contain the old value... *)
+            if not (Interval.leq !x x') then
+              QCheck.Test.fail_reportf "widen shrank: %s -> %s"
+                (interval_print !x) (interval_print x');
+            incr growths
+          end;
+          x := x')
+        bs;
+      !growths <= 2 * Array.length thresholds)
+
+(* Diverged-freedom end to end: the whole interval analysis (with the
+   interprocedural summaries plugged in) reaches its fixpoint inside
+   the engine's step budget on every random CFG, and the trip-count
+   pass built on top returns without raising. *)
+let prop_interval_analysis_converges =
+  QCheck.Test.make ~count:30
+    ~name:"interval analysis + tripcounts converge on random CFGs"
+    arbitrary_prog (fun desc ->
+      let prog = build_program desc in
+      match
+        let summaries = Interval.summaries prog in
+        List.iter
+          (fun (p : Prog.proc) ->
+            if (not p.Prog.is_library) && p.Prog.len > 0 then begin
+              let cfg = Sdiq_cfg.Cfg.build prog p in
+              ignore (Interval.analyze ~summaries prog p cfg
+                      : Interval.solution);
+              ignore (Sdiq_analysis.Tighten.tripcounts_of prog p
+                      : (int, int) Hashtbl.t)
+            end)
+          prog.Prog.procs
+      with
+      | () -> true
+      | exception Sdiq_analysis.Dataflow.Diverged (name, steps) ->
+        QCheck.Test.fail_reportf "Diverged(%s, %d)" name steps)
+
 let prop_runner_memo_stable_across_parallel =
   (* For random small budgets, memoisation must return physically-equal
      stats on repeat calls — and a parallel run_all in between must not
@@ -443,6 +547,10 @@ let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_runner_memo_stable_across_parallel;
+      prop_interval_widen_sound;
+      prop_interval_hull_monotone;
+      prop_interval_widen_chain_stabilizes;
+      prop_interval_analysis_converges;
       prop_stats_add_conservation;
       prop_regfile_freelist_under_resize_squash;
       prop_annotation_preserves_semantics;

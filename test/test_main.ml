@@ -23,5 +23,7 @@ let () =
       ("check", Suite_check.suite);
       ("events", Suite_events.suite);
       ("obs", Suite_obs.suite);
+      ("tighten", Suite_tighten.suite);
+      ("certificate", Suite_certificate.suite);
       ("golden", Suite_golden.suite);
     ]
