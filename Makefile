@@ -4,7 +4,7 @@ DOMAINS ?= 4
 BENCH   := _build/default/bench/main.exe
 FUZZ_N  ?= 500
 
-.PHONY: all build test lint tighten-audit campaign fuzz check-campaign trace profile
+.PHONY: all build test lint tighten-audit campaign fuzz check-campaign trace profile policy-grid
 
 all: build lint
 
@@ -75,6 +75,16 @@ campaign:
 	@# least ten million instructions over at least 30 measured windows.
 	@dune exec bin/report.exe -- --sample > _build/campaign-sampled.out
 	@tail -1 _build/campaign-sampled.out
+
+# Scheduler-policy grid: every benchmark x {noop, improved} x
+# {oldest_first, nskip:4, load_delay}, with both policy gates enforced
+# (load_delay must be cycle- and commit-identical to oldest_first;
+# nskip:4 must cut scan energy on at least three benchmarks) and the
+# per-cell scan-power figures archived as JSON.
+policy-grid:
+	dune build bin/report.exe
+	dune exec bin/report.exe -- --budget 20000 \
+	  --policy-grid _build/policy-grid.json
 
 # Differential fuzzing, four lanes over the same FUZZ_N random
 # programs: (1) oracle vs pipeline under every technique with the

@@ -61,9 +61,9 @@ let tiny_runner () =
    program (~47 instructions per outer iteration) where the detailed
    variants stop after 2000 committed instructions, so the sampled
    speedup is (per-run time ratio) x (instruction-coverage ratio). *)
-let bench_simulation ~variant () =
+let bench_simulation ?sched ~variant () =
   let bench = Sdiq_workloads.W_gzip.build ~outer:2_000 () in
-  let p = Sdiq_cpu.Pipeline.create bench.Sdiq_workloads.Bench.prog in
+  let p = Sdiq_cpu.Pipeline.create ?sched bench.Sdiq_workloads.Bench.prog in
   (match variant with
   | `Nosink -> ()
   | `Sinks ->
@@ -142,6 +142,13 @@ let micro_tests () =
     bench_experiment "simulate-checked" (fun () ->
         bench_simulation ~variant:`Checked ());
     bench_experiment "simulate-fast" (fun () -> bench_simulation_fast ());
+    (* scheduler-policy axis: the same nosink run under a bounded select
+       scan and under load-delay wakeup suppression — against
+       simulate-nosink these price the policy's host-side overhead *)
+    bench_experiment "simulate-nskip" (fun () ->
+        bench_simulation ~sched:(Sdiq_cpu.Sched.nskip ~n:4) ~variant:`Nosink ());
+    bench_experiment "simulate-loaddelay" (fun () ->
+        bench_simulation ~sched:Sdiq_cpu.Sched.load_delay ~variant:`Nosink ());
     (* one bench per table/figure: the full computation at a tiny scale *)
     bench_experiment "table2" (fun () -> H.Experiments.table2 (tiny_runner ()));
     bench_experiment "fig6" (fun () -> H.Experiments.fig6 (tiny_runner ()));
@@ -199,6 +206,7 @@ let write_mips_json file =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
+  let policy = Sdiq_cpu.Sched.name Sdiq_cpu.Config.default.Sdiq_cpu.Config.sched in
   let p = mk () in
   let stats, detailed_s = time (fun () -> Sdiq_cpu.Pipeline.run p) in
   let detailed_insns = stats.Sdiq_cpu.Stats.committed in
@@ -207,8 +215,8 @@ let write_mips_json file =
   let mips insns s = if s > 0. then float_of_int insns /. s /. 1e6 else 0. in
   let oc = open_out file in
   Printf.fprintf oc
-    {|{"workload":"gzip","outer":%d,"detailed":{"instructions":%d,"seconds":%.4f,"mips":%.3f},"sampled":{"instructions":%d,"windows":%d,"seconds":%.4f,"mips":%.3f}}|}
-    outer detailed_insns detailed_s
+    {|{"workload":"gzip","policy":"%s","outer":%d,"detailed":{"instructions":%d,"seconds":%.4f,"mips":%.3f},"sampled":{"instructions":%d,"windows":%d,"seconds":%.4f,"mips":%.3f}}|}
+    policy outer detailed_insns detailed_s
     (mips detailed_insns detailed_s)
     sampled.H.Sampling.total_insns sampled.H.Sampling.windows sampled_s
     (mips sampled.H.Sampling.total_insns sampled_s);

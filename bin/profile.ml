@@ -61,6 +61,14 @@ let csv_arg =
   let doc = "Emit one CSV table (all pairs' regions) to stdout." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let policy_arg =
+  let doc =
+    "Select/wakeup scheduler policy for every profiled run \
+     (oldest_first, nskip:N, load_delay; default oldest_first). The \
+     policy tags every JSON and CSV row. Unknown names are rejected."
+  in
+  Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"NAME" ~doc)
+
 let split_commas s =
   String.split_on_char ',' s |> List.map String.trim
   |> List.filter (fun x -> x <> "")
@@ -93,31 +101,35 @@ let parse_techniques s =
   in
   go [] (split_commas s)
 
-let print_json budget pairs campaign =
+let print_json budget sched pairs campaign =
   let pair_docs =
     List.map
       (fun (bench, tech, prof) ->
         Printf.sprintf
-          {|{"bench":"%s","technique":"%s","regions":%d,"profile":%s}|}
+          {|{"bench":"%s","technique":"%s","policy":"%s","regions":%d,"profile":%s}|}
           bench (H.Technique.name tech)
+          (Sdiq_cpu.Sched.name sched)
           (Obs.Region.count (Obs.Profiler.map prof))
           (Obs.Profiler.to_json prof))
       pairs
   in
   print_string
     (Printf.sprintf
-       {|{"budget":%d,"pairs":[%s],"campaign_metrics":%s}|}
+       {|{"budget":%d,"policy":"%s","pairs":[%s],"campaign_metrics":%s}|}
        budget
+       (Sdiq_cpu.Sched.name sched)
        (String.concat "," pair_docs)
        (Obs.Metrics.to_json campaign));
   print_newline ()
 
-let print_csv pairs =
-  Fmt.pr "bench,technique,%s@." Obs.Profiler.csv_header;
+let print_csv sched pairs =
+  Fmt.pr "bench,technique,policy,%s@." Obs.Profiler.csv_header;
   List.iter
     (fun (bench, tech, prof) ->
       List.iter
-        (fun row -> Fmt.pr "%s,%s,%s@." bench (H.Technique.name tech) row)
+        (fun row ->
+          Fmt.pr "%s,%s,%s,%s@." bench (H.Technique.name tech)
+            (Sdiq_cpu.Sched.name sched) row)
         (Obs.Profiler.csv_rows prof))
     pairs
 
@@ -141,10 +153,12 @@ let print_slack prof =
           (if e.Obs.Profiler.slack > 0 then "  over-provisioned" else ""))
       entries
 
-let print_tables top slack pairs =
+let print_tables top slack sched pairs =
   List.iter
     (fun (bench, tech, prof) ->
-      Fmt.pr "@.%s / %s (%d regions):@." bench (H.Technique.name tech)
+      Fmt.pr "@.%s / %s (policy %s, %d regions):@." bench
+        (H.Technique.name tech)
+        (Sdiq_cpu.Sched.name sched)
         (Obs.Region.count (Obs.Profiler.map prof));
       Fmt.pr "%a@." (Obs.Profiler.pp_table ?top) prof;
       if slack then begin
@@ -153,7 +167,17 @@ let print_tables top slack pairs =
       end)
     pairs
 
-let run benches techniques budget domains top slack json csv =
+let run benches techniques budget domains top slack json csv policy =
+  let sched =
+    match policy with
+    | None -> Sdiq_cpu.Sched.default
+    | Some s -> (
+      match Sdiq_cpu.Sched.of_string s with
+      | Ok sched -> sched
+      | Error msg ->
+        Fmt.epr "sdiq-profile: %s@." msg;
+        exit 1)
+  in
   match (parse_benches benches, parse_techniques techniques) with
   | Error e, _ | _, Error e ->
     Fmt.epr "%s@." e;
@@ -163,11 +187,11 @@ let run benches techniques budget domains top slack json csv =
       Fmt.epr "no techniques given@.";
       exit 1
     end;
-    let runner = H.Runner.create ~budget ~benches ?domains () in
+    let runner = H.Runner.create ~budget ~benches ~sched ?domains () in
     let pairs, campaign = H.Runner.profile_all ~techniques runner in
-    if json then print_json budget pairs campaign
-    else if csv then print_csv pairs
-    else print_tables top slack pairs
+    if json then print_json budget sched pairs campaign
+    else if csv then print_csv sched pairs
+    else print_tables top slack sched pairs
 
 let cmd =
   let doc = "region-level attribution profiles of simulated benchmarks" in
@@ -175,6 +199,6 @@ let cmd =
     (Cmd.info "sdiq-profile" ~doc)
     Term.(
       const run $ benches_arg $ techniques_arg $ budget_arg $ domains_arg
-      $ top_arg $ slack_arg $ json_arg $ csv_arg)
+      $ top_arg $ slack_arg $ json_arg $ csv_arg $ policy_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -42,12 +42,37 @@ let min_windows_arg =
   let doc = "Sampled-campaign coverage floor: measured windows per pair." in
   Arg.(value & opt int 30 & info [ "min-windows" ] ~docv:"N" ~doc)
 
+let policy_arg =
+  let doc =
+    "Select/wakeup scheduler policy for every run (oldest_first, \
+     nskip:N, load_delay; default oldest_first). Unknown names are \
+     rejected, like a typo'd $(b,--only) id."
+  in
+  Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"NAME" ~doc)
+
+let policy_grid_arg =
+  let doc =
+    "Run the scheduler-policy grid instead of the figures: every \
+     benchmark under {oldest_first, nskip:4, load_delay} x {noop, \
+     improved}, print the select-scan and IQ energy of each cell, and \
+     write the grid as JSON to $(docv). Fails if nskip:4 does not cut \
+     scan energy on at least three benchmarks, or if load_delay \
+     (timing-identical by construction) disturbs cycles or committed \
+     work."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policy-grid" ] ~docv:"FILE" ~doc)
+
 (* The sampled campaign: the scaled suite (>= 10M oracle instructions
    per program) under SMARTS sampling for every technique, with a hard
    coverage guard — an estimate whose run was too short to support its
    interval must fail the build, not print a plausible-looking table. *)
-let run_sampled_campaign ~min_insns ~min_windows =
-  let r = H.Runner.create ~benches:(Sdiq_workloads.Suite.scaled ()) () in
+let run_sampled_campaign ?sched ~min_insns ~min_windows () =
+  let r =
+    H.Runner.create ~benches:(Sdiq_workloads.Suite.scaled ()) ?sched ()
+  in
   H.Runner.run_all_sampled r;
   let shortfalls = ref [] in
   Fmt.pr
@@ -135,6 +160,119 @@ let run_tighten ~markdown r =
     Fmt.epr "tighten grid regressions: %s@." (String.concat ", " w);
     exit 1
 
+(* The scheduler-policy grid: every benchmark under three policies and
+   two techniques, from one runner (the policy is part of the memo key).
+   Two hard gates ride the table, mirroring [run_tighten]: load_delay
+   must leave cycles and committed work untouched (it only moves CAM
+   comparisons from the gated ledger to the suppressed one — see
+   lib/cpu/sched.ml; nskip is exempt, it genuinely trades ILP for scan
+   energy), and the bounded scan must actually cut scan energy on at
+   least three benchmarks, or the grid fails the build. *)
+let run_policy_grid ~budget ~file =
+  let params = Sdiq_power.Params.default in
+  let policies =
+    [
+      Sdiq_cpu.Sched.oldest_first;
+      Sdiq_cpu.Sched.nskip ~n:4;
+      Sdiq_cpu.Sched.load_delay;
+    ]
+  in
+  let techs = [ H.Technique.Noop; H.Technique.Improved ] in
+  let r = H.Runner.create ~budget () in
+  let scan_energy (s : Sdiq_cpu.Stats.t) =
+    float_of_int s.Sdiq_cpu.Stats.iq_scan_entries
+    *. params.Sdiq_power.Params.e_scan_entry
+  in
+  let iq_energy (s : Sdiq_cpu.Stats.t) =
+    let e = Sdiq_power.Iq_power.technique params s in
+    e.Sdiq_power.Iq_power.dynamic +. e.Sdiq_power.Iq_power.static_
+  in
+  Fmt.pr "## scheduler policy grid ({%s} x {noop, improved})@."
+    (String.concat ", " (List.map Sdiq_cpu.Sched.name policies));
+  let cells = ref [] in
+  let drift = ref [] in
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun tech ->
+          let base = H.Runner.run r bench tech in
+          List.iter
+            (fun sched ->
+              let s = H.Runner.run ~sched r bench tech in
+              if
+                Sdiq_cpu.Sched.suppresses_predicted sched
+                && (s.Sdiq_cpu.Stats.committed
+                      <> base.Sdiq_cpu.Stats.committed
+                   || s.Sdiq_cpu.Stats.cycles <> base.Sdiq_cpu.Stats.cycles)
+              then
+                drift :=
+                  Printf.sprintf "%s/%s/%s" bench (H.Technique.name tech)
+                    (Sdiq_cpu.Sched.name sched)
+                  :: !drift;
+              cells := (bench, tech, sched, s) :: !cells;
+              Fmt.pr
+                "%-8s %-10s %-13s cycles %8d  scan %8d (E %10.1f)  \
+                 suppressed %9d  IQ energy %12.1f@."
+                bench (H.Technique.name tech) (Sdiq_cpu.Sched.name sched)
+                s.Sdiq_cpu.Stats.cycles s.Sdiq_cpu.Stats.iq_scan_entries
+                (scan_energy s) s.Sdiq_cpu.Stats.iq_wakeups_suppressed
+                (iq_energy s))
+            policies)
+        techs)
+    (H.Runner.bench_names r);
+  let cells = List.rev !cells in
+  (* JSON artifact for CI: one object per grid cell. *)
+  let oc = open_out file in
+  let fnum = Printf.sprintf "%.17g" in
+  Printf.fprintf oc {|{"budget":%d,"e_scan_entry":%s,"cells":[%s]}|} budget
+    (fnum params.Sdiq_power.Params.e_scan_entry)
+    (String.concat ","
+       (List.map
+          (fun (bench, tech, sched, (s : Sdiq_cpu.Stats.t)) ->
+            Printf.sprintf
+              {|{"bench":"%s","technique":"%s","policy":"%s","cycles":%d,"committed":%d,"scan_entries":%d,"scan_energy":%s,"wakeups_gated":%d,"wakeups_suppressed":%d,"iq_energy":%s}|}
+              bench (H.Technique.name tech) (Sdiq_cpu.Sched.name sched)
+              s.Sdiq_cpu.Stats.cycles s.Sdiq_cpu.Stats.committed
+              s.Sdiq_cpu.Stats.iq_scan_entries
+              (fnum (scan_energy s))
+              s.Sdiq_cpu.Stats.iq_wakeups_gated
+              s.Sdiq_cpu.Stats.iq_wakeups_suppressed
+              (fnum (iq_energy s)))
+          cells));
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.policy grid: %d cells -> %s@." (List.length cells) file;
+  (* Gate 1: load_delay is timing-identical to oldest_first. *)
+  (match List.rev !drift with
+  | [] -> ()
+  | d ->
+    Fmt.epr "policy grid: load_delay timing drift on %s@."
+      (String.concat ", " d);
+    exit 1);
+  (* Gate 2: the bounded scan pays off where the ISSUE demands it. *)
+  let reduced =
+    List.filter
+      (fun bench ->
+        let scan_of sched =
+          let s = H.Runner.run ~sched r bench H.Technique.Improved in
+          s.Sdiq_cpu.Stats.iq_scan_entries
+        in
+        scan_of (Sdiq_cpu.Sched.nskip ~n:4)
+        < scan_of Sdiq_cpu.Sched.oldest_first)
+      (H.Runner.bench_names r)
+  in
+  Fmt.pr "nskip:4 cuts scan energy on %d/%d benchmarks (%s)@."
+    (List.length reduced)
+    (List.length (H.Runner.bench_names r))
+    (String.concat ", " reduced);
+  if List.length reduced < 3 then begin
+    Fmt.epr
+      "policy grid: nskip:4 reduced scan energy on only %d benchmarks \
+       (need >= 3)@."
+      (List.length reduced);
+    exit 1
+  end
+
 let exp_of_id r = function
   | "fig6" -> Some (H.Experiments.fig6 r)
   | "fig7" -> Some (H.Experiments.fig7 r)
@@ -219,8 +357,21 @@ let pp_table2_markdown ppf rows =
     rows;
   Fmt.pf ppf "@."
 
-let run budget only markdown sample min_insns min_windows =
-  if sample then run_sampled_campaign ~min_insns ~min_windows
+let run budget only markdown sample min_insns min_windows policy policy_grid =
+  let sched =
+    match policy with
+    | None -> None
+    | Some s -> (
+      match Sdiq_cpu.Sched.of_string s with
+      | Ok sched -> Some sched
+      | Error msg ->
+        Fmt.epr "sdiq-report: %s@." msg;
+        exit 1)
+  in
+  match policy_grid with
+  | Some file -> run_policy_grid ~budget ~file
+  | None ->
+  if sample then run_sampled_campaign ?sched ~min_insns ~min_windows ()
   else begin
   let ids =
     match only with
@@ -237,7 +388,7 @@ let run budget only markdown sample min_insns min_windows =
       (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
       (String.concat ", " all_ids);
     exit 1);
-  let r = H.Runner.create ~budget () in
+  let r = H.Runner.create ~budget ?sched () in
   List.iter
     (fun id ->
       if id = "table2" then
@@ -265,6 +416,6 @@ let cmd =
     (Cmd.info "sdiq-report" ~doc)
     Term.(
       const run $ budget_arg $ only_arg $ markdown_arg $ sample_arg
-      $ min_insns_arg $ min_windows_arg)
+      $ min_insns_arg $ min_windows_arg $ policy_arg $ policy_grid_arg)
 
 let () = exit (Cmd.eval cmd)

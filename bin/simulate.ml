@@ -105,9 +105,19 @@ let sample_arg =
      ($(b,--budget), $(b,--verbose), $(b,--timeline), $(b,--trace), \
      $(b,--metrics), $(b,--domains)) are rejected, not ignored; with \
      $(b,--check) the invariant checker audits every detailed cycle of \
-     every window."
+     every window. Combines with $(b,--policy)."
   in
   Arg.(value & flag & info [ "sample" ] ~doc)
+
+let policy_arg =
+  let doc =
+    "Select/wakeup scheduler policy: oldest_first (the paper's fixed \
+     scheduler, default), nskip:N (bound the select scan to N slots \
+     after head), or load_delay (suppress the wakeup CAM ports of \
+     predicted-ready operands). Works with both detailed and \
+     $(b,--sample) runs; unknown names are rejected."
+  in
+  Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"NAME" ~doc)
 
 let scaled_arg =
   let doc =
@@ -142,12 +152,12 @@ let window_arg =
 
 (* A dedicated traced run: same benchmark preparation as the runner's,
    with the JSONL trace sink on the bus. *)
-let write_trace bench technique ~budget file =
+let write_trace bench technique ~sched ~budget file =
   let prog =
     Sdiq_harness.Technique.prepare technique bench.Sdiq_workloads.Bench.prog
   in
   let policy = Sdiq_harness.Technique.policy technique in
-  let p = Sdiq_cpu.Pipeline.create ~policy prog in
+  let p = Sdiq_cpu.Pipeline.create ~policy ~sched prog in
   let oc = open_out file in
   Sdiq_cpu.Pipeline.subscribe ~name:"jsonl-trace" p
     (Sdiq_events.Trace.sink oc);
@@ -159,14 +169,16 @@ let write_trace bench technique ~budget file =
 
 (* A dedicated profiled run: the region-attribution profiler and the
    host self-profiler ride the bus of one fresh simulation. *)
-let write_metrics bench technique ~budget file =
+let write_metrics bench technique ~sched ~budget file =
   let map =
     Sdiq_obs.Region.build
       (Sdiq_harness.Technique.delivery technique)
       bench.Sdiq_workloads.Bench.prog
   in
   let policy = Sdiq_harness.Technique.policy technique in
-  let p = Sdiq_cpu.Pipeline.create ~policy (Sdiq_obs.Region.running_prog map) in
+  let p =
+    Sdiq_cpu.Pipeline.create ~policy ~sched (Sdiq_obs.Region.running_prog map)
+  in
   let prof = Sdiq_obs.Profiler.attach map p in
   let host = Sdiq_obs.Hostprof.attach p in
   bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
@@ -185,12 +197,12 @@ let write_metrics bench technique ~budget file =
     (Sdiq_obs.Region.count map) stats.Sdiq_cpu.Stats.cycles
 
 (* A dedicated counting run for the verbose event-mix table. *)
-let event_mix bench technique ~budget =
+let event_mix bench technique ~sched ~budget =
   let prog =
     Sdiq_harness.Technique.prepare technique bench.Sdiq_workloads.Bench.prog
   in
   let policy = Sdiq_harness.Technique.policy technique in
-  let p = Sdiq_cpu.Pipeline.create ~policy prog in
+  let p = Sdiq_cpu.Pipeline.create ~policy ~sched prog in
   let counts = Sdiq_events.Counts.create () in
   Sdiq_cpu.Pipeline.subscribe ~name:"event-counts" p
     (Sdiq_events.Counts.sink counts);
@@ -200,10 +212,10 @@ let event_mix bench technique ~budget =
 
 (* A sampled run of one pair: whole program, SMARTS regime, estimates
    with confidence intervals. *)
-let run_sampled bench technique ~check ~config =
+let run_sampled bench technique ~sched ~check ~config =
   let checker = if check then Some Sdiq_check.Checker.fresh_hook else None in
   let runner =
-    Sdiq_harness.Runner.create ~benches:[ bench ] ?checker
+    Sdiq_harness.Runner.create ~benches:[ bench ] ~sched ?checker
       ~sample_config:config ()
   in
   let name = bench.Sdiq_workloads.Bench.name in
@@ -267,9 +279,21 @@ let validate_flags ~budget ~verbose ~timeline ~trace ~metrics ~domains
     exit 1
 
 let run bench_name technique budget verbose timeline trace metrics domains
-    check sample scaled ff warmup window =
+    check sample scaled ff warmup window policy =
   validate_flags ~budget ~verbose ~timeline ~trace ~metrics ~domains ~sample
     ~scaled ~ff ~warmup ~window;
+  (* Like an unknown benchmark or experiment id: a typo'd policy must
+     fail loudly before anything simulates. *)
+  let sched =
+    match policy with
+    | None -> Sdiq_cpu.Sched.default
+    | Some s -> (
+      match Sdiq_cpu.Sched.of_string s with
+      | Ok sched -> sched
+      | Error msg ->
+        Fmt.epr "sdiq-simulate: %s@." msg;
+        exit 1)
+  in
   let budget = Option.value budget ~default:100_000 in
   let suite =
     if scaled then Sdiq_workloads.Suite.scaled ()
@@ -287,7 +311,7 @@ let run bench_name technique budget verbose timeline trace metrics domains
     exit 1
   | Some bench when sample ->
     let dflt = Sdiq_harness.Sampling.default in
-    run_sampled bench technique ~check
+    run_sampled bench technique ~sched ~check
       ~config:
         {
           Sdiq_harness.Sampling.ff_len =
@@ -302,8 +326,8 @@ let run bench_name technique budget verbose timeline trace metrics domains
       if check then Some Sdiq_check.Checker.fresh_hook else None
     in
     let runner =
-      Sdiq_harness.Runner.create ~budget ~benches:[ bench ] ?domains ?checker
-        ()
+      Sdiq_harness.Runner.create ~budget ~benches:[ bench ] ~sched ?domains
+        ?checker ()
     in
     if verbose then begin
       let anns =
@@ -326,9 +350,9 @@ let run bench_name technique budget verbose timeline trace metrics domains
         exit 2
     in
     if check then Fmt.pr "(invariant checker: every cycle audited)@.";
-    Fmt.pr "%s / %s:@.%a@." bench_name
+    Fmt.pr "%s / %s (policy %s):@.%a@." bench_name
       (Sdiq_harness.Technique.name technique)
-      Sdiq_cpu.Stats.pp stats;
+      (Sdiq_cpu.Sched.name sched) Sdiq_cpu.Stats.pp stats;
     if technique <> Sdiq_harness.Technique.Baseline then begin
       let savings = Sdiq_harness.Runner.savings runner bench_name technique in
       Fmt.pr "vs baseline: %a@." Sdiq_power.Report.pp savings
@@ -339,7 +363,7 @@ let run bench_name technique budget verbose timeline trace metrics domains
       Fmt.pr "@.int RF energy breakdown:@.%a" Sdiq_power.Breakdown.pp
         (Sdiq_power.Breakdown.int_rf stats);
       Fmt.pr "@.@.event mix:@.%a@." Sdiq_events.Counts.pp
-        (event_mix bench technique ~budget)
+        (event_mix bench technique ~sched ~budget)
     end;
     if timeline then begin
       let t =
@@ -347,8 +371,8 @@ let run bench_name technique budget verbose timeline trace metrics domains
       in
       print_string (Sdiq_harness.Timeline.to_csv t)
     end;
-    Option.iter (write_trace bench technique ~budget) trace;
-    Option.iter (write_metrics bench technique ~budget) metrics
+    Option.iter (write_trace bench technique ~sched ~budget) trace;
+    Option.iter (write_metrics bench technique ~sched ~budget) metrics
 
 let cmd =
   let doc = "simulate one benchmark under one IQ-resizing technique" in
@@ -357,6 +381,7 @@ let cmd =
     Term.(
       const run $ bench_arg $ technique_arg $ budget_arg $ verbose_arg
       $ timeline_arg $ trace_arg $ metrics_arg $ domains_arg $ check_arg
-      $ sample_arg $ scaled_arg $ ff_arg $ warmup_arg $ window_arg)
+      $ sample_arg $ scaled_arg $ ff_arg $ warmup_arg $ window_arg
+      $ policy_arg)
 
 let () = exit (Cmd.eval cmd)

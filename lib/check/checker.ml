@@ -57,8 +57,12 @@ type t = {
   mutable prev_naive : int;
   mutable prev_nonempty : int;
   mutable prev_gated : int;
+  mutable prev_suppressed : int;
   mutable prev_present_ops : int;
   mutable prev_waiting_ops : int;
+  mutable prev_pred_waiting_ops : int;
+  (* previous select-scan integral, to bound this cycle's sweep *)
+  mutable prev_scan_entries : int;
 }
 
 let create () =
@@ -74,8 +78,11 @@ let create () =
     prev_naive = 0;
     prev_nonempty = 0;
     prev_gated = 0;
+    prev_suppressed = 0;
     prev_present_ops = 0;
     prev_waiting_ops = 0;
+    prev_pred_waiting_ops = 0;
+    prev_scan_entries = 0;
   }
 
 let cycles_checked c = c.cycles_checked
@@ -416,20 +423,71 @@ let check_lsq c p =
 (* --- wakeup accounting -------------------------------------------------- *)
 
 let operand_exposure (iq : Iq.t) =
-  let present = ref 0 and waiting = ref 0 in
+  let present = ref 0 and waiting = ref 0 and pred_waiting = ref 0 in
   for s = 0 to iq.Iq.size - 1 do
     if Iq.slot_valid iq s then
       for j = 0 to 1 do
         if Iq.op_present iq s j then begin
           incr present;
-          if not (Iq.op_ready iq s j) then incr waiting
+          if not (Iq.op_ready iq s j) then begin
+            incr waiting;
+            if Iq.op_pred iq s j then incr pred_waiting
+          end
         end
       done
   done;
-  (!present, !waiting)
+  (!present, !waiting, !pred_waiting)
+
+(* Ready-prediction soundness (DESIGN.md §16): under [Sched.Load_delay]
+   a waiting operand carries the predicted-ready mark exactly when its
+   producer is not a load — loads have non-deterministic latency, so
+   suppressing their consumers' comparisons would be a guess, not a
+   prediction. The producer's physical tag is still allocated while the
+   operand waits, so [Pipeline.Debug.tag_is_load] is current. Under
+   non-suppressing policies no mark may exist at all (the rename stage
+   never sets one). A mark planted on a load-fed operand — or cleared
+   from a non-load-fed one — is precisely what [Iq.Raw.set_pred]
+   sabotage does, and it must be caught here before the energy books
+   credit a suppression the hardware could not have justified. *)
+let check_pred_soundness c p ~suppressing =
+  let iq = Pipeline.Debug.iq p in
+  for s = 0 to iq.Iq.size - 1 do
+    if Iq.slot_valid iq s then
+      for j = 0 to 1 do
+        if Iq.op_present iq s j && not (Iq.op_ready iq s j) then begin
+          let pred = Iq.op_pred iq s j in
+          if not suppressing then begin
+            if pred then
+              fail p ~invariant:"wakeup-pred-sound"
+                "slot %d operand %d is marked predicted-ready under a \
+                 non-suppressing scheduler"
+                s j
+          end
+          else begin
+            let from_load = Pipeline.Debug.tag_is_load p (Iq.op_tag iq s j) in
+            if pred && from_load then
+              fail p ~invariant:"wakeup-pred-sound"
+                "slot %d operand %d waits on load-produced tag %d yet is \
+                 marked predicted-ready — its wakeup would be suppressed on \
+                 a guess"
+                s j (Iq.op_tag iq s j);
+            if (not pred) && not from_load then
+              fail p ~invariant:"wakeup-pred-sound"
+                "slot %d operand %d waits on fixed-latency tag %d but lost \
+                 its predicted-ready mark — its comparison is priced gated \
+                 instead of suppressed"
+                s j (Iq.op_tag iq s j)
+          end
+        end
+      done
+  done;
+  c.checks_run <- c.checks_run + 1
 
 let check_wakeups c p =
   let iq = Pipeline.Debug.iq p in
+  let suppressing =
+    Sched.suppresses_predicted (Pipeline.Debug.sched p)
+  in
   (* Nothing touches the queue between the end of the previous cycle and
      this cycle's writeback broadcast, so the exposure recorded then is
      the snapshot the CAM ports compared against now. *)
@@ -437,6 +495,7 @@ let check_wakeups c p =
   let d_naive = iq.Iq.wakeups_naive - c.prev_naive in
   let d_nonempty = iq.Iq.wakeups_nonempty - c.prev_nonempty in
   let d_gated = iq.Iq.wakeups_gated - c.prev_gated in
+  let d_suppressed = iq.Iq.wakeups_suppressed - c.prev_suppressed in
   if d_naive <> 2 * Iq.size iq * d_tags then
     fail p ~invariant:"wakeup-naive"
       "naive wakeups grew by %d for %d tags over %d slots (expected %d)"
@@ -448,20 +507,58 @@ let check_wakeups c p =
        (expected %d)"
       d_nonempty d_tags c.prev_present_ops
       (c.prev_present_ops * d_tags);
-  if d_gated <> c.prev_waiting_ops * d_tags then
+  (* Under a suppressing scheduler the waiting operands split between the
+     gated and suppressed ledgers along the predicted-ready mark; every
+     other policy must book them all gated and none suppressed. *)
+  let expect_gated =
+    if suppressing then (c.prev_waiting_ops - c.prev_pred_waiting_ops) * d_tags
+    else c.prev_waiting_ops * d_tags
+  in
+  let expect_suppressed =
+    if suppressing then c.prev_pred_waiting_ops * d_tags else 0
+  in
+  if d_gated <> expect_gated then
     fail p ~invariant:"wakeup-gated"
-      "gated wakeups grew by %d for %d tags against %d waiting operands \
-       (expected %d)"
-      d_gated d_tags c.prev_waiting_ops
-      (c.prev_waiting_ops * d_tags);
+      "gated wakeups grew by %d for %d tags against %d waiting (%d \
+       predicted-ready) operands (expected %d)"
+      d_gated d_tags c.prev_waiting_ops c.prev_pred_waiting_ops expect_gated;
+  if d_suppressed <> expect_suppressed then
+    fail p ~invariant:"wakeup-suppressed"
+      "suppressed wakeups grew by %d for %d tags against %d predicted-ready \
+       waiting operands (expected %d)"
+      d_suppressed d_tags c.prev_pred_waiting_ops expect_suppressed;
   c.prev_broadcasts <- iq.Iq.broadcasts;
   c.prev_naive <- iq.Iq.wakeups_naive;
   c.prev_nonempty <- iq.Iq.wakeups_nonempty;
   c.prev_gated <- iq.Iq.wakeups_gated;
-  let present, waiting = operand_exposure iq in
+  c.prev_suppressed <- iq.Iq.wakeups_suppressed;
+  check_pred_soundness c p ~suppressing;
+  let present, waiting, pred_waiting = operand_exposure iq in
   c.prev_present_ops <- present;
   c.prev_waiting_ops <- waiting;
-  c.checks_run <- c.checks_run + 3
+  c.prev_pred_waiting_ops <- pred_waiting;
+  c.checks_run <- c.checks_run + 4
+
+(* --- select-scan accounting ---------------------------------------------- *)
+
+(* The per-cycle growth of the scan integral can never exceed the
+   policy's own bound: [oldest_first] and [load_delay] sweep at most the
+   whole ring, [nskip ~n] at most [n] slots. The ring can only have been
+   at most [Iq.size] entries long when the sweep ran (resizing happens
+   after issue), so the bound is evaluated at full size — tight enough
+   to catch a runaway sweep, immune to end-of-cycle resizes. *)
+let check_scan c p =
+  let stats = Pipeline.Debug.stats p in
+  let iq = Pipeline.Debug.iq p in
+  let d_scan = stats.Stats.iq_scan_entries - c.prev_scan_entries in
+  let bound = Sched.scan_bound (Pipeline.Debug.sched p) ~active:(Iq.size iq) in
+  if d_scan < 0 || d_scan > bound then
+    fail p ~invariant:"iq-scan-bound"
+      "select scan examined %d slots this cycle; the policy admits at most \
+       %d"
+      d_scan bound;
+  c.prev_scan_entries <- stats.Stats.iq_scan_entries;
+  c.checks_run <- c.checks_run + 1
 
 (* --- entry point -------------------------------------------------------- *)
 
@@ -478,6 +575,7 @@ let check c p =
   check_speculation c p;
   check_lsq c p;
   check_wakeups c p;
+  check_scan c p;
   c.cycles_checked <- c.cycles_checked + 1
 
 let hook c = check c

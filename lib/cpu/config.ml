@@ -63,6 +63,7 @@ type t = {
   dtlb_entries : int;
   page_size : int;           (* words per page *)
   tlb_miss_penalty : int;    (* cycles to walk the page table *)
+  sched : Sched.t;           (* select/wakeup scheduler policy *)
 }
 
 let default =
@@ -107,6 +108,7 @@ let default =
     dtlb_entries = 16;
     page_size = 256;
     tlb_miss_penalty = 20;
+    sched = Sched.default;
   }
 
 let iq_banks t = (t.iq_size + t.iq_bank_size - 1) / t.iq_bank_size
@@ -115,7 +117,7 @@ let rf_banks t = (t.rf_size + t.rf_bank_size - 1) / t.rf_bank_size
 let pp ppf t =
   Fmt.pf ppf
     "fetch/dispatch/issue/commit %d/%d/%d/%d, ROB %d, IQ %d (%d banks of \
-     %d), RF 2x%d (%d banks of %d)"
+     %d), RF 2x%d (%d banks of %d), sched %a"
     t.fetch_width t.dispatch_width t.issue_width t.commit_width t.rob_size
     t.iq_size (iq_banks t) t.iq_bank_size t.rf_size (rf_banks t)
-    t.rf_bank_size
+    t.rf_bank_size Sched.pp t.sched

@@ -43,6 +43,7 @@ type t = {
   dtlb_entries : int;
   page_size : int;           (** words per page *)
   tlb_miss_penalty : int;    (** cycles to walk the page table *)
+  sched : Sched.t;           (** select/wakeup scheduler policy *)
 }
 
 (** The paper's Table 1 machine. *)

@@ -43,6 +43,10 @@ type t = {
   rob_idx : int array;
   op_present : Bytes.t;
   op_ready : Bytes.t;
+  op_pred : Bytes.t;
+      (* predicted-ready: the operand's producer has a deterministic
+         latency, so a load-delay scheduler suppresses its CAM port
+         (energy only — the operand still wakes on a tag match) *)
   op_tag : int array;
   bank_live : int array; (* valid entries per bank, kept incrementally *)
   bank_of : int array; (* slot -> bank, precomputed (no hot-path division) *)
@@ -53,8 +57,13 @@ type t = {
   mutable tail : int;
   mutable count : int;      (* valid entries *)
   mutable new_span : int;   (* slots between new_head and tail, holes incl. *)
+  mutable suppress_pred : bool;
+      (* load-delay policy active: predicted-ready waiting operands pay
+         no CAM comparison (counted in [wakeups_suppressed] instead of
+         [wakeups_gated]) *)
   (* event counters for the power model *)
   mutable wakeups_gated : int;
+  mutable wakeups_suppressed : int;
   mutable wakeups_nonempty : int;
   mutable wakeups_naive : int;
   mutable dispatch_ram_writes : int;
@@ -74,6 +83,7 @@ let create ~size ~bank_size =
     rob_idx = Array.make size (-1);
     op_present = Bytes.make (2 * size) '\000';
     op_ready = Bytes.make (2 * size) '\000';
+    op_pred = Bytes.make (2 * size) '\000';
     op_tag = Array.make (2 * size) (-1);
     bank_live = Array.make ((size + bank_size - 1) / bank_size) 0;
     bank_of = Array.init size (fun s -> s / bank_size);
@@ -84,7 +94,9 @@ let create ~size ~bank_size =
     tail = 0;
     count = 0;
     new_span = 0;
+    suppress_pred = false;
     wakeups_gated = 0;
+    wakeups_suppressed = 0;
     wakeups_nonempty = 0;
     wakeups_naive = 0;
     dispatch_ram_writes = 0;
@@ -103,6 +115,7 @@ let slot_valid t s = Bytes.unsafe_get t.valid s <> '\000'
 let slot_rob_idx t s = Array.unsafe_get t.rob_idx s
 let op_present t s j = Bytes.unsafe_get t.op_present ((2 * s) + j) <> '\000'
 let op_ready t s j = Bytes.unsafe_get t.op_ready ((2 * s) + j) <> '\000'
+let op_pred t s j = Bytes.unsafe_get t.op_pred ((2 * s) + j) <> '\000'
 let op_tag t s j = Array.unsafe_get t.op_tag ((2 * s) + j)
 
 (* All present operands ready (and the slot live): issueable. *)
@@ -149,7 +162,7 @@ let set_slot_free t slot =
    positionally — the zero-allocation path the pipeline uses. [nsrc] is
    the instruction's true source count (capped at 2 for the CAM write
    accounting, matching the two physical operand CAMs). *)
-let dispatch_flat t ~rob_idx ~nsrc ~tag0 ~ready0 ~tag1 ~ready1 =
+let dispatch_flat t ~rob_idx ~nsrc ~tag0 ~ready0 ~pred0 ~tag1 ~ready1 ~pred1 =
   if is_full t then invalid_arg "Iq.dispatch: full";
   let slot = t.tail in
   set_slot_live t slot;
@@ -159,17 +172,21 @@ let dispatch_flat t ~rob_idx ~nsrc ~tag0 ~ready0 ~tag1 ~ready1 =
   Bytes.unsafe_set t.op_present (o + 1) '\000';
   Bytes.unsafe_set t.op_ready o '\000';
   Bytes.unsafe_set t.op_ready (o + 1) '\000';
+  Bytes.unsafe_set t.op_pred o '\000';
+  Bytes.unsafe_set t.op_pred (o + 1) '\000';
   Array.unsafe_set t.op_tag o (-1);
   Array.unsafe_set t.op_tag (o + 1) (-1);
   if nsrc >= 1 then begin
     Bytes.unsafe_set t.op_present o '\001';
     Array.unsafe_set t.op_tag o tag0;
     if ready0 then Bytes.unsafe_set t.op_ready o '\001'
+    else if pred0 then Bytes.unsafe_set t.op_pred o '\001'
   end;
   if nsrc >= 2 then begin
     Bytes.unsafe_set t.op_present (o + 1) '\001';
     Array.unsafe_set t.op_tag (o + 1) tag1;
     if ready1 then Bytes.unsafe_set t.op_ready (o + 1) '\001'
+    else if pred1 then Bytes.unsafe_set t.op_pred (o + 1) '\001'
   end;
   t.dispatch_cam_writes <-
     t.dispatch_cam_writes + (if nsrc < 2 then nsrc else 2);
@@ -184,12 +201,15 @@ let dispatch_flat t ~rob_idx ~nsrc ~tag0 ~ready0 ~tag1 ~ready1 =
    operand CAMs are dropped. Returns the slot index. *)
 let dispatch t ~rob_idx ~ops =
   match ops with
-  | [] -> dispatch_flat t ~rob_idx ~nsrc:0 ~tag0:(-1) ~ready0:false
-            ~tag1:(-1) ~ready1:false
+  | [] ->
+    dispatch_flat t ~rob_idx ~nsrc:0 ~tag0:(-1) ~ready0:false ~pred0:false
+      ~tag1:(-1) ~ready1:false ~pred1:false
   | [ (tag0, ready0) ] ->
-    dispatch_flat t ~rob_idx ~nsrc:1 ~tag0 ~ready0 ~tag1:(-1) ~ready1:false
+    dispatch_flat t ~rob_idx ~nsrc:1 ~tag0 ~ready0 ~pred0:false ~tag1:(-1)
+      ~ready1:false ~pred1:false
   | (tag0, ready0) :: (tag1, ready1) :: _ ->
-    dispatch_flat t ~rob_idx ~nsrc:2 ~tag0 ~ready0 ~tag1 ~ready1
+    dispatch_flat t ~rob_idx ~nsrc:2 ~tag0 ~ready0 ~pred0:false ~tag1 ~ready1
+      ~pred1:false
 
 (* Remove an issued instruction from [slot], updating both head pointers
    exactly as the hardware does. Pointer sweeps are window-bounded rather
@@ -259,7 +279,7 @@ let broadcast_into t tags ntags =
     t.broadcasts <- t.broadcasts + ntags;
     t.wakeups_naive <- t.wakeups_naive + (2 * t.size * ntags);
     let matched = ref 0 in
-    let nonempty = ref 0 and gated = ref 0 in
+    let nonempty = ref 0 and gated = ref 0 and suppressed = ref 0 in
     (* Sweep the ring over the valid entries only (count-bounded, like
        the select sweep) instead of scanning every slot: occupancy is
        typically far below capacity. Counting is order-independent, so
@@ -270,6 +290,7 @@ let broadcast_into t tags ntags =
     let pos = ref t.head in
     let remaining = ref t.count in
     let steps = ref 0 in
+    let sup = t.suppress_pred in
     while !remaining > 0 && !steps < t.active_size do
       let s = !pos in
       if Bytes.unsafe_get t.valid s <> '\000' then begin
@@ -278,7 +299,13 @@ let broadcast_into t tags ntags =
           if Bytes.unsafe_get t.op_present o <> '\000' then begin
             incr nonempty;
             if Bytes.unsafe_get t.op_ready o = '\000' then begin
-              incr gated;
+              (* Load-delay suppression is energy accounting only: a
+                 predicted-ready operand's comparison is counted as
+                 suppressed rather than gated, but the tag match below
+                 still runs, so wakeup timing is policy-independent. *)
+              if sup && Bytes.unsafe_get t.op_pred o <> '\000'
+              then incr suppressed
+              else incr gated;
               let tag = Array.unsafe_get t.op_tag o in
               let hit = ref false in
               let k = ref 0 in
@@ -299,6 +326,7 @@ let broadcast_into t tags ntags =
     done;
     t.wakeups_nonempty <- t.wakeups_nonempty + (!nonempty * ntags);
     t.wakeups_gated <- t.wakeups_gated + (!gated * ntags);
+    t.wakeups_suppressed <- t.wakeups_suppressed + (!suppressed * ntags);
     !matched
   end
 
@@ -416,4 +444,7 @@ let recount_banks_on t =
    corruption the invariant checker must catch. *)
 module Raw = struct
   let set_valid t s v = Bytes.set t.valid s (if v then '\001' else '\000')
+
+  let set_pred t s j v =
+    Bytes.set t.op_pred ((2 * s) + j) (if v then '\001' else '\000')
 end

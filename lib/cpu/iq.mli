@@ -28,6 +28,10 @@ type t = {
   rob_idx : int array;
   op_present : Bytes.t;
   op_ready : Bytes.t;
+  op_pred : Bytes.t;
+      (** predicted-ready: producer has deterministic latency, so a
+          load-delay scheduler suppresses this operand's CAM comparison
+          (energy only — it still wakes on a tag match) *)
   op_tag : int array;
   bank_live : int array;
       (** valid entries per bank, maintained incrementally so the
@@ -40,7 +44,11 @@ type t = {
   mutable tail : int;
   mutable count : int;
   mutable new_span : int;
+  mutable suppress_pred : bool;
+      (** load-delay policy active: predicted-ready waiting operands are
+          counted in [wakeups_suppressed] instead of [wakeups_gated] *)
   mutable wakeups_gated : int;
+  mutable wakeups_suppressed : int;
   mutable wakeups_nonempty : int;
   mutable wakeups_naive : int;
   mutable dispatch_ram_writes : int;
@@ -68,15 +76,18 @@ val start_new_region : t -> unit
 val dispatch : t -> rob_idx:int -> ops:(int * bool) list -> int
 
 (** Zero-allocation dispatch with the (at most two) renamed sources
-    passed positionally; [nsrc] is the true source count. *)
+    passed positionally; [nsrc] is the true source count. [predN] marks
+    a waiting operand as predicted-ready (ignored when [readyN]). *)
 val dispatch_flat :
   t ->
   rob_idx:int ->
   nsrc:int ->
   tag0:int ->
   ready0:bool ->
+  pred0:bool ->
   tag1:int ->
   ready1:bool ->
+  pred1:bool ->
   int
 
 (** Remove an issued instruction, sweeping [head]/[new_head] forward
@@ -113,6 +124,7 @@ val slot_ready : t -> int -> bool
 
 val op_present : t -> int -> int -> bool
 val op_ready : t -> int -> int -> bool
+val op_pred : t -> int -> int -> bool
 val op_tag : t -> int -> int -> int
 
 val banks : t -> int
@@ -142,4 +154,8 @@ val active_size : t -> int
     exercising the invariant checker. *)
 module Raw : sig
   val set_valid : t -> int -> bool -> unit
+
+  (** Flip operand [j] of slot [s]'s predicted-ready bit — sabotage for
+      the checker's ready-suppression invariant. *)
+  val set_pred : t -> int -> int -> bool -> unit
 end

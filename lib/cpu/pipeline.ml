@@ -50,6 +50,19 @@ type t = {
   prog : Prog.t;
   exec : Exec.state;
   policy : Policy.t;
+  sched : Sched.t;
+  pred_track : bool;
+      (* [Sched.suppresses_predicted sched], cached: the dispatch path
+         only computes predicted-ready bits when the policy uses them *)
+  scan_limit : int;
+      (* the policy's select-scan slot bound ([max_int] when unbounded):
+         cached so the per-cycle select loop takes a plain [min] against
+         the active ring instead of a [Sched.scan_bound] dispatch *)
+  tag_is_load : Bytes.t;
+      (* per physical tag (int then fp, 2*rf_size bytes): the current
+         producer is a load, i.e. its latency is unpredictable. Written
+         at rename; a waiting operand's producer cannot be freed while
+         the operand waits, so the byte is current whenever read. *)
   il1 : Cache.t;
   dl1 : Cache.t;
   l2 : Cache.t;
@@ -176,20 +189,26 @@ let emit_rf_write t file phys =
     | Ev.Fp_rf -> st.Stats.fp_rf_writes <- st.Stats.fp_rf_writes + 1
   end
 
-let emit_wakeup t ~tags ~woken ~naive ~nonempty ~gated =
+let emit_wakeup t ~tags ~woken ~naive ~nonempty ~gated ~suppressed =
   if t.bus_on then
-    emit t (Ev.Wakeup { tags; woken; naive; nonempty; gated })
+    emit t (Ev.Wakeup { tags; woken; naive; nonempty; gated; suppressed })
   else begin
     let st = t.stats in
     st.Stats.iq_broadcasts <- st.Stats.iq_broadcasts + tags;
     st.Stats.iq_wakeups_naive <- st.Stats.iq_wakeups_naive + naive;
     st.Stats.iq_wakeups_nonempty <- st.Stats.iq_wakeups_nonempty + nonempty;
-    st.Stats.iq_wakeups_gated <- st.Stats.iq_wakeups_gated + gated
+    st.Stats.iq_wakeups_gated <- st.Stats.iq_wakeups_gated + gated;
+    st.Stats.iq_wakeups_suppressed <-
+      st.Stats.iq_wakeups_suppressed + suppressed
   end
 
 let emit_select t ~rob_idx ~iq_slot =
   if t.bus_on then emit t (Ev.Select { rob_idx; iq_slot })
   else t.stats.Stats.iq_selects <- t.stats.Stats.iq_selects + 1
+
+let emit_select_scan t ~entries =
+  if t.bus_on then emit t (Ev.Select_scan { entries })
+  else t.stats.Stats.iq_scan_entries <- t.stats.Stats.iq_scan_entries + entries
 
 let emit_issue t dyn ~latency ~store_forward ~wp =
   if t.bus_on then emit t (Ev.Issue { dyn; latency; store_forward; wp })
@@ -343,8 +362,11 @@ let on_cycle_end ?(name = "cycle-observer") t f =
 let on_commit_sink ?(name = "commit-observer") t f =
   subscribe ~name t (function Ev.Commit { dyn } -> f dyn | _ -> ())
 
-let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
-    ?on_commit prog =
+let create ?(config = Config.default) ?(policy = Policy.unlimited) ?sched
+    ?checker ?on_commit prog =
+  let sched =
+    match sched with Some s -> s | None -> config.Config.sched
+  in
   let exec = Exec.create prog in
   let int_rf =
     Regfile.create ~size:config.Config.rf_size
@@ -389,6 +411,10 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
       prog;
       exec;
       policy;
+      sched;
+      pred_track = Sched.suppresses_predicted sched;
+      scan_limit = (match sched with Sched.Nskip n -> n | _ -> max_int);
+      tag_is_load = Bytes.make (2 * config.Config.rf_size) '\000';
       il1 =
         Cache.create ~sets:config.Config.il1_sets ~ways:config.Config.il1_ways
           ~line:config.Config.il1_line;
@@ -457,6 +483,7 @@ let create ?(config = Config.default) ?(policy = Policy.unlimited) ?checker
       prev_fp_rf_bank_mask = Regfile.banks_on_mask fp_rf;
     }
   in
+  t.iq.Iq.suppress_pred <- t.pred_track;
   (* Compat shims: the old [?checker]/[?on_commit] hooks are ordinary
      sinks now. *)
   (match checker with Some f -> on_cycle_end ~name:"checker" t f | None -> ());
@@ -698,12 +725,14 @@ let writeback_stage t =
     let naive0 = t.iq.Iq.wakeups_naive in
     let nonempty0 = t.iq.Iq.wakeups_nonempty in
     let gated0 = t.iq.Iq.wakeups_gated in
+    let suppressed0 = t.iq.Iq.wakeups_suppressed in
     let woken = Iq.broadcast_into t.iq t.wb_tags !ntags in
     if !ntags > 0 then
       emit_wakeup t ~tags:!ntags ~woken
         ~naive:(t.iq.Iq.wakeups_naive - naive0)
         ~nonempty:(t.iq.Iq.wakeups_nonempty - nonempty0)
-        ~gated:(t.iq.Iq.wakeups_gated - gated0);
+        ~gated:(t.iq.Iq.wakeups_gated - gated0)
+        ~suppressed:(t.iq.Iq.wakeups_suppressed - suppressed0);
     if !resolved >= 0 then squash_wrong_path t !resolved
   end
 
@@ -842,7 +871,15 @@ let issue_stage t =
   let remaining = ref iq.Iq.count in
   let steps = ref 0 in
   let active = iq.Iq.active_size in
-  while !remaining > 0 && !steps < active do
+  (* The scheduler policy bounds the sweep: oldest_first and load_delay
+     examine the whole active ring; nskip:N stops after N slots from
+     [head] (holes included). The count-bounded walk still ends as soon
+     as every valid entry has been seen, so [steps] at loop exit is the
+     number of slots the select logic actually examined — the
+     [Select_scan] integrand. [t.scan_limit] is [Sched.scan_bound]
+     pre-resolved at creation (this loop is the machine's hottest). *)
+  let bound = if t.scan_limit < active then t.scan_limit else active in
+  while !remaining > 0 && !steps < bound do
     let s = !pos in
     if Bytes.unsafe_get iq.Iq.valid s <> '\000' then begin
       decr remaining;
@@ -861,6 +898,11 @@ let issue_stage t =
     incr steps;
     pos := (if s + 1 = active then 0 else s + 1)
   done;
+  (if !steps > 0 then
+     if t.bus_on then emit_select_scan t ~entries:!steps
+     else
+       t.stats.Stats.iq_scan_entries <-
+         t.stats.Stats.iq_scan_entries + !steps);
   let ncand = !ncand in
   let width = ref t.cfg.Config.issue_width in
   for c = 0 to ncand - 1 do
@@ -999,16 +1041,44 @@ let dispatch_one t (dyn : Exec.dyn) ~wp : dispatch_stop =
     let packed = rename_dest_codes t i in
     if packed < 0 then Stop_no_reg
     else begin
+      (* Track, per physical tag, whether the current producer is a load
+         (unpredictable latency). Written here, at the producer's
+         rename, so it is current whenever a later consumer's dispatch
+         reads it below — a producer cannot be freed while a consumer
+         operand still waits on its tag. Only maintained when the policy
+         actually suppresses predicted operands: the write is on the
+         per-instruction rename path and must cost nothing otherwise. *)
+      (let code = packed lsr 20 in
+       if t.pred_track && code <> 0 then begin
+         let tag =
+           if code land 1 = 1 then code asr 1
+           else t.cfg.Config.rf_size + (code asr 1) - 1
+         in
+         Bytes.unsafe_set t.tag_is_load tag
+           (if Instr.is_load i then '\001' else '\000')
+       end);
       let rob_idx =
         Rob.push_codes t.rob ~dyn ~dest_code:(packed lsr 20)
           ~old_code:(packed land 0xFFFFF) ~iq_slot:(-1) ~wp
+      in
+      (* Predicted-ready: the operand waits on a producer whose latency
+         is deterministic (not a load) — only computed when the policy
+         suppresses such operands' CAM comparisons. *)
+      let pred0 =
+        t.pred_track && a >= 0 && a land 1 = 0
+        && Bytes.unsafe_get t.tag_is_load (a asr 1) = '\000'
+      and pred1 =
+        t.pred_track && b >= 0 && b land 1 = 0
+        && Bytes.unsafe_get t.tag_is_load (b asr 1) = '\000'
       in
       let slot =
         Iq.dispatch_flat t.iq ~rob_idx ~nsrc
           ~tag0:((if a > 0 then a else 0) asr 1)
           ~ready0:(a >= 0 && a land 1 = 1)
+          ~pred0
           ~tag1:((if b > 0 then b else 0) asr 1)
           ~ready1:(b >= 0 && b land 1 = 1)
+          ~pred1
       in
       Rob.set_iq_slot t.rob rob_idx slot;
       Bytes.unsafe_set t.iq_wp slot (if wp then '\001' else '\000');
@@ -1771,9 +1841,9 @@ let fast_forward t ~insns =
   !n
 
 (* Convenience: build, initialise memory, run. *)
-let simulate ?config ?policy ?checker ?on_commit ?init ?max_insns ?max_cycles
-    prog =
-  let t = create ?config ?policy ?checker ?on_commit prog in
+let simulate ?config ?policy ?sched ?checker ?on_commit ?init ?max_insns
+    ?max_cycles prog =
+  let t = create ?config ?policy ?sched ?checker ?on_commit prog in
   (match init with Some f -> f t.exec | None -> ());
   run ?max_insns ?max_cycles t
 
@@ -1785,6 +1855,10 @@ let simulate ?config ?policy ?checker ?on_commit ?init ?max_insns ?max_cycles
 module Debug = struct
   let cfg t = t.cfg
   let policy t = t.policy
+  let sched t = t.sched
+
+  (* Whether physical tag [tag]'s current producer is a load. *)
+  let tag_is_load t tag = Bytes.get t.tag_is_load tag <> '\000'
   let iq t = t.iq
   let rob t = t.rob
   let int_rf t = t.int_rf

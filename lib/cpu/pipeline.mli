@@ -38,6 +38,13 @@ type t = {
   prog : Sdiq_isa.Prog.t;
   exec : Sdiq_isa.Exec.state;
   policy : Policy.t;
+  sched : Sched.t;  (** select/wakeup scheduler policy (the third axis) *)
+  pred_track : bool;
+  scan_limit : int;
+      (** the policy's select-scan bound, [max_int] when unbounded *)
+  tag_is_load : Bytes.t;
+      (** per physical tag: the current producer is a load (written at
+          rename; current whenever a waiting operand's bit is read) *)
   il1 : Cache.t;
   dl1 : Cache.t;
   l2 : Cache.t;
@@ -112,10 +119,12 @@ type t = {
 exception Simulation_limit of string
 
 (** [?checker] and [?on_commit] are compatibility shims: they register
-    the function as an {!on_cycle_end} / {!on_commit_sink} sink. *)
+    the function as an {!on_cycle_end} / {!on_commit_sink} sink.
+    [?sched] overrides [config.sched]. *)
 val create :
   ?config:Config.t ->
   ?policy:Policy.t ->
+  ?sched:Sched.t ->
   ?checker:(t -> unit) ->
   ?on_commit:(Sdiq_isa.Exec.dyn -> unit) ->
   Sdiq_isa.Prog.t ->
@@ -169,6 +178,7 @@ val fast_forward : t -> insns:int -> int
 val simulate :
   ?config:Config.t ->
   ?policy:Policy.t ->
+  ?sched:Sched.t ->
   ?checker:(t -> unit) ->
   ?on_commit:(Sdiq_isa.Exec.dyn -> unit) ->
   ?init:(Sdiq_isa.Exec.state -> unit) ->
@@ -183,6 +193,14 @@ val simulate :
 module Debug : sig
   val cfg : t -> Config.t
   val policy : t -> Policy.t
+  val sched : t -> Sched.t
+
+  (** Whether physical tag [tag]'s current producer is a load. Only
+      maintained under a policy with [Sched.suppresses_predicted] (the
+      rename-path write is skipped otherwise); always [false] under
+      [oldest_first] and [nskip]. *)
+  val tag_is_load : t -> int -> bool
+
   val iq : t -> Iq.t
   val rob : t -> Rob.t
   val int_rf : t -> Regfile.t

@@ -17,6 +17,9 @@ type t = {
   mutable iq_issue_reads : int;
   mutable iq_broadcasts : int;
   mutable iq_selects : int;
+  mutable iq_scan_entries : int;   (* slots the select scan examined *)
+  mutable iq_wakeups_suppressed : int; (* CAM ports suppressed as
+                                          predicted-ready (load-delay) *)
   (* register files *)
   mutable int_rf_reads : int;
   mutable int_rf_writes : int;
@@ -69,6 +72,8 @@ let create () =
     iq_issue_reads = 0;
     iq_broadcasts = 0;
     iq_selects = 0;
+    iq_scan_entries = 0;
+    iq_wakeups_suppressed = 0;
     int_rf_reads = 0;
     int_rf_writes = 0;
     int_rf_banks_on_sum = 0;
@@ -153,12 +158,14 @@ let absorb t (ev : Sdiq_events.Event.t) =
     t.dispatch_stall_no_reg <- t.dispatch_stall_no_reg + 1
   | Dispatch_stall Lsq_full ->
     t.dispatch_stall_lsq_full <- t.dispatch_stall_lsq_full + 1
-  | Wakeup { tags; naive; nonempty; gated; woken = _ } ->
+  | Wakeup { tags; naive; nonempty; gated; suppressed; woken = _ } ->
     t.iq_broadcasts <- t.iq_broadcasts + tags;
     t.iq_wakeups_naive <- t.iq_wakeups_naive + naive;
     t.iq_wakeups_nonempty <- t.iq_wakeups_nonempty + nonempty;
-    t.iq_wakeups_gated <- t.iq_wakeups_gated + gated
+    t.iq_wakeups_gated <- t.iq_wakeups_gated + gated;
+    t.iq_wakeups_suppressed <- t.iq_wakeups_suppressed + suppressed
   | Select _ -> t.iq_selects <- t.iq_selects + 1
+  | Select_scan { entries } -> t.iq_scan_entries <- t.iq_scan_entries + entries
   | Issue { store_forward; wp; _ } ->
     t.iq_issue_reads <- t.iq_issue_reads + 1;
     if store_forward then t.store_forwards <- t.store_forwards + 1;
@@ -218,6 +225,8 @@ let add a b =
   a.iq_issue_reads <- a.iq_issue_reads + b.iq_issue_reads;
   a.iq_broadcasts <- a.iq_broadcasts + b.iq_broadcasts;
   a.iq_selects <- a.iq_selects + b.iq_selects;
+  a.iq_scan_entries <- a.iq_scan_entries + b.iq_scan_entries;
+  a.iq_wakeups_suppressed <- a.iq_wakeups_suppressed + b.iq_wakeups_suppressed;
   a.int_rf_reads <- a.int_rf_reads + b.int_rf_reads;
   a.int_rf_writes <- a.int_rf_writes + b.int_rf_writes;
   a.int_rf_banks_on_sum <- a.int_rf_banks_on_sum + b.int_rf_banks_on_sum;
@@ -269,6 +278,8 @@ let copy t =
     iq_issue_reads = t.iq_issue_reads;
     iq_broadcasts = t.iq_broadcasts;
     iq_selects = t.iq_selects;
+    iq_scan_entries = t.iq_scan_entries;
+    iq_wakeups_suppressed = t.iq_wakeups_suppressed;
     int_rf_reads = t.int_rf_reads;
     int_rf_writes = t.int_rf_writes;
     int_rf_banks_on_sum = t.int_rf_banks_on_sum;
@@ -318,6 +329,9 @@ let diff a b =
     iq_issue_reads = a.iq_issue_reads - b.iq_issue_reads;
     iq_broadcasts = a.iq_broadcasts - b.iq_broadcasts;
     iq_selects = a.iq_selects - b.iq_selects;
+    iq_scan_entries = a.iq_scan_entries - b.iq_scan_entries;
+    iq_wakeups_suppressed =
+      a.iq_wakeups_suppressed - b.iq_wakeups_suppressed;
     int_rf_reads = a.int_rf_reads - b.int_rf_reads;
     int_rf_writes = a.int_rf_writes - b.int_rf_writes;
     int_rf_banks_on_sum = a.int_rf_banks_on_sum - b.int_rf_banks_on_sum;
@@ -367,6 +381,8 @@ let to_fields t =
     ("iq_issue_reads", t.iq_issue_reads);
     ("iq_broadcasts", t.iq_broadcasts);
     ("iq_selects", t.iq_selects);
+    ("iq_scan_entries", t.iq_scan_entries);
+    ("iq_wakeups_suppressed", t.iq_wakeups_suppressed);
     ("int_rf_reads", t.int_rf_reads);
     ("int_rf_writes", t.int_rf_writes);
     ("int_rf_banks_on_sum", t.int_rf_banks_on_sum);

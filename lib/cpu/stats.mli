@@ -16,6 +16,8 @@ type t = {
   mutable iq_issue_reads : int;
   mutable iq_broadcasts : int;
   mutable iq_selects : int;
+  mutable iq_scan_entries : int;
+  mutable iq_wakeups_suppressed : int;
   mutable int_rf_reads : int;
   mutable int_rf_writes : int;
   mutable int_rf_banks_on_sum : int;

@@ -61,8 +61,15 @@ type t =
       naive : int; (* comparison deltas under the three Figure 8 schemes *)
       nonempty : int;
       gated : int;
+      suppressed : int;
+        (* waiting operands whose CAM comparison the scheduler policy
+           suppressed as predicted-ready (load-delay tracking); they
+           still wake on a tag match, but pay no comparison energy *)
     }
   | Select of { rob_idx : int; iq_slot : int }
+  | Select_scan of { entries : int }
+    (* slots the select logic examined this cycle (holes included);
+       the per-entry scan cost is [Params.e_scan_entry] *)
   | Issue of { dyn : Exec.dyn; latency : int; store_forward : bool; wp : bool }
   | Writeback of { dyn : Exec.dyn; rob_idx : int }
   | Rf_read of { ints : int; fps : int } (* one event per issued instr *)
@@ -88,7 +95,7 @@ type t =
       fp_rf_banks_on : int;
     }
 
-let num_kinds = 18
+let num_kinds = 19
 
 let index = function
   | Fetch _ -> 0
@@ -109,6 +116,7 @@ let index = function
   | Bank_ungated _ -> 15
   | Cycle_end _ -> 16
   | Tlb_miss _ -> 17
+  | Select_scan _ -> 18
 
 let kind_name_of_index = function
   | 0 -> "fetch"
@@ -129,6 +137,7 @@ let kind_name_of_index = function
   | 15 -> "bank_ungated"
   | 16 -> "cycle_end"
   | 17 -> "tlb_miss"
+  | 18 -> "select_scan"
   | _ -> "unknown"
 
 let kind_name ev = kind_name_of_index (index ev)
@@ -153,6 +162,7 @@ let pp ppf ev =
   | Wakeup { tags; woken; _ } -> Fmt.pf ppf "wakeup tags=%d woken=%d" tags woken
   | Select { rob_idx; iq_slot } ->
     Fmt.pf ppf "select rob=%d slot=%d" rob_idx iq_slot
+  | Select_scan { entries } -> Fmt.pf ppf "select_scan entries=%d" entries
   | Issue { dyn; latency; _ } ->
     Fmt.pf ppf "issue sn=%d lat=%d" dyn.Exec.sn latency
   | Writeback { dyn; rob_idx } ->

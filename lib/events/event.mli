@@ -48,8 +48,14 @@ type t =
       naive : int;  (** comparison deltas under the three Figure 8 schemes *)
       nonempty : int;
       gated : int;
+      suppressed : int;
+          (** waiting operands whose CAM comparison the scheduler policy
+              suppressed as predicted-ready; they still wake on a tag
+              match but pay no comparison energy *)
     }
   | Select of { rob_idx : int; iq_slot : int }
+  | Select_scan of { entries : int }
+      (** slots the select logic examined this cycle (holes included) *)
   | Issue of {
       dyn : Sdiq_isa.Exec.dyn;
       latency : int;

@@ -70,12 +70,13 @@ let body ev =
       | Event.Rob_full -> "rob_full"
       | Event.No_reg -> "no_reg"
       | Event.Lsq_full -> "lsq_full")
-  | Event.Wakeup { tags; woken; naive; nonempty; gated } ->
+  | Event.Wakeup { tags; woken; naive; nonempty; gated; suppressed } ->
     Printf.sprintf
-      {|,"tags":%d,"woken":%d,"naive":%d,"nonempty":%d,"gated":%d|} tags woken
-      naive nonempty gated
+      {|,"tags":%d,"woken":%d,"naive":%d,"nonempty":%d,"gated":%d,"suppressed":%d|}
+      tags woken naive nonempty gated suppressed
   | Event.Select { rob_idx; iq_slot } ->
     Printf.sprintf {|,"rob_idx":%d,"iq_slot":%d|} rob_idx iq_slot
+  | Event.Select_scan { entries } -> Printf.sprintf {|,"entries":%d|} entries
   | Event.Issue { dyn; latency; store_forward; wp } ->
     Printf.sprintf {|%s,"latency":%d,"store_forward":%s%s|} (dyn_fields dyn)
       latency (bool store_forward) (wp_field wp)

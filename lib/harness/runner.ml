@@ -14,7 +14,10 @@
 
 open Sdiq_workloads
 
-type key = string * Technique.t
+(* The scheduler policy is the campaign's third axis (benchmark x
+   technique x sched); it enters the memo keys as its [Sched.key] string
+   so a policy-grid sweep shares one runner without aliasing runs. *)
+type key = string * Technique.t * string
 
 type campaign = {
   pairs_total : int;
@@ -26,6 +29,7 @@ type campaign = {
 
 type t = {
   config : Sdiq_cpu.Config.t;
+  sched : Sdiq_cpu.Sched.t; (* default select/wakeup policy for runs *)
   budget : int; (* committed instructions per run *)
   table : (key, Sdiq_cpu.Stats.t) Hashtbl.t;
   profiles : (key, Sdiq_obs.Profiler.t) Hashtbl.t;
@@ -44,11 +48,15 @@ type t = {
   mutable last_campaign : campaign option;
 }
 
-let create ?(config = Sdiq_cpu.Config.default) ?(budget = 100_000)
+let create ?(config = Sdiq_cpu.Config.default) ?sched ?(budget = 100_000)
     ?(benches = Suite.all ()) ?domains ?checker
     ?(sample_config = Sampling.default) () =
+  let sched =
+    match sched with Some s -> s | None -> config.Sdiq_cpu.Config.sched
+  in
   {
     config;
+    sched;
     budget;
     table = Hashtbl.create 64;
     profiles = Hashtbl.create 64;
@@ -74,35 +82,40 @@ let find_bench t name =
 (* One cold (benchmark, technique) simulation — pure given [t.config],
    so safe to run on any domain. The checker factory's product is
    registered as a per-cycle sink on the run's private event bus. *)
-let simulate_pair t name technique : Sdiq_cpu.Stats.t =
+let simulate_pair t ~sched name technique : Sdiq_cpu.Stats.t =
   let bench = find_bench t name in
   let prog = Technique.prepare technique bench.Bench.prog in
   let policy = Technique.policy technique in
-  let p = Sdiq_cpu.Pipeline.create ~config:t.config ~policy prog in
+  let p = Sdiq_cpu.Pipeline.create ~config:t.config ~policy ~sched prog in
   (match t.checker with
   | Some mk -> Sdiq_cpu.Pipeline.on_cycle_end ~name:"campaign-checker" p (mk ())
   | None -> ());
   bench.Bench.init p.Sdiq_cpu.Pipeline.exec;
   Sdiq_cpu.Pipeline.run ~max_insns:t.budget p
 
-(* Run one (benchmark, technique) pair, memoised. *)
-let run t name technique : Sdiq_cpu.Stats.t =
-  let key = (name, technique) in
+(* Run one (benchmark, technique) pair, memoised. [?sched] overrides the
+   runner's default policy for this run only; the override is part of
+   the memo key, so grid sweeps over policies share the runner. *)
+let run ?sched t name technique : Sdiq_cpu.Stats.t =
+  let sched = match sched with Some s -> s | None -> t.sched in
+  let key = (name, technique, Sdiq_cpu.Sched.key sched) in
   match Hashtbl.find_opt t.table key with
   | Some stats -> stats
   | None ->
-    let stats = simulate_pair t name technique in
+    let stats = simulate_pair t ~sched name technique in
     Hashtbl.replace t.table key stats;
     stats
 
 let run_all t =
   let pairs_total = List.length t.benches * List.length Technique.all in
+  let skey = Sdiq_cpu.Sched.key t.sched in
   let todo =
     List.concat_map
       (fun name ->
         List.filter_map
           (fun tech ->
-            if Hashtbl.mem t.table (name, tech) then None else Some (name, tech))
+            if Hashtbl.mem t.table (name, tech, skey) then None
+            else Some (name, tech))
           Technique.all)
       (bench_names t)
     |> Array.of_list
@@ -113,7 +126,7 @@ let run_all t =
      its own slot of [results]. *)
   let results =
     Sdiq_util.Pool.map_array t.pool
-      ~f:(fun (name, tech) -> simulate_pair t name tech)
+      ~f:(fun (name, tech) -> simulate_pair t ~sched:t.sched name tech)
       todo
   in
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -124,7 +137,11 @@ let run_all t =
   let serial_estimate_s = Sys.time () -. c0 in
   (* Join barrier passed: merge the per-worker buffers into the memo
      table, in key order, on the calling domain only. *)
-  Array.iteri (fun i stats -> Hashtbl.replace t.table todo.(i) stats) results;
+  Array.iteri
+    (fun i stats ->
+      let name, tech = todo.(i) in
+      Hashtbl.replace t.table (name, tech, skey) stats)
+    results;
   t.last_campaign <-
     Some
       {
@@ -142,11 +159,11 @@ let run_all t =
    hook fires on every detailed cycle, warmup and measured alike, so a
    checkered sampled campaign audits every detailed window. Pure given
    [t.config], so safe on any domain. *)
-let simulate_sampled_pair t name technique : Sampling.result =
+let simulate_sampled_pair t ~sched name technique : Sampling.result =
   let bench = find_bench t name in
   let prog = Technique.prepare technique bench.Bench.prog in
   let policy = Technique.policy technique in
-  let p = Sdiq_cpu.Pipeline.create ~config:t.config ~policy prog in
+  let p = Sdiq_cpu.Pipeline.create ~config:t.config ~policy ~sched prog in
   (match t.checker with
   | Some mk -> Sdiq_cpu.Pipeline.on_cycle_end ~name:"campaign-checker" p (mk ())
   | None -> ());
@@ -154,22 +171,24 @@ let simulate_sampled_pair t name technique : Sampling.result =
   Sampling.sample ~config:t.sample_config p
 
 (* Run one sampled pair, memoised. *)
-let run_sampled t name technique : Sampling.result =
-  let key = (name, technique) in
+let run_sampled ?sched t name technique : Sampling.result =
+  let sched = match sched with Some s -> s | None -> t.sched in
+  let key = (name, technique, Sdiq_cpu.Sched.key sched) in
   match Hashtbl.find_opt t.sampled key with
   | Some r -> r
   | None ->
-    let r = simulate_sampled_pair t name technique in
+    let r = simulate_sampled_pair t ~sched name technique in
     Hashtbl.replace t.sampled key r;
     r
 
 let run_all_sampled t =
+  let skey = Sdiq_cpu.Sched.key t.sched in
   let todo =
     List.concat_map
       (fun name ->
         List.filter_map
           (fun tech ->
-            if Hashtbl.mem t.sampled (name, tech) then None
+            if Hashtbl.mem t.sampled (name, tech, skey) then None
             else Some (name, tech))
           Technique.all)
       (bench_names t)
@@ -181,24 +200,28 @@ let run_all_sampled t =
      produce identical tables. *)
   let results =
     Sdiq_util.Pool.map_array t.pool
-      ~f:(fun (name, tech) -> simulate_sampled_pair t name tech)
+      ~f:(fun (name, tech) -> simulate_sampled_pair t ~sched:t.sched name tech)
       todo
   in
-  Array.iteri (fun i r -> Hashtbl.replace t.sampled todo.(i) r) results
+  Array.iteri
+    (fun i r ->
+      let name, tech = todo.(i) in
+      Hashtbl.replace t.sampled (name, tech, skey) r)
+    results
 
 (* One cold profiled simulation: build the region map for the
    technique's delivery, load the map's own running binary (identical
    to [Technique.prepare]'s — both invoke the same deterministic
    rewriter) and attribute the full event stream. Pure given
    [t.config], like [simulate_pair]. *)
-let profile_pair t name technique : Sdiq_obs.Profiler.t =
+let profile_pair t ~sched name technique : Sdiq_obs.Profiler.t =
   let bench = find_bench t name in
   let map =
     Sdiq_obs.Region.build (Technique.delivery technique) bench.Bench.prog
   in
   let policy = Technique.policy technique in
   let p =
-    Sdiq_cpu.Pipeline.create ~config:t.config ~policy
+    Sdiq_cpu.Pipeline.create ~config:t.config ~policy ~sched
       (Sdiq_obs.Region.running_prog map)
   in
   let prof = Sdiq_obs.Profiler.attach map p in
@@ -206,23 +229,28 @@ let profile_pair t name technique : Sdiq_obs.Profiler.t =
   let (_ : Sdiq_cpu.Stats.t) = Sdiq_cpu.Pipeline.run ~max_insns:t.budget p in
   prof
 
-let profile t name technique : Sdiq_obs.Profiler.t =
-  let key = (name, technique) in
+let profile ?sched t name technique : Sdiq_obs.Profiler.t =
+  let sched = match sched with Some s -> s | None -> t.sched in
+  let key = (name, technique, Sdiq_cpu.Sched.key sched) in
   match Hashtbl.find_opt t.profiles key with
   | Some prof -> prof
   | None ->
-    let prof = profile_pair t name technique in
+    let prof = profile_pair t ~sched name technique in
     Hashtbl.replace t.profiles key prof;
     prof
 
 let profile_all ?(techniques = Technique.all) t =
+  let skey = Sdiq_cpu.Sched.key t.sched in
   let grid =
     List.concat_map
       (fun name -> List.map (fun tech -> (name, tech)) techniques)
       (bench_names t)
   in
   let todo =
-    Array.of_list (List.filter (fun k -> not (Hashtbl.mem t.profiles k)) grid)
+    Array.of_list
+      (List.filter
+         (fun (name, tech) -> not (Hashtbl.mem t.profiles (name, tech, skey)))
+         grid)
   in
   (* Same discipline as [run_all]: workers fill disjoint slots, the memo
      is populated in key order after the join, and the campaign merge
@@ -230,13 +258,18 @@ let profile_all ?(techniques = Technique.all) t =
      byte-identical whatever the domain count. *)
   let results =
     Sdiq_util.Pool.map_array t.pool
-      ~f:(fun (name, tech) -> profile_pair t name tech)
+      ~f:(fun (name, tech) -> profile_pair t ~sched:t.sched name tech)
       todo
   in
-  Array.iteri (fun i prof -> Hashtbl.replace t.profiles todo.(i) prof) results;
+  Array.iteri
+    (fun i prof ->
+      let name, tech = todo.(i) in
+      Hashtbl.replace t.profiles (name, tech, skey) prof)
+    results;
   let pairs =
     List.map
-      (fun (name, tech) -> (name, tech, Hashtbl.find t.profiles (name, tech)))
+      (fun (name, tech) ->
+        (name, tech, Hashtbl.find t.profiles (name, tech, skey)))
       grid
   in
   let campaign =
@@ -260,10 +293,11 @@ let pp_campaign ppf c =
     (if c.domains_used = 1 then "" else "s")
     c.wall_s c.serial_estimate_s (speedup c)
 
-(* Savings of [technique] on [name] against that benchmark's baseline. *)
-let savings ?params t name technique : Sdiq_power.Report.t =
-  let base = run t name Technique.Baseline in
-  let tech = run t name technique in
+(* Savings of [technique] on [name] against that benchmark's baseline,
+   both runs under the same scheduler policy. *)
+let savings ?params ?sched t name technique : Sdiq_power.Report.t =
+  let base = run ?sched t name Technique.Baseline in
+  let tech = run ?sched t name technique in
   Sdiq_power.Report.compute ?params ~cfg:t.config ~base tech
 
 let non_empty_saving ?params t name : float =

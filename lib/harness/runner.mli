@@ -20,6 +20,7 @@ type campaign = {
 
 val create :
   ?config:Sdiq_cpu.Config.t ->
+  ?sched:Sdiq_cpu.Sched.t ->
   ?budget:int ->
   ?benches:Sdiq_workloads.Bench.t list ->
   ?domains:int ->
@@ -27,7 +28,13 @@ val create :
   ?sample_config:Sampling.config ->
   unit ->
   t
-(** [domains] sizes the campaign pool (default
+(** [sched] is the runner's default select/wakeup scheduler policy for
+    every run (default: the config's own [sched]); the per-run [?sched]
+    arguments of {!run}, {!run_sampled} and {!profile} override it, and
+    the override enters the memo key, so one runner serves a whole
+    (benchmark x technique x sched) policy grid.
+
+    [domains] sizes the campaign pool (default
     [Domain.recommended_domain_count ()]); [~domains:1] forces a serial
     campaign.
 
@@ -46,8 +53,9 @@ val domains : t -> int
     known benchmark names. *)
 val find_bench : t -> string -> Sdiq_workloads.Bench.t
 
-(** Run one pair (cached). *)
-val run : t -> string -> Technique.t -> Sdiq_cpu.Stats.t
+(** Run one pair (cached). [?sched] overrides the runner's scheduler
+    policy for this run; distinct policies memoise separately. *)
+val run : ?sched:Sdiq_cpu.Sched.t -> t -> string -> Technique.t -> Sdiq_cpu.Stats.t
 
 (** Populate the whole (benchmark x technique) table, in parallel across
     the runner's domain pool. Already-memoised pairs are not re-run. *)
@@ -57,7 +65,8 @@ val run_all : t -> unit
     program, fast-forwarded between detailed windows — memoised
     separately from {!run}'s detailed table. The runner's [checker]
     hook, if any, audits every detailed cycle of every window. *)
-val run_sampled : t -> string -> Technique.t -> Sampling.result
+val run_sampled :
+  ?sched:Sdiq_cpu.Sched.t -> t -> string -> Technique.t -> Sampling.result
 
 (** Populate the whole sampled (benchmark x technique) table in
     parallel, with the same disjoint-slot discipline as {!run_all}:
@@ -68,7 +77,8 @@ val run_all_sampled : t -> unit
     {!run}'s table: a profiled pair is a {e dedicated} simulation with
     a ["region-profiler"] sink attached, never a warm cache hit — so
     conservation tests compare two independent executions. *)
-val profile : t -> string -> Technique.t -> Sdiq_obs.Profiler.t
+val profile :
+  ?sched:Sdiq_cpu.Sched.t -> t -> string -> Technique.t -> Sdiq_obs.Profiler.t
 
 (** Profile the (benchmark x [techniques]) grid (default: all five) in
     parallel across the runner's pool. Returns every pair in grid
@@ -89,8 +99,8 @@ val pp_campaign : Format.formatter -> campaign -> unit
 
 (** Savings of a technique against the same benchmark's baseline. *)
 val savings :
-  ?params:Sdiq_power.Params.t -> t -> string -> Technique.t ->
-  Sdiq_power.Report.t
+  ?params:Sdiq_power.Params.t -> ?sched:Sdiq_cpu.Sched.t -> t -> string ->
+  Technique.t -> Sdiq_power.Report.t
 
 (** The "nonEmpty" saving on a benchmark's baseline run. *)
 val non_empty_saving : ?params:Sdiq_power.Params.t -> t -> string -> float

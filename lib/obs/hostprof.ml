@@ -6,7 +6,8 @@ let stage_names =
 let stage_of_event = function
   | Event.Fetch _ | Event.Cache_miss _ | Event.Tlb_miss _ -> 0
   | Event.Annotation _ | Event.Dispatch _ | Event.Dispatch_stall _ -> 1
-  | Event.Wakeup _ | Event.Select _ | Event.Issue _ | Event.Rf_read _ -> 2
+  | Event.Wakeup _ | Event.Select _ | Event.Select_scan _ | Event.Issue _
+  | Event.Rf_read _ -> 2
   | Event.Writeback _ | Event.Rf_write _ -> 3
   | Event.Commit _ | Event.Squash _ -> 4
   | Event.Resize _ | Event.Bank_gated _ | Event.Bank_ungated _

@@ -104,6 +104,7 @@ type row = {
   stats : Stats.t;
   peak_occ : int;
   iq_energy : float;
+  scan_energy : float;
   rf_energy : float;
   share_cycles : float;
   share_wakeups : float;
@@ -134,6 +135,9 @@ let rows t =
            stats = per.stats;
            peak_occ = per.peak;
            iq_energy;
+           scan_energy =
+             float_of_int per.stats.Stats.iq_scan_entries
+             *. t.params.Params.e_scan_entry;
            rf_energy;
            share_cycles = share (float_of_int per.stats.Stats.cycles) tot_cycles;
            share_wakeups =
@@ -205,7 +209,9 @@ let json_of_row r =
       Printf.sprintf {|"squashed":%d|} r.stats.Stats.squashed;
       Printf.sprintf {|"wp_frac":%s|} (fnum r.wp_frac);
       Printf.sprintf {|"peak_occupancy":%d|} r.peak_occ;
+      Printf.sprintf {|"scan_entries":%d|} r.stats.Stats.iq_scan_entries;
       Printf.sprintf {|"iq_energy":%s|} (fnum r.iq_energy);
+      Printf.sprintf {|"scan_energy":%s|} (fnum r.scan_energy);
       Printf.sprintf {|"rf_energy":%s|} (fnum r.rf_energy);
       Printf.sprintf {|"share_cycles":%s|} (fnum r.share_cycles);
       Printf.sprintf {|"share_wakeups":%s|} (fnum r.share_wakeups);
@@ -251,14 +257,15 @@ let to_json t =
 
 let csv_header =
   "id,proc,kind,start,orig_start,granted,cycles,committed,wakeups_gated,\
-   wp_dispatched,squashed,peak_occupancy,iq_energy,rf_energy,share_cycles,\
-   share_wakeups,share_energy,wp_frac"
+   wp_dispatched,squashed,peak_occupancy,scan_entries,iq_energy,scan_energy,\
+   rf_energy,share_cycles,share_wakeups,share_energy,wp_frac"
 
 let csv_rows t =
   List.map
     (fun r ->
       Printf.sprintf
-        "%d,%s,%s,%d,%d,%s,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f"
+        "%d,%s,%s,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,\
+         %.6f"
         r.info.Region.id r.info.Region.proc
         (Region.kind_name r.info.Region.kind)
         r.info.Region.start r.info.Region.orig_start
@@ -267,7 +274,8 @@ let csv_rows t =
         | None -> "")
         r.stats.Stats.cycles r.stats.Stats.committed
         r.stats.Stats.iq_wakeups_gated r.stats.Stats.wp_dispatched
-        r.stats.Stats.squashed r.peak_occ r.iq_energy r.rf_energy
+        r.stats.Stats.squashed r.peak_occ r.stats.Stats.iq_scan_entries
+        r.iq_energy r.scan_energy r.rf_energy
         r.share_cycles r.share_wakeups r.share_energy r.wp_frac)
     (rows t)
 

@@ -64,6 +64,11 @@ type row = {
   stats : Sdiq_cpu.Stats.t;
   peak_occ : int;
   iq_energy : float;  (** technique-priced IQ energy of this bucket *)
+  scan_energy : float;
+      (** the select-scan slice of [iq_energy]: slots the picker
+          examined while this region was current, priced at
+          [Params.e_scan_entry] — the term bounded-scan policies
+          ([Sched.Nskip]) shrink *)
   rf_energy : float;  (** gated int-RF energy of this bucket *)
   share_cycles : float;  (** fraction of all cycles, 0..1 *)
   share_wakeups : float;  (** fraction of gated wakeups, 0..1 *)

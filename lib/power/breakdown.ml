@@ -46,6 +46,8 @@ let iq ?(params = Params.default) (s : Stats.t) : t =
       ( "issue RAM reads",
         float_of_int s.Stats.iq_issue_reads *. params.Params.e_ram_read );
       ("selection", float_of_int s.Stats.iq_selects *. params.Params.e_select);
+      ( "select scan",
+        float_of_int s.Stats.iq_scan_entries *. params.Params.e_scan_entry );
       ( "squash recovery",
         float_of_int s.Stats.squashed *. params.Params.e_squash_entry );
       ( "bank precharge",

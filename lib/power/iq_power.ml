@@ -34,6 +34,7 @@ let base_activity (p : Params.t) (s : Stats.t) =
   +. (float_of_int s.Stats.iq_dispatch_ram_writes *. p.Params.e_ram_write)
   +. (float_of_int s.Stats.iq_issue_reads *. p.Params.e_ram_read)
   +. (float_of_int s.Stats.iq_selects *. p.Params.e_select)
+  +. (float_of_int s.Stats.iq_scan_entries *. p.Params.e_scan_entry)
   +. (float_of_int s.Stats.squashed *. p.Params.e_squash_entry)
 
 let all_banks_cycles (cfg : Config.t) (s : Stats.t) =

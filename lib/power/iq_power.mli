@@ -11,8 +11,8 @@ type energy = {
 }
 
 (** The non-wakeup dynamic activity shared by all three views: dispatch
-    writes, issue reads, selection and squash recovery, each priced from
-    its measured counter. Exposed so {!Sdiq_analysis.Certificate} prices
+    writes, issue reads, selection (pick plus per-entry scan) and squash
+    recovery, each priced from its measured counter. Exposed so {!Sdiq_analysis.Certificate} prices
     the occupancy-independent terms of its energy bound with exactly the
     model's coefficients. *)
 val base_activity : Params.t -> Sdiq_cpu.Stats.t -> float

@@ -25,6 +25,10 @@ type t = {
   e_ram_write : float;       (* one entry RAM write at dispatch *)
   e_ram_read : float;        (* one entry RAM read at issue *)
   e_select : float;          (* selection of one instruction *)
+  e_scan_entry : float;      (* select logic examining one slot during the
+                                per-cycle pick sweep (request line +
+                                arbiter node); bounded-scan schedulers
+                                (nskip) shrink this integral *)
   e_squash_entry : float;    (* invalidating one in-flight entry at squash *)
   e_iq_bank_cycle : float;   (* precharge of one powered bank, per cycle *)
   (* issue queue, static *)
@@ -44,6 +48,7 @@ let default =
     e_ram_write = 3.0;
     e_ram_read = 3.0;
     e_select = 2.0;
+    e_scan_entry = 0.08;
     e_squash_entry = 1.0;
     e_iq_bank_cycle = 5.0;
     iq_leak_bank_cycle = 1.0;

@@ -9,6 +9,10 @@ type t = {
   e_ram_write : float;       (** one entry RAM write at dispatch *)
   e_ram_read : float;        (** one entry RAM read at issue *)
   e_select : float;          (** selection of one instruction *)
+  e_scan_entry : float;
+      (** select logic examining one slot during the per-cycle pick
+          sweep; integrated over [Stats.iq_scan_entries], so bounded-scan
+          schedulers ([Sched.Nskip]) shrink it *)
   e_squash_entry : float;
       (** invalidating one in-flight entry during squash recovery —
           wrong-path work is priced at full rate (its dispatch/issue

@@ -29,7 +29,8 @@ let () =
           in
           Printf.printf
             "    (%S, Technique.%s, { cycles = %d; committed = %d; \
-             iq_banks_on_sum = %d; iq_wakeups_gated = %d; regions = %d });\n"
+             iq_banks_on_sum = %d; iq_wakeups_gated = %d; iq_scan_entries = \
+             %d; iq_wakeups_suppressed = %d; regions = %d });\n"
             name
             (match tech with
             | Sdiq_harness.Technique.Baseline -> "Baseline"
@@ -40,7 +41,8 @@ let () =
             | Sdiq_harness.Technique.Tightened -> "Tightened")
             s.Sdiq_cpu.Stats.cycles s.Sdiq_cpu.Stats.committed
             s.Sdiq_cpu.Stats.iq_banks_on_sum s.Sdiq_cpu.Stats.iq_wakeups_gated
-            regions)
+            s.Sdiq_cpu.Stats.iq_scan_entries
+            s.Sdiq_cpu.Stats.iq_wakeups_suppressed regions)
         Sdiq_harness.Technique.all)
     (Sdiq_harness.Runner.bench_names runner);
   print_endline "  ]"

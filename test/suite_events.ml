@@ -148,16 +148,16 @@ let prop_sink_fold_matches_stats =
 
 let golden_counts =
   [
-    ("gzip", Technique.Baseline, "fetch=3607 annotation=0 dispatch=3039 dispatch_stall=819 wakeup=859 select=2607 issue=2607 writeback=2560 rf_read=2516 rf_write=2025 commit=2000 squash=37 cache_miss=94 resize=0 bank_gated=458 bank_ungated=466 cycle_end=1944 tlb_miss=28");
-    ("gzip", Technique.Noop, "fetch=3610 annotation=65 dispatch=3038 dispatch_stall=929 wakeup=857 select=2585 issue=2585 writeback=2536 rf_read=2493 rf_write=2007 commit=2000 squash=37 cache_miss=96 resize=0 bank_gated=461 bank_ungated=470 cycle_end=2050 tlb_miss=27");
-    ("gzip", Technique.Extension, "fetch=3573 annotation=247 dispatch=3013 dispatch_stall=895 wakeup=854 select=2581 issue=2581 writeback=2533 rf_read=2490 rf_write=2007 commit=2000 squash=37 cache_miss=94 resize=0 bank_gated=463 bank_ungated=471 cycle_end=1944 tlb_miss=28");
-    ("gzip", Technique.Improved, "fetch=3573 annotation=247 dispatch=3013 dispatch_stall=895 wakeup=854 select=2581 issue=2581 writeback=2533 rf_read=2490 rf_write=2007 commit=2000 squash=37 cache_miss=94 resize=0 bank_gated=463 bank_ungated=471 cycle_end=1944 tlb_miss=28");
-    ("gzip", Technique.Abella, "fetch=3601 annotation=0 dispatch=3021 dispatch_stall=880 wakeup=847 select=2605 issue=2605 writeback=2558 rf_read=2513 rf_write=2024 commit=2000 squash=37 cache_miss=94 resize=1 bank_gated=454 bank_ungated=462 cycle_end=1993 tlb_miss=28");
-    ("mcf", Technique.Baseline, "fetch=2687 annotation=0 dispatch=2171 dispatch_stall=11070 wakeup=1139 select=2076 issue=2076 writeback=2070 rf_read=2072 rf_write=1584 commit=2000 squash=18 cache_miss=448 resize=0 bank_gated=39 bank_ungated=58 cycle_end=11558 tlb_miss=223");
-    ("mcf", Technique.Noop, "fetch=2605 annotation=2 dispatch=2089 dispatch_stall=11102 wakeup=1124 select=2047 issue=2047 writeback=2041 rf_read=2043 rf_write=1569 commit=2000 squash=17 cache_miss=448 resize=0 bank_gated=280 bank_ungated=286 cycle_end=11557 tlb_miss=223");
-    ("mcf", Technique.Extension, "fetch=2609 annotation=1447 dispatch=2091 dispatch_stall=11101 wakeup=1124 select=2047 issue=2047 writeback=2041 rf_read=2043 rf_write=1569 commit=2000 squash=17 cache_miss=448 resize=0 bank_gated=279 bank_ungated=285 cycle_end=11558 tlb_miss=223");
-    ("mcf", Technique.Improved, "fetch=2609 annotation=1447 dispatch=2091 dispatch_stall=11101 wakeup=1124 select=2047 issue=2047 writeback=2041 rf_read=2043 rf_write=1569 commit=2000 squash=17 cache_miss=448 resize=0 bank_gated=279 bank_ungated=285 cycle_end=11558 tlb_miss=223");
-    ("mcf", Technique.Abella, "fetch=2685 annotation=0 dispatch=2164 dispatch_stall=11140 wakeup=1202 select=2070 issue=2070 writeback=2066 rf_read=2066 rf_write=1584 commit=2000 squash=18 cache_miss=448 resize=0 bank_gated=48 bank_ungated=67 cycle_end=11558 tlb_miss=223");
+    ("gzip", Technique.Baseline, "fetch=3607 annotation=0 dispatch=3039 dispatch_stall=819 wakeup=859 select=2607 issue=2607 writeback=2560 rf_read=2516 rf_write=2025 commit=2000 squash=37 cache_miss=94 resize=0 bank_gated=458 bank_ungated=466 cycle_end=1944 tlb_miss=28 select_scan=1691");
+    ("gzip", Technique.Noop, "fetch=3610 annotation=65 dispatch=3038 dispatch_stall=929 wakeup=857 select=2585 issue=2585 writeback=2536 rf_read=2493 rf_write=2007 commit=2000 squash=37 cache_miss=96 resize=0 bank_gated=461 bank_ungated=470 cycle_end=2050 tlb_miss=27 select_scan=1765");
+    ("gzip", Technique.Extension, "fetch=3573 annotation=247 dispatch=3013 dispatch_stall=895 wakeup=854 select=2581 issue=2581 writeback=2533 rf_read=2490 rf_write=2007 commit=2000 squash=37 cache_miss=94 resize=0 bank_gated=463 bank_ungated=471 cycle_end=1944 tlb_miss=28 select_scan=1691");
+    ("gzip", Technique.Improved, "fetch=3573 annotation=247 dispatch=3013 dispatch_stall=895 wakeup=854 select=2581 issue=2581 writeback=2533 rf_read=2490 rf_write=2007 commit=2000 squash=37 cache_miss=94 resize=0 bank_gated=463 bank_ungated=471 cycle_end=1944 tlb_miss=28 select_scan=1691");
+    ("gzip", Technique.Abella, "fetch=3601 annotation=0 dispatch=3021 dispatch_stall=880 wakeup=847 select=2605 issue=2605 writeback=2558 rf_read=2513 rf_write=2024 commit=2000 squash=37 cache_miss=94 resize=1 bank_gated=454 bank_ungated=462 cycle_end=1993 tlb_miss=28 select_scan=1739");
+    ("mcf", Technique.Baseline, "fetch=2687 annotation=0 dispatch=2171 dispatch_stall=11070 wakeup=1139 select=2076 issue=2076 writeback=2070 rf_read=2072 rf_write=1584 commit=2000 squash=18 cache_miss=448 resize=0 bank_gated=39 bank_ungated=58 cycle_end=11558 tlb_miss=223 select_scan=11484");
+    ("mcf", Technique.Noop, "fetch=2605 annotation=2 dispatch=2089 dispatch_stall=11102 wakeup=1124 select=2047 issue=2047 writeback=2041 rf_read=2043 rf_write=1569 commit=2000 squash=17 cache_miss=448 resize=0 bank_gated=280 bank_ungated=286 cycle_end=11557 tlb_miss=223 select_scan=11474");
+    ("mcf", Technique.Extension, "fetch=2609 annotation=1447 dispatch=2091 dispatch_stall=11101 wakeup=1124 select=2047 issue=2047 writeback=2041 rf_read=2043 rf_write=1569 commit=2000 squash=17 cache_miss=448 resize=0 bank_gated=279 bank_ungated=285 cycle_end=11558 tlb_miss=223 select_scan=11484");
+    ("mcf", Technique.Improved, "fetch=2609 annotation=1447 dispatch=2091 dispatch_stall=11101 wakeup=1124 select=2047 issue=2047 writeback=2041 rf_read=2043 rf_write=1569 commit=2000 squash=17 cache_miss=448 resize=0 bank_gated=279 bank_ungated=285 cycle_end=11558 tlb_miss=223 select_scan=11484");
+    ("mcf", Technique.Abella, "fetch=2685 annotation=0 dispatch=2164 dispatch_stall=11140 wakeup=1202 select=2070 issue=2070 writeback=2066 rf_read=2066 rf_write=1584 commit=2000 squash=18 cache_miss=448 resize=0 bank_gated=48 bank_ungated=67 cycle_end=11558 tlb_miss=223 select_scan=11484");
   ]
 
 let print_golden_rows = false

@@ -297,9 +297,11 @@ let gen_event =
         (oneofl
            [ Ev.Policy_limit; Ev.Iq_full; Ev.Rob_full; Ev.No_reg; Ev.Lsq_full ]);
       (let* tags = small and* woken = small and* naive = small in
-       let* nonempty = small and* gated = small in
-       return (Ev.Wakeup { tags; woken; naive; nonempty; gated }));
+       let* nonempty = small and* gated = small and* suppressed = small in
+       return (Ev.Wakeup { tags; woken; naive; nonempty; gated; suppressed }));
       return (Ev.Select { rob_idx = 0; iq_slot = 0 });
+      (let* entries = small in
+       return (Ev.Select_scan { entries }));
       (let* store_forward = bool and* wp = bool in
        return (Ev.Issue { dyn = dummy_dyn; latency = 1; store_forward; wp }));
       return (Ev.Writeback { dyn = dummy_dyn; rob_idx = 0 });

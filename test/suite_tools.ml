@@ -34,7 +34,7 @@ let test_breakdown_component_consistency () =
       0. b.Breakdown.components
   in
   Alcotest.(check (float 0.5)) "components sum to total" b.Breakdown.total sum;
-  Alcotest.(check int) "eight IQ components" 8
+  Alcotest.(check int) "nine IQ components" 9
     (List.length b.Breakdown.components)
 
 let test_breakdown_wakeup_dominates_on_busy_queue () =

@@ -21,6 +21,7 @@ let () =
       ("tools", Suite_tools.suite);
       ("properties", Suite_properties.suite);
       ("check", Suite_check.suite);
+      ("sched", Suite_sched.suite);
       ("events", Suite_events.suite);
       ("obs", Suite_obs.suite);
       ("tighten", Suite_tighten.suite);
