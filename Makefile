@@ -4,7 +4,7 @@ DOMAINS ?= 4
 BENCH   := _build/default/bench/main.exe
 FUZZ_N  ?= 500
 
-.PHONY: all build test lint tighten-audit campaign fuzz check-campaign trace profile policy-grid
+.PHONY: all build test lint tighten-audit campaign fuzz check-campaign trace profile policy-grid telemetry
 
 all: build lint
 
@@ -75,6 +75,27 @@ campaign:
 	@# least ten million instructions over at least 30 measured windows.
 	@dune exec bin/report.exe -- --sample > _build/campaign-sampled.out
 	@tail -1 _build/campaign-sampled.out
+	@# Archive the MIPS probe at the repo root so the telemetry gate has a
+	@# committed baseline to diff against (see `make telemetry`).
+	@$(BENCH) --mips-json BENCH_mips.json | tail -1
+
+# One full telemetry pass: a traced report campaign appending to the
+# run ledger, an OpenMetrics scrape of a profiled run, a MIPS probe
+# recorded into the same ledger, then the regression gate — schema
+# check plus newest-vs-prior comparison (>10% MIPS drop or any energy
+# drift fails). The trace loads in Perfetto / chrome://tracing; check
+# the exposition with `promtool check metrics < telemetry/metrics.om`.
+telemetry:
+	dune build bin/report.exe bin/simulate.exe bin/benchdiff.exe bench/main.exe
+	dune exec bin/report.exe -- --budget 20000 --only fig6 \
+	  --ledger telemetry/ledger.jsonl --trace-spans telemetry/spans.json \
+	  | tail -3
+	dune exec bin/simulate.exe -- --bench gzip --technique noop \
+	  --budget 20000 --metrics telemetry/metrics.om | tail -1
+	dune exec bench/main.exe -- --mips-json _build/mips.json \
+	  --ledger telemetry/ledger.jsonl | tail -2
+	dune exec bin/benchdiff.exe -- --check-schema
+	dune exec bin/benchdiff.exe --
 
 # Scheduler-policy grid: every benchmark x {noop, improved} x
 # {oldest_first, nskip:4, load_delay}, with both policy gates enforced

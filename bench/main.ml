@@ -13,7 +13,25 @@ let print_table1 () =
   Fmt.pr "== table1: processor configuration ==@.%a@.@." Sdiq_cpu.Config.pp
     Sdiq_cpu.Config.default
 
-let run_experiments ?domains ~budget () =
+(* Total IQ energy per technique across the suite — what the run ledger
+   tracks for exact-drift gating (see lib/obs/ledger.mli). *)
+let energy_totals r =
+  let params = Sdiq_power.Params.default in
+  List.map
+    (fun tech ->
+      let total =
+        List.fold_left
+          (fun acc bench ->
+            let s = H.Runner.run r bench tech in
+            let e = Sdiq_power.Iq_power.technique params s in
+            acc +. e.Sdiq_power.Iq_power.dynamic
+            +. e.Sdiq_power.Iq_power.static_)
+          0. (H.Runner.bench_names r)
+      in
+      (H.Technique.name tech, total))
+    H.Technique.all
+
+let run_experiments ?domains ?ledger ~budget () =
   let r = H.Runner.create ?domains ~budget () in
   Fmt.pr
     "Running %d benchmarks x %d techniques at %d instructions each on %d \
@@ -23,7 +41,23 @@ let run_experiments ?domains ~budget () =
     budget (H.Runner.domains r);
   H.Runner.run_all r;
   (match H.Runner.campaign_stats r with
-  | Some c -> Fmt.pr "%a@.@." H.Runner.pp_campaign c
+  | Some c ->
+    Fmt.pr "%a@.@." H.Runner.pp_campaign c;
+    Option.iter
+      (fun file ->
+        let digest =
+          Sdiq_obs.Ledger.config_digest
+            ~extra:(Printf.sprintf "budget=%d" budget)
+            Sdiq_cpu.Config.default Sdiq_cpu.Sched.default
+        in
+        let record =
+          Sdiq_obs.Ledger.make ~kind:"campaign" ~digest
+            ~domains:c.H.Runner.domains_used ~pairs:c.H.Runner.pairs_total
+            ~wall_s:c.H.Runner.wall_s ~energy:(energy_totals r) ()
+        in
+        Sdiq_obs.Ledger.append ~file record;
+        Fmt.pr "ledger: appended campaign record to %s@.@." file)
+      ledger
   | None -> ());
   print_table1 ();
   Fmt.pr "%a@." H.Experiments.pp_table2 (H.Experiments.table2 r);
@@ -193,7 +227,7 @@ let run_ablations ~budget () =
    regression is visible as a number diff, not an anecdote. Single-run
    wall-clock numbers carry ~±5% machine noise — treat small deltas as
    noise and trends as signal. *)
-let write_mips_json file =
+let write_mips_json ?ledger file =
   let outer = 120_000 in
   let mk () =
     let bench = Sdiq_workloads.W_gzip.build ~outer () in
@@ -228,7 +262,24 @@ let write_mips_json file =
     (mips detailed_insns detailed_s)
     detailed_insns
     (mips sampled.H.Sampling.total_insns sampled_s)
-    sampled.H.Sampling.total_insns
+    sampled.H.Sampling.total_insns;
+  Option.iter
+    (fun lfile ->
+      let digest =
+        Sdiq_obs.Ledger.config_digest
+          ~extra:(Printf.sprintf "mips:outer=%d" outer)
+          Sdiq_cpu.Config.default Sdiq_cpu.Config.default.Sdiq_cpu.Config.sched
+      in
+      let record =
+        Sdiq_obs.Ledger.make ~kind:"mips" ~digest ~domains:1 ~pairs:2
+          ~wall_s:(detailed_s +. sampled_s)
+          ~mips_detailed:(mips detailed_insns detailed_s)
+          ~mips_sampled:(mips sampled.H.Sampling.total_insns sampled_s)
+          ()
+      in
+      Sdiq_obs.Ledger.append ~file:lfile record;
+      Fmt.pr "ledger: appended mips record to %s@." lfile)
+    ledger
 
 (* [--domains N] caps the campaign pool; default is the hardware's
    recommended domain count. *)
@@ -249,12 +300,13 @@ let () =
   let ablations = Array.exists (fun a -> a = "--ablations") Sys.argv in
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let domains = parse_domains Sys.argv in
+  let ledger = parse_opt_arg "--ledger" Sys.argv in
   let budget = if quick then 20_000 else 100_000 in
   match parse_opt_arg "--mips-json" Sys.argv with
   | Some file ->
     (* probe-only mode: CI runs this as a dedicated step *)
-    write_mips_json file
+    write_mips_json ?ledger file
   | None ->
-    run_experiments ?domains ~budget ();
+    run_experiments ?domains ?ledger ~budget ();
     if ablations then run_ablations ~budget:(budget / 2) ();
     if micro then run_micro ()

@@ -69,6 +69,16 @@ let policy_arg =
   in
   Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"NAME" ~doc)
 
+let openmetrics_arg =
+  let doc =
+    "Also write the campaign-wide metrics registry (the merge of every \
+     pair's streaming metrics) to $(docv) as an OpenMetrics text \
+     exposition — promtool-checkable, ends with # EOF. Combines with \
+     any of the table/JSON/CSV outputs."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+
 let split_commas s =
   String.split_on_char ',' s |> List.map String.trim
   |> List.filter (fun x -> x <> "")
@@ -167,7 +177,8 @@ let print_tables top slack sched pairs =
       end)
     pairs
 
-let run benches techniques budget domains top slack json csv policy =
+let run benches techniques budget domains top slack json csv policy
+    openmetrics =
   let sched =
     match policy with
     | None -> Sdiq_cpu.Sched.default
@@ -191,7 +202,14 @@ let run benches techniques budget domains top slack json csv policy =
     let pairs, campaign = H.Runner.profile_all ~techniques runner in
     if json then print_json budget sched pairs campaign
     else if csv then print_csv sched pairs
-    else print_tables top slack sched pairs
+    else print_tables top slack sched pairs;
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        output_string oc (Obs.Metrics.to_openmetrics campaign);
+        close_out oc;
+        Fmt.pr "openmetrics: %s@." file)
+      openmetrics
 
 let cmd =
   let doc = "region-level attribution profiles of simulated benchmarks" in
@@ -199,6 +217,7 @@ let cmd =
     (Cmd.info "sdiq-profile" ~doc)
     Term.(
       const run $ benches_arg $ techniques_arg $ budget_arg $ domains_arg
-      $ top_arg $ slack_arg $ json_arg $ csv_arg $ policy_arg)
+      $ top_arg $ slack_arg $ json_arg $ csv_arg $ policy_arg
+      $ openmetrics_arg)
 
 let () = exit (Cmd.eval cmd)

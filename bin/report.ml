@@ -65,6 +65,24 @@ let policy_grid_arg =
     & opt (some string) None
     & info [ "policy-grid" ] ~docv:"FILE" ~doc)
 
+let ledger_arg =
+  let doc =
+    "Append a run record (git describe, config/policy/budget digest, \
+     campaign geometry, wall clock, total IQ energy by technique) to \
+     the JSONL ledger $(docv). Gate it with benchdiff.exe. Figures \
+     runs only (not $(b,--sample) or $(b,--policy-grid))."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let trace_spans_arg =
+  let doc =
+    "Write the campaign's host-side span trace to $(docv) as Chrome \
+     trace-event JSON (Perfetto-loadable): campaign/pair/pool spans \
+     with one track per domain, plus memo and pool counters."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-spans" ] ~docv:"FILE" ~doc)
+
 (* The sampled campaign: the scaled suite (>= 10M oracle instructions
    per program) under SMARTS sampling for every technique, with a hard
    coverage guard — an estimate whose run was too short to support its
@@ -357,7 +375,28 @@ let pp_table2_markdown ppf rows =
     rows;
   Fmt.pf ppf "@."
 
-let run budget only markdown sample min_insns min_windows policy policy_grid =
+(* Total IQ energy per technique over the whole suite — the numbers the
+   ledger tracks across commits (any drift under an unchanged digest
+   means the simulator changed). Reads memoised pairs, costs nothing
+   after [run_all]. *)
+let energy_totals r =
+  let params = Sdiq_power.Params.default in
+  List.map
+    (fun tech ->
+      let total =
+        List.fold_left
+          (fun acc bench ->
+            let s = H.Runner.run r bench tech in
+            let e = Sdiq_power.Iq_power.technique params s in
+            acc +. e.Sdiq_power.Iq_power.dynamic
+            +. e.Sdiq_power.Iq_power.static_)
+          0. (H.Runner.bench_names r)
+      in
+      (H.Technique.name tech, total))
+    H.Technique.all
+
+let run budget only markdown sample min_insns min_windows policy policy_grid
+    ledger trace_spans =
   let sched =
     match policy with
     | None -> None
@@ -368,7 +407,20 @@ let run budget only markdown sample min_insns min_windows policy policy_grid =
         Fmt.epr "sdiq-report: %s@." msg;
         exit 1)
   in
-  match policy_grid with
+  if trace_spans <> None then Sdiq_obs.Telemetry.start ();
+  let write_spans () =
+    Option.iter
+      (fun file ->
+        match Sdiq_obs.Telemetry.drain () with
+        | None -> ()
+        | Some r ->
+          Sdiq_obs.Telemetry.write_chrome file r;
+          Fmt.pr "trace-spans: %s (%d spans, %d counters)@." file
+            (List.length r.Sdiq_obs.Telemetry.Span.spans)
+            (List.length r.Sdiq_obs.Telemetry.Span.counters))
+      trace_spans
+  in
+  (match policy_grid with
   | Some file -> run_policy_grid ~budget ~file
   | None ->
   if sample then run_sampled_campaign ?sched ~min_insns ~min_windows ()
@@ -389,6 +441,10 @@ let run budget only markdown sample min_insns min_windows policy policy_grid =
       (String.concat ", " all_ids);
     exit 1);
   let r = H.Runner.create ~budget ?sched () in
+  (* Run the whole campaign up front: the figures then read memoised
+     pairs, and campaign_stats is populated for every invocation —
+     including --only, which used to skip the summary line. *)
+  H.Runner.run_all r;
   List.iter
     (fun id ->
       if id = "table2" then
@@ -407,8 +463,30 @@ let run budget only markdown sample min_insns min_windows policy policy_grid =
              ever drift apart again. *)
           Fmt.epr "experiment %S is listed but not implemented@." id;
           exit 1)
-    ids
-  end
+    ids;
+  match H.Runner.campaign_stats r with
+  | None -> ()
+  | Some c ->
+    Fmt.pr "campaign: %a@." H.Runner.pp_campaign c;
+    Option.iter
+      (fun file ->
+        let digest =
+          Sdiq_obs.Ledger.config_digest
+            ~extra:(Printf.sprintf "budget=%d" budget)
+            Sdiq_cpu.Config.default
+            (Option.value sched ~default:Sdiq_cpu.Sched.default)
+        in
+        let record =
+          Sdiq_obs.Ledger.make ~kind:"report" ~digest
+            ~domains:c.H.Runner.domains_used ~pairs:c.H.Runner.pairs_total
+            ~wall_s:c.H.Runner.wall_s ~energy:(energy_totals r) ()
+        in
+        Sdiq_obs.Ledger.append ~file record;
+        Fmt.pr "ledger: appended %s record to %s@."
+          record.Sdiq_obs.Ledger.kind file)
+      ledger
+  end);
+  write_spans ()
 
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
@@ -416,6 +494,7 @@ let cmd =
     (Cmd.info "sdiq-report" ~doc)
     Term.(
       const run $ budget_arg $ only_arg $ markdown_arg $ sample_arg
-      $ min_insns_arg $ min_windows_arg $ policy_arg $ policy_grid_arg)
+      $ min_insns_arg $ min_windows_arg $ policy_arg $ policy_grid_arg
+      $ ledger_arg $ trace_spans_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -69,13 +69,26 @@ let trace_arg =
 
 let metrics_arg =
   let doc =
-    "Write a JSON metrics dump of a dedicated profiled run to $(docv): the \
-     region-attribution profile (per-region statistics, energies, \
-     annotation slack), the streaming metrics registry, and a host \
-     self-profile (per-stage wall clock and Gc deltas). Detailed runs \
-     only: rejected with $(b,--sample)."
+    "Write a metrics dump of a dedicated profiled run to $(docv). The \
+     extension picks the format: $(b,.om) or $(b,.prom) renders the \
+     streaming metrics registry plus the host self-profile as an \
+     OpenMetrics text exposition (promtool-checkable); anything else \
+     writes the JSON dump (region-attribution profile, metrics registry, \
+     host self-profile). Detailed runs only: rejected with $(b,--sample)."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_spans_arg =
+  let doc =
+    "Write the run's host-side span trace to $(docv) as Chrome \
+     trace-event JSON (load it in Perfetto or chrome://tracing): \
+     campaign/pair/pool spans with one track per domain, plus memo and \
+     pool counters. Works for detailed and $(b,--sample) runs; spans \
+     observe only the host, so traced statistics are identical to \
+     untraced ones."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-spans" ] ~docv:"FILE" ~doc)
 
 let domains_arg =
   let doc =
@@ -184,14 +197,25 @@ let write_metrics bench technique ~sched ~budget file =
   bench.Sdiq_workloads.Bench.init p.Sdiq_cpu.Pipeline.exec;
   let stats = Sdiq_cpu.Pipeline.run ~max_insns:budget p in
   let oc = open_out file in
-  Printf.fprintf oc
-    {|{"bench":"%s","technique":"%s","budget":%d,"profile":%s,"hostprof":%s}|}
-    bench.Sdiq_workloads.Bench.name
-    (Sdiq_harness.Technique.name technique)
-    budget
-    (Sdiq_obs.Profiler.to_json prof)
-    (Sdiq_obs.Hostprof.to_json host);
-  output_char oc '\n';
+  if Filename.check_suffix file ".om" || Filename.check_suffix file ".prom"
+  then
+    (* OpenMetrics exposition: the profiler's streaming registry merged
+       with the host self-profile's gauges, one scrape-ready document. *)
+    output_string oc
+      (Sdiq_obs.Metrics.to_openmetrics
+         (Sdiq_obs.Metrics.merge
+            (Sdiq_obs.Profiler.metrics prof)
+            (Sdiq_obs.Hostprof.to_metrics host)))
+  else begin
+    Printf.fprintf oc
+      {|{"bench":"%s","technique":"%s","budget":%d,"profile":%s,"hostprof":%s}|}
+      bench.Sdiq_workloads.Bench.name
+      (Sdiq_harness.Technique.name technique)
+      budget
+      (Sdiq_obs.Profiler.to_json prof)
+      (Sdiq_obs.Hostprof.to_json host);
+    output_char oc '\n'
+  end;
   close_out oc;
   Fmt.pr "metrics: %s (%d regions over %d cycles)@." file
     (Sdiq_obs.Region.count map) stats.Sdiq_cpu.Stats.cycles
@@ -279,9 +303,22 @@ let validate_flags ~budget ~verbose ~timeline ~trace ~metrics ~domains
     exit 1
 
 let run bench_name technique budget verbose timeline trace metrics domains
-    check sample scaled ff warmup window policy =
+    check sample scaled ff warmup window policy trace_spans =
   validate_flags ~budget ~verbose ~timeline ~trace ~metrics ~domains ~sample
     ~scaled ~ff ~warmup ~window;
+  if trace_spans <> None then Sdiq_obs.Telemetry.start ();
+  let write_spans () =
+    Option.iter
+      (fun file ->
+        match Sdiq_obs.Telemetry.drain () with
+        | None -> ()
+        | Some r ->
+          Sdiq_obs.Telemetry.write_chrome file r;
+          Fmt.pr "trace-spans: %s (%d spans, %d counters)@." file
+            (List.length r.Sdiq_obs.Telemetry.Span.spans)
+            (List.length r.Sdiq_obs.Telemetry.Span.counters))
+      trace_spans
+  in
   (* Like an unknown benchmark or experiment id: a typo'd policy must
      fail loudly before anything simulates. *)
   let sched =
@@ -299,12 +336,12 @@ let run bench_name technique budget verbose timeline trace metrics domains
     if scaled then Sdiq_workloads.Suite.scaled ()
     else Sdiq_workloads.Suite.all ()
   in
-  match
-    List.find_opt
-      (fun (b : Sdiq_workloads.Bench.t) ->
-        b.Sdiq_workloads.Bench.name = bench_name)
-      suite
-  with
+  (match
+     List.find_opt
+       (fun (b : Sdiq_workloads.Bench.t) ->
+         b.Sdiq_workloads.Bench.name = bench_name)
+       suite
+   with
   | None ->
     Fmt.epr "unknown benchmark %S; available: %s@." bench_name
       (String.concat ", " (Sdiq_workloads.Suite.names ()));
@@ -372,7 +409,8 @@ let run bench_name technique budget verbose timeline trace metrics domains
       print_string (Sdiq_harness.Timeline.to_csv t)
     end;
     Option.iter (write_trace bench technique ~sched ~budget) trace;
-    Option.iter (write_metrics bench technique ~sched ~budget) metrics
+    Option.iter (write_metrics bench technique ~sched ~budget) metrics);
+  write_spans ()
 
 let cmd =
   let doc = "simulate one benchmark under one IQ-resizing technique" in
@@ -382,6 +420,6 @@ let cmd =
       const run $ bench_arg $ technique_arg $ budget_arg $ verbose_arg
       $ timeline_arg $ trace_arg $ metrics_arg $ domains_arg $ check_arg
       $ sample_arg $ scaled_arg $ ff_arg $ warmup_arg $ window_arg
-      $ policy_arg)
+      $ policy_arg $ trace_spans_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -83,6 +83,9 @@ let find_bench t name =
    so safe to run on any domain. The checker factory's product is
    registered as a per-cycle sink on the run's private event bus. *)
 let simulate_pair t ~sched name technique : Sdiq_cpu.Stats.t =
+  Sdiq_util.Spanlog.with_span "sim.pair"
+    ~attrs:[ ("bench", name); ("technique", Technique.name technique) ]
+  @@ fun () ->
   let bench = find_bench t name in
   let prog = Technique.prepare technique bench.Bench.prog in
   let policy = Technique.policy technique in
@@ -100,8 +103,11 @@ let run ?sched t name technique : Sdiq_cpu.Stats.t =
   let sched = match sched with Some s -> s | None -> t.sched in
   let key = (name, technique, Sdiq_cpu.Sched.key sched) in
   match Hashtbl.find_opt t.table key with
-  | Some stats -> stats
+  | Some stats ->
+    Sdiq_util.Spanlog.count "memo.hit";
+    stats
   | None ->
+    Sdiq_util.Spanlog.count "memo.miss";
     let stats = simulate_pair t ~sched name technique in
     Hashtbl.replace t.table key stats;
     stats
@@ -114,12 +120,24 @@ let run_all t =
       (fun name ->
         List.filter_map
           (fun tech ->
-            if Hashtbl.mem t.table (name, tech, skey) then None
-            else Some (name, tech))
+            if Hashtbl.mem t.table (name, tech, skey) then begin
+              Sdiq_util.Spanlog.count "memo.hit";
+              None
+            end
+            else begin
+              Sdiq_util.Spanlog.count "memo.miss";
+              Some (name, tech)
+            end)
           Technique.all)
       (bench_names t)
     |> Array.of_list
   in
+  Sdiq_util.Spanlog.enter "campaign.run_all"
+    ~attrs:
+      [
+        ("pairs", string_of_int (Array.length todo));
+        ("domains", string_of_int (domains t));
+      ];
   let t0 = Unix.gettimeofday () in
   let c0 = Sys.time () in
   (* Hot path: no locks, no shared writes — each worker simulates into
@@ -150,7 +168,8 @@ let run_all t =
         domains_used = domains t;
         wall_s;
         serial_estimate_s;
-      }
+      };
+  Sdiq_util.Spanlog.exit ()
 
 (* One cold sampled (benchmark, technique) simulation: same build as
    [simulate_pair] — technique rewrite, policy, checker sink — but the
@@ -160,6 +179,9 @@ let run_all t =
    checkered sampled campaign audits every detailed window. Pure given
    [t.config], so safe on any domain. *)
 let simulate_sampled_pair t ~sched name technique : Sampling.result =
+  Sdiq_util.Spanlog.with_span "sim.sampled_pair"
+    ~attrs:[ ("bench", name); ("technique", Technique.name technique) ]
+  @@ fun () ->
   let bench = find_bench t name in
   let prog = Technique.prepare technique bench.Bench.prog in
   let policy = Technique.policy technique in
@@ -175,8 +197,11 @@ let run_sampled ?sched t name technique : Sampling.result =
   let sched = match sched with Some s -> s | None -> t.sched in
   let key = (name, technique, Sdiq_cpu.Sched.key sched) in
   match Hashtbl.find_opt t.sampled key with
-  | Some r -> r
+  | Some r ->
+    Sdiq_util.Spanlog.count "memo.hit";
+    r
   | None ->
+    Sdiq_util.Spanlog.count "memo.miss";
     let r = simulate_sampled_pair t ~sched name technique in
     Hashtbl.replace t.sampled key r;
     r
@@ -188,12 +213,24 @@ let run_all_sampled t =
       (fun name ->
         List.filter_map
           (fun tech ->
-            if Hashtbl.mem t.sampled (name, tech, skey) then None
-            else Some (name, tech))
+            if Hashtbl.mem t.sampled (name, tech, skey) then begin
+              Sdiq_util.Spanlog.count "memo.hit";
+              None
+            end
+            else begin
+              Sdiq_util.Spanlog.count "memo.miss";
+              Some (name, tech)
+            end)
           Technique.all)
       (bench_names t)
     |> Array.of_list
   in
+  Sdiq_util.Spanlog.enter "campaign.run_all_sampled"
+    ~attrs:
+      [
+        ("pairs", string_of_int (Array.length todo));
+        ("domains", string_of_int (domains t));
+      ];
   (* Same discipline as [run_all]: workers fill disjoint slots of the
      result buffer, and the memo table is populated in key order after
      the join barrier — a 1-domain and an N-domain sampled campaign
@@ -207,7 +244,8 @@ let run_all_sampled t =
     (fun i r ->
       let name, tech = todo.(i) in
       Hashtbl.replace t.sampled (name, tech, skey) r)
-    results
+    results;
+  Sdiq_util.Spanlog.exit ()
 
 (* One cold profiled simulation: build the region map for the
    technique's delivery, load the map's own running binary (identical
@@ -215,6 +253,9 @@ let run_all_sampled t =
    rewriter) and attribute the full event stream. Pure given
    [t.config], like [simulate_pair]. *)
 let profile_pair t ~sched name technique : Sdiq_obs.Profiler.t =
+  Sdiq_util.Spanlog.with_span "sim.profile_pair"
+    ~attrs:[ ("bench", name); ("technique", Technique.name technique) ]
+  @@ fun () ->
   let bench = find_bench t name in
   let map =
     Sdiq_obs.Region.build (Technique.delivery technique) bench.Bench.prog
@@ -233,8 +274,11 @@ let profile ?sched t name technique : Sdiq_obs.Profiler.t =
   let sched = match sched with Some s -> s | None -> t.sched in
   let key = (name, technique, Sdiq_cpu.Sched.key sched) in
   match Hashtbl.find_opt t.profiles key with
-  | Some prof -> prof
+  | Some prof ->
+    Sdiq_util.Spanlog.count "memo.hit";
+    prof
   | None ->
+    Sdiq_util.Spanlog.count "memo.miss";
     let prof = profile_pair t ~sched name technique in
     Hashtbl.replace t.profiles key prof;
     prof
@@ -249,9 +293,23 @@ let profile_all ?(techniques = Technique.all) t =
   let todo =
     Array.of_list
       (List.filter
-         (fun (name, tech) -> not (Hashtbl.mem t.profiles (name, tech, skey)))
+         (fun (name, tech) ->
+           if Hashtbl.mem t.profiles (name, tech, skey) then begin
+             Sdiq_util.Spanlog.count "memo.hit";
+             false
+           end
+           else begin
+             Sdiq_util.Spanlog.count "memo.miss";
+             true
+           end)
          grid)
   in
+  Sdiq_util.Spanlog.enter "campaign.profile_all"
+    ~attrs:
+      [
+        ("pairs", string_of_int (Array.length todo));
+        ("domains", string_of_int (domains t));
+      ];
   (* Same discipline as [run_all]: workers fill disjoint slots, the memo
      is populated in key order after the join, and the campaign merge
      walks the grid in its declared order — so the merged metrics are
@@ -279,6 +337,7 @@ let profile_all ?(techniques = Technique.all) t =
       (Sdiq_obs.Metrics.create ())
       pairs
   in
+  Sdiq_util.Spanlog.exit ();
   (pairs, campaign)
 
 let campaign_stats t = t.last_campaign

@@ -27,6 +27,7 @@
    tighter than the methodology supports. *)
 
 open Sdiq_cpu
+module Spanlog = Sdiq_util.Spanlog
 
 type config = {
   ff_len : int;
@@ -126,16 +127,24 @@ let sample ?(config = default) ?(params = Sdiq_power.Params.default)
     Pipeline.drained p || p.Pipeline.exec.Sdiq_isa.Exec.steps >= max_insns
   in
   while not (finished ()) do
-    (* Fast-forward through the bulk of the period... *)
-    Pipeline.drain p;
+    (* Fast-forward through the bulk of the period... The phase spans
+       are host-side telemetry only (Sdiq_util.Spanlog): one atomic
+       load each when tracing is off, and never anything that touches
+       the simulated machine, so sampled estimates are bit-identical
+       with tracing on. *)
+    Spanlog.with_span "sample.ff" (fun () ->
+        Pipeline.drain p;
+        if not (finished ()) then
+          ignore (Pipeline.fast_forward p ~insns:config.ff_len : int));
     if not (finished ()) then begin
-      let (_ : int) = Pipeline.fast_forward p ~insns:config.ff_len in
       (* ...then resume detailed simulation: unmeasured warmup first, *)
-      Pipeline.set_fetch_hold p false;
-      run_detailed p config.warmup_len;
+      Spanlog.with_span "sample.warmup" (fun () ->
+          Pipeline.set_fetch_hold p false;
+          run_detailed p config.warmup_len);
       (* ...and one measured window. *)
       let before = Stats.copy p.Pipeline.stats in
-      run_detailed p config.window_len;
+      Spanlog.with_span "sample.window" (fun () ->
+          run_detailed p config.window_len);
       let delta = Stats.diff p.Pipeline.stats before in
       if delta.Stats.committed > 0 then begin
         incr windows;

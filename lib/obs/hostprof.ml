@@ -68,6 +68,13 @@ let gc_report t =
       float_of_int (t.sampled.Gc.minor_collections - t.initial.Gc.minor_collections) );
     ( "major_collections",
       float_of_int (t.sampled.Gc.major_collections - t.initial.Gc.major_collections) );
+    ( "forced_major_collections",
+      float_of_int
+        (t.sampled.Gc.forced_major_collections
+        - t.initial.Gc.forced_major_collections) );
+    (* A level, not a delta: the largest major heap the run has needed
+       so far (as of the last sample point). *)
+    ("top_heap_words", float_of_int t.sampled.Gc.top_heap_words);
   ]
 
 let to_json t =
@@ -82,6 +89,29 @@ let to_json t =
        (List.map
           (fun (k, v) -> Printf.sprintf {|"%s":%.1f|} k v)
           (gc_report t)))
+
+(* Fold the host profile into a metrics registry for the OpenMetrics
+   exposition path: integer flows (events, cycles, collection counts)
+   as counters, levels and wall-clock charges as gauges. *)
+let metrics_into t (m : Metrics.t) =
+  Metrics.incr ~by:t.events m "host_events";
+  Metrics.incr ~by:t.cycles m "host_cycles";
+  List.iter
+    (fun (k, v) -> Metrics.set_gauge m ("host_stage_seconds_" ^ k) v)
+    (stage_seconds t);
+  List.iter
+    (fun (k, v) ->
+      match k with
+      | "minor_collections" | "major_collections"
+      | "forced_major_collections" ->
+        Metrics.incr ~by:(int_of_float v) m ("host_gc_" ^ k)
+      | _ -> Metrics.set_gauge m ("host_gc_" ^ k) v)
+    (gc_report t)
+
+let to_metrics t =
+  let m = Metrics.create () in
+  metrics_into t m;
+  m
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>hostprof: %d events over %d cycles" t.events t.cycles;

@@ -1,0 +1,269 @@
+module Json = Sdiq_util.Json
+
+type record = {
+  schema : int;
+  time : string;
+  git : string;
+  kind : string;
+  digest : string;
+  domains : int;
+  pairs : int;
+  wall_s : float;
+  mips_detailed : float option;
+  mips_sampled : float option;
+  energy : (string * float) list;
+}
+
+let schema_version = 1
+
+let config_digest ?(extra = "") config sched =
+  Digest.to_hex
+    (Digest.string
+       (Fmt.str "%a|%s|%s" Sdiq_cpu.Config.pp config
+          (Sdiq_cpu.Sched.key sched) extra))
+
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    match (status, line) with
+    | Unix.WEXITED 0, s when s <> "" -> s
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let make ?time ?git ?digest ?(domains = 1) ?(pairs = 0) ?(wall_s = 0.)
+    ?mips_detailed ?mips_sampled ?(energy = []) ~kind () =
+  {
+    schema = schema_version;
+    time = (match time with Some t -> t | None -> iso8601_now ());
+    git = (match git with Some g -> g | None -> git_describe ());
+    digest =
+      (match digest with
+      | Some d -> d
+      | None -> config_digest Sdiq_cpu.Config.default Sdiq_cpu.Sched.default);
+    kind;
+    domains;
+    pairs;
+    wall_s;
+    mips_detailed;
+    mips_sampled;
+    energy = List.sort (fun (a, _) (b, _) -> String.compare a b) energy;
+  }
+
+let to_json r =
+  let opt name = function
+    | None -> ""
+    | Some v -> Printf.sprintf ",\"%s\":%s" name (Json.to_string (Json.Num v))
+  in
+  Printf.sprintf
+    "{\"schema\":%d,\"time\":\"%s\",\"git\":\"%s\",\"kind\":\"%s\",\"digest\":\"%s\",\"domains\":%d,\"pairs\":%d,\"wall_s\":%s%s%s,\"energy\":{%s}}"
+    r.schema (Json.escape r.time) (Json.escape r.git) (Json.escape r.kind)
+    (Json.escape r.digest) r.domains r.pairs
+    (Json.to_string (Json.Num r.wall_s))
+    (opt "mips_detailed" r.mips_detailed)
+    (opt "mips_sampled" r.mips_sampled)
+    (String.concat ","
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\":%s" (Json.escape k)
+              (Json.to_string (Json.Num v)))
+          r.energy))
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "ledger record: missing or bad %S" name)
+  in
+  let opt_float name =
+    match Json.member name j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "ledger record: bad %S" name))
+  in
+  let* schema = field "schema" Json.to_int in
+  if schema <> schema_version then
+    Error (Printf.sprintf "ledger record: unknown schema %d" schema)
+  else
+    let* time = field "time" Json.to_str in
+    let* git = field "git" Json.to_str in
+    let* kind = field "kind" Json.to_str in
+    let* digest = field "digest" Json.to_str in
+    let* domains = field "domains" Json.to_int in
+    let* pairs = field "pairs" Json.to_int in
+    let* wall_s = field "wall_s" Json.to_float in
+    let* mips_detailed = opt_float "mips_detailed" in
+    let* mips_sampled = opt_float "mips_sampled" in
+    let* energy =
+      match Json.member "energy" j with
+      | Some (Json.Obj kvs) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match Json.to_float v with
+            | Some f -> Ok ((k, f) :: acc)
+            | None ->
+              Error (Printf.sprintf "ledger record: bad energy for %S" k))
+          (Ok []) kvs
+        |> Result.map List.rev
+      | Some _ -> Error "ledger record: energy is not an object"
+      | None -> Ok []
+    in
+    Ok
+      {
+        schema;
+        time;
+        git;
+        kind;
+        digest;
+        domains;
+        pairs;
+        wall_s;
+        mips_detailed;
+        mips_sampled;
+        energy;
+      }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then (
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+let append ~file r =
+  mkdir_p (Filename.dirname file);
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 file
+  in
+  output_string oc (to_json r);
+  output_char oc '\n';
+  close_out oc
+
+let load ~file =
+  if not (Sys.file_exists file) then Ok []
+  else
+    let ic = open_in file in
+    let rec go n acc =
+      match input_line ic with
+      | exception End_of_file -> Ok (List.rev acc)
+      | "" -> go (n + 1) acc
+      | line -> (
+        match Json.parse line with
+        | Error e ->
+          Error (Printf.sprintf "%s:%d: bad JSON: %s" file n e)
+        | Ok j -> (
+          match of_json j with
+          | Error e -> Error (Printf.sprintf "%s:%d: %s" file n e)
+          | Ok r -> go (n + 1) (r :: acc)))
+    in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go 1 [])
+
+type verdict = { ok : bool; messages : string list }
+
+let pass messages = { ok = true; messages }
+let fail messages = { ok = false; messages }
+
+(* The newest record's baseline: the most recent earlier record with the
+   same kind and config/policy digest. Cross-digest comparisons would
+   flag configuration changes as regressions, so they are skipped. *)
+let baseline_of records newest =
+  let rec last_match acc = function
+    | [] -> acc
+    | r :: rest ->
+      if r == newest then acc
+      else if r.kind = newest.kind && r.digest = newest.digest then
+        last_match (Some r) rest
+      else last_match acc rest
+  in
+  last_match None records
+
+let check_mips ~threshold ~what ~baseline ~current =
+  match (baseline, current) with
+  | Some b, Some c when b > 0. ->
+    let drop = (b -. c) /. b in
+    if drop > threshold then
+      Some
+        (Printf.sprintf "FAIL %s MIPS regressed %.1f%% (%.3f -> %.3f, gate %.0f%%)"
+           what (100. *. drop) b c (100. *. threshold))
+    else
+      Some
+        (Printf.sprintf "ok   %s MIPS %.3f -> %.3f (%+.1f%%)" what b c
+           (-100. *. drop))
+  | _ -> None
+
+let check_energy ~baseline ~current =
+  List.filter_map
+    (fun (tech, b) ->
+      match List.assoc_opt tech current with
+      | Some c when c <> b ->
+        Some
+          (Printf.sprintf "FAIL energy drift for %s: %.6g -> %.6g" tech b c)
+      | _ -> None)
+    baseline
+
+let gate ?(threshold = 0.10) records =
+  match List.rev records with
+  | [] -> pass [ "ok   empty ledger (nothing to gate)" ]
+  | newest :: _ -> (
+    match baseline_of records newest with
+    | None ->
+      pass
+        [ Printf.sprintf "ok   no prior %S record with digest %s (seeding)"
+            newest.kind
+            (String.sub newest.digest 0 (min 8 (String.length newest.digest)));
+        ]
+    | Some prior ->
+      let msgs =
+        List.filter_map Fun.id
+          [ check_mips ~threshold ~what:"detailed"
+              ~baseline:prior.mips_detailed ~current:newest.mips_detailed;
+            check_mips ~threshold ~what:"sampled" ~baseline:prior.mips_sampled
+              ~current:newest.mips_sampled;
+          ]
+        @ check_energy ~baseline:prior.energy ~current:newest.energy
+      in
+      let msgs = if msgs = [] then [ "ok   nothing comparable" ] else msgs in
+      if List.exists (fun m -> String.length m >= 4 && String.sub m 0 4 = "FAIL") msgs
+      then fail msgs
+      else pass msgs)
+
+let gate_against_probe ?(threshold = 0.10) ~probe_json records =
+  (* BENCH_mips.json nests the probes: {"detailed":{"mips":...},...}. *)
+  let probe section =
+    Option.bind (Json.member section probe_json) (fun s ->
+        Option.bind (Json.member "mips" s) Json.to_float)
+  in
+  let newest =
+    List.rev records
+    |> List.find_opt (fun r ->
+           r.mips_detailed <> None || r.mips_sampled <> None)
+  in
+  match newest with
+  | None -> pass [ "ok   no MIPS-carrying ledger record (nothing to gate)" ]
+  | Some r ->
+    let msgs =
+      List.filter_map Fun.id
+        [ check_mips ~threshold ~what:"detailed" ~baseline:(probe "detailed")
+            ~current:r.mips_detailed;
+          check_mips ~threshold ~what:"sampled" ~baseline:(probe "sampled")
+            ~current:r.mips_sampled;
+        ]
+    in
+    let msgs =
+      if msgs = [] then [ "ok   probe and ledger share no MIPS fields" ]
+      else msgs
+    in
+    if List.exists (fun m -> String.length m >= 4 && String.sub m 0 4 = "FAIL") msgs
+    then fail msgs
+    else pass msgs

@@ -1,0 +1,84 @@
+(** The persistent run ledger: one JSONL record per campaign/bench run,
+    appended to [telemetry/ledger.jsonl], and the regression gate
+    [bin/benchdiff.exe] evaluates over it.
+
+    A record carries provenance (git describe, a digest of the machine
+    configuration and scheduler policy), geometry (domain count, pairs)
+    and the measurements worth tracking across commits: wall clock,
+    the MIPS probes, and total IQ energy by technique. Records are
+    append-only — the ledger is the perf trajectory, so nothing ever
+    rewrites it.
+
+    {!gate} compares the newest record against the most recent earlier
+    record of the same kind and digest: a detailed- or sampled-MIPS
+    drop beyond the threshold (default 10%) fails, and {e any} drift
+    in an energy total fails outright — energies are deterministic
+    given the digest, so a change means the simulator changed. *)
+
+type record = {
+  schema : int;  (** record format version; currently 1 *)
+  time : string;  (** ISO-8601 UTC *)
+  git : string;  (** [git describe --always --dirty], or "unknown" *)
+  kind : string;  (** "campaign" | "mips" | "report" | test kinds *)
+  digest : string;  (** {!config_digest} of config + policy *)
+  domains : int;
+  pairs : int;
+  wall_s : float;
+  mips_detailed : float option;
+  mips_sampled : float option;
+  energy : (string * float) list;  (** technique -> total IQ energy *)
+}
+
+(** MD5 hex of the rendered machine configuration plus the scheduler
+    policy key — two runs with equal digests must produce identical
+    simulation numbers. [extra] folds further run-shaping inputs into
+    the digest (e.g. the instruction budget) so runs that legitimately
+    differ never gate against each other. *)
+val config_digest :
+  ?extra:string -> Sdiq_cpu.Config.t -> Sdiq_cpu.Sched.t -> string
+
+(** [git describe --always --dirty]; "unknown" when git is absent. *)
+val git_describe : unit -> string
+
+(** Build a record; [time] defaults to now (UTC), [git] to
+    {!git_describe}, [digest] to the default config/policy digest. *)
+val make :
+  ?time:string ->
+  ?git:string ->
+  ?digest:string ->
+  ?domains:int ->
+  ?pairs:int ->
+  ?wall_s:float ->
+  ?mips_detailed:float ->
+  ?mips_sampled:float ->
+  ?energy:(string * float) list ->
+  kind:string ->
+  unit ->
+  record
+
+val to_json : record -> string
+val of_json : Sdiq_util.Json.t -> (record, string) result
+
+(** Append one record (one line) to [file], creating the file and its
+    parent directory as needed. *)
+val append : file:string -> record -> unit
+
+(** Every record of the ledger, oldest first. [Error] on an unreadable
+    or malformed line (the message names the line). An absent file is
+    an empty ledger. *)
+val load : file:string -> (record list, string) result
+
+type verdict = { ok : bool; messages : string list }
+
+(** Evaluate the newest record against its predecessors (same kind and
+    digest). [threshold] is the fractional MIPS regression allowed
+    (default 0.10). An empty ledger or a record with no comparable
+    predecessor passes (it seeds the trajectory). *)
+val gate : ?threshold:float -> record list -> verdict
+
+(** Compare the newest MIPS-carrying record against an external probe
+    file ([BENCH_mips.json] as written by [bench/main.exe --mips-json]):
+    fails when detailed or sampled MIPS fall more than [threshold]
+    below the archived numbers. *)
+val gate_against_probe :
+  ?threshold:float -> probe_json:Sdiq_util.Json.t -> record list -> verdict

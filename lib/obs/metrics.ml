@@ -181,4 +181,75 @@ let to_json t =
               (all_series t)));
     ]
 
+(* --- OpenMetrics / Prometheus text exposition --------------------------- *)
+
+(* Metric names admit [a-zA-Z0-9_:] only; anything else (dots, dashes,
+   braces from ad-hoc labels) becomes '_'. Every family is prefixed
+   "sdiq_" so a scrape of several exporters can't collide. *)
+let om_name name =
+  let b = Bytes.of_string ("sdiq_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+(* Inclusive upper bound of bucket [i] (the Prometheus `le` label);
+   None marks the clamping last bucket, rendered "+Inf". Observations
+   are integers, so Linear bucket i = [i*w, (i+1)*w) has le = (i+1)*w-1
+   and Log2 bucket i>=1 = [2^(i-1), 2^i) has le = 2^i - 1. *)
+let bucket_le kind i =
+  match kind with
+  | Hist.Linear { width; buckets } ->
+    if i >= buckets - 1 then None else Some (((i + 1) * width) - 1)
+  | Hist.Log2 { buckets } ->
+    if i >= buckets - 1 then None
+    else if i = 0 then Some 0
+    else Some ((1 lsl i) - 1)
+
+let to_openmetrics t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  List.iter
+    (fun (k, v) ->
+      let n = om_name k in
+      line "# TYPE %s counter" n;
+      line "%s_total %d" n v)
+    (counters t);
+  List.iter
+    (fun (k, v) ->
+      let n = om_name k in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (float_str v))
+    (gauges t);
+  List.iter
+    (fun (k, h) ->
+      let n = om_name k in
+      line "# TYPE %s histogram" n;
+      let kind = Hist.kind h in
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          match bucket_le kind i with
+          | Some le -> line "%s_bucket{le=\"%d\"} %d" n le !cum
+          | None -> line "%s_bucket{le=\"+Inf\"} %d" n !cum)
+        (Hist.buckets h);
+      line "%s_sum %d" n (Hist.sum h);
+      line "%s_count %d" n (Hist.count h))
+    (hists t);
+  List.iter
+    (fun (k, s) ->
+      let n = om_name k in
+      line "# TYPE %s gauge" n;
+      let w = Series.window s in
+      Array.iteri
+        (fun i v -> line "%s{cell=\"%d\",window=\"%d\"} %d" n i w v)
+        (Series.values s))
+    (all_series t);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
 let pp ppf t = Fmt.string ppf (to_string t)

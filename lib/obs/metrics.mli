@@ -57,4 +57,14 @@ val equal : t -> t -> bool
 val to_string : t -> string
 
 val to_json : t -> string
+
+(** Prometheus/OpenMetrics text exposition of the whole registry, ending
+    with [# EOF]. Family names are sanitised to [[a-zA-Z0-9_:]] and
+    prefixed ["sdiq_"]; counters render as [<name>_total], histograms as
+    cumulative [<name>_bucket{le="..."}] lines (integer-inclusive upper
+    bounds derived from the {!Hist.kind}) plus [_sum]/[_count], and
+    series cells as a gauge family labelled [{cell,window}]. Name-sorted
+    like every other rendering, hence byte-comparable across runs. *)
+val to_openmetrics : t -> string
+
 val pp : Format.formatter -> t -> unit

@@ -37,18 +37,36 @@ let map_array t ~f arr =
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
     let error = Atomic.make None in
+    (* Telemetry (Spanlog) is host-side observation only: when no
+       collector is installed every call below is one atomic load, and
+       with one installed each domain writes its own buffer — the task
+       loop stays lock-free either way. [caller] distinguishes a claim
+       by the calling domain from a steal by a helper. *)
+    let caller = (Domain.self () :> int) in
+    Spanlog.count ~by:n "pool.enqueued";
     let worker () =
+      Spanlog.enter "pool.worker"
+        ~attrs:[ ("tasks", string_of_int n) ];
+      let executed = ref 0 in
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add cursor 1 in
         if i >= n || Atomic.get error <> None then continue := false
-        else
-          match f arr.(i) with
+        else begin
+          if (Domain.self () :> int) = caller then
+            Spanlog.count "pool.claim"
+          else Spanlog.count "pool.steal";
+          incr executed;
+          Spanlog.enter "pool.task" ~attrs:[ ("index", string_of_int i) ];
+          (match f arr.(i) with
           | v -> results.(i) <- Some v
           | exception exn ->
             let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set error None (Some { exn; bt }))
-      done
+            ignore (Atomic.compare_and_set error None (Some { exn; bt })));
+          Spanlog.exit ()
+        end
+      done;
+      Spanlog.exit ~attrs:[ ("executed", string_of_int !executed) ] ()
     in
     let helpers =
       Array.init (min t.domains n - 1) (fun _ -> Domain.spawn worker)

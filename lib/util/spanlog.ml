@@ -1,0 +1,182 @@
+(* Per-domain span buffers behind one global collector.
+
+   The fast path never locks: a domain finds its buffer through DLS and
+   appends to plain mutable fields only it touches. The registry mutex
+   guards buffer *registration* only (once per domain per collector),
+   and the single shared atomic hands out span ids, which keeps ids
+   unique across domains without coordinating anything else. *)
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  domain : int;
+  seq : int;
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable attrs : (string * string) list;
+}
+
+type buffer = {
+  dom : int;
+  owner : int;  (* collector generation this buffer belongs to *)
+  mutable closed : span list;  (* reverse completion order *)
+  mutable stack : span list;  (* open spans, innermost first *)
+  mutable next_seq : int;
+  counts : (string, int ref) Hashtbl.t;
+}
+
+type collector = {
+  gen : int;
+  origin_ns : int64;
+  next_id : int Atomic.t;
+  reg_mu : Mutex.t;
+  mutable buffers : buffer list;
+}
+
+type result = {
+  origin_ns : int64;
+  spans : span list;
+  counters : (string * int) list;
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+let current : collector option Atomic.t = Atomic.make None
+let generation = Atomic.make 0
+
+(* DLS slot: the calling domain's buffer for some collector generation;
+   revalidated against the current collector on every use. *)
+let slot : buffer option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let buffer_of (c : collector) : buffer =
+  let r = Domain.DLS.get slot in
+  match !r with
+  | Some b when b.owner = c.gen -> b
+  | _ ->
+    let b =
+      {
+        dom = (Domain.self () :> int);
+        owner = c.gen;
+        closed = [];
+        stack = [];
+        next_seq = 0;
+        counts = Hashtbl.create 8;
+      }
+    in
+    Mutex.lock c.reg_mu;
+    c.buffers <- b :: c.buffers;
+    Mutex.unlock c.reg_mu;
+    r := Some b;
+    b
+
+let start () =
+  let gen = Atomic.fetch_and_add generation 1 in
+  Atomic.set current
+    (Some
+       {
+         gen;
+         origin_ns = now_ns ();
+         next_id = Atomic.make 0;
+         reg_mu = Mutex.create ();
+         buffers = [];
+       })
+
+let active () = Atomic.get current <> None
+
+let enter ?(attrs = []) name =
+  match Atomic.get current with
+  | None -> ()
+  | Some c ->
+    let b = buffer_of c in
+    let parent = match b.stack with [] -> -1 | s :: _ -> s.id in
+    let seq = b.next_seq in
+    b.next_seq <- seq + 1;
+    let t = now_ns () in
+    b.stack <-
+      {
+        id = Atomic.fetch_and_add c.next_id 1;
+        parent;
+        name;
+        domain = b.dom;
+        seq;
+        start_ns = t;
+        stop_ns = t;
+        attrs;
+      }
+      :: b.stack
+
+let close_span b (s : span) =
+  let t = now_ns () in
+  s.stop_ns <- (if Int64.compare t s.start_ns > 0 then t else s.start_ns);
+  b.closed <- s :: b.closed
+
+let exit ?(attrs = []) () =
+  match Atomic.get current with
+  | None -> ()
+  | Some c -> (
+    let b = buffer_of c in
+    match b.stack with
+    | [] -> () (* unbalanced exit: tolerated, never fatal mid-campaign *)
+    | s :: rest ->
+      b.stack <- rest;
+      if attrs <> [] then s.attrs <- s.attrs @ attrs;
+      close_span b s)
+
+let with_span ?attrs name f =
+  enter ?attrs name;
+  Fun.protect ~finally:(fun () -> exit ()) f
+
+let count ?(by = 1) name =
+  match Atomic.get current with
+  | None -> ()
+  | Some c -> (
+    let b = buffer_of c in
+    match Hashtbl.find_opt b.counts name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace b.counts name (ref by))
+
+let drain () =
+  match Atomic.get current with
+  | None -> None
+  | Some c ->
+    Atomic.set current None;
+    Mutex.lock c.reg_mu;
+    let buffers = c.buffers in
+    Mutex.unlock c.reg_mu;
+    (* The calling domain may still hold open spans (e.g. a campaign
+       span drained from inside itself): force-close them so the trace
+       is complete. Worker domains have joined, so their stacks are
+       empty; any that are not would be open spans of a leaked domain
+       and are dropped with its stack. *)
+    let self = (Domain.self () :> int) in
+    List.iter
+      (fun b ->
+        if b.dom = self then begin
+          List.iter (close_span b) b.stack;
+          b.stack <- []
+        end)
+      buffers;
+    let spans =
+      List.concat_map (fun b -> b.closed) buffers
+      |> List.sort (fun a b ->
+             match compare a.domain b.domain with
+             | 0 -> compare a.seq b.seq
+             | n -> n)
+    in
+    let totals = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        Hashtbl.iter
+          (fun k r ->
+            match Hashtbl.find_opt totals k with
+            | Some t -> t := !t + !r
+            | None -> Hashtbl.replace totals k (ref !r))
+          b.counts)
+      buffers;
+    let counters =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) totals []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Some { origin_ns = c.origin_ns; spans; counters }

@@ -1,0 +1,66 @@
+(** Campaign span tracing: per-domain, lock-free collection of
+    enter/exit spans and named counters.
+
+    The collector observes the {e host} side of a campaign — pool
+    scheduling, per-pair wall clock, sampling-phase geometry, memo
+    traffic — never the simulated machine, so enabling it cannot
+    perturb simulation output (the test suite pins [Stats.equal] and
+    1-vs-N byte identity with tracing on).
+
+    Concurrency discipline: each domain appends to its own buffer
+    (discovered through domain-local storage; registration of a fresh
+    buffer is the only mutex-guarded operation, once per domain), and
+    span ids come from one atomic counter. Nothing is shared on the
+    hot path, so workers never contend. {!drain} must be called after
+    every worker domain has joined; it merges the per-domain buffers
+    in (domain id, per-domain sequence) order, so the merged span list
+    is deterministic given the set of recorded spans.
+
+    Timestamps are monotonic nanoseconds ([CLOCK_MONOTONIC] via the
+    bechamel stub); a span's stop is clamped to be >= its start. When
+    no collector is installed every operation is one atomic load. *)
+
+type span = {
+  id : int;  (** unique across domains *)
+  parent : int;  (** enclosing span on the same domain; [-1] = root *)
+  name : string;
+  domain : int;  (** the recording domain's [Domain.self] id *)
+  seq : int;  (** per-domain sequence number: merge order *)
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable attrs : (string * string) list;
+}
+
+type result = {
+  origin_ns : int64;  (** collector installation time; render ts relative *)
+  spans : span list;  (** closed spans, (domain, seq)-sorted *)
+  counters : (string * int) list;  (** per-domain counts summed, name-sorted *)
+}
+
+(** Install a fresh global collector (replacing any active one). *)
+val start : unit -> unit
+
+val active : unit -> bool
+
+(** Open a span on the calling domain; its parent is the domain's
+    innermost open span. No-op without a collector. *)
+val enter : ?attrs:(string * string) list -> string -> unit
+
+(** Close the calling domain's innermost open span, appending [attrs];
+    no-op without a collector or with no open span. *)
+val exit : ?attrs:(string * string) list -> unit -> unit
+
+(** [with_span name f]: {!enter}, run [f], {!exit} (also on raise). *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Add [by] (default 1) to the domain-local counter [name]. *)
+val count : ?by:int -> string -> unit
+
+(** Uninstall the collector and merge its buffers. Spans still open on
+    the calling domain are force-closed at drain time; open spans of
+    other domains (none, once workers have joined) are dropped.
+    [None] when no collector was active. *)
+val drain : unit -> result option
+
+(** Monotonic nanoseconds (the span clock). *)
+val now_ns : unit -> int64

@@ -24,6 +24,7 @@ let () =
       ("sched", Suite_sched.suite);
       ("events", Suite_events.suite);
       ("obs", Suite_obs.suite);
+      ("telemetry", Suite_telemetry.suite);
       ("tighten", Suite_tighten.suite);
       ("certificate", Suite_certificate.suite);
       ("golden", Suite_golden.suite);
