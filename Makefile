@@ -81,21 +81,29 @@ campaign:
 
 # One full telemetry pass: a traced report campaign appending to the
 # run ledger, an OpenMetrics scrape of a profiled run, a MIPS probe
-# recorded into the same ledger, then the regression gate — schema
-# check plus newest-vs-prior comparison (>10% MIPS drop or any energy
-# drift fails). The trace loads in Perfetto / chrome://tracing; check
-# the exposition with `promtool check metrics < telemetry/metrics.om`.
+# recorded into the same ledger, with the regression gate run after
+# each append (the gate evaluates the newest record, so the report's
+# deterministic energy totals and the probe's host-scoped MIPS are
+# each gated in turn; >10% MIPS drop or any energy drift fails). The
+# trace loads in Perfetto / chrome://tracing; check the exposition
+# with `promtool check metrics < $(TELEM)/metrics.om`.
+#
+# TELEM defaults to the committed ledger directory; CI points it at an
+# untracked copy so runs never dirty the checkout (mips records are
+# host-scoped anyway and would only seed there — see lib/obs/ledger.mli).
+TELEM ?= telemetry
 telemetry:
 	dune build bin/report.exe bin/simulate.exe bin/benchdiff.exe bench/main.exe
 	dune exec bin/report.exe -- --budget 20000 --only fig6 \
-	  --ledger telemetry/ledger.jsonl --trace-spans telemetry/spans.json \
+	  --ledger $(TELEM)/ledger.jsonl --trace-spans $(TELEM)/spans.json \
 	  | tail -3
 	dune exec bin/simulate.exe -- --bench gzip --technique noop \
-	  --budget 20000 --metrics telemetry/metrics.om | tail -1
+	  --budget 20000 --metrics $(TELEM)/metrics.om | tail -1
+	dune exec bin/benchdiff.exe -- --ledger $(TELEM)/ledger.jsonl --check-schema
+	dune exec bin/benchdiff.exe -- --ledger $(TELEM)/ledger.jsonl
 	dune exec bench/main.exe -- --mips-json _build/mips.json \
-	  --ledger telemetry/ledger.jsonl | tail -2
-	dune exec bin/benchdiff.exe -- --check-schema
-	dune exec bin/benchdiff.exe --
+	  --ledger $(TELEM)/ledger.jsonl | tail -2
+	dune exec bin/benchdiff.exe -- --ledger $(TELEM)/ledger.jsonl
 
 # Scheduler-policy grid: every benchmark x {noop, improved} x
 # {oldest_first, nskip:4, load_delay}, with both policy gates enforced

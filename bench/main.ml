@@ -265,9 +265,15 @@ let write_mips_json ?ledger file =
     sampled.H.Sampling.total_insns;
   Option.iter
     (fun lfile ->
+      (* MIPS is host wall-clock speed: scope the digest to this host so
+         the strict ledger gate never compares records across machines
+         (a fresh CI runner seeds its own trajectory instead of being
+         diffed against whatever machine wrote the committed records). *)
       let digest =
         Sdiq_obs.Ledger.config_digest
-          ~extra:(Printf.sprintf "mips:outer=%d" outer)
+          ~extra:
+            (Printf.sprintf "mips:outer=%d:host=%s" outer
+               (Sdiq_obs.Ledger.host_id ()))
           Sdiq_cpu.Config.default Sdiq_cpu.Config.default.Sdiq_cpu.Config.sched
       in
       let record =

@@ -131,12 +131,18 @@ let sample ?(config = default) ?(params = Sdiq_power.Params.default)
        are host-side telemetry only (Sdiq_util.Spanlog): one atomic
        load each when tracing is off, and never anything that touches
        the simulated machine, so sampled estimates are bit-identical
-       with tracing on. *)
+       with tracing on. The warmup/window guard is the post-drain check
+       — once fast-forward starts, the period runs to completion even
+       if the instruction budget is crossed mid-ff, exactly as before
+       the spans were added (window geometry is part of the result). *)
+    let in_period = ref false in
     Spanlog.with_span "sample.ff" (fun () ->
         Pipeline.drain p;
-        if not (finished ()) then
-          ignore (Pipeline.fast_forward p ~insns:config.ff_len : int));
-    if not (finished ()) then begin
+        if not (finished ()) then begin
+          in_period := true;
+          ignore (Pipeline.fast_forward p ~insns:config.ff_len : int)
+        end);
+    if !in_period then begin
       (* ...then resume detailed simulation: unmeasured warmup first, *)
       Spanlog.with_span "sample.warmup" (fun () ->
           Pipeline.set_fetch_hold p false;

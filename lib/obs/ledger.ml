@@ -22,6 +22,12 @@ let config_digest ?(extra = "") config sched =
        (Fmt.str "%a|%s|%s" Sdiq_cpu.Config.pp config
           (Sdiq_cpu.Sched.key sched) extra))
 
+(* Host-speed measurements (wall clock, MIPS) are only comparable on
+   the machine that took them, so records carrying them fold this into
+   their digest: records from different hosts then never share a digest
+   and the strict gate can only ever compare same-machine runs. *)
+let host_id () = try Unix.gethostname () with _ -> "unknown-host"
+
 let git_describe () =
   try
     let ic =
@@ -202,15 +208,31 @@ let check_mips ~threshold ~what ~baseline ~current =
            (-100. *. drop))
   | _ -> None
 
+(* Symmetric over the two technique sets: a technique that appears,
+   disappears or is renamed between records is a drift just as much as
+   a changed value — the gate must not pass it silently. *)
 let check_energy ~baseline ~current =
+  let keys =
+    List.sort_uniq String.compare
+      (List.map fst baseline @ List.map fst current)
+  in
   List.filter_map
-    (fun (tech, b) ->
-      match List.assoc_opt tech current with
-      | Some c when c <> b ->
+    (fun tech ->
+      match (List.assoc_opt tech baseline, List.assoc_opt tech current) with
+      | Some b, Some c when c <> b ->
         Some
           (Printf.sprintf "FAIL energy drift for %s: %.6g -> %.6g" tech b c)
+      | Some b, None ->
+        Some
+          (Printf.sprintf
+             "FAIL energy for %s vanished (baseline %.6g, no current total)"
+             tech b)
+      | None, Some c ->
+        Some
+          (Printf.sprintf
+             "FAIL energy for %s appeared (%.6g, no baseline total)" tech c)
       | _ -> None)
-    baseline
+    keys
 
 let gate ?(threshold = 0.10) records =
   match List.rev records with
@@ -224,6 +246,14 @@ let gate ?(threshold = 0.10) records =
             (String.sub newest.digest 0 (min 8 (String.length newest.digest)));
         ]
     | Some prior ->
+      let energy_msgs =
+        match check_energy ~baseline:prior.energy ~current:newest.energy with
+        | [] when prior.energy <> [] || newest.energy <> [] ->
+          [ Printf.sprintf "ok   energy totals match (%d techniques)"
+              (List.length newest.energy);
+          ]
+        | msgs -> msgs
+      in
       let msgs =
         List.filter_map Fun.id
           [ check_mips ~threshold ~what:"detailed"
@@ -231,7 +261,7 @@ let gate ?(threshold = 0.10) records =
             check_mips ~threshold ~what:"sampled" ~baseline:prior.mips_sampled
               ~current:newest.mips_sampled;
           ]
-        @ check_energy ~baseline:prior.energy ~current:newest.energy
+        @ energy_msgs
       in
       let msgs = if msgs = [] then [ "ok   nothing comparable" ] else msgs in
       if List.exists (fun m -> String.length m >= 4 && String.sub m 0 4 = "FAIL") msgs

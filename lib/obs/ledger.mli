@@ -37,6 +37,14 @@ type record = {
 val config_digest :
   ?extra:string -> Sdiq_cpu.Config.t -> Sdiq_cpu.Sched.t -> string
 
+(** The hostname, for folding into the digest of records whose
+    measurements are host-speed (MIPS, wall clock): a digest that
+    includes the host never matches a record taken on another machine,
+    so {!gate}'s strict threshold only ever compares same-machine runs
+    — on a new host such a record seeds rather than gates.
+    "unknown-host" when the hostname is unavailable. *)
+val host_id : unit -> string
+
 (** [git describe --always --dirty]; "unknown" when git is absent. *)
 val git_describe : unit -> string
 

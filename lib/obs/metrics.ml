@@ -209,24 +209,46 @@ let bucket_le kind i =
     else if i = 0 then Some 0
     else Some ((1 lsl i) - 1)
 
+(* Sanitisation is lossy ("a.b" and "a_b" both become sdiq_a_b), a name
+   can live in more than one table, and counters/histograms also emit
+   derived sample names (_total, _bucket, _sum, _count) that a plain
+   gauge name could shadow. promtool rejects any duplicate family or
+   sample name, so each family claims its full name set — base plus
+   derived — from one registry-wide pool, and a clash appends _2, _3, …
+   until the whole set is free. Rendering order (counters, gauges,
+   histograms, series; name-sorted within each) keeps the suffixing
+   deterministic, and collision-free registries render unchanged. *)
+let claim used base derived =
+  let rec go i =
+    let cand = if i = 0 then base else Printf.sprintf "%s_%d" base (i + 1) in
+    let names = cand :: List.map (fun d -> cand ^ d) derived in
+    if List.exists (Hashtbl.mem used) names then go (i + 1)
+    else begin
+      List.iter (fun n -> Hashtbl.replace used n ()) names;
+      cand
+    end
+  in
+  go 0
+
 let to_openmetrics t =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let used = Hashtbl.create 16 in
   List.iter
     (fun (k, v) ->
-      let n = om_name k in
+      let n = claim used (om_name k) [ "_total" ] in
       line "# TYPE %s counter" n;
       line "%s_total %d" n v)
     (counters t);
   List.iter
     (fun (k, v) ->
-      let n = om_name k in
+      let n = claim used (om_name k) [] in
       line "# TYPE %s gauge" n;
       line "%s %s" n (float_str v))
     (gauges t);
   List.iter
     (fun (k, h) ->
-      let n = om_name k in
+      let n = claim used (om_name k) [ "_bucket"; "_sum"; "_count" ] in
       line "# TYPE %s histogram" n;
       let kind = Hist.kind h in
       let cum = ref 0 in
@@ -242,7 +264,7 @@ let to_openmetrics t =
     (hists t);
   List.iter
     (fun (k, s) ->
-      let n = om_name k in
+      let n = claim used (om_name k) [] in
       line "# TYPE %s gauge" n;
       let w = Series.window s in
       Array.iteri

@@ -64,7 +64,11 @@ val to_json : t -> string
     cumulative [<name>_bucket{le="..."}] lines (integer-inclusive upper
     bounds derived from the {!Hist.kind}) plus [_sum]/[_count], and
     series cells as a gauge family labelled [{cell,window}]. Name-sorted
-    like every other rendering, hence byte-comparable across runs. *)
+    like every other rendering, hence byte-comparable across runs.
+    Family and sample names are unique in the output even when
+    sanitisation or derived suffixes collide (e.g. ["a.b"] vs ["a_b"],
+    or a gauge ["x_total"] vs a counter ["x"]): the later family in
+    rendering order is disambiguated with [_2], [_3], … *)
 val to_openmetrics : t -> string
 
 val pp : Format.formatter -> t -> unit

@@ -235,6 +235,26 @@ let test_zero_ff_single_window_equals_detailed () =
         (full.Stats.wp_fetched > 0 && full.Stats.squashes > 0))
     [ Technique.Baseline; Technique.Noop ]
 
+(* An instruction budget that expires mid-fast-forward does not cancel
+   the period already started: the guard for warmup + window is the
+   post-drain check, so the measured window still runs and the result
+   records it. Pins the boundary case so the window geometry (and with
+   it detailed_insns and every per-insn estimate) of budget-limited
+   sampled runs can't change silently. *)
+let test_budget_crossed_mid_ff_still_measures () =
+  let bench = Sdiq_workloads.W_gzip.build ~outer:8_000 () in
+  let r =
+    Sampling.sample
+      ~config:{ Sampling.ff_len = 5_000; warmup_len = 500; window_len = 500 }
+      ~max_insns:3_000
+      (build_pipeline bench Technique.Baseline)
+  in
+  Alcotest.(check int) "the started period is measured" 1 r.Sampling.windows;
+  Alcotest.(check bool) "window committed instructions" true
+    (r.Sampling.detailed_insns > 0);
+  Alcotest.(check bool) "budget crossed during fast-forward" true
+    (r.Sampling.total_insns >= 5_000)
+
 let suite =
   [
     Alcotest.test_case "estimator: constant ratio, floored CI" `Quick
@@ -252,4 +272,6 @@ let suite =
       test_zero_ff_matches_detailed_ratios;
     Alcotest.test_case "single whole-run window equals detailed stats" `Quick
       test_zero_ff_single_window_equals_detailed;
+    Alcotest.test_case "budget crossed mid-ff still measures the period"
+      `Quick test_budget_crossed_mid_ff_still_measures;
   ]

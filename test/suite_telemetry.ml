@@ -171,6 +171,37 @@ let test_openmetrics_sanitizes_names () =
      in
      contains 0)
 
+(* Sanitisation is lossy and suffixes are derived, so distinct registry
+   names can collide in the exposition; every family and sample name
+   must nonetheless be unique or promtool rejects the scrape. *)
+let test_openmetrics_collisions () =
+  let m = Obs.Metrics.create () in
+  (* "a.b" (counter) and "a_b" (gauge) sanitise to the same family;
+     gauge "x_total" collides with counter x's _total sample. *)
+  Obs.Metrics.incr m "a.b";
+  Obs.Metrics.set_gauge m "a_b" 1.0;
+  Obs.Metrics.incr m "x";
+  Obs.Metrics.set_gauge m "x_total" 2.0;
+  let out = Obs.Metrics.to_openmetrics m in
+  let names =
+    String.split_on_char '\n' out
+    |> List.filter_map (fun l ->
+           if l = "" || String.length l >= 1 && l.[0] = '#' then None
+           else
+             match String.index_opt l ' ' with
+             | Some i -> Some (String.sub l 0 i)
+             | None -> None)
+  in
+  Alcotest.(check bool) "all sample names unique" true
+    (List.length names = List.length (List.sort_uniq compare names));
+  (* The first claimant keeps its natural name; later ones are suffixed. *)
+  Alcotest.(check bool) "counter keeps sdiq_a_b_total" true
+    (List.mem "sdiq_a_b_total" names);
+  Alcotest.(check bool) "gauge a_b renamed" true
+    (List.mem "sdiq_a_b_2" names);
+  Alcotest.(check bool) "gauge x_total renamed" true
+    (List.mem "sdiq_x_total_2" names)
+
 let test_hostprof_metrics () =
   let bench = List.hd (benches ()) in
   let p = Sdiq_cpu.Pipeline.create bench.Sdiq_workloads.Bench.prog in
@@ -260,7 +291,21 @@ let test_gate_energy_drift () =
     (Obs.Ledger.gate [ base; sample_record () ]);
   check_gate "any energy drift fails" false
     (Obs.Ledger.gate
-       [ base; sample_record ~energy:[ ("noop", 10.500001); ("improved", 7.25) ] () ])
+       [ base; sample_record ~energy:[ ("noop", 10.500001); ("improved", 7.25) ] () ]);
+  (* The comparison is symmetric over the technique sets: a technique
+     that vanished, appeared or was renamed is a drift too. *)
+  check_gate "vanished technique fails" false
+    (Obs.Ledger.gate [ base; sample_record ~energy:[ ("noop", 10.5) ] () ]);
+  check_gate "appeared technique fails" false
+    (Obs.Ledger.gate
+       [ base;
+         sample_record
+           ~energy:[ ("noop", 10.5); ("improved", 7.25); ("extra", 1.0) ]
+           ();
+       ]);
+  check_gate "renamed technique fails" false
+    (Obs.Ledger.gate
+       [ base; sample_record ~energy:[ ("noop", 10.5); ("renamed", 7.25) ] () ])
 
 let test_gate_scoping () =
   check_gate "empty ledger passes" true (Obs.Ledger.gate []);
@@ -407,6 +452,8 @@ let suite =
       test_openmetrics_golden;
     Alcotest.test_case "openmetrics name sanitization" `Quick
       test_openmetrics_sanitizes_names;
+    Alcotest.test_case "openmetrics collision dedup" `Quick
+      test_openmetrics_collisions;
     Alcotest.test_case "hostprof gc gauges + exposition" `Quick
       test_hostprof_metrics;
     Alcotest.test_case "ledger record round-trip" `Quick
